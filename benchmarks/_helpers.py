@@ -1,0 +1,60 @@
+"""Shared configuration and formatting for the benchmark harness.
+
+Every bench prints the paper's expected shape next to the measured numbers;
+EXPERIMENTS.md records both. Default sizes are chosen so the whole bench
+suite runs in minutes on a laptop; set ``AVD_BENCH_FULL=1`` for the paper's
+full dimensions (tens of minutes).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.pbft import PbftConfig
+
+#: Full-size mode (paper dimensions) vs laptop defaults.
+FULL = os.environ.get("AVD_BENCH_FULL", "") not in ("", "0")
+
+
+def campaign_config(**overrides) -> PbftConfig:
+    """The PBFT configuration used by campaign-style benches."""
+    return PbftConfig.campaign_scale(**overrides)
+
+
+def fig2_budget() -> int:
+    """Tests per strategy for the Figure 2 reproduction (paper: 125)."""
+    return 125 if FULL else 60
+
+
+def fig2_client_range() -> tuple:
+    """(min, max, step) correct clients (paper: 10..250 step 10)."""
+    return (10, 250, 10) if FULL else (10, 100, 10)
+
+
+def fig3_mask_positions() -> int:
+    """Gray-axis positions swept by the Figure 3 reproduction.
+
+    The paper exhaustively explored a subspace and plots ~1024 mask values;
+    the default sweeps a 64-position slice of the same Gray-ordered axis.
+    """
+    return 1024 if FULL else 64
+
+
+def fig3_client_counts() -> list:
+    return [20, 40, 60, 80, 100] if FULL else [20, 60, 100]
+
+
+def power_budget() -> int:
+    return 40 if FULL else 18
+
+
+def ablation_budget() -> int:
+    return 60 if FULL else 30
+
+
+def banner(title: str, expectation: str) -> None:
+    print("\n" + "=" * 78)
+    print(title)
+    print("-" * 78)
+    print(f"paper expectation: {expectation}")
+    print("=" * 78)

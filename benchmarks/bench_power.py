@@ -1,0 +1,102 @@
+"""Experiment P1 — power of an attacker (Sec. 4).
+
+"Similarly to a real attacker, AVD finds vulnerabilities faster as it has
+more power over the target distributed system. Thus, the number of tests
+necessary for AVD to find a vulnerability is an indication of how difficult
+it would be for a real attacker to find similar vulnerabilities."
+
+Each rung of the power ladder gets the plugin set its access/control level
+admits; the bench reports tests-to-find per rung.
+"""
+
+from repro.core import (
+    AvdExploration,
+    POWER_LADDER,
+    available_plugins,
+    estimate_difficulty,
+    format_table,
+    run_campaign,
+)
+from repro.plugins import (
+    ClientCountPlugin,
+    LibraryFaultPlugin,
+    MacCorruptionPlugin,
+    MessageReorderPlugin,
+    MessageSynthesisPlugin,
+    NetworkFaultPlugin,
+    PrimaryBehaviorPlugin,
+)
+from repro.targets import PbftTarget
+
+from _helpers import banner, campaign_config, power_budget
+
+THRESHOLD = 0.8
+
+
+def full_toolbox():
+    return [
+        ClientCountPlugin(10, 40, 10),
+        MacCorruptionPlugin(),
+        MessageReorderPlugin(),
+        NetworkFaultPlugin(),
+        LibraryFaultPlugin(),
+        PrimaryBehaviorPlugin(),
+        MessageSynthesisPlugin(),
+    ]
+
+
+def run_power():
+    budget = power_budget()
+    outcomes = []
+    for power in POWER_LADDER:
+        plugins = available_plugins(full_toolbox(), power)
+        attack_tools = [p for p in plugins if p.name != "client_count"]
+        if not attack_tools:
+            outcomes.append((power, None, len(plugins), None))
+            continue
+        target = PbftTarget(plugins, config=campaign_config())
+        campaign = run_campaign(AvdExploration(target, plugins, seed=13), budget)
+        estimate = estimate_difficulty(campaign.results, power, THRESHOLD)
+        outcomes.append((power, estimate, len(plugins), campaign.best))
+    return outcomes
+
+
+def report(outcomes) -> None:
+    budget = power_budget()
+    banner(
+        "Power of an attacker — tests-to-find per capability level",
+        "more access/control -> more tools -> vulnerabilities found in "
+        "fewer tests; a blind client-only attacker finds nothing",
+    )
+    rows = []
+    for power, estimate, n_tools, best in outcomes:
+        if estimate is None:
+            rows.append([power.label, power.access.name, power.control.name,
+                         n_tools, "no attack tools", "-"])
+            continue
+        tests = estimate.tests_to_find if estimate.found else f">{budget}"
+        rows.append(
+            [power.label, power.access.name, power.control.name, n_tools,
+             tests, f"{best.impact:.2f}" if best else "-"]
+        )
+    print(format_table(
+        ["attacker", "access", "control", "tools", "tests-to-find", "best impact"],
+        rows,
+    ))
+
+
+def test_power_ladder_difficulty(benchmark):
+    outcomes = benchmark.pedantic(run_power, rounds=1, iterations=1)
+    report(outcomes)
+    # The strongest attacker must find a strong attack within budget...
+    top_power, top_estimate, _, top_best = outcomes[-1]
+    assert top_estimate is not None and top_best.impact >= THRESHOLD
+    # ...and the blind client-only attacker has no attack tools at all.
+    assert outcomes[0][1] is None
+    # Tool availability grows monotonically along the ladder.
+    tool_counts = [n for _, _, n, _ in outcomes]
+    assert tool_counts == sorted(tool_counts)
+
+
+if __name__ == "__main__":
+    report(run_power())

@@ -1,0 +1,13 @@
+"""Benchmark harness configuration.
+
+Campaign benches are single-shot measurements (a campaign is not a
+microbenchmark), so they all use ``benchmark.pedantic(rounds=1,
+iterations=1)`` and print their reproduction tables to stdout; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the tables inline.
+"""
+
+import sys
+import os
+
+# Make the shared helpers importable regardless of how pytest was invoked.
+sys.path.insert(0, os.path.dirname(__file__))

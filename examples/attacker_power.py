@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Power of an attacker (paper Sec. 4).
+
+AVD's tools map to attacker capability levels — what the attacker can READ
+(nothing / documentation / binaries / source) and what it can RUN (clients
+/ network / servers). Running the same campaign with each power profile's
+plugin set, the number of tests AVD needs to find a strong attack is the
+paper's rule-of-thumb estimate of how hard a real attacker would have it.
+
+    python examples/attacker_power.py [--budget N]
+"""
+
+import argparse
+
+from repro import (
+    AvdExploration,
+    POWER_LADDER,
+    PbftConfig,
+    PbftTarget,
+    available_plugins,
+    estimate_difficulty,
+    run_campaign,
+)
+from repro.core import format_table
+from repro.plugins import (
+    ClientCountPlugin,
+    LibraryFaultPlugin,
+    MacCorruptionPlugin,
+    MessageReorderPlugin,
+    MessageSynthesisPlugin,
+    NetworkFaultPlugin,
+    PrimaryBehaviorPlugin,
+)
+
+
+def full_toolbox():
+    return [
+        ClientCountPlugin(min_correct=10, max_correct=60, step=10),
+        MacCorruptionPlugin(),
+        MessageReorderPlugin(),
+        NetworkFaultPlugin(),
+        LibraryFaultPlugin(),
+        PrimaryBehaviorPlugin(),
+        MessageSynthesisPlugin(),
+    ]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=25, help="tests per power level")
+    args = parser.parse_args()
+
+    rows = []
+    for power in POWER_LADDER:
+        plugins = available_plugins(full_toolbox(), power)
+        if not any(plugin.name != "client_count" for plugin in plugins):
+            rows.append([power.label, power.access.name, power.control.name,
+                         "0 attack tools", "-", "n/a"])
+            continue
+        target = PbftTarget(plugins, config=PbftConfig.campaign_scale())
+        campaign = run_campaign(
+            AvdExploration(target, plugins, seed=13), budget=args.budget
+        )
+        estimate = estimate_difficulty(campaign.results, power, impact_threshold=0.8)
+        rows.append(
+            [
+                power.label,
+                power.access.name,
+                power.control.name,
+                ", ".join(sorted(plugin.name for plugin in plugins)),
+                estimate.tests_to_find if estimate.found else f">{args.budget}",
+                estimate.rating(),
+            ]
+        )
+    print("Attacker power vs. discovery difficulty (PBFT target):\n")
+    print(
+        format_table(
+            ["attacker", "access", "control", "tools", "tests to strong attack", "difficulty"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

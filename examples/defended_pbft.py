@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Re-running AVD against a hardened PBFT (Aardvark-style defenses).
+
+The paper notes that Aardvark "avoids this bug by enforcing minimum
+throughput thresholds for each primary" and the Big MAC attack is
+Aardvark's own case study. This example lets AVD hunt on three deployments
+— the paper's PBFT, the timer-fixed PBFT, and the Aardvark-hardened PBFT —
+and shows how the discoverable damage shrinks.
+
+    python examples/defended_pbft.py [--budget N]
+"""
+
+import argparse
+
+from repro import (
+    AvdExploration,
+    DefenseConfig,
+    MacCorruptionPlugin,
+    PbftConfig,
+    PbftTarget,
+    run_campaign,
+)
+from repro.core import format_table
+from repro.plugins import ClientCountPlugin
+
+
+def deployments():
+    return [
+        ("paper PBFT", PbftConfig.campaign_scale()),
+        ("per-request timers", PbftConfig.campaign_scale(per_request_timers=True)),
+        ("aardvark suite", PbftConfig.campaign_scale(defenses=DefenseConfig.aardvark())),
+    ]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=17)
+    args = parser.parse_args()
+
+    rows = []
+    for label, config in deployments():
+        plugins = [MacCorruptionPlugin(), ClientCountPlugin(10, 40, 10)]
+        target = PbftTarget(plugins, config=config)
+        campaign = run_campaign(
+            AvdExploration(target, plugins, seed=args.seed), args.budget
+        )
+        best = campaign.best
+        rows.append(
+            [
+                label,
+                f"{best.impact:.3f}",
+                f"{best.measurement.throughput_rps:.0f}",
+                best.measurement.crashed_replicas,
+                f"{best.params['mac_mask_gray']:#05x}",
+            ]
+        )
+    print(f"AVD's strongest find after {args.budget} tests per deployment:\n")
+    print(
+        format_table(
+            ["deployment", "best impact", "tput under attack", "crashed", "mask"],
+            rows,
+        )
+    )
+    print(
+        "\nExpected shape: the hardened deployment leaves AVD with (almost)"
+        "\nnothing to find — the same campaign that collapses the paper's"
+        "\nPBFT barely dents the Aardvark-hardened one."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: point AVD at PBFT and let it hunt for damage.
+
+Runs a small fitness-guided campaign with the paper's evaluation setup
+(the MAC-corruption tool plus the client-count dimensions) and prints what
+the controller found, next to a random-exploration baseline.
+
+    python examples/quickstart.py [--budget N] [--seed S]
+"""
+
+import argparse
+
+from repro import (
+    AvdExploration,
+    MacCorruptionPlugin,
+    PbftConfig,
+    PbftTarget,
+    RandomExploration,
+    compare_campaigns,
+    run_campaign,
+)
+from repro.core import describe_best
+from repro.plugins import ClientCountPlugin
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=30, help="tests per strategy")
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    # A smaller client range keeps the quickstart under a minute; the full
+    # paper setup is 10..250 clients (see benchmarks/bench_figure2.py).
+    plugins = [
+        MacCorruptionPlugin(),
+        ClientCountPlugin(min_correct=10, max_correct=60, step=10),
+    ]
+    target = PbftTarget(plugins, config=PbftConfig.campaign_scale())
+
+    print(f"hyperspace: {target.hyperspace.size:,} scenarios "
+          f"({len(target.hyperspace.dimensions)} dimensions)")
+
+    print(f"\nrunning AVD (fitness-guided), budget={args.budget} ...")
+    avd = run_campaign(AvdExploration(target, plugins, seed=args.seed), args.budget)
+
+    print(f"running random baseline, budget={args.budget} ...")
+    random_baseline = run_campaign(RandomExploration(target, seed=args.seed + 1), args.budget)
+
+    print("\n" + describe_best(compare_campaigns([avd, random_baseline])))
+
+    best = avd.best
+    measurement = best.measurement
+    print(
+        f"\nstrongest attack found by AVD:\n"
+        f"  params      : {best.params}\n"
+        f"  mask (binary): {bin(best.params['mac_mask_gray'])}\n"
+        f"  impact      : {best.impact:.3f} (1.0 = total loss of service)\n"
+        f"  throughput  : {measurement.throughput_rps:.0f} req/s "
+        f"(tail {measurement.tail_throughput_rps:.0f} req/s)\n"
+        f"  view changes: {measurement.view_changes}, "
+        f"crashed replicas: {measurement.crashed_replicas}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the environment has no `wheel` package, so PEP 660
+editable installs fail; this keeps `pip install -e .` working offline."""
+
+from setuptools import setup
+
+setup()

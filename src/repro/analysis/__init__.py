@@ -1,0 +1,14 @@
+"""Analysis of campaign results: hyperspace structure and convergence."""
+
+from .convergence import ConvergenceStats, discovery_speedup, mean_series, summarize
+from .structure import StructureStats, analyze_structure, dark_grid
+
+__all__ = [
+    "ConvergenceStats",
+    "StructureStats",
+    "analyze_structure",
+    "dark_grid",
+    "discovery_speedup",
+    "mean_series",
+    "summarize",
+]

@@ -1,0 +1,73 @@
+"""Exploration-efficiency analysis (the Figure 2 comparison).
+
+Summarizes campaigns into the quantities the paper compares: per-test
+induced throughput/latency series, discovery speed (tests until a strong
+attack), and area-under-curve style aggregates that are robust to the noise
+of individual runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.campaign import CampaignResult
+
+
+@dataclass(frozen=True)
+class ConvergenceStats:
+    """How quickly and thoroughly one campaign found damage."""
+
+    strategy: str
+    tests: int
+    best_impact: float
+    mean_impact: float
+    #: Mean impact over the last quarter of the campaign (where a guided
+    #: search should be exploiting; random stays at its base rate).
+    late_mean_impact: float
+    tests_to_strong: Optional[int]
+
+
+def summarize(campaign: CampaignResult, strong_threshold: float = 0.8) -> ConvergenceStats:
+    impacts = campaign.impacts()
+    if not impacts:
+        return ConvergenceStats(campaign.strategy, 0, 0.0, 0.0, 0.0, None)
+    late = impacts[-max(1, len(impacts) // 4):]
+    return ConvergenceStats(
+        strategy=campaign.strategy,
+        tests=len(impacts),
+        best_impact=max(impacts),
+        mean_impact=sum(impacts) / len(impacts),
+        late_mean_impact=sum(late) / len(late),
+        tests_to_strong=campaign.tests_to_reach(strong_threshold),
+    )
+
+
+def discovery_speedup(
+    guided: CampaignResult,
+    baseline: CampaignResult,
+    strong_threshold: float = 0.8,
+) -> Optional[float]:
+    """How many times faster the guided campaign reached a strong attack.
+
+    None if either campaign never reached the threshold.
+    """
+    guided_tests = guided.tests_to_reach(strong_threshold)
+    baseline_tests = baseline.tests_to_reach(strong_threshold)
+    if guided_tests is None or baseline_tests is None:
+        return None
+    return baseline_tests / guided_tests
+
+
+def mean_series(series_list: Sequence[Sequence[float]]) -> List[float]:
+    """Element-wise mean of equally long series (multi-seed averaging)."""
+    if not series_list:
+        return []
+    length = min(len(series) for series in series_list)
+    return [
+        sum(series[index] for series in series_list) / len(series_list)
+        for index in range(length)
+    ]
+
+
+__all__ = ["ConvergenceStats", "discovery_speedup", "mean_series", "summarize"]

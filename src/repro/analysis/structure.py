@@ -1,0 +1,157 @@
+"""Hyperspace structure analysis (the Sec. 6 / Figure 3 claim).
+
+The paper argues: "there is structure in the hyperspace of test scenarios"
+— dark points (high-impact scenarios) form clearly defined vertical lines,
+clustered horizontally — "this structure makes the space suitable for
+exploration with hill-climbing." These statistics quantify that claim so
+the benchmark can verify it (experiment S1) instead of eyeballing a plot:
+
+- *run-length clustering*: dark cells along the Gray-coded mask axis group
+  into runs far longer than a shuffled null model would produce;
+- *column consistency*: a mask that is dark at one client count tends to be
+  dark at every client count (the vertical-line shape);
+- *neighbour correlation*: the probability that a dark cell's axis
+  neighbour is dark, versus the dark density (what hill-climbing exploits).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class StructureStats:
+    """Clustering statistics of a boolean dark/light grid."""
+
+    #: Fraction of dark cells.
+    dark_density: float
+    #: Mean length of consecutive dark runs along the mask axis.
+    mean_dark_run: float
+    #: Mean dark run of a degree-preserving shuffled null model.
+    null_mean_dark_run: float
+    #: P(neighbour dark | cell dark) along the mask axis.
+    neighbor_dark_given_dark: float
+    #: Fraction of mask columns that are all-dark or all-light across the
+    #: client axis (vertical-line consistency; 1.0 = perfect vertical lines).
+    column_consistency: float
+    #: Index of dispersion of dark counts over fixed axis windows —
+    #: "the vertical lines are clustered together on the horizontal axis".
+    windowed_dispersion: float = 0.0
+    #: The same for a shuffled null model.
+    null_windowed_dispersion: float = 0.0
+
+    @property
+    def clustering_ratio(self) -> float:
+        """How much longer dark runs are than chance (> 1 means structure)."""
+        if self.null_mean_dark_run <= 0:
+            return float("inf") if self.mean_dark_run > 0 else 1.0
+        return self.mean_dark_run / self.null_mean_dark_run
+
+    @property
+    def dispersion_ratio(self) -> float:
+        """Regional clustering vs chance (> 1 means dark columns bunch up)."""
+        if self.null_windowed_dispersion <= 0:
+            return float("inf") if self.windowed_dispersion > 0 else 1.0
+        return self.windowed_dispersion / self.null_windowed_dispersion
+
+
+def dark_grid(values: Sequence[Sequence[float]], threshold: float) -> List[List[bool]]:
+    """Binarize a measurement grid: dark = value below threshold."""
+    return [[value < threshold for value in row] for row in values]
+
+
+def _runs(row: Sequence[bool]) -> List[int]:
+    runs: List[int] = []
+    current = 0
+    for dark in row:
+        if dark:
+            current += 1
+        elif current:
+            runs.append(current)
+            current = 0
+    if current:
+        runs.append(current)
+    return runs
+
+
+def _mean_run(grid: Sequence[Sequence[bool]]) -> float:
+    runs: List[int] = []
+    for row in grid:
+        runs.extend(_runs(row))
+    return sum(runs) / len(runs) if runs else 0.0
+
+
+def _window_dispersion(row: Sequence[bool], windows: int) -> float:
+    """Index of dispersion (variance/mean) of dark counts per window."""
+    if windows < 2 or len(row) < windows:
+        return 0.0
+    width = len(row) // windows
+    counts = [sum(row[i * width : (i + 1) * width]) for i in range(windows)]
+    mean = sum(counts) / windows
+    if mean <= 0:
+        return 0.0
+    variance = sum((count - mean) ** 2 for count in counts) / windows
+    return variance / mean
+
+
+def analyze_structure(
+    grid: Sequence[Sequence[bool]], null_seed: int = 0, windows: int = 12
+) -> StructureStats:
+    """Compute :class:`StructureStats` for a dark/light grid.
+
+    ``grid[row][column]``: rows = client counts, columns = Gray-ordered mask
+    positions (matching Figure 3's axes).
+    """
+    if not grid or not grid[0]:
+        raise ValueError("grid must be non-empty")
+    cells = sum(len(row) for row in grid)
+    dark_cells = sum(sum(1 for value in row if value) for row in grid)
+    density = dark_cells / cells
+
+    mean_run = _mean_run(grid)
+
+    rng = random.Random(null_seed)
+    shuffled = []
+    for row in grid:
+        permuted = list(row)
+        rng.shuffle(permuted)
+        shuffled.append(permuted)
+    null_mean_run = _mean_run(shuffled)
+
+    neighbor_pairs = 0
+    neighbor_dark = 0
+    for row in grid:
+        for index in range(len(row) - 1):
+            if row[index]:
+                neighbor_pairs += 1
+                if row[index + 1]:
+                    neighbor_dark += 1
+    neighbor_rate = neighbor_dark / neighbor_pairs if neighbor_pairs else 0.0
+
+    columns = len(grid[0])
+    consistent = 0
+    for column in range(columns):
+        values = [row[column] for row in grid]
+        if all(values) or not any(values):
+            consistent += 1
+    consistency = consistent / columns
+
+    dispersion = sum(_window_dispersion(row, windows) for row in grid) / len(grid)
+    null_dispersion = sum(
+        _window_dispersion(row, windows) for row in shuffled
+    ) / len(shuffled)
+
+    return StructureStats(
+        dark_density=density,
+        mean_dark_run=mean_run,
+        null_mean_dark_run=null_mean_run,
+        neighbor_dark_given_dark=neighbor_rate,
+        column_consistency=consistency,
+        windowed_dispersion=dispersion,
+        null_windowed_dispersion=null_dispersion,
+    )
+
+
+__all__ = ["StructureStats", "analyze_structure", "dark_grid"]

@@ -1,0 +1,278 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+campaign    run an AVD (or baseline) campaign against a target
+bigmac      sweep the Big MAC mask family against PBFT
+slow-primary demonstrate the shared-timer bug and its fixes
+dht-attack  measure the DHT redirection DoS
+explore     coverage-guided protocol-message sequence exploration
+power       tests-to-find along the attacker power ladder
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import (
+    AvdExploration,
+    GeneticExploration,
+    POWER_LADDER,
+    RandomExploration,
+    available_plugins,
+    describe_best,
+    compare_campaigns,
+    estimate_difficulty,
+    format_table,
+    run_campaign,
+    sparkline,
+)
+from .core.persistence import save_campaign
+from .dht import run_dht_deployment
+from .pbft import (
+    ClientBehavior,
+    DefenseConfig,
+    PbftConfig,
+    ReplicaBehavior,
+    SlowPrimaryPolicy,
+    run_deployment,
+)
+from .plugins import (
+    ClientCountPlugin,
+    LibraryFaultPlugin,
+    MacCorruptionPlugin,
+    MessageReorderPlugin,
+    MessageSynthesisPlugin,
+    NetworkFaultPlugin,
+    PrimaryBehaviorPlugin,
+)
+from .synthesis import SequenceExplorer, behaviours_of_interest
+from .targets import DhtTarget, PbftTarget, RoutingPoisonPlugin
+
+_TOOL_FACTORIES = {
+    "mac": MacCorruptionPlugin,
+    "clients": lambda: ClientCountPlugin(10, 100, 10),
+    "reorder": MessageReorderPlugin,
+    "net": NetworkFaultPlugin,
+    "lfi": LibraryFaultPlugin,
+    "primary": PrimaryBehaviorPlugin,
+    "synth": MessageSynthesisPlugin,
+}
+
+
+def _build_plugins(tool_names: List[str]):
+    unknown = [name for name in tool_names if name not in _TOOL_FACTORIES]
+    if unknown:
+        raise SystemExit(
+            f"unknown tools: {', '.join(unknown)} "
+            f"(available: {', '.join(sorted(_TOOL_FACTORIES))})"
+        )
+    return [_TOOL_FACTORIES[name]() for name in tool_names]
+
+
+def _pbft_config(args) -> PbftConfig:
+    overrides = {}
+    if getattr(args, "fixed_timers", False):
+        overrides["per_request_timers"] = True
+    if getattr(args, "aardvark", False):
+        overrides["defenses"] = DefenseConfig.aardvark()
+    return PbftConfig.campaign_scale(**overrides)
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+def cmd_campaign(args) -> int:
+    plugins = _build_plugins(args.tools.split(","))
+    if args.target == "pbft":
+        target = PbftTarget(plugins, config=_pbft_config(args))
+    else:
+        poison = RoutingPoisonPlugin()
+        plugins = [poison]
+        target = DhtTarget(plugins)
+    if args.strategy == "avd":
+        strategy = AvdExploration(target, plugins, seed=args.seed)
+    elif args.strategy == "random":
+        strategy = RandomExploration(target, seed=args.seed)
+    else:
+        strategy = GeneticExploration(target, plugins, seed=args.seed)
+    print(
+        f"exploring {target.hyperspace.size:,} scenarios with "
+        f"'{args.strategy}' for {args.budget} tests ..."
+    )
+    campaign = run_campaign(strategy, args.budget)
+    print(describe_best(compare_campaigns([campaign])))
+    print("impact per test:", sparkline(campaign.impacts()))
+    if args.out:
+        save_campaign(campaign, args.out)
+        print(f"campaign saved to {args.out}")
+    return 0
+
+
+def cmd_bigmac(args) -> int:
+    config = _pbft_config(args)
+    rows = []
+    for mask in (0x000, 0x00F, 0x00E, 0x111, 0xCCC, 0x777, 0xFFF):
+        result = run_deployment(
+            config,
+            args.clients,
+            malicious_clients=[ClientBehavior(mac_mask=mask)],
+            seed=args.seed,
+        )
+        rows.append(
+            [
+                f"{mask:#05x}",
+                f"{result.throughput_rps:.0f}",
+                f"{result.tail_throughput_rps:.0f}",
+                result.view_changes,
+                result.crashed_replicas,
+            ]
+        )
+    print(format_table(["mask", "tput req/s", "tail", "view chg", "crashed"], rows))
+    return 0
+
+
+def cmd_slow_primary(args) -> int:
+    config = _pbft_config(args)
+    slow = ReplicaBehavior(slow_primary=SlowPrimaryPolicy())
+    colluding = ReplicaBehavior(
+        slow_primary=SlowPrimaryPolicy(serve_only_client="mclient-0")
+    )
+    scenarios = [
+        ("healthy", {}, []),
+        ("slow primary", {0: slow}, []),
+        ("slow + colluder", {0: colluding}, [ClientBehavior(broadcast_always=True)]),
+    ]
+    rows = []
+    for label, behaviors, malicious in scenarios:
+        result = run_deployment(
+            config, args.clients, malicious_clients=malicious,
+            replica_behaviors=behaviors, seed=args.seed,
+        )
+        rows.append([label, f"{result.throughput_rps:.2f}", result.view_changes])
+    print(format_table(["scenario", "useful tput (req/s)", "view chg"], rows))
+    return 0
+
+
+def cmd_dht_attack(args) -> int:
+    result = run_dht_deployment(
+        n_correct=args.swarm,
+        n_malicious=args.attackers,
+        poison_rate=args.poison_rate,
+        fanout=args.fanout,
+        seed=args.seed,
+    )
+    print(
+        f"victim load   : {result.victim_load_mps:.0f} msg/s\n"
+        f"attacker msgs : {result.attacker_messages}\n"
+        f"amplification : {result.amplification:.1f}x\n"
+        f"lookups done  : {result.lookups_completed}"
+    )
+    return 0
+
+
+def cmd_explore(args) -> int:
+    explorer = SequenceExplorer(seed=args.seed)
+    result = explorer.explore(budget=args.budget)
+    print(
+        f"executions: {result.executions}, behaviours covered: "
+        f"{len(result.total_coverage)}, corpus: {len(result.corpus)}"
+    )
+    print("coverage curve:", sparkline([float(v) for v in result.coverage_curve]))
+    for marker, program in behaviours_of_interest(result).items():
+        kinds = " -> ".join(op.kind for op in program)
+        print(f"  {marker}: {kinds}")
+    return 0
+
+
+def cmd_power(args) -> int:
+    rows = []
+    for power in POWER_LADDER:
+        toolbox = _build_plugins(["clients", "mac", "reorder", "net", "lfi", "primary", "synth"])
+        plugins = available_plugins(toolbox, power)
+        if not any(plugin.name != "client_count" for plugin in plugins):
+            rows.append([power.label, 0, "no attack tools"])
+            continue
+        target = PbftTarget(plugins, config=PbftConfig.campaign_scale())
+        campaign = run_campaign(AvdExploration(target, plugins, seed=args.seed), args.budget)
+        estimate = estimate_difficulty(campaign.results, power)
+        rows.append(
+            [
+                power.label,
+                len(plugins),
+                estimate.tests_to_find if estimate.found else f">{args.budget}",
+            ]
+        )
+    print(format_table(["attacker", "tools", "tests-to-find"], rows))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AVD: automated vulnerability discovery"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser("campaign", help="run an exploration campaign")
+    campaign.add_argument("--target", choices=("pbft", "dht"), default="pbft")
+    campaign.add_argument("--tools", default="mac,clients",
+                          help=f"comma list of {', '.join(sorted(_TOOL_FACTORIES))}")
+    campaign.add_argument("--strategy", choices=("avd", "random", "genetic"), default="avd")
+    campaign.add_argument("--budget", type=int, default=40)
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--fixed-timers", action="store_true")
+    campaign.add_argument("--aardvark", action="store_true")
+    campaign.add_argument("--out", help="save results to this JSON file")
+    campaign.set_defaults(func=cmd_campaign)
+
+    bigmac = sub.add_parser("bigmac", help="sweep the Big MAC mask family")
+    bigmac.add_argument("--clients", type=int, default=20)
+    bigmac.add_argument("--seed", type=int, default=0)
+    bigmac.add_argument("--fixed-timers", action="store_true")
+    bigmac.add_argument("--aardvark", action="store_true")
+    bigmac.set_defaults(func=cmd_bigmac)
+
+    slow = sub.add_parser("slow-primary", help="the shared-timer bug")
+    slow.add_argument("--clients", type=int, default=20)
+    slow.add_argument("--seed", type=int, default=0)
+    slow.add_argument("--fixed-timers", action="store_true")
+    slow.add_argument("--aardvark", action="store_true")
+    slow.set_defaults(func=cmd_slow_primary)
+
+    dht = sub.add_parser("dht-attack", help="the DHT redirection DoS")
+    dht.add_argument("--swarm", type=int, default=40)
+    dht.add_argument("--attackers", type=int, default=1)
+    dht.add_argument("--poison-rate", type=float, default=1.0)
+    dht.add_argument("--fanout", type=int, default=8)
+    dht.add_argument("--seed", type=int, default=0)
+    dht.set_defaults(func=cmd_dht_attack)
+
+    explore = sub.add_parser("explore", help="protocol-sequence exploration")
+    explore.add_argument("--budget", type=int, default=60)
+    explore.add_argument("--seed", type=int, default=0)
+    explore.set_defaults(func=cmd_explore)
+
+    power = sub.add_parser("power", help="attacker power ladder")
+    power.add_argument("--budget", type=int, default=20)
+    power.add_argument("--seed", type=int, default=0)
+    power.set_defaults(func=cmd_power)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())
+
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,83 @@
+"""AVD core: the paper's primary contribution.
+
+The Test Controller (:mod:`repro.core.controller`) explores the hyperspace
+of test scenarios (:mod:`repro.core.hyperspace`) through tool plugins
+(:mod:`repro.core.plugin`), guided by measured impact on the correct nodes.
+Baseline strategies and the attacker power model live alongside.
+"""
+
+from .campaign import CampaignResult, compare_campaigns, run_campaign
+from .controller import ControllerConfig, TestController
+from .executor import ScenarioExecutor, TargetSystem
+from .exploration import (
+    AnnealingExploration,
+    AvdExploration,
+    ExhaustiveExploration,
+    ExplorationStrategy,
+    GeneticExploration,
+    RandomExploration,
+)
+from .hyperspace import (
+    ChoiceDimension,
+    Coords,
+    CoordsKey,
+    Dimension,
+    GrayBitmaskDimension,
+    Hyperspace,
+    IntRangeDimension,
+    coords_key,
+)
+from .plugin import ToolPlugin
+from .power import (
+    AccessLevel,
+    AttackerPower,
+    ControlLevel,
+    DifficultyEstimate,
+    POWER_LADDER,
+    available_plugins,
+    estimate_difficulty,
+)
+from .report import describe_best, format_table, heatmap, sparkline
+from .sampling import PluginSampler, PluginStats, TopSet, weighted_choice
+from .scenario import ScenarioResult, TestScenario
+
+__all__ = [
+    "AccessLevel",
+    "AnnealingExploration",
+    "AttackerPower",
+    "AvdExploration",
+    "CampaignResult",
+    "ChoiceDimension",
+    "ControlLevel",
+    "ControllerConfig",
+    "Coords",
+    "CoordsKey",
+    "DifficultyEstimate",
+    "Dimension",
+    "ExhaustiveExploration",
+    "ExplorationStrategy",
+    "GeneticExploration",
+    "GrayBitmaskDimension",
+    "Hyperspace",
+    "IntRangeDimension",
+    "POWER_LADDER",
+    "PluginSampler",
+    "PluginStats",
+    "RandomExploration",
+    "ScenarioExecutor",
+    "ScenarioResult",
+    "TargetSystem",
+    "TestController",
+    "TestScenario",
+    "ToolPlugin",
+    "TopSet",
+    "available_plugins",
+    "compare_campaigns",
+    "coords_key",
+    "describe_best",
+    "estimate_difficulty",
+    "format_table",
+    "heatmap",
+    "sparkline",
+    "weighted_choice",
+]

@@ -1,0 +1,210 @@
+"""The Test Controller: the paper's Algorithm 1.
+
+The controller keeps:
+
+- ``Pi``   — the set of top-impact executed scenarios,
+- ``Psi``  — the queue of scenarios pending execution,
+- ``Omega``— the history of previously executed scenario keys,
+- ``mu``   — the maximum observed impact so far,
+
+and generates new scenarios by sampling a parent from Pi by impact,
+sampling a plugin by historical fitness gain, computing
+``mutateDistance = 1 - parent.impact / mu`` and asking the plugin to mutate
+the parent. The exploration is seeded with random scenarios (the "random
+shots" phase of the battleships analogy in Sec. 3).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Set
+
+from .executor import ScenarioExecutor, TargetSystem
+from .hyperspace import CoordsKey
+from .plugin import ToolPlugin
+from .sampling import PluginSampler, TopSet
+from .scenario import ScenarioResult, TestScenario
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tunables of the meta-heuristic (ablation switches included)."""
+
+    #: Capacity of the top-impact set Pi.
+    top_set_size: int = 10
+    #: Random scenarios executed before mutation starts (battleships
+    #: "random shots" phase).
+    seed_tests: int = 8
+    #: Probability of injecting a fresh random scenario between mutations,
+    #: keeping some exploration pressure for the whole campaign.
+    random_restart_rate: float = 0.1
+    #: Attempts at generating a not-yet-explored scenario per iteration.
+    dedup_retries: int = 8
+    #: Ablation X1: if set, use this fixed mutateDistance instead of the
+    #: adaptive ``1 - impact/mu``.
+    fixed_mutate_distance: Optional[float] = None
+    #: Ablation X2: sample plugins uniformly instead of by fitness gain.
+    uniform_plugin_choice: bool = False
+
+    def __post_init__(self) -> None:
+        if self.top_set_size < 1:
+            raise ValueError("top_set_size must be >= 1")
+        if self.seed_tests < 1:
+            raise ValueError("seed_tests must be >= 1")
+        if not 0.0 <= self.random_restart_rate <= 1.0:
+            raise ValueError("random_restart_rate must be in [0, 1]")
+        if self.fixed_mutate_distance is not None and not (
+            0.0 <= self.fixed_mutate_distance <= 1.0
+        ):
+            raise ValueError("fixed_mutate_distance must be in [0, 1]")
+
+
+class TestController:
+    """Feedback-driven scenario generation + execution (Algorithm 1)."""
+
+    def __init__(
+        self,
+        target: TargetSystem,
+        plugins: Sequence[ToolPlugin],
+        seed: int = 0,
+        config: ControllerConfig = ControllerConfig(),
+    ) -> None:
+        if not plugins:
+            raise ValueError("the controller needs at least one tool plugin")
+        self.target = target
+        self.plugins: Dict[str, ToolPlugin] = {plugin.name: plugin for plugin in plugins}
+        if len(self.plugins) != len(plugins):
+            raise ValueError("duplicate plugin names")
+        self.config = config
+        self.rng = random.Random(seed)
+        self.executor = ScenarioExecutor(target, campaign_seed=seed)
+
+        self.top_set = TopSet(capacity=config.top_set_size)  # Pi
+        self.pending: Deque[TestScenario] = deque()  # Psi
+        self.history: Set[CoordsKey] = set()  # Omega
+        self.max_impact = 0.0  # mu
+        self.results: List[ScenarioResult] = []
+        self.plugin_sampler = PluginSampler(
+            list(self.plugins), uniform=config.uniform_plugin_choice
+        )
+        #: parent impact by child key, for fitness-gain accounting.
+        self._parent_impact: Dict[CoordsKey, float] = {}
+
+    # ------------------------------------------------------------------
+    # scenario generation (Algorithm 1)
+    # ------------------------------------------------------------------
+    def generate(self) -> Optional[TestScenario]:
+        """Generate one new scenario into Psi; returns it (or None).
+
+        Falls back to a random scenario whenever mutation cannot produce an
+        unexplored point (or per the random-restart rate).
+        """
+        explore_randomly = (
+            len(self.results) < self.config.seed_tests
+            or not self.top_set.entries
+            or self.rng.random() < self.config.random_restart_rate
+        )
+        if not explore_randomly:
+            scenario = self._generate_mutation()
+            if scenario is not None:
+                self.pending.append(scenario)
+                return scenario
+        scenario = self._generate_random()
+        if scenario is not None:
+            self.pending.append(scenario)
+        return scenario
+
+    def _generate_mutation(self) -> Optional[TestScenario]:
+        for _ in range(self.config.dedup_retries):
+            parent = self.top_set.sample_by_impact(self.rng)  # line 1
+            if parent is None:
+                return None
+            plugin_name = self.plugin_sampler.sample(self.rng)  # line 2
+            plugin = self.plugins[plugin_name]
+            if self.config.fixed_mutate_distance is not None:
+                distance = self.config.fixed_mutate_distance
+            elif self.max_impact <= 0.0:
+                distance = 1.0
+            else:  # line 3
+                distance = 1.0 - parent.impact / self.max_impact
+            child_coords = plugin.mutate(  # line 4
+                parent.scenario.coords, distance, self.rng, self.target.hyperspace
+            )
+            scenario = TestScenario(
+                coords=child_coords,
+                parent_key=parent.key,
+                plugin=plugin_name,
+                mutate_distance=distance,
+                origin="mutation",
+            )
+            if self._is_new(scenario.key):  # line 5
+                self._parent_impact[scenario.key] = parent.impact
+                return scenario
+        return None
+
+    def _generate_random(self) -> Optional[TestScenario]:
+        for _ in range(self.config.dedup_retries * 4):
+            coords = self.target.hyperspace.random_coords(self.rng)
+            scenario = TestScenario(coords=coords, origin="random")
+            if self._is_new(scenario.key):
+                return scenario
+        return None
+
+    def _is_new(self, key: CoordsKey) -> bool:
+        if key in self.history:
+            return False
+        return all(pending.key != key for pending in self.pending)
+
+    # ------------------------------------------------------------------
+    # execution (the worker)
+    # ------------------------------------------------------------------
+    def execute_next(self) -> Optional[ScenarioResult]:
+        """Dequeue one scenario from Psi, run it, update Pi/Omega/mu."""
+        if not self.pending:
+            return None
+        scenario = self.pending.popleft()
+        result = self.executor.execute(scenario, test_index=len(self.results))
+        self._absorb(result)
+        return result
+
+    def _absorb(self, result: ScenarioResult) -> None:
+        self.history.add(result.key)
+        self.results.append(result)
+        self.top_set.offer(result)
+        if result.impact > self.max_impact:
+            self.max_impact = result.impact
+        if result.scenario.plugin is not None:
+            parent_impact = self._parent_impact.pop(result.key, 0.0)
+            self.plugin_sampler.record(result.scenario.plugin, parent_impact, result.impact)
+
+    def run(self, budget: int) -> List[ScenarioResult]:
+        """Run ``budget`` tests end to end; returns results in order."""
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        while len(self.results) < budget:
+            if not self.pending and self.generate() is None:
+                break  # hyperspace exhausted
+            if self.execute_next() is None:
+                break
+        return self.results
+
+    # ------------------------------------------------------------------
+    # reporting helpers
+    # ------------------------------------------------------------------
+    @property
+    def best(self) -> Optional[ScenarioResult]:
+        return self.top_set.best
+
+    def best_so_far_curve(self) -> List[float]:
+        """Running maximum impact after each executed test."""
+        curve: List[float] = []
+        best = 0.0
+        for result in self.results:
+            best = max(best, result.impact)
+            curve.append(best)
+        return curve
+
+
+__all__ = ["ControllerConfig", "TestController"]

@@ -1,0 +1,64 @@
+"""Scenario execution: target adapters and the test worker.
+
+Sec. 3: "A worker thread dequeues scenarios from Psi, instantiates the test
+configuration (using the plugins), executes the test and computes the
+impact." Tests are independent; the target re-initializes the distributed
+system for every test (a fresh simulator per run), so execution order never
+contaminates measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol
+
+from ..sim.rng import derive_seed
+from .hyperspace import Hyperspace
+from .scenario import ScenarioResult, TestScenario
+
+
+class TargetSystem(Protocol):
+    """What the controller needs from a system under test."""
+
+    #: The composed hyperspace of every tool plugin's dimensions.
+    hyperspace: Hyperspace
+
+    def execute(self, params: Dict[str, object], seed: int) -> object:
+        """Instantiate and run one test; return the raw measurement."""
+        ...
+
+    def impact_of(self, measurement: object, params: Dict[str, object]) -> float:
+        """Normalized damage in [0, 1] for a measurement."""
+        ...
+
+
+class ScenarioExecutor:
+    """Executes scenarios against a target, deterministically per scenario.
+
+    Each scenario's simulation seed derives from the campaign seed and the
+    scenario's coordinates, so re-running an already-explored point (which
+    the Omega dedup set prevents anyway) would reproduce the same result.
+    """
+
+    def __init__(self, target: TargetSystem, campaign_seed: int = 0) -> None:
+        self.target = target
+        self.campaign_seed = campaign_seed
+        self.executed = 0
+
+    def execute(self, scenario: TestScenario, test_index: int) -> ScenarioResult:
+        params = self.target.hyperspace.params(scenario.coords)
+        seed = derive_seed(self.campaign_seed, f"scenario:{scenario.key}")
+        measurement = self.target.execute(params, seed)
+        impact = self.target.impact_of(measurement, params)
+        if not 0.0 <= impact <= 1.0:
+            raise ValueError(f"target returned impact outside [0, 1]: {impact}")
+        self.executed += 1
+        return ScenarioResult(
+            scenario=scenario,
+            impact=impact,
+            test_index=test_index,
+            measurement=measurement,
+            params=params,
+        )
+
+
+__all__ = ["ScenarioExecutor", "TargetSystem"]

@@ -1,0 +1,263 @@
+"""Exploration strategies: AVD's fitness-guided search and its baselines.
+
+Figure 2 compares AVD's fitness-guided exploration against random
+exploration; Figure 3 uses exhaustive exploration of a subspace. A genetic
+algorithm baseline is included as an extra point of comparison (the paper
+cites GA-based meta-heuristics [Inkumsah & Xie] as kin of its approach).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .controller import ControllerConfig, TestController
+from .executor import ScenarioExecutor, TargetSystem
+from .hyperspace import Hyperspace, coords_key
+from .plugin import ToolPlugin
+from .scenario import ScenarioResult, TestScenario
+
+
+class ExplorationStrategy:
+    """Common interface: run ``budget`` tests, return ordered results."""
+
+    name = "strategy"
+
+    def run(self, budget: int) -> List[ScenarioResult]:
+        raise NotImplementedError
+
+
+class AvdExploration(ExplorationStrategy):
+    """The paper's feedback-driven exploration (Algorithm 1)."""
+
+    name = "avd"
+
+    def __init__(
+        self,
+        target: TargetSystem,
+        plugins: Sequence[ToolPlugin],
+        seed: int = 0,
+        config: ControllerConfig = ControllerConfig(),
+    ) -> None:
+        self.controller = TestController(target, plugins, seed=seed, config=config)
+
+    def run(self, budget: int) -> List[ScenarioResult]:
+        return self.controller.run(budget)
+
+
+class RandomExploration(ExplorationStrategy):
+    """Uniform random sampling of the hyperspace (Figure 2's baseline)."""
+
+    name = "random"
+
+    def __init__(self, target: TargetSystem, seed: int = 0) -> None:
+        self.target = target
+        self.rng = random.Random(seed)
+        self.executor = ScenarioExecutor(target, campaign_seed=seed)
+        self.results: List[ScenarioResult] = []
+        self._seen = set()
+
+    def run(self, budget: int) -> List[ScenarioResult]:
+        while len(self.results) < budget:
+            scenario = self._fresh_random()
+            if scenario is None:
+                break
+            result = self.executor.execute(scenario, test_index=len(self.results))
+            self._seen.add(result.key)
+            self.results.append(result)
+        return self.results
+
+    def _fresh_random(self) -> Optional[TestScenario]:
+        for _ in range(64):
+            coords = self.target.hyperspace.random_coords(self.rng)
+            if coords_key(coords) not in self._seen:
+                return TestScenario(coords=coords, origin="random")
+        return None
+
+
+class ExhaustiveExploration(ExplorationStrategy):
+    """Grid sweep of a (restricted) hyperspace — used for Figure 3."""
+
+    name = "exhaustive"
+
+    def __init__(
+        self,
+        target: TargetSystem,
+        seed: int = 0,
+        hyperspace: Optional[Hyperspace] = None,
+    ) -> None:
+        self.target = target
+        self.executor = ScenarioExecutor(target, campaign_seed=seed)
+        self.hyperspace = hyperspace if hyperspace is not None else target.hyperspace
+        self.results: List[ScenarioResult] = []
+
+    def run(self, budget: Optional[int] = None) -> List[ScenarioResult]:
+        for coords in self.hyperspace.iter_grid():
+            if budget is not None and len(self.results) >= budget:
+                break
+            scenario = TestScenario(coords=coords, origin="exhaustive")
+            self.results.append(
+                self.executor.execute(scenario, test_index=len(self.results))
+            )
+        return self.results
+
+
+class GeneticExploration(ExplorationStrategy):
+    """A simple generational GA baseline (elitism + crossover + mutation)."""
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        target: TargetSystem,
+        plugins: Sequence[ToolPlugin],
+        seed: int = 0,
+        population_size: int = 12,
+        elite: int = 3,
+        mutation_rate: float = 0.3,
+    ) -> None:
+        if population_size < 2 or not 1 <= elite < population_size:
+            raise ValueError("bad GA parameters")
+        self.target = target
+        self.plugins = list(plugins)
+        self.rng = random.Random(seed)
+        self.executor = ScenarioExecutor(target, campaign_seed=seed)
+        self.population_size = population_size
+        self.elite = elite
+        self.mutation_rate = mutation_rate
+        self.results: List[ScenarioResult] = []
+        self._seen = set()
+
+    def run(self, budget: int) -> List[ScenarioResult]:
+        population: List[ScenarioResult] = []
+        while len(self.results) < budget:
+            if not population:
+                generation = [self._random_scenario() for _ in range(self.population_size)]
+            else:
+                generation = self._breed(population)
+            evaluated: List[ScenarioResult] = []
+            for scenario in generation:
+                if scenario is None or len(self.results) >= budget:
+                    continue
+                result = self.executor.execute(scenario, test_index=len(self.results))
+                self._seen.add(result.key)
+                self.results.append(result)
+                evaluated.append(result)
+            pool = population + evaluated
+            pool.sort(key=lambda r: r.impact, reverse=True)
+            population = pool[: self.population_size]
+            if not evaluated:
+                break
+        return self.results
+
+    def _breed(self, population: List[ScenarioResult]) -> List[Optional[TestScenario]]:
+        children: List[Optional[TestScenario]] = []
+        parents = population[: max(self.elite, 2)]
+        while len(children) < self.population_size:
+            mother = self.rng.choice(parents)
+            father = self.rng.choice(population)
+            coords = {
+                name: (mother if self.rng.random() < 0.5 else father).scenario.coords[name]
+                for name in self.target.hyperspace.by_name
+            }
+            if self.rng.random() < self.mutation_rate and self.plugins:
+                plugin = self.rng.choice(self.plugins)
+                coords = plugin.mutate(coords, 0.2, self.rng, self.target.hyperspace)
+            key = coords_key(coords)
+            if key in self._seen:
+                children.append(self._random_scenario())
+            else:
+                children.append(TestScenario(coords=coords, origin="mutation"))
+        return children
+
+    def _random_scenario(self) -> Optional[TestScenario]:
+        for _ in range(64):
+            coords = self.target.hyperspace.random_coords(self.rng)
+            if coords_key(coords) not in self._seen:
+                return TestScenario(coords=coords, origin="random")
+        return None
+
+
+class AnnealingExploration(ExplorationStrategy):
+    """Simulated annealing over the hyperspace (another classic baseline).
+
+    A single walker mutates its current scenario through a random plugin;
+    worse children are accepted with probability exp(delta / T), and the
+    temperature cools geometrically. Included as a second meta-heuristic
+    point of comparison (the McMinn survey the paper cites covers both).
+    """
+
+    name = "annealing"
+
+    def __init__(
+        self,
+        target: TargetSystem,
+        plugins: Sequence[ToolPlugin],
+        seed: int = 0,
+        initial_temperature: float = 0.4,
+        cooling: float = 0.95,
+    ) -> None:
+        if not plugins:
+            raise ValueError("annealing needs at least one plugin")
+        if not 0.0 < cooling < 1.0:
+            raise ValueError("cooling must be in (0, 1)")
+        self.target = target
+        self.plugins = list(plugins)
+        self.rng = random.Random(seed)
+        self.executor = ScenarioExecutor(target, campaign_seed=seed)
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.results: List[ScenarioResult] = []
+        self._seen = set()
+
+    def run(self, budget: int) -> List[ScenarioResult]:
+        import math
+
+        current = self._evaluate(self._random_scenario())
+        if current is None:
+            return self.results
+        temperature = self.initial_temperature
+        while len(self.results) < budget:
+            plugin = self.rng.choice(self.plugins)
+            distance = min(1.0, temperature / self.initial_temperature)
+            coords = plugin.mutate(
+                current.scenario.coords, distance, self.rng, self.target.hyperspace
+            )
+            if coords_key(coords) in self._seen:
+                candidate = self._evaluate(self._random_scenario())
+            else:
+                candidate = self._evaluate(
+                    TestScenario(coords=coords, plugin=plugin.name, origin="mutation")
+                )
+            if candidate is None:
+                break
+            delta = candidate.impact - current.impact
+            if delta >= 0 or self.rng.random() < math.exp(delta / max(temperature, 1e-6)):
+                current = candidate
+            temperature *= self.cooling
+        return self.results
+
+    def _evaluate(self, scenario: Optional[TestScenario]) -> Optional[ScenarioResult]:
+        if scenario is None:
+            return None
+        result = self.executor.execute(scenario, test_index=len(self.results))
+        self._seen.add(result.key)
+        self.results.append(result)
+        return result
+
+    def _random_scenario(self) -> Optional[TestScenario]:
+        for _ in range(64):
+            coords = self.target.hyperspace.random_coords(self.rng)
+            if coords_key(coords) not in self._seen:
+                return TestScenario(coords=coords, origin="random")
+        return None
+
+
+__all__ = [
+    "AnnealingExploration",
+    "AvdExploration",
+    "ExhaustiveExploration",
+    "ExplorationStrategy",
+    "GeneticExploration",
+    "RandomExploration",
+]

@@ -1,0 +1,203 @@
+"""The hyperspace of test scenarios.
+
+Sec. 3 of the paper: "each point represents the configuration of an
+individual test scenario. Each dimension in the hyperspace represents the
+set of values that can be assigned to a particular parameter in the test."
+
+A dimension maps *positions* (0..size-1) to parameter *values*. Mutation
+operates on positions; encoding choices (notably Gray coding for the MAC
+bitmask) make position-neighbourhood meaningful for the parameter: moving
+one position flips exactly one mask bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..pbft.behaviors import binary_to_gray
+
+#: A point in the hyperspace: dimension name -> position index.
+Coords = Dict[str, int]
+#: Hashable identity of a point.
+CoordsKey = Tuple[Tuple[str, int], ...]
+
+
+def coords_key(coords: Coords) -> CoordsKey:
+    """Canonical hashable form of a point."""
+    return tuple(sorted(coords.items()))
+
+
+class Dimension:
+    """One test parameter: a named, ordered, finite set of values."""
+
+    def __init__(self, name: str, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"dimension {name!r} must have at least one value")
+        self.name = name
+        self.size = size
+
+    def value_at(self, position: int) -> object:
+        """Parameter value at ``position`` (0-based)."""
+        raise NotImplementedError
+
+    def check(self, position: int) -> int:
+        if not 0 <= position < self.size:
+            raise IndexError(f"{self.name}: position {position} out of range 0..{self.size - 1}")
+        return position
+
+    def random_position(self, rng: random.Random) -> int:
+        return rng.randrange(self.size)
+
+    def neighbor(self, position: int, distance: float, rng: random.Random) -> int:
+        """A mutated position, ``distance`` in [0, 1] steps of strength.
+
+        distance ~ 0 returns an adjacent position; distance ~ 1 can jump
+        anywhere. The default implementation takes a signed step of up to
+        ``distance * (size - 1)`` positions (at least 1), reflecting at the
+        range ends, which preserves the locality structure hill-climbing
+        exploits.
+        """
+        self.check(position)
+        if self.size == 1:
+            return position
+        span = max(1, int(round(distance * (self.size - 1))))
+        step = rng.randint(1, span)
+        if rng.random() < 0.5:
+            step = -step
+        moved = position + step
+        # Reflect at the boundaries to stay in range without clustering there.
+        if moved < 0:
+            moved = -moved
+        if moved >= self.size:
+            moved = 2 * (self.size - 1) - moved
+        moved = min(max(moved, 0), self.size - 1)
+        if moved == position:
+            moved = position + 1 if position + 1 < self.size else position - 1
+        return moved
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, size={self.size})"
+
+
+class IntRangeDimension(Dimension):
+    """Integer parameter values ``low, low+step, ..., <= high``."""
+
+    def __init__(self, name: str, low: int, high: int, step: int = 1) -> None:
+        if step < 1 or high < low:
+            raise ValueError(f"bad range for {name!r}: [{low}, {high}] step {step}")
+        super().__init__(name, (high - low) // step + 1)
+        self.low = low
+        self.high = high
+        self.step = step
+
+    def value_at(self, position: int) -> int:
+        self.check(position)
+        return self.low + position * self.step
+
+
+class ChoiceDimension(Dimension):
+    """An explicit list of parameter values."""
+
+    def __init__(self, name: str, values: Sequence[object]) -> None:
+        super().__init__(name, len(values))
+        self.values = list(values)
+
+    def value_at(self, position: int) -> object:
+        self.check(position)
+        return self.values[position]
+
+
+class GrayBitmaskDimension(Dimension):
+    """A ``width``-bit bitmask enumerated in Gray-code order.
+
+    Position ``i`` maps to mask ``i ^ (i >> 1)``, so adjacent positions
+    differ in exactly one mask bit — the encoding the paper uses for the MAC
+    corruption parameter (Sec. 6) and the reason Figure 3's x-axis shows
+    clustered vertical structure.
+    """
+
+    def __init__(self, name: str, width: int) -> None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        super().__init__(name, 1 << width)
+        self.width = width
+
+    def value_at(self, position: int) -> int:
+        self.check(position)
+        return binary_to_gray(position)
+
+
+class Hyperspace:
+    """The composition of every tool's dimensions (Sec. 3)."""
+
+    def __init__(self, dimensions: Sequence[Dimension]) -> None:
+        names = [dimension.name for dimension in dimensions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension names: {names}")
+        self.dimensions: List[Dimension] = list(dimensions)
+        self.by_name: Dict[str, Dimension] = {d.name: d for d in dimensions}
+
+    @property
+    def size(self) -> int:
+        """Total number of scenario points (product of dimension sizes)."""
+        total = 1
+        for dimension in self.dimensions:
+            total *= dimension.size
+        return total
+
+    def params(self, coords: Coords) -> Dict[str, object]:
+        """Translate a point into concrete parameter values."""
+        return {
+            name: self.by_name[name].value_at(position) for name, position in coords.items()
+        }
+
+    def random_coords(self, rng: random.Random) -> Coords:
+        return {d.name: d.random_position(rng) for d in self.dimensions}
+
+    def validate(self, coords: Coords) -> None:
+        """Raise if ``coords`` does not name every dimension exactly once."""
+        if set(coords) != set(self.by_name):
+            raise ValueError(
+                f"coords dims {sorted(coords)} != hyperspace dims {sorted(self.by_name)}"
+            )
+        for name, position in coords.items():
+            self.by_name[name].check(position)
+
+    def iter_grid(self) -> Iterator[Coords]:
+        """Every point, in row-major order (use on subspaces only!)."""
+        def recurse(index: int, partial: Coords) -> Iterator[Coords]:
+            if index == len(self.dimensions):
+                yield dict(partial)
+                return
+            dimension = self.dimensions[index]
+            for position in range(dimension.size):
+                partial[dimension.name] = position
+                yield from recurse(index + 1, partial)
+        yield from recurse(0, {})
+
+    def restricted(self, **replacements: Dimension) -> "Hyperspace":
+        """A copy with some dimensions replaced by (usually smaller) ones.
+
+        Used to carve out the exhaustively explorable subspace of Figure 3
+        while keeping dimension names (and therefore target plugins) intact.
+        """
+        dimensions = [replacements.get(d.name, d) for d in self.dimensions]
+        for name, dimension in replacements.items():
+            if name not in self.by_name:
+                raise ValueError(f"unknown dimension {name!r}")
+            if dimension.name != name:
+                raise ValueError(f"replacement for {name!r} is named {dimension.name!r}")
+        return Hyperspace(dimensions)
+
+
+__all__ = [
+    "ChoiceDimension",
+    "Coords",
+    "CoordsKey",
+    "Dimension",
+    "GrayBitmaskDimension",
+    "Hyperspace",
+    "IntRangeDimension",
+    "coords_key",
+]

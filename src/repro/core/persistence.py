@@ -1,0 +1,138 @@
+"""Saving and loading campaign results.
+
+Campaigns can be expensive (hundreds of simulated deployments), so results
+are persistable to JSON for later analysis. Measurements are stored as
+plain dictionaries (dataclass fields); loading therefore returns
+measurement *dicts*, not the original target-specific classes — enough for
+all reporting and analysis code, which only reads attributes by name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .campaign import CampaignResult
+from .scenario import ScenarioResult, TestScenario
+
+FORMAT_VERSION = 1
+
+
+class _MeasurementView:
+    """Attribute view over a loaded measurement dict.
+
+    Lets analysis code written against e.g. ``PbftRunResult`` attributes
+    (``result.measurement.throughput_rps``) work on loaded campaigns too.
+    """
+
+    def __init__(self, data: Dict[str, Any]) -> None:
+        self._data = dict(data)
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self._data[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MeasurementView({sorted(self._data)})"
+
+
+def _measurement_to_dict(measurement: object) -> Optional[Dict[str, Any]]:
+    if measurement is None:
+        return None
+    if dataclasses.is_dataclass(measurement) and not isinstance(measurement, type):
+        raw = dataclasses.asdict(measurement)
+    elif isinstance(measurement, dict):
+        raw = dict(measurement)
+    elif isinstance(measurement, _MeasurementView):
+        raw = measurement.as_dict()
+    else:
+        raw = {"repr": repr(measurement)}
+    out: Dict[str, Any] = {}
+    for key, value in raw.items():
+        if isinstance(value, tuple):
+            value = list(value)
+        out[key] = value
+    # Property-derived figures that reports rely on.
+    for prop in ("throughput_rps",):
+        if prop not in out and hasattr(measurement, prop):
+            out[prop] = getattr(measurement, prop)
+    return out
+
+
+def campaign_to_dict(campaign: CampaignResult) -> Dict[str, Any]:
+    """Serialize a campaign into a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "strategy": campaign.strategy,
+        "results": [
+            {
+                "test_index": result.test_index,
+                "impact": result.impact,
+                "coords": dict(result.scenario.coords),
+                "params": {k: _json_value(v) for k, v in result.params.items()},
+                "origin": result.scenario.origin,
+                "plugin": result.scenario.plugin,
+                "mutate_distance": result.scenario.mutate_distance,
+                "measurement": _measurement_to_dict(result.measurement),
+            }
+            for result in campaign.results
+        ],
+    }
+
+
+def _json_value(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def campaign_from_dict(data: Dict[str, Any]) -> CampaignResult:
+    """Rebuild a campaign from :func:`campaign_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported campaign format version: {version!r}")
+    results: List[ScenarioResult] = []
+    for entry in data["results"]:
+        scenario = TestScenario(
+            coords={k: int(v) for k, v in entry["coords"].items()},
+            plugin=entry.get("plugin"),
+            mutate_distance=entry.get("mutate_distance", 0.0),
+            origin=entry.get("origin", "random"),
+        )
+        measurement = entry.get("measurement")
+        results.append(
+            ScenarioResult(
+                scenario=scenario,
+                impact=float(entry["impact"]),
+                test_index=int(entry["test_index"]),
+                measurement=_MeasurementView(measurement) if measurement else None,
+                params=dict(entry.get("params", {})),
+            )
+        )
+    return CampaignResult(strategy=data["strategy"], results=results)
+
+
+def save_campaign(campaign: CampaignResult, path: Union[str, Path]) -> None:
+    """Write a campaign to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(campaign_to_dict(campaign), indent=2))
+
+
+def load_campaign(path: Union[str, Path]) -> CampaignResult:
+    """Load a campaign previously written by :func:`save_campaign`."""
+    return campaign_from_dict(json.loads(Path(path).read_text()))
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "campaign_from_dict",
+    "campaign_to_dict",
+    "load_campaign",
+    "save_campaign",
+]

@@ -1,0 +1,80 @@
+"""The tool-plugin interface.
+
+Sec. 3: "The interaction between the Test Controller and the individual
+testing tools is done through specialized plugins. The Controller has a
+high-level view on the testing process, leaving the details of each
+particular tool to the plugins."
+
+A plugin has three responsibilities:
+
+1. contribute its tool's *dimensions* to the hyperspace;
+2. implement tool-aware ``mutate`` with the controller's ``mutateDistance``
+   semantics (weak mutation = small, tool-meaningful change);
+3. ``configure`` a concrete deployment from its parameters when a scenario
+   is instantiated.
+
+Plugins also declare the attacker *power* their tool requires (Sec. 4),
+which the power model uses to build per-attacker plugin sets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from .hyperspace import Coords, Dimension, Hyperspace
+from .power import AccessLevel, ControlLevel
+
+
+class ToolPlugin:
+    """Base class for testing-tool plugins."""
+
+    #: Unique plugin name (used in provenance and statistics).
+    name: str = "tool"
+    #: Knowledge the tool needs (Sec. 4 first power axis).
+    required_access: AccessLevel = AccessLevel.NOTHING
+    #: Control the tool needs (Sec. 4 second power axis).
+    required_control: ControlLevel = ControlLevel.CLIENT
+
+    def dimensions(self) -> Sequence[Dimension]:
+        """The dimensions this tool contributes to the hyperspace."""
+        raise NotImplementedError
+
+    def owned_names(self) -> List[str]:
+        return [dimension.name for dimension in self.dimensions()]
+
+    def mutate(
+        self,
+        coords: Coords,
+        distance: float,
+        rng: random.Random,
+        hyperspace: Hyperspace,
+    ) -> Coords:
+        """Return a mutated copy of ``coords``.
+
+        The default mutates one owned dimension by ``distance`` using the
+        dimension's neighbourhood structure; tools with richer semantics
+        (e.g. message reordering's edit distance) override this.
+        """
+        child = dict(coords)
+        names = [name for name in self.owned_names() if name in coords]
+        if not names:
+            return child
+        name = rng.choice(names)
+        dimension = hyperspace.by_name[name]
+        child[name] = dimension.neighbor(coords[name], distance, rng)
+        return child
+
+    def configure(self, params: Dict[str, object], spec) -> None:
+        """Fold this tool's parameters into a target deployment spec.
+
+        ``spec`` is target-defined (e.g.
+        :class:`repro.targets.pbft_target.PbftScenarioSpec`).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+__all__ = ["ToolPlugin"]

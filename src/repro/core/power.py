@@ -1,0 +1,127 @@
+"""The attacker power model (Sec. 4).
+
+Two axes:
+
+- **Access** to the target's artifacts: nothing -> documentation ->
+  binaries -> source code. More access unlocks smarter tools (random
+  fuzzing -> grammar-aware fault injection -> static analysis -> symbolic
+  execution).
+- **Control** over parts of the deployment: clients -> network -> servers.
+
+Each :class:`~repro.core.plugin.ToolPlugin` declares the minimum levels it
+needs; :func:`available_plugins` filters a toolbox down to what a given
+attacker could field, and :func:`estimate_difficulty` turns "number of AVD
+tests until a vulnerability was found" into the paper's rule-of-thumb
+hardness estimate for prioritizing fixes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+
+class AccessLevel(enum.IntEnum):
+    """What the attacker can read. Higher values imply the lower ones."""
+
+    NOTHING = 0
+    DOCUMENTATION = 1
+    BINARY = 2
+    SOURCE = 3
+
+
+class ControlLevel(enum.IntEnum):
+    """What the attacker can run. Higher values imply the lower ones."""
+
+    CLIENT = 0
+    NETWORK = 1
+    SERVER = 2
+
+
+@dataclass(frozen=True)
+class AttackerPower:
+    """One attacker profile."""
+
+    access: AccessLevel
+    control: ControlLevel
+    label: str = ""
+
+    def admits(self, plugin) -> bool:
+        """Whether this attacker could field ``plugin``'s tool."""
+        return (
+            plugin.required_access <= self.access
+            and plugin.required_control <= self.control
+        )
+
+
+#: A ladder of increasingly powerful attacker profiles, used by the power
+#: benchmark (experiment P1).
+POWER_LADDER: Sequence[AttackerPower] = (
+    AttackerPower(AccessLevel.NOTHING, ControlLevel.CLIENT, "script kiddie"),
+    AttackerPower(AccessLevel.DOCUMENTATION, ControlLevel.CLIENT, "protocol-aware client"),
+    AttackerPower(AccessLevel.DOCUMENTATION, ControlLevel.NETWORK, "network MITM"),
+    AttackerPower(AccessLevel.BINARY, ControlLevel.NETWORK, "reverse engineer"),
+    AttackerPower(AccessLevel.SOURCE, ControlLevel.SERVER, "insider"),
+)
+
+
+def available_plugins(toolbox: Iterable, power: AttackerPower) -> List:
+    """The subset of ``toolbox`` plugins this attacker can use."""
+    return [plugin for plugin in toolbox if power.admits(plugin)]
+
+
+@dataclass(frozen=True)
+class DifficultyEstimate:
+    """The paper's rule of thumb: tests-to-find ~ attacker effort."""
+
+    power: AttackerPower
+    tests_to_find: Optional[int]
+    impact_threshold: float
+
+    @property
+    def found(self) -> bool:
+        return self.tests_to_find is not None
+
+    def rating(self) -> str:
+        """Coarse human-readable difficulty bucket."""
+        if self.tests_to_find is None:
+            return "not found (hard or impossible at this power level)"
+        if self.tests_to_find <= 25:
+            return "trivial (tens of tests)"
+        if self.tests_to_find <= 250:
+            return "easy (hundreds of tests)"
+        if self.tests_to_find <= 2500:
+            return "moderate (thousands of tests)"
+        return "hard (many thousands of tests)"
+
+
+def estimate_difficulty(
+    results,
+    power: AttackerPower,
+    impact_threshold: float = 0.8,
+) -> DifficultyEstimate:
+    """Summarize a campaign into a difficulty estimate.
+
+    ``results`` is the ordered list of
+    :class:`~repro.core.scenario.ScenarioResult` from a campaign run with
+    this attacker's plugin set; the estimate is the index of the first
+    result whose impact reaches ``impact_threshold``.
+    """
+    tests = None
+    for index, result in enumerate(results, start=1):
+        if result.impact >= impact_threshold:
+            tests = index
+            break
+    return DifficultyEstimate(power, tests, impact_threshold)
+
+
+__all__ = [
+    "AccessLevel",
+    "AttackerPower",
+    "ControlLevel",
+    "DifficultyEstimate",
+    "POWER_LADDER",
+    "available_plugins",
+    "estimate_difficulty",
+]

@@ -1,0 +1,104 @@
+"""Plain-text rendering of campaign results, tables, and heatmaps.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+everything here is dependency-free ASCII so results render in any terminal
+or CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple aligned table."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def sparkline(series: Sequence[float], width: int = 60) -> str:
+    """Compress a series into a one-line block-character chart."""
+    if not series:
+        return "(empty)"
+    if len(series) > width:
+        # Downsample by averaging fixed-size chunks.
+        chunk = len(series) / width
+        sampled = []
+        for i in range(width):
+            lo = int(i * chunk)
+            hi = max(lo + 1, int((i + 1) * chunk))
+            window = series[lo:hi]
+            sampled.append(sum(window) / len(window))
+        series = sampled
+    top = max(series)
+    if top <= 0:
+        return "_" * len(series)
+    steps = len(_BLOCKS) - 1
+    return "".join(_BLOCKS[min(steps, int(round(value / top * steps)))] for value in series)
+
+
+def heatmap(
+    grid: Sequence[Sequence[float]],
+    row_labels: Optional[Sequence[str]] = None,
+    threshold: Optional[float] = None,
+    dark_below: bool = True,
+) -> str:
+    """Render a 2-D grid; with ``threshold``, binary dark/light like Fig. 3.
+
+    ``grid[r][c]`` maps to row r (printed top to bottom), column c. Dark
+    cells print ``#`` (value below/above the threshold per ``dark_below``);
+    without a threshold, a 10-level gradient is used.
+    """
+    lines: List[str] = []
+    label_width = max((len(label) for label in row_labels or []), default=0)
+    flat = [value for row in grid for value in row]
+    top = max(flat) if flat else 1.0
+    for index, row in enumerate(grid):
+        if threshold is not None:
+            cells = "".join(
+                "#" if ((value < threshold) == dark_below) else "." for value in row
+            )
+        else:
+            steps = len(_BLOCKS) - 1
+            cells = "".join(
+                _BLOCKS[min(steps, int(round(value / top * steps)))] if top > 0 else " "
+                for value in row
+            )
+        label = (row_labels[index] if row_labels else "").rjust(label_width)
+        lines.append(f"{label} |{cells}|")
+    return "\n".join(lines)
+
+
+def describe_best(summary: Dict[str, Dict[str, object]]) -> str:
+    """Readable comparison block from :func:`compare_campaigns` output."""
+    lines = []
+    for strategy, stats in summary.items():
+        reached = stats["tests_to_threshold"]
+        reached_text = f"in {reached} tests" if reached else "never"
+        lines.append(
+            f"{strategy:>10}: best impact {stats['best_impact']:.3f} "
+            f"(mean {stats['mean_impact']:.3f}), threshold reached {reached_text}; "
+            f"best scenario {stats['best_params']}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["describe_best", "format_table", "heatmap", "sparkline"]

@@ -1,0 +1,54 @@
+"""Test scenarios and their execution results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .hyperspace import Coords, CoordsKey, coords_key
+
+
+@dataclass(frozen=True)
+class TestScenario:
+    """One point in the hyperspace, plus its provenance.
+
+    Provenance (which parent it was mutated from, by which plugin, at what
+    distance) feeds the controller's plugin fitness-gain statistics.
+    """
+
+    coords: Coords
+    parent_key: Optional[CoordsKey] = None
+    plugin: Optional[str] = None
+    mutate_distance: float = 0.0
+    origin: str = "random"  # "random" | "mutation" | "exhaustive" | "seed"
+
+    @property
+    def key(self) -> CoordsKey:
+        return coords_key(self.coords)
+
+    def describe(self, params: Dict[str, object]) -> str:
+        rendered = ", ".join(f"{k}={v!r}" for k, v in sorted(params.items()))
+        return f"Scenario({rendered}) [{self.origin}]"
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """A scenario together with its measured impact.
+
+    ``impact`` is normalized damage in [0, 1]: 0 = the correct nodes were
+    unaffected, 1 = total loss of service. ``measurement`` keeps the raw
+    target-specific result (e.g. a ``PbftRunResult``) for reporting.
+    """
+
+    scenario: TestScenario
+    impact: float
+    test_index: int
+    measurement: object = None
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def key(self) -> CoordsKey:
+        return self.scenario.key
+
+
+__all__ = ["ScenarioResult", "TestScenario"]

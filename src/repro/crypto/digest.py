@@ -1,0 +1,66 @@
+"""Stable digests for simulated cryptography.
+
+Digests must be deterministic across processes (Python's builtin ``hash`` is
+salted for str/bytes), cheap (they run on every protocol message), and only
+need collision resistance against *accidental* collisions — the attacks the
+paper studies never break cryptography, they only control which receivers
+consider which tags valid.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+_MASK64 = (1 << 64) - 1
+
+
+def stable_digest(material: Any) -> int:
+    """A deterministic 64-bit digest of (almost) any picklable-ish value.
+
+    Tuples/lists are folded element-wise; strings and bytes go through
+    CRC32; integers fold directly. The composition uses the FNV-style
+    multiply-xor fold, which is plenty for simulation purposes.
+    """
+    return _fold(material, 0xCBF29CE484222325)
+
+
+def _fold(material: Any, accumulator: int) -> int:
+    if isinstance(material, int):
+        value = material & _MASK64
+    elif isinstance(material, str):
+        value = zlib.crc32(material.encode("utf-8"))
+    elif isinstance(material, bytes):
+        value = zlib.crc32(material)
+    elif isinstance(material, (tuple, list)):
+        value = 0x9E3779B97F4A7C15
+        for element in material:
+            accumulator = _fold(element, accumulator)
+    elif material is None:
+        value = 0x5851F42D4C957F2D
+    elif isinstance(material, bool):  # pragma: no cover - bool is int; kept for clarity
+        value = int(material)
+    elif isinstance(material, float):
+        value = zlib.crc32(repr(material).encode("ascii"))
+    else:
+        value = zlib.crc32(repr(material).encode("utf-8", "replace"))
+    accumulator ^= value
+    accumulator = (accumulator * 0x100000001B3) & _MASK64
+    return accumulator
+
+
+def mix64(*values: int) -> int:
+    """Fast FNV-style fold of integer values (hot-path digest).
+
+    Equivalent in spirit to :func:`stable_digest` but restricted to
+    integers, with no type dispatch — used for per-message MAC payloads,
+    which dominate simulation CPU time.
+    """
+    accumulator = 0xCBF29CE484222325
+    for value in values:
+        accumulator ^= value & _MASK64
+        accumulator = (accumulator * 0x100000001B3) & _MASK64
+    return accumulator
+
+
+__all__ = ["mix64", "stable_digest"]

@@ -1,0 +1,45 @@
+"""Simulated pairwise session keys.
+
+PBFT authenticates messages with MACs computed under symmetric session keys
+shared between every pair of nodes (Castro & Liskov '99, Sec. 2). We model a
+key as a 64-bit integer derived deterministically from the deployment's key
+root and the unordered pair of node names — both endpoints derive the same
+key without any key-exchange protocol, which is all the simulation needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .digest import stable_digest
+
+
+class KeyStore:
+    """Derives and caches pairwise session keys for one node."""
+
+    def __init__(self, key_root: int, owner: str) -> None:
+        self.key_root = key_root
+        self.owner = owner
+        self._cache: Dict[str, int] = {}
+
+    def session_key(self, peer: str) -> int:
+        """The symmetric key shared between ``self.owner`` and ``peer``."""
+        key = self._cache.get(peer)
+        if key is None:
+            key = derive_session_key(self.key_root, self.owner, peer)
+            self._cache[peer] = key
+        return key
+
+
+def derive_session_key(key_root: int, a: str, b: str) -> int:
+    """Derive the symmetric key for the unordered pair ``{a, b}``."""
+    first, second = sorted((a, b))
+    return stable_digest((key_root, "session-key", first, second))
+
+
+def pair_of(owner: str, peer: str) -> Tuple[str, str]:
+    """Canonical (sorted) representation of a key pair."""
+    return tuple(sorted((owner, peer)))  # type: ignore[return-value]
+
+
+__all__ = ["KeyStore", "derive_session_key", "pair_of"]

@@ -1,0 +1,34 @@
+"""A Kademlia-style DHT substrate with a routing-poisoning attacker.
+
+Reproduces the paper's motivating BitTorrent example ([2]): one malicious
+node co-opts correct nodes into a distributed DoS against a victim of its
+choosing, by answering FIND_NODE with fabricated contacts.
+"""
+
+from .cluster import DhtDeployment, DhtRunResult, run_dht_deployment
+from .ids import ID_BITS, ID_SPACE, bucket_index, closest, key_id, node_id, xor_distance
+from .messages import Announce, FindNode, FindNodeReply
+from .node import DhtConfig, DhtNode, MaliciousDhtNode, VictimEndpoint
+from .routing import KBucket, RoutingTable
+
+__all__ = [
+    "Announce",
+    "DhtConfig",
+    "DhtDeployment",
+    "DhtNode",
+    "DhtRunResult",
+    "FindNode",
+    "FindNodeReply",
+    "ID_BITS",
+    "ID_SPACE",
+    "KBucket",
+    "MaliciousDhtNode",
+    "RoutingTable",
+    "VictimEndpoint",
+    "bucket_index",
+    "closest",
+    "key_id",
+    "node_id",
+    "run_dht_deployment",
+    "xor_distance",
+]

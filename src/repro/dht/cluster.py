@@ -1,0 +1,122 @@
+"""DHT deployment builder and the redirection-DoS measurement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..sim import LanLatency, Network, Simulator
+from ..sim.clock import SECOND
+from .ids import node_id
+from .node import DhtConfig, DhtNode, MaliciousDhtNode, VictimEndpoint
+
+
+@dataclass(frozen=True)
+class DhtRunResult:
+    """What one DHT test run measured."""
+
+    #: Messages the victim received inside the measurement window.
+    victim_messages: int
+    #: Victim load in messages/second.
+    victim_load_mps: float
+    #: Messages the attacker(s) spent (poisoned replies sent).
+    attacker_messages: int
+    #: Lookups completed by correct nodes in the whole run.
+    lookups_completed: int
+    #: Amplification: victim messages per attacker message (0 if no attack).
+    amplification: float
+    window_s: float = 0.0
+
+
+class DhtDeployment:
+    """N correct nodes, M routing-poisoning attackers, one victim."""
+
+    def __init__(
+        self,
+        config: DhtConfig,
+        n_correct: int,
+        n_malicious: int = 0,
+        poison_rate: float = 1.0,
+        fanout: int = 8,
+        seed: int = 0,
+        bootstrap_degree: int = 4,
+    ) -> None:
+        if n_correct < 2:
+            raise ValueError("need at least two correct nodes")
+        self.config = config
+        self.simulator = Simulator(seed=seed)
+        self.network = Network(self.simulator, LanLatency(base_us=2_000, jitter_mean_us=1_000))
+        self.victim = VictimEndpoint("victim", self.simulator, self.network)
+
+        self.correct_nodes: List[DhtNode] = [
+            DhtNode(f"dht-{i}", config, self.simulator, self.network)
+            for i in range(n_correct)
+        ]
+        self.malicious_nodes: List[MaliciousDhtNode] = [
+            MaliciousDhtNode(
+                f"dht-evil-{i}",
+                config,
+                self.simulator,
+                self.network,
+                victim="victim",
+                poison_rate=poison_rate,
+                fanout=fanout,
+            )
+            for i in range(n_malicious)
+        ]
+
+        # Bootstrap: every node learns a few random peers; attackers are as
+        # discoverable as anyone else (they joined the swarm normally).
+        everyone = self.correct_nodes + self.malicious_nodes
+        rng = self.simulator.rng("dht-bootstrap")
+        for node in everyone:
+            peers = [peer for peer in everyone if peer is not node]
+            rng.shuffle(peers)
+            node.bootstrap([(peer.id, peer.name) for peer in peers[:bootstrap_degree]])
+
+        stagger = max(config.lookup_interval_us // max(len(everyone), 1), 1)
+        for index, node in enumerate(self.correct_nodes):
+            node.start_workload(initial_delay_us=index * stagger)
+
+    def run(self) -> DhtRunResult:
+        config = self.config
+        window_from = config.warmup_us
+        window_to = config.warmup_us + config.measurement_us
+        self.victim.window_from = window_from
+        self.victim.window_to = window_to
+        self.simulator.run(until=window_to)
+
+        window_s = config.measurement_us / SECOND
+        attacker_messages = sum(node.messages_spent for node in self.malicious_nodes)
+        victim_messages = self.victim.received_in_window
+        return DhtRunResult(
+            victim_messages=victim_messages,
+            victim_load_mps=victim_messages / window_s if window_s else 0.0,
+            attacker_messages=attacker_messages,
+            lookups_completed=sum(n.lookups_completed for n in self.correct_nodes),
+            amplification=(victim_messages / attacker_messages) if attacker_messages else 0.0,
+            window_s=window_s,
+        )
+
+
+def run_dht_deployment(
+    config: Optional[DhtConfig] = None,
+    n_correct: int = 40,
+    n_malicious: int = 1,
+    poison_rate: float = 1.0,
+    fanout: int = 8,
+    seed: int = 0,
+) -> DhtRunResult:
+    """Build, run, and measure one DHT scenario."""
+    deployment = DhtDeployment(
+        config if config is not None else DhtConfig(),
+        n_correct,
+        n_malicious,
+        poison_rate,
+        fanout,
+        seed,
+    )
+    return deployment.run()
+
+
+__all__ = ["DhtDeployment", "DhtRunResult", "run_dht_deployment"]

@@ -1,0 +1,55 @@
+"""Node and key identifiers for the Kademlia-style DHT."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..crypto import stable_digest
+
+#: Identifier width in bits (BitTorrent's Kademlia uses 160; 64 keeps the
+#: XOR metric intact while staying cheap in Python).
+ID_BITS = 64
+ID_SPACE = 1 << ID_BITS
+
+
+def node_id(name: str) -> int:
+    """Deterministic identifier for a node name."""
+    return stable_digest(("dht-node", name)) % ID_SPACE
+
+
+def key_id(key: str) -> int:
+    """Deterministic identifier for a content key."""
+    return stable_digest(("dht-key", key)) % ID_SPACE
+
+
+def xor_distance(a: int, b: int) -> int:
+    """The Kademlia XOR metric."""
+    return a ^ b
+
+
+def bucket_index(own_id: int, other_id: int) -> int:
+    """Index of the k-bucket ``other_id`` falls into (0..ID_BITS-1).
+
+    Bucket i holds contacts whose XOR distance has its highest set bit at
+    position i; identical ids raise (a node never stores itself).
+    """
+    distance = xor_distance(own_id, other_id)
+    if distance == 0:
+        raise ValueError("a node does not bucket itself")
+    return distance.bit_length() - 1
+
+
+def closest(ids: Iterable[int], target: int, count: int) -> List[int]:
+    """The ``count`` ids closest to ``target`` under XOR distance."""
+    return sorted(ids, key=lambda identifier: identifier ^ target)[:count]
+
+
+__all__ = [
+    "ID_BITS",
+    "ID_SPACE",
+    "bucket_index",
+    "closest",
+    "key_id",
+    "node_id",
+    "xor_distance",
+]

@@ -1,0 +1,48 @@
+"""DHT wire messages (Kademlia-style RPCs)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: A contact as carried on the wire: (node_id, node_name).
+WireContact = Tuple[int, str]
+
+
+class FindNode:
+    """Ask a peer for its contacts closest to ``target``."""
+
+    __slots__ = ("target", "rpc_id", "sender_id")
+
+    def __init__(self, target: int, rpc_id: int, sender_id: int) -> None:
+        self.target = target
+        self.rpc_id = rpc_id
+        self.sender_id = sender_id
+
+
+class FindNodeReply:
+    """Reply with up to k contacts closest to the requested target."""
+
+    __slots__ = ("rpc_id", "contacts", "sender_id")
+
+    def __init__(self, rpc_id: int, contacts: List[WireContact], sender_id: int) -> None:
+        self.rpc_id = rpc_id
+        self.contacts = contacts
+        self.sender_id = sender_id
+
+
+class Announce:
+    """Announce/store traffic sent to the closest nodes after a lookup.
+
+    In BitTorrent terms this is the get_peers/announce_peer pair — the
+    payload-bearing traffic the redirection attack (CCC 2010, paper's [2])
+    steers at the victim.
+    """
+
+    __slots__ = ("key", "sender_id")
+
+    def __init__(self, key: int, sender_id: int) -> None:
+        self.key = key
+        self.sender_id = sender_id
+
+
+__all__ = ["Announce", "FindNode", "FindNodeReply", "WireContact"]

@@ -1,0 +1,91 @@
+"""Kademlia routing table: k-buckets with least-recently-seen eviction."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .ids import ID_BITS, bucket_index, xor_distance
+
+#: A contact: (node_id, node_name).
+Contact = Tuple[int, str]
+
+
+class KBucket:
+    """One bucket of up to ``k`` contacts, ordered by recency."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._contacts: "OrderedDict[int, str]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._contacts)
+
+    def contacts(self) -> List[Contact]:
+        return list(self._contacts.items())
+
+    def observe(self, contact_id: int, name: str) -> bool:
+        """Record activity from a contact; returns True if it is stored.
+
+        Known contacts move to the tail (most recently seen). New contacts
+        are appended if there is room; otherwise they are dropped —
+        Kademlia's stale-head-ping refinement is deliberately out of scope.
+        """
+        if contact_id in self._contacts:
+            self._contacts.move_to_end(contact_id)
+            return True
+        if len(self._contacts) < self.k:
+            self._contacts[contact_id] = name
+            return True
+        return False
+
+    def remove(self, contact_id: int) -> None:
+        self._contacts.pop(contact_id, None)
+
+
+class RoutingTable:
+    """All k-buckets of one node."""
+
+    def __init__(self, own_id: int, k: int = 8) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.own_id = own_id
+        self.k = k
+        self.buckets: Dict[int, KBucket] = {}
+
+    def observe(self, contact_id: int, name: str) -> bool:
+        """Record that ``contact_id`` was seen alive."""
+        if contact_id == self.own_id:
+            return False
+        index = bucket_index(self.own_id, contact_id)
+        bucket = self.buckets.get(index)
+        if bucket is None:
+            bucket = KBucket(self.k)
+            self.buckets[index] = bucket
+        return bucket.observe(contact_id, name)
+
+    def remove(self, contact_id: int) -> None:
+        if contact_id == self.own_id:
+            return
+        bucket = self.buckets.get(bucket_index(self.own_id, contact_id))
+        if bucket is not None:
+            bucket.remove(contact_id)
+
+    def all_contacts(self) -> List[Contact]:
+        contacts: List[Contact] = []
+        for bucket in self.buckets.values():
+            contacts.extend(bucket.contacts())
+        return contacts
+
+    def closest(self, target: int, count: Optional[int] = None) -> List[Contact]:
+        """The contacts closest to ``target`` (default: k of them)."""
+        count = self.k if count is None else count
+        contacts = self.all_contacts()
+        contacts.sort(key=lambda contact: xor_distance(contact[0], target))
+        return contacts[:count]
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self.buckets.values())
+
+
+__all__ = ["Contact", "KBucket", "RoutingTable", "ID_BITS"]

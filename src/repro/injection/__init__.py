@@ -1,0 +1,16 @@
+"""Library-level fault injection substrate (LFI-style).
+
+See :mod:`repro.injection.profiles` for fault plans and
+:mod:`repro.injection.injector` for the call-site shim.
+"""
+
+from .injector import InjectedFault, LibraryRuntime
+from .profiles import DEFAULT_FAULT_PROFILES, FaultPlan, validate_plan
+
+__all__ = [
+    "DEFAULT_FAULT_PROFILES",
+    "FaultPlan",
+    "InjectedFault",
+    "LibraryRuntime",
+    "validate_plan",
+]

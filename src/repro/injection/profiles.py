@@ -1,0 +1,64 @@
+"""Fault profiles for library-level fault injection.
+
+Mirrors LFI [Marinescu et al., USENIX ATC'10], which the paper cites as one
+of AVD's testing tools: a fault is identified by the *function* being
+intercepted, the *error code* to return, and the *call number* at which to
+inject (Sec. 3 uses exactly these three dimensions as the canonical example
+of a tool hyperspace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Error codes each interceptable library function may fail with. The table
+#: plays the role of LFI's fault profiles extracted from documentation: it is
+#: what an attacker with *documentation-level* access knows (Sec. 4).
+DEFAULT_FAULT_PROFILES: Dict[str, Tuple[str, ...]] = {
+    "send": ("EAGAIN", "ECONNRESET", "EPIPE", "ENOBUFS"),
+    "recv": ("EAGAIN", "ECONNRESET", "EINTR"),
+    "malloc": ("ENOMEM",),
+    "write": ("ENOSPC", "EIO", "EINTR"),
+    "read": ("EIO", "EINTR"),
+    "gettimeofday": ("EFAULT",),
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One planned injection: fail ``function`` with ``error`` at ``call_number``.
+
+    ``call_number`` counts invocations of ``function`` on one node, starting
+    at 1. ``repeat`` makes the fault persistent from that call onward.
+    """
+
+    function: str
+    error: str
+    call_number: int
+    repeat: bool = False
+
+    def __post_init__(self) -> None:
+        if self.call_number < 1:
+            raise ValueError("call_number counts from 1")
+
+    def triggers(self, call_number: int) -> bool:
+        """Whether this plan fires at ``call_number``."""
+        if self.repeat:
+            return call_number >= self.call_number
+        return call_number == self.call_number
+
+
+def validate_plan(plan: FaultPlan, profiles: Dict[str, Tuple[str, ...]] = DEFAULT_FAULT_PROFILES) -> None:
+    """Raise ``ValueError`` if the plan names an unknown function or error."""
+    errors = profiles.get(plan.function)
+    if errors is None:
+        raise ValueError(f"unknown interceptable function: {plan.function!r}")
+    if plan.error not in errors:
+        raise ValueError(
+            f"function {plan.function!r} cannot fail with {plan.error!r}; "
+            f"documented errors: {', '.join(errors)}"
+        )
+
+
+__all__ = ["DEFAULT_FAULT_PROFILES", "FaultPlan", "validate_plan"]

@@ -1,0 +1,81 @@
+"""A from-scratch PBFT implementation (Castro & Liskov, OSDI'99).
+
+This is the paper's system under test, rebuilt on the discrete-event
+simulator — including the *single shared view-change timer* implementation
+bug the paper discovered (Sec. 6), which :class:`PbftConfig` exposes via
+``per_request_timers`` (False = faithful/buggy, True = fixed).
+"""
+
+from .behaviors import (
+    CORRECT_CLIENT,
+    CORRECT_REPLICA,
+    ClientBehavior,
+    MAC_MASK_WIDTH,
+    ReplicaBehavior,
+    SlowPrimaryPolicy,
+    binary_to_gray,
+    gray_to_binary,
+    mask_corruption_policy,
+)
+from .client import Client
+from .cluster import PbftDeployment, PbftRunResult, run_deployment
+from .config import PbftConfig, client_name, malicious_client_name, replica_name
+from .defenses import DefenseConfig
+from .log import ReplicaLog, SequenceSlot
+from .messages import (
+    CheckpointMsg,
+    Commit,
+    ForwardedRequest,
+    NewView,
+    PrePrepare,
+    Prepare,
+    Reply,
+    Request,
+    ViewChange,
+    batch_digest_of,
+    request_digest,
+)
+from .replica import Replica
+from .timers import (
+    PerRequestViewChangeTimer,
+    SharedViewChangeTimer,
+    make_view_change_timer,
+)
+
+__all__ = [
+    "CORRECT_CLIENT",
+    "CORRECT_REPLICA",
+    "CheckpointMsg",
+    "Client",
+    "ClientBehavior",
+    "Commit",
+    "DefenseConfig",
+    "ForwardedRequest",
+    "MAC_MASK_WIDTH",
+    "NewView",
+    "PbftConfig",
+    "PbftDeployment",
+    "PbftRunResult",
+    "PerRequestViewChangeTimer",
+    "PrePrepare",
+    "Prepare",
+    "Replica",
+    "ReplicaBehavior",
+    "ReplicaLog",
+    "Reply",
+    "Request",
+    "SequenceSlot",
+    "SharedViewChangeTimer",
+    "SlowPrimaryPolicy",
+    "ViewChange",
+    "batch_digest_of",
+    "binary_to_gray",
+    "client_name",
+    "gray_to_binary",
+    "make_view_change_timer",
+    "malicious_client_name",
+    "mask_corruption_policy",
+    "replica_name",
+    "request_digest",
+    "run_deployment",
+]

@@ -1,0 +1,143 @@
+"""Malicious behaviours AVD can install on PBFT nodes.
+
+AVD synthesizes malicious entities by parameterizing these behaviours
+(Sec. 2: "generate malicious entities in the target distributed system,
+instead of generating low-level inputs"). Correct nodes never carry a
+behaviour object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..crypto import CorruptionPolicy
+
+#: Width of the MAC-corruption bitmask (paper Sec. 6: bit n governs the
+#: (n mod 12)-th call to generateMAC; 12 = 4 replicas x 3 transmissions).
+MAC_MASK_WIDTH = 12
+
+
+def binary_to_gray(value: int) -> int:
+    """Position -> Gray codeword (consecutive positions differ in one bit)."""
+    return value ^ (value >> 1)
+
+
+def gray_to_binary(gray: int) -> int:
+    """Gray codeword -> position in the Gray sequence."""
+    value = 0
+    while gray:
+        value ^= gray
+        gray >>= 1
+    return value
+
+
+def mask_corruption_policy(mask: int, width: int = MAC_MASK_WIDTH) -> Optional[CorruptionPolicy]:
+    """Corruption policy for a *plain binary* bitmask over generateMAC calls.
+
+    Bit ``(call - 1) % width`` of ``mask`` decides whether that call's tag is
+    corrupted (calls are 1-based). Returns ``None`` for mask 0 so the hot
+    path skips the policy entirely.
+
+    Note: AVD's hyperspace dimension enumerates masks in *Gray-code order*
+    (paper Sec. 6); the plugin converts a dimension position to a mask with
+    :func:`binary_to_gray` before building this policy.
+    """
+    if not 0 <= mask < (1 << width):
+        raise ValueError(f"mask must fit in {width} bits: {mask:#x}")
+    if mask == 0:
+        return None
+
+    def policy(call_number: int, verifier: str) -> bool:
+        return bool(mask >> ((call_number - 1) % width) & 1)
+
+    return policy
+
+
+@dataclass(frozen=True)
+class SlowPrimaryPolicy:
+    """Malicious primary: order (almost) nothing, but avoid view changes.
+
+    The attack from Sec. 6: the primary orders exactly ``requests_per_tick``
+    requests every ``period_fraction * view_change_timer`` so the backups'
+    shared view-change timer keeps being reset, while every other client
+    request is ignored. With ``serve_only_client`` set (a colluding malicious
+    client) the primary serves *only* that client, driving the useful
+    throughput of the system to zero.
+    """
+
+    #: Fraction of the view-change timer period between ordering ticks.
+    #: Must be < 1.0 or backups' timers expire before the reset arrives.
+    period_fraction: float = 0.8
+    #: Requests ordered per tick.
+    requests_per_tick: int = 1
+    #: If set, only requests from this client are ever ordered.
+    serve_only_client: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.period_fraction < 1.0:
+            raise ValueError("period_fraction must be in (0, 1)")
+        if self.requests_per_tick < 1:
+            raise ValueError("requests_per_tick must be >= 1")
+
+
+@dataclass(frozen=True)
+class ReplicaBehavior:
+    """Bundle of malicious replica behaviours (all off by default)."""
+
+    #: Slow-primary scheduling, active whenever this replica is primary.
+    slow_primary: Optional[SlowPrimaryPolicy] = None
+    #: Emit a protocol message synthesized out of protocol state every this
+    #: many microseconds (the message-synthesis tool's hook); ``None`` = off.
+    synthesize_interval_us: Optional[int] = None
+    #: Kind of synthesized message ("view_change", "prepare", "commit").
+    synthesize_kind: str = "view_change"
+    #: Corrupt this replica's outgoing MAC tags per generateMAC call mask.
+    mac_mask: int = 0
+
+    def is_benign(self) -> bool:
+        return (
+            self.slow_primary is None
+            and self.synthesize_interval_us is None
+            and self.mac_mask == 0
+        )
+
+
+@dataclass(frozen=True)
+class ClientBehavior:
+    """Bundle of malicious client behaviours.
+
+    A plain malicious client (mask != 0) follows the protocol exactly —
+    sends to the primary, retransmits to everyone on timeout — but its
+    generateMAC calls are corrupted per the bitmask, exactly the fault
+    injector of the paper's experiment.
+    """
+
+    #: MAC-corruption bitmask (plain binary, already Gray-decoded).
+    mac_mask: int = 0
+    #: Broadcast every transmission (not just retransmissions). Used by the
+    #: colluding client so backups register its requests as direct and the
+    #: slow primary's executions keep resetting their shared timer.
+    broadcast_always: bool = False
+
+    def is_benign(self) -> bool:
+        return self.mac_mask == 0 and not self.broadcast_always
+
+
+#: A behaviour-free (correct) replica.
+CORRECT_REPLICA = ReplicaBehavior()
+#: A behaviour-free (correct) client.
+CORRECT_CLIENT = ClientBehavior()
+
+
+__all__ = [
+    "CORRECT_CLIENT",
+    "CORRECT_REPLICA",
+    "ClientBehavior",
+    "MAC_MASK_WIDTH",
+    "ReplicaBehavior",
+    "SlowPrimaryPolicy",
+    "binary_to_gray",
+    "gray_to_binary",
+    "mask_corruption_policy",
+]

@@ -1,0 +1,231 @@
+"""PBFT deployment builder and measurement harness.
+
+A :class:`PbftDeployment` assembles one complete system-under-test — 3f+1
+replicas, N correct clients, any malicious clients/replicas, a network with
+optional fault stages — on a fresh simulator, runs it for warmup +
+measurement, and summarizes what the *correct clients* observed. That
+summary is AVD's impact measurement (paper Sec. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..sim.rng import derive_seed
+from ..sim import LanLatency, LatencyModel, Network, NetworkFault, SECOND, Simulator
+from .behaviors import CORRECT_CLIENT, ClientBehavior, ReplicaBehavior
+from .client import Client
+from .config import PbftConfig, client_name, malicious_client_name
+from .replica import Replica
+
+
+@dataclass(frozen=True)
+class PbftRunResult:
+    """What one test run measured (correct-client perspective)."""
+
+    #: Requests completed by correct clients inside the measurement window.
+    completed_requests: int
+    #: Length of the measurement window, in seconds of simulated time.
+    window_s: float
+    #: Average end-to-end latency of completed correct-client requests (s).
+    mean_latency_s: float
+    #: 99th-percentile latency (s).
+    p99_latency_s: float
+    #: Number of correct clients.
+    correct_clients: int
+    #: View changes started, summed over replicas.
+    view_changes: int
+    #: NEW-VIEW installations, summed over replicas.
+    new_views: int
+    #: Replicas that crashed during the run.
+    crashed_replicas: int
+    #: Correct-client retransmissions during the whole run.
+    retransmissions: int
+    #: Requests rejected for bad MACs, summed over replicas.
+    bad_mac_rejections: int
+    #: Correct-client throughput over the tail (last 25%) of the window —
+    #: the steady state the attack leaves the system in. A crashed system
+    #: shows ~0 here even when the window average is still high.
+    tail_throughput_rps: float = 0.0
+    #: Throughput over time: requests/s per 100 ms bucket (whole run).
+    throughput_series: Tuple[float, ...] = ()
+    #: Raw named counters from the simulator, for deeper analysis.
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Average correct-client throughput (requests/second)."""
+        if self.window_s <= 0:
+            return 0.0
+        return self.completed_requests / self.window_s
+
+
+class PbftDeployment:
+    """One fully assembled PBFT system under test.
+
+    Parameters
+    ----------
+    config:
+        Protocol constants (see :class:`PbftConfig`).
+    n_correct_clients:
+        Number of correct, unmodified clients.
+    malicious_clients:
+        Behaviours, one per malicious client to create.
+    replica_behaviors:
+        Optional map replica-index -> behaviour for malicious replicas.
+    seed:
+        Root seed; every run with the same parameters and seed is identical.
+    latency_model / network_faults:
+        Network substrate configuration (faults model attacker network power).
+    """
+
+    def __init__(
+        self,
+        config: PbftConfig,
+        n_correct_clients: int,
+        malicious_clients: Sequence[ClientBehavior] = (),
+        replica_behaviors: Optional[Dict[int, ReplicaBehavior]] = None,
+        seed: int = 0,
+        latency_model: Optional[LatencyModel] = None,
+        network_faults: Iterable[NetworkFault] = (),
+    ) -> None:
+        if n_correct_clients < 1:
+            raise ValueError("need at least one correct client to measure impact")
+        self.config = config
+        self.seed = seed
+        self.simulator = Simulator(seed=seed)
+        self.network = Network(
+            self.simulator, latency_model if latency_model is not None else LanLatency()
+        )
+        for fault in network_faults:
+            self.network.add_fault(fault)
+
+        key_root = derive_seed(seed, "pbft-keys")
+        stagger_rng = self.simulator.rng("client-stagger")
+        stagger_span = max(config.batch_interval_us * 4, 1)
+
+        self.replicas: List[Replica] = []
+        behaviors = replica_behaviors or {}
+        for index in range(config.n_replicas):
+            behavior = behaviors.get(index, ReplicaBehavior())
+            self.replicas.append(
+                Replica(index, config, self.simulator, self.network, key_root, behavior)
+            )
+
+        self.correct_clients: List[Client] = []
+        for index in range(n_correct_clients):
+            self.correct_clients.append(
+                Client(
+                    client_name(index),
+                    config,
+                    self.simulator,
+                    self.network,
+                    key_root,
+                    CORRECT_CLIENT,
+                    start_delay_us=stagger_rng.randint(0, stagger_span),
+                )
+            )
+
+        self.malicious_clients: List[Client] = []
+        for index, behavior in enumerate(malicious_clients):
+            self.malicious_clients.append(
+                Client(
+                    malicious_client_name(index),
+                    config,
+                    self.simulator,
+                    self.network,
+                    key_root,
+                    behavior,
+                    start_delay_us=stagger_rng.randint(0, stagger_span),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> PbftRunResult:
+        """Run warmup + measurement and summarize the correct-client view."""
+        config = self.config
+        measure_from = config.warmup_us
+        measure_to = config.warmup_us + config.measurement_us
+        tail_from = measure_to - (measure_to - measure_from) // 4
+        for client in self.correct_clients:
+            client.measure_from = measure_from
+            client.measure_to = measure_to
+            client.tail_from = tail_from
+        for client in self.malicious_clients:
+            # Malicious clients never contribute to the impact metric.
+            client.measure_from = measure_to
+            client.measure_to = measure_to
+
+        self.simulator.run(until=measure_to)
+        return self._collect(measure_from, measure_to)
+
+    def _collect(self, measure_from: int, measure_to: int) -> PbftRunResult:
+        completed = sum(client.completed_measured for client in self.correct_clients)
+        latency_sum = sum(client.latency_sum_us for client in self.correct_clients)
+        mean_latency_s = (latency_sum / completed / SECOND) if completed else 0.0
+
+        all_samples: List[int] = []
+        for client in self.correct_clients:
+            all_samples.extend(client.latencies.samples)
+        p99 = 0.0
+        if all_samples:
+            all_samples.sort()
+            index = min(len(all_samples) - 1, max(0, int(0.99 * len(all_samples)) - 1))
+            p99 = all_samples[index] / SECOND
+
+        metrics = self.simulator.metrics
+        series = metrics.series.get("pbft.completions")
+        throughput_series: Tuple[float, ...] = ()
+        if series is not None:
+            throughput_series = tuple(series.rate_series())
+
+        tail_from = measure_to - (measure_to - measure_from) // 4
+        tail_completed = sum(
+            client.completed_tail for client in self.correct_clients
+        )
+        tail_s = (measure_to - tail_from) / SECOND
+        tail_throughput = tail_completed / tail_s if tail_s > 0 else 0.0
+
+        return PbftRunResult(
+            completed_requests=completed,
+            tail_throughput_rps=tail_throughput,
+            window_s=(measure_to - measure_from) / SECOND,
+            mean_latency_s=mean_latency_s,
+            p99_latency_s=p99,
+            correct_clients=len(self.correct_clients),
+            view_changes=sum(replica.view_changes_started for replica in self.replicas),
+            new_views=sum(replica.new_views_installed for replica in self.replicas),
+            crashed_replicas=sum(1 for replica in self.replicas if replica.crashed),
+            retransmissions=metrics.counter_value("pbft.client_retransmissions"),
+            bad_mac_rejections=sum(r.requests_rejected_bad_mac for r in self.replicas),
+            throughput_series=throughput_series,
+            counters={name: c.value for name, c in metrics.counters.items()},
+        )
+
+
+def run_deployment(
+    config: PbftConfig,
+    n_correct_clients: int,
+    malicious_clients: Sequence[ClientBehavior] = (),
+    replica_behaviors: Optional[Dict[int, ReplicaBehavior]] = None,
+    seed: int = 0,
+    latency_model: Optional[LatencyModel] = None,
+    network_faults: Iterable[NetworkFault] = (),
+) -> PbftRunResult:
+    """Build a deployment, run it once, and return the measurement."""
+    deployment = PbftDeployment(
+        config,
+        n_correct_clients,
+        malicious_clients,
+        replica_behaviors,
+        seed,
+        latency_model,
+        network_faults,
+    )
+    return deployment.run()
+
+
+__all__ = ["PbftDeployment", "PbftRunResult", "run_deployment"]

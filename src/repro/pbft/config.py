@@ -1,0 +1,161 @@
+"""PBFT deployment configuration.
+
+Two presets matter for the reproduction:
+
+- :func:`PbftConfig.paper_scale` keeps the paper's protocol constants
+  (5-second view-change timer, Sec. 6), used for the slow-primary numbers
+  (0.2 req/s = one request per 5 s period).
+- :func:`PbftConfig.campaign_scale` shrinks timers and the measurement
+  window so an AVD campaign of hundreds of tests runs in minutes of wall
+  clock. Attack *shapes* are scale-invariant: what matters is the ratio
+  between retransmission timeouts, the view-change timer, and execution
+  latency, which both presets preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..sim.clock import MS, SECOND
+from .defenses import DefenseConfig
+
+
+@dataclass(frozen=True)
+class PbftConfig:
+    """All protocol and service-time constants for one PBFT deployment."""
+
+    #: Number of tolerated Byzantine replicas; the deployment has 3f+1 replicas.
+    f: int = 1
+
+    # -- batching (primary) ------------------------------------------------
+    #: Maximum requests ordered in one pre-prepare.
+    batch_size_max: int = 16
+    #: How long the primary waits to fill a batch before sending it anyway.
+    batch_interval_us: int = 2 * MS
+
+    # -- simulated service ------------------------------------------------
+    #: Fixed cost of executing one batch (state-machine overhead).
+    exec_batch_overhead_us: int = 100
+    #: Cost of executing each request in a batch.
+    exec_per_request_us: int = 60
+
+    # -- timers ------------------------------------------------------------
+    #: The view-change timer period (paper default: 5 seconds).
+    view_change_timer_us: int = 5 * SECOND
+    #: Fixed mode: one view-change timer per pending request. The paper's
+    #: undocumented bug is that the implementation has a single shared timer
+    #: (False, the faithful default).
+    per_request_timers: bool = False
+    #: Client retransmission timeout (doubles on every retry).
+    client_retransmit_us: int = 500 * MS
+    #: Upper bound for the client's backed-off retransmission timeout.
+    client_retransmit_max_us: int = 4 * SECOND
+
+    # -- checkpointing -----------------------------------------------------
+    #: Take a checkpoint every this many sequence numbers.
+    checkpoint_interval: int = 128
+    #: Log window size (high watermark = stable checkpoint + this).
+    watermark_window: int = 256
+
+    # -- implementation fragility -------------------------------------------
+    #: The Castro-Liskov codebase crashes under sustained view-change storms
+    #: (Sec. 6: "PBFT will perform a view change and crash"). A replica
+    #: crashes after this many view changes while its suspect direct
+    #: requests remain unserved (the counter resets whenever the suspect set
+    #: empties). ``None`` disables the crash model.
+    crash_after_consecutive_view_changes: Optional[int] = 5
+
+    # -- hardening -------------------------------------------------------------
+    #: Aardvark-style defenses (all off by default — the paper's PBFT).
+    defenses: DefenseConfig = field(default_factory=DefenseConfig)
+
+    # -- measurement ---------------------------------------------------------
+    #: Simulated time to run before measuring (system reaches steady state).
+    warmup_us: int = 1 * SECOND
+    #: Simulated measurement window for throughput/latency.
+    measurement_us: int = 10 * SECOND
+
+    def __post_init__(self) -> None:
+        if self.f < 1:
+            raise ValueError("f must be >= 1")
+        if self.batch_size_max < 1:
+            raise ValueError("batch_size_max must be >= 1")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.watermark_window < 2 * self.checkpoint_interval:
+            raise ValueError("watermark_window must be >= 2 * checkpoint_interval")
+        if self.view_change_timer_us <= self.client_retransmit_us:
+            raise ValueError(
+                "the view-change timer must exceed the client retransmission "
+                "timeout, otherwise healthy retransmissions race view changes"
+            )
+
+    @property
+    def n_replicas(self) -> int:
+        """Total number of replicas (3f + 1)."""
+        return 3 * self.f + 1
+
+    @property
+    def quorum(self) -> int:
+        """Commit quorum size (2f + 1)."""
+        return 2 * self.f + 1
+
+    @property
+    def reply_quorum(self) -> int:
+        """Matching replies a client needs (f + 1)."""
+        return self.f + 1
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_scale(cls, **overrides) -> "PbftConfig":
+        """The paper's protocol constants (5 s view-change timer)."""
+        return cls(**overrides)
+
+    @classmethod
+    def campaign_scale(cls, **overrides) -> "PbftConfig":
+        """Scaled-down constants for large AVD campaigns.
+
+        Timer ratios match :meth:`paper_scale` (view-change timer = 10x the
+        client retransmission timeout), so attack dynamics are preserved
+        while one test simulates ~3 s instead of ~30 s.
+        """
+        defaults = dict(
+            view_change_timer_us=250 * MS,
+            client_retransmit_us=25 * MS,
+            client_retransmit_max_us=200 * MS,
+            batch_interval_us=1 * MS,
+            warmup_us=300 * MS,
+            measurement_us=1500 * MS,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def with_overrides(self, **overrides) -> "PbftConfig":
+        """A copy of this config with some fields replaced."""
+        return replace(self, **overrides)
+
+
+def replica_name(index: int) -> str:
+    """Canonical replica endpoint name."""
+    return f"replica-{index}"
+
+
+def client_name(index: int) -> str:
+    """Canonical correct-client endpoint name."""
+    return f"client-{index}"
+
+
+def malicious_client_name(index: int) -> str:
+    """Canonical malicious-client endpoint name."""
+    return f"mclient-{index}"
+
+
+__all__ = [
+    "PbftConfig",
+    "client_name",
+    "malicious_client_name",
+    "replica_name",
+]

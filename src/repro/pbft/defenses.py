@@ -1,0 +1,69 @@
+"""Aardvark-style defenses (Clement et al., NSDI'09).
+
+The paper closes its PBFT findings by noting how Aardvark addresses them:
+"Aardvark avoids this bug by enforcing minimum throughput thresholds for
+each primary", and the Big MAC attack is Aardvark's own motivating example
+(fixed there by hybrid signatures + resource isolation). This module makes
+those defenses available as deployment options so AVD campaigns can be run
+against a hardened system:
+
+- **primary rotation** (`min_throughput_check`): every check period, each
+  backup compares the requests executed against an adaptive floor (a
+  fraction of the best period seen); a primary that under-delivers while
+  demand exists is suspected — which defeats the slow primary even with
+  the buggy shared timer in place.
+- **client signatures** (`client_signatures`): client requests are verified
+  as signatures (universally verifiable) instead of per-receiver MACs, so a
+  request that any replica accepts is acceptable to all — the Big MAC
+  asymmetry disappears.
+- **client blacklisting** (`client_blacklisting`): a client whose requests
+  repeatedly fail authentication is ignored entirely (no relaying, no
+  liveness timers), cutting off the corrupt-retransmission storm fuel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DefenseConfig:
+    """Aardvark-style hardening switches (all off = the paper's PBFT)."""
+
+    #: Backups suspect a primary that serves less than
+    #: ``min_throughput_fraction`` of the demand offered to it per period.
+    min_throughput_check: bool = False
+    #: Fraction of offered work (executions + starving requests) a primary
+    #: must serve per check period.
+    min_throughput_fraction: float = 0.25
+    #: Verify client requests as signatures (valid-for-one => valid-for-all).
+    client_signatures: bool = False
+    #: Ignore clients after this many authentication failures.
+    client_blacklisting: bool = False
+    #: Authentication failures tolerated before a client is blacklisted.
+    blacklist_threshold: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_throughput_fraction < 1.0:
+            raise ValueError("min_throughput_fraction must be in (0, 1)")
+        if self.blacklist_threshold < 1:
+            raise ValueError("blacklist_threshold must be >= 1")
+
+    def any_enabled(self) -> bool:
+        return (
+            self.min_throughput_check
+            or self.client_signatures
+            or self.client_blacklisting
+        )
+
+    @classmethod
+    def aardvark(cls) -> "DefenseConfig":
+        """The full Aardvark-inspired suite."""
+        return cls(
+            min_throughput_check=True,
+            client_signatures=True,
+            client_blacklisting=True,
+        )
+
+
+__all__ = ["DefenseConfig"]

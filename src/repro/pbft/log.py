@@ -1,0 +1,128 @@
+"""Per-sequence-number message log and quorum certificates."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .messages import PrePrepare, Request
+
+
+class SequenceSlot:
+    """Protocol state for one (view, seq) slot.
+
+    Tracks the accepted pre-prepare and the sets of replicas whose PREPARE /
+    COMMIT for the slot's batch digest have been received.
+    """
+
+    __slots__ = (
+        "seq",
+        "view",
+        "pre_prepare",
+        "accepted",
+        "prepares",
+        "commits",
+        "prepared",
+        "committed",
+        "executed",
+        "commit_sent",
+    )
+
+    def __init__(self, seq: int, view: int) -> None:
+        self.seq = seq
+        self.view = view
+        self.pre_prepare: Optional[PrePrepare] = None
+        #: Whether the local replica accepted (authenticated) the pre-prepare.
+        self.accepted = False
+        #: replica name -> batch digest it voted for. Votes are kept per
+        #: digest so a malicious replica's bogus vote cannot complete a
+        #: quorum for a different batch.
+        self.prepares: Dict[str, int] = {}
+        self.commits: Dict[str, int] = {}
+        self.prepared = False
+        self.committed = False
+        self.executed = False
+        self.commit_sent = False
+
+    def batch(self) -> Tuple[Request, ...]:
+        return self.pre_prepare.batch if self.pre_prepare is not None else ()
+
+    def batch_digest(self) -> Optional[int]:
+        return self.pre_prepare.batch_digest if self.pre_prepare is not None else None
+
+    def matching_prepares(self) -> int:
+        """PREPARE votes matching the accepted batch digest."""
+        digest = self.batch_digest()
+        if digest is None:
+            return 0
+        return sum(1 for vote in self.prepares.values() if vote == digest)
+
+    def matching_commits(self) -> int:
+        """COMMIT votes matching the accepted batch digest."""
+        digest = self.batch_digest()
+        if digest is None:
+            return 0
+        return sum(1 for vote in self.commits.values() if vote == digest)
+
+
+class ReplicaLog:
+    """The message log of one replica: slots indexed by sequence number.
+
+    Slots are per-sequence rather than per-(view, seq); a view change resets
+    a slot that was not yet executed (its ``view`` field is bumped and quorum
+    sets cleared), matching the protocol's re-proposal semantics.
+    """
+
+    def __init__(self) -> None:
+        self.slots: Dict[int, SequenceSlot] = {}
+
+    def slot(self, seq: int, view: int) -> SequenceSlot:
+        """Get or create the slot for ``seq`` in ``view``.
+
+        A slot left over from an older view (and not executed) is reset so
+        the new view starts from a clean quorum state.
+        """
+        existing = self.slots.get(seq)
+        if existing is None:
+            existing = SequenceSlot(seq, view)
+            self.slots[seq] = existing
+        elif existing.view < view and not existing.executed:
+            fresh = SequenceSlot(seq, view)
+            self.slots[seq] = fresh
+            return fresh
+        return existing
+
+    def peek(self, seq: int) -> Optional[SequenceSlot]:
+        return self.slots.get(seq)
+
+    def prepared_certificates(
+        self, above_seq: int
+    ) -> Dict[int, Tuple[int, Tuple[Request, ...]]]:
+        """seq -> (batch_digest, batch) for every prepared slot above
+        the stable checkpoint.
+
+        This is the ``prepared`` payload of a VIEW-CHANGE message. Executed
+        slots are included: execution implies a prepared certificate, and
+        omitting them would let the new primary's sequence counter regress
+        below the execution frontier, stranding every post-view-change
+        proposal on dead sequence numbers.
+        """
+        certificates = {}
+        for seq, slot in self.slots.items():
+            if seq <= above_seq or not slot.prepared:
+                continue
+            if slot.pre_prepare is None:
+                continue
+            certificates[seq] = (slot.pre_prepare.batch_digest, slot.pre_prepare.batch)
+        return certificates
+
+    def garbage_collect(self, stable_seq: int) -> None:
+        """Drop all slots at or below the stable checkpoint."""
+        stale = [seq for seq in self.slots if seq <= stable_seq]
+        for seq in stale:
+            del self.slots[seq]
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+
+__all__ = ["ReplicaLog", "SequenceSlot"]

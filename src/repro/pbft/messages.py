@@ -1,0 +1,292 @@
+"""PBFT protocol messages (Castro & Liskov, OSDI'99).
+
+Message classes are plain slotted objects (not dataclasses) because they are
+allocated on every protocol step and the simulator pushes millions of them
+through a campaign.
+
+Authentication model: client ``Request`` messages carry a full
+:class:`~repro.crypto.mac.Authenticator` (one MAC per replica — the Big MAC
+attack surface). Replica-to-replica messages carry authenticators too, built
+by each replica's :class:`~repro.crypto.mac.MacGenerator`.
+
+The *request digest* covers ``(client, timestamp, operation)`` but NOT the
+authenticator — this is what lets a backup adopt an authenticated copy of a
+request (received via client retransmission) to satisfy a pre-prepare whose
+embedded authenticator it could not verify. The Big MAC recovery/stall
+behaviour hinges on this detail (see DESIGN.md A1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..crypto import Authenticator, mix64, stable_digest
+
+NULL_DIGEST = 0
+
+
+def request_digest(client: str, timestamp: int, operation: object) -> int:
+    """Digest identifying a request independent of its authenticator."""
+    return stable_digest(("request", client, timestamp, operation))
+
+
+class Request:
+    """A client request: ``(operation, timestamp, client)`` + authenticator."""
+
+    __slots__ = ("client", "timestamp", "operation", "digest", "authenticator")
+
+    def __init__(
+        self,
+        client: str,
+        timestamp: int,
+        operation: object,
+        authenticator: Authenticator,
+    ) -> None:
+        self.client = client
+        self.timestamp = timestamp
+        self.operation = operation
+        self.digest = request_digest(client, timestamp, operation)
+        self.authenticator = authenticator
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """Identity of the request across retransmissions."""
+        return (self.client, self.timestamp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Request({self.client}#{self.timestamp})"
+
+
+class ForwardedRequest:
+    """A backup relaying a client request to the primary."""
+
+    __slots__ = ("request", "forwarder")
+
+    def __init__(self, request: Request, forwarder: str) -> None:
+        self.request = request
+        self.forwarder = forwarder
+
+
+class PrePrepare:
+    """Primary's ordering proposal for a batch of requests.
+
+    ``batch`` may be empty: a *null* pre-prepare fills sequence gaps after a
+    view change. ``batch_digest`` covers the request digests only.
+    """
+
+    __slots__ = ("view", "seq", "batch", "batch_digest", "sender", "authenticator")
+
+    def __init__(
+        self,
+        view: int,
+        seq: int,
+        batch: Tuple[Request, ...],
+        sender: str,
+        authenticator: Optional[Authenticator] = None,
+    ) -> None:
+        self.view = view
+        self.seq = seq
+        self.batch = batch
+        self.batch_digest = batch_digest_of(batch)
+        self.sender = sender
+        self.authenticator = authenticator
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PrePrepare(v={self.view}, n={self.seq}, |batch|={len(self.batch)})"
+
+
+_BATCH_DOMAIN = stable_digest("pbft-batch")
+
+
+def batch_digest_of(batch: Tuple[Request, ...]) -> int:
+    """Digest of an ordered batch (the value PREPARE/COMMIT agree on)."""
+    if not batch:
+        return NULL_DIGEST
+    return mix64(_BATCH_DOMAIN, *(request.digest for request in batch))
+
+
+class Prepare:
+    """A backup's agreement to the primary's ordering proposal."""
+
+    __slots__ = ("view", "seq", "batch_digest", "replica", "authenticator")
+
+    def __init__(
+        self,
+        view: int,
+        seq: int,
+        batch_digest: int,
+        replica: str,
+        authenticator: Optional[Authenticator] = None,
+    ) -> None:
+        self.view = view
+        self.seq = seq
+        self.batch_digest = batch_digest
+        self.replica = replica
+        self.authenticator = authenticator
+
+
+class Commit:
+    """A replica's commitment to execute the batch at ``seq`` in ``view``."""
+
+    __slots__ = ("view", "seq", "batch_digest", "replica", "authenticator")
+
+    def __init__(
+        self,
+        view: int,
+        seq: int,
+        batch_digest: int,
+        replica: str,
+        authenticator: Optional[Authenticator] = None,
+    ) -> None:
+        self.view = view
+        self.seq = seq
+        self.batch_digest = batch_digest
+        self.replica = replica
+        self.authenticator = authenticator
+
+
+class Reply:
+    """A replica's reply to a client; the client waits for f+1 matches."""
+
+    __slots__ = ("view", "timestamp", "client", "replica", "result")
+
+    def __init__(self, view: int, timestamp: int, client: str, replica: str, result: object) -> None:
+        self.view = view
+        self.timestamp = timestamp
+        self.client = client
+        self.replica = replica
+        self.result = result
+
+
+class CheckpointMsg:
+    """Proof-of-state message for garbage collection."""
+
+    __slots__ = ("seq", "state_digest", "replica")
+
+    def __init__(self, seq: int, state_digest: int, replica: str) -> None:
+        self.seq = seq
+        self.state_digest = state_digest
+        self.replica = replica
+
+
+class Status:
+    """Periodic liveness/recovery gossip (PBFT's status messages).
+
+    Carries the sender's view, execution frontier, stable checkpoint, and
+    its latest checkpoint vote. Peers use it to (a) re-deliver dropped
+    checkpoint votes, (b) re-send a NEW-VIEW to stragglers stuck in an old
+    view, and (c) trigger state fetches when they fall behind.
+    """
+
+    __slots__ = ("view", "last_executed", "stable_seq", "checkpoint", "replica")
+
+    def __init__(
+        self,
+        view: int,
+        last_executed: int,
+        stable_seq: int,
+        checkpoint: Optional[Tuple[int, int]],
+        replica: str,
+    ) -> None:
+        self.view = view
+        self.last_executed = last_executed
+        self.stable_seq = stable_seq
+        self.checkpoint = checkpoint
+        self.replica = replica
+
+
+class FetchCommitted:
+    """Ask a peer for the committed batches starting at ``from_seq``."""
+
+    __slots__ = ("from_seq", "replica")
+
+    def __init__(self, from_seq: int, replica: str) -> None:
+        self.from_seq = from_seq
+        self.replica = replica
+
+
+class CommittedSlots:
+    """State-transfer reply: committed batches (and optionally a checkpoint
+    base to jump to when the requested range was garbage-collected)."""
+
+    __slots__ = ("base", "slots", "replica")
+
+    def __init__(
+        self,
+        base: Optional[Tuple[int, int]],
+        slots: Tuple[Tuple[int, Tuple[Request, ...]], ...],
+        replica: str,
+    ) -> None:
+        #: Optional (seq, state_digest) checkpoint to fast-forward to.
+        self.base = base
+        #: Ordered (seq, batch) pairs above the base.
+        self.slots = slots
+        self.replica = replica
+
+
+class ViewChange:
+    """VIEW-CHANGE: a replica votes to move to ``new_view``.
+
+    ``prepared`` maps seq -> (batch_digest, batch) for every batch the sender
+    holds a prepared certificate for above its stable checkpoint; the new
+    primary re-proposes these.
+    """
+
+    __slots__ = ("new_view", "stable_seq", "prepared", "replica")
+
+    def __init__(
+        self,
+        new_view: int,
+        stable_seq: int,
+        prepared: Dict[int, Tuple[int, Tuple[Request, ...]]],
+        replica: str,
+    ) -> None:
+        self.new_view = new_view
+        self.stable_seq = stable_seq
+        self.prepared = prepared
+        self.replica = replica
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ViewChange(v={self.new_view}, from={self.replica})"
+
+
+class NewView:
+    """NEW-VIEW: the new primary installs ``view`` with re-issued pre-prepares."""
+
+    __slots__ = ("view", "voters", "pre_prepares", "stable_seq", "replica")
+
+    def __init__(
+        self,
+        view: int,
+        voters: Tuple[str, ...],
+        pre_prepares: Tuple[PrePrepare, ...],
+        stable_seq: int,
+        replica: str,
+    ) -> None:
+        self.view = view
+        self.voters = voters
+        self.pre_prepares = pre_prepares
+        self.stable_seq = stable_seq
+        self.replica = replica
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NewView(v={self.view}, |pp|={len(self.pre_prepares)})"
+
+
+__all__ = [
+    "CheckpointMsg",
+    "Commit",
+    "CommittedSlots",
+    "FetchCommitted",
+    "ForwardedRequest",
+    "Status",
+    "NULL_DIGEST",
+    "NewView",
+    "PrePrepare",
+    "Prepare",
+    "Reply",
+    "Request",
+    "ViewChange",
+    "batch_digest_of",
+    "request_digest",
+]

@@ -1,0 +1,167 @@
+"""View-change timer managers — including the paper's bug.
+
+Sec. 6 of the paper: *"The PBFT protocol specifies a timer associated to each
+request received by replicas directly from clients. [...] However, in the
+implementation of PBFT there is a single such timer, rather than one per
+request. If a message is received by a replica directly from a client, the
+timer is set. If any such message is executed before the timer expires, the
+timer is reset."*
+
+:class:`SharedViewChangeTimer` reproduces the buggy implementation (the
+faithful default); :class:`PerRequestViewChangeTimer` implements what the
+protocol actually specifies. The slow-primary attack (paper Sec. 6, and our
+experiment A2) succeeds only against the shared timer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple
+
+RequestKey = Tuple[str, int]
+
+
+class ViewChangeTimerBase:
+    """Common interface for both timer disciplines.
+
+    ``node`` provides ``set_timer`` / ``cancel_timer`` (a
+    :class:`repro.sim.node.Node`); ``on_expire`` is invoked with no arguments
+    when liveness is suspected.
+    """
+
+    def __init__(self, node, period_us: int, on_expire: Callable[[], None]) -> None:
+        self.node = node
+        self.period_us = period_us
+        self.on_expire = on_expire
+        self.outstanding: Set[RequestKey] = set()
+        self.expirations = 0
+
+    def request_pending(self, key: RequestKey) -> None:
+        """A request was received directly from a client and awaits execution."""
+        raise NotImplementedError
+
+    def request_executed(self, key: RequestKey) -> None:
+        """A request was executed locally."""
+        raise NotImplementedError
+
+    def stop_all(self) -> None:
+        """Stop timers without forgetting outstanding requests (view change)."""
+        raise NotImplementedError
+
+    def restart_pending(self) -> None:
+        """Re-arm timers for still-outstanding requests (new view installed)."""
+        raise NotImplementedError
+
+    def _expired(self, *args) -> None:
+        self.expirations += 1
+        self.on_expire()
+
+
+class SharedViewChangeTimer(ViewChangeTimerBase):
+    """The buggy implementation: ONE timer for all pending direct requests.
+
+    - set when a direct request arrives and the timer is not running;
+    - *reset* (restarted for a full period) when any outstanding direct
+      request executes while others remain;
+    - cancelled when the last outstanding direct request executes.
+
+    Consequence (the paper's discovered vulnerability): a malicious primary
+    that executes one direct request per period keeps resetting the timer,
+    so requests it ignores never trigger a view change.
+    """
+
+    def __init__(self, node, period_us: int, on_expire: Callable[[], None]) -> None:
+        super().__init__(node, period_us, on_expire)
+        self._handle = None
+
+    def request_pending(self, key: RequestKey) -> None:
+        self.outstanding.add(key)
+        if self._handle is None:
+            self._handle = self.node.set_timer(self.period_us, self._fire)
+
+    def request_executed(self, key: RequestKey) -> None:
+        if key not in self.outstanding:
+            return
+        self.outstanding.discard(key)
+        if self._handle is None:
+            return
+        self.node.cancel_timer(self._handle)
+        self._handle = None
+        if self.outstanding:
+            # The bug: executing ANY direct request grants every other
+            # pending request a brand-new full period.
+            self._handle = self.node.set_timer(self.period_us, self._fire)
+
+    def stop_all(self) -> None:
+        if self._handle is not None:
+            self.node.cancel_timer(self._handle)
+            self._handle = None
+
+    def restart_pending(self) -> None:
+        if self.outstanding and self._handle is None:
+            self._handle = self.node.set_timer(self.period_us, self._fire)
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._expired()
+
+    @property
+    def running(self) -> bool:
+        return self._handle is not None
+
+
+class PerRequestViewChangeTimer(ViewChangeTimerBase):
+    """What the protocol specifies: one timer per pending direct request."""
+
+    def __init__(self, node, period_us: int, on_expire: Callable[[], None]) -> None:
+        super().__init__(node, period_us, on_expire)
+        self._handles: Dict[RequestKey, object] = {}
+
+    def request_pending(self, key: RequestKey) -> None:
+        self.outstanding.add(key)
+        if key not in self._handles:
+            self._handles[key] = self.node.set_timer(self.period_us, self._fire, key)
+
+    def request_executed(self, key: RequestKey) -> None:
+        self.outstanding.discard(key)
+        handle = self._handles.pop(key, None)
+        if handle is not None:
+            self.node.cancel_timer(handle)
+
+    def stop_all(self) -> None:
+        for handle in self._handles.values():
+            self.node.cancel_timer(handle)
+        self._handles.clear()
+
+    def restart_pending(self) -> None:
+        for key in self.outstanding:
+            if key not in self._handles:
+                self._handles[key] = self.node.set_timer(self.period_us, self._fire, key)
+
+    def _fire(self, key: RequestKey) -> None:
+        self._handles.pop(key, None)
+        self._expired()
+
+    @property
+    def running(self) -> bool:
+        return bool(self._handles)
+
+
+def make_view_change_timer(
+    node,
+    period_us: int,
+    on_expire: Callable[[], None],
+    per_request: bool,
+) -> ViewChangeTimerBase:
+    """Factory selecting the faithful (shared) or fixed (per-request) timer."""
+    if per_request:
+        return PerRequestViewChangeTimer(node, period_us, on_expire)
+    return SharedViewChangeTimer(node, period_us, on_expire)
+
+
+__all__ = [
+    "PerRequestViewChangeTimer",
+    "RequestKey",
+    "SharedViewChangeTimer",
+    "ViewChangeTimerBase",
+    "make_view_change_timer",
+]

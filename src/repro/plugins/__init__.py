@@ -1,0 +1,71 @@
+"""Tool plugins for the AVD controller (Sec. 5's tool classes).
+
+Each plugin wraps one testing tool: its hyperspace dimensions, its
+tool-aware mutation semantics, and how its parameters configure a concrete
+deployment.
+"""
+
+from .client_count import (
+    CORRECT_CLIENTS_DIMENSION,
+    ClientCountPlugin,
+    MALICIOUS_CLIENTS_DIMENSION,
+)
+from .fault_injection import (
+    LFI_CALL_DIMENSION,
+    LFI_ERROR_DIMENSION,
+    LFI_FUNCTION_DIMENSION,
+    LFI_TARGET_DIMENSION,
+    LibraryFaultPlugin,
+    NO_INJECTION,
+)
+from .mac_corruption import MAC_MASK_DIMENSION, MacCorruptionPlugin
+from .message_reorder import MessageReorderPlugin, REORDER_WINDOW_DIMENSION, levenshtein
+from .message_synthesis import (
+    MessageSynthesisPlugin,
+    NO_SYNTHESIS,
+    SYNTH_INTERVAL_DIMENSION,
+    SYNTH_KIND_DIMENSION,
+    SYNTH_KINDS,
+    SYNTH_REPLICA_DIMENSION,
+)
+from .network_faults import NET_DELAY_DIMENSION, NET_DROP_DIMENSION, NetworkFaultPlugin
+from .primary_behavior import (
+    PRIMARY_CORRECT,
+    PRIMARY_MODE_DIMENSION,
+    PRIMARY_SLOW,
+    PRIMARY_SLOW_COLLUDING,
+    PRIMARY_TICK_DIMENSION,
+    PrimaryBehaviorPlugin,
+)
+
+__all__ = [
+    "CORRECT_CLIENTS_DIMENSION",
+    "ClientCountPlugin",
+    "LFI_CALL_DIMENSION",
+    "LFI_ERROR_DIMENSION",
+    "LFI_FUNCTION_DIMENSION",
+    "LFI_TARGET_DIMENSION",
+    "LibraryFaultPlugin",
+    "MAC_MASK_DIMENSION",
+    "MALICIOUS_CLIENTS_DIMENSION",
+    "MacCorruptionPlugin",
+    "MessageReorderPlugin",
+    "MessageSynthesisPlugin",
+    "NET_DELAY_DIMENSION",
+    "NET_DROP_DIMENSION",
+    "NO_INJECTION",
+    "NO_SYNTHESIS",
+    "NetworkFaultPlugin",
+    "PRIMARY_CORRECT",
+    "PRIMARY_MODE_DIMENSION",
+    "PRIMARY_SLOW",
+    "PRIMARY_SLOW_COLLUDING",
+    "PRIMARY_TICK_DIMENSION",
+    "PrimaryBehaviorPlugin",
+    "REORDER_WINDOW_DIMENSION",
+    "SYNTH_INTERVAL_DIMENSION",
+    "SYNTH_KIND_DIMENSION",
+    "SYNTH_KINDS",
+    "SYNTH_REPLICA_DIMENSION",
+    "levenshtein",
+]

@@ -1,0 +1,52 @@
+"""Workload-shape plugin: how many correct and malicious clients connect.
+
+These are the other two dimensions of the paper's experiment (Sec. 6):
+"how many correct clients to connect to PBFT and how many malicious
+clients": 10..250 correct clients in steps of 10 (25 values), 1 or 2
+malicious clients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..core.hyperspace import ChoiceDimension, Dimension, IntRangeDimension
+from ..core.plugin import ToolPlugin
+from ..core.power import AccessLevel, ControlLevel
+
+CORRECT_CLIENTS_DIMENSION = "n_correct_clients"
+MALICIOUS_CLIENTS_DIMENSION = "n_malicious_clients"
+
+
+class ClientCountPlugin(ToolPlugin):
+    """Controls the deployment's client population."""
+
+    name = "client_count"
+    required_access = AccessLevel.NOTHING
+    required_control = ControlLevel.CLIENT
+
+    def __init__(
+        self,
+        min_correct: int = 10,
+        max_correct: int = 250,
+        step: int = 10,
+        malicious_choices: Sequence[int] = (1, 2),
+    ) -> None:
+        self._dimensions = [
+            IntRangeDimension(CORRECT_CLIENTS_DIMENSION, min_correct, max_correct, step),
+            ChoiceDimension(MALICIOUS_CLIENTS_DIMENSION, list(malicious_choices)),
+        ]
+
+    def dimensions(self) -> Sequence[Dimension]:
+        return list(self._dimensions)
+
+    def configure(self, params: Dict[str, object], spec) -> None:
+        spec.n_correct_clients = int(params[CORRECT_CLIENTS_DIMENSION])
+        spec.n_malicious_clients = int(params[MALICIOUS_CLIENTS_DIMENSION])
+
+
+__all__ = [
+    "CORRECT_CLIENTS_DIMENSION",
+    "ClientCountPlugin",
+    "MALICIOUS_CLIENTS_DIMENSION",
+]

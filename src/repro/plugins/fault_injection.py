@@ -1,0 +1,108 @@
+"""Library-level fault injection plugin (LFI-style, Sec. 3 and 5).
+
+The canonical three-dimensional tool hyperspace from the paper: "the
+function where to inject, the error code and the call number are the three
+dimensions describing the hyperspace of library fault injection
+parameters." A fourth dimension picks the victim replica.
+
+Mutate-distance semantics (Sec. 5): "The mutateDistance can be reflected in
+the call number at which a fault is injected. A small mutateDistance means
+injecting in a neighboring call, while a large distance entails injecting
+further away" — so weak mutations move the call number, and only strong
+mutations switch function/error/victim.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.hyperspace import ChoiceDimension, Coords, Dimension, Hyperspace, IntRangeDimension
+from ..core.plugin import ToolPlugin
+from ..core.power import AccessLevel, ControlLevel
+from ..injection.profiles import DEFAULT_FAULT_PROFILES, FaultPlan
+from ..pbft.config import replica_name
+
+LFI_FUNCTION_DIMENSION = "lfi_function"
+LFI_ERROR_DIMENSION = "lfi_error"
+LFI_CALL_DIMENSION = "lfi_call"
+LFI_TARGET_DIMENSION = "lfi_target"
+
+#: Sentinel "function" meaning no fault is injected (the benign position).
+NO_INJECTION = "none"
+
+
+class LibraryFaultPlugin(ToolPlugin):
+    """Injects one library-call fault into one replica."""
+
+    name = "fault_injection"
+    # Writing fault plans against documented error codes needs docs; placing
+    # them inside a replica's library environment needs server control.
+    required_access = AccessLevel.DOCUMENTATION
+    required_control = ControlLevel.SERVER
+
+    def __init__(
+        self,
+        n_replicas: int = 4,
+        max_call: int = 64,
+        profiles: Dict[str, Tuple[str, ...]] = DEFAULT_FAULT_PROFILES,
+    ) -> None:
+        self.profiles = dict(profiles)
+        self.functions = [NO_INJECTION] + sorted(self.profiles)
+        max_errors = max(len(errors) for errors in self.profiles.values())
+        self._dimensions = [
+            ChoiceDimension(LFI_FUNCTION_DIMENSION, self.functions),
+            # Error position is resolved modulo the chosen function's error
+            # list, so the dimension is rectangular but every point is valid.
+            IntRangeDimension(LFI_ERROR_DIMENSION, 0, max_errors - 1),
+            IntRangeDimension(LFI_CALL_DIMENSION, 1, max_call),
+            ChoiceDimension(LFI_TARGET_DIMENSION, list(range(n_replicas))),
+        ]
+
+    def dimensions(self) -> Sequence[Dimension]:
+        return list(self._dimensions)
+
+    def mutate(
+        self,
+        coords: Coords,
+        distance: float,
+        rng: random.Random,
+        hyperspace: Hyperspace,
+    ) -> Coords:
+        child = dict(coords)
+        if distance < 0.4:
+            # Weak mutation: neighbouring call number only.
+            dimension = hyperspace.by_name[LFI_CALL_DIMENSION]
+            child[LFI_CALL_DIMENSION] = dimension.neighbor(
+                coords[LFI_CALL_DIMENSION], distance, rng
+            )
+            return child
+        # Strong mutation: re-aim the tool (function / error / victim), and
+        # jump the call number as well.
+        for name in (LFI_FUNCTION_DIMENSION, LFI_ERROR_DIMENSION, LFI_TARGET_DIMENSION):
+            if rng.random() < distance:
+                dimension = hyperspace.by_name[name]
+                child[name] = dimension.random_position(rng)
+        dimension = hyperspace.by_name[LFI_CALL_DIMENSION]
+        child[LFI_CALL_DIMENSION] = dimension.neighbor(coords[LFI_CALL_DIMENSION], distance, rng)
+        return child
+
+    def configure(self, params: Dict[str, object], spec) -> None:
+        function = str(params[LFI_FUNCTION_DIMENSION])
+        if function == NO_INJECTION:
+            return
+        errors = self.profiles[function]
+        error = errors[int(params[LFI_ERROR_DIMENSION]) % len(errors)]
+        plan = FaultPlan(function, error, int(params[LFI_CALL_DIMENSION]))
+        target = replica_name(int(params[LFI_TARGET_DIMENSION]))
+        spec.injection_plans.setdefault(target, []).append(plan)
+
+
+__all__ = [
+    "LFI_CALL_DIMENSION",
+    "LFI_ERROR_DIMENSION",
+    "LFI_FUNCTION_DIMENSION",
+    "LFI_TARGET_DIMENSION",
+    "LibraryFaultPlugin",
+    "NO_INJECTION",
+]

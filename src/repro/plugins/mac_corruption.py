@@ -1,0 +1,77 @@
+"""The MAC corruption tool plugin — the paper's evaluation tool (Sec. 6).
+
+One dimension: a 12-bit bitmask over ``generateMAC`` call numbers in the
+malicious client(s), enumerated in Gray-code order so that a weak mutation
+(one position step) flips exactly one mask bit. Bit ``n`` corrupts the
+``(n mod 12)``-th MAC generation call; with 4 replicas per authenticator,
+the 12 bits cover 3 transmission rounds of one request.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Sequence
+
+from ..core.hyperspace import (
+    Coords,
+    Dimension,
+    GrayBitmaskDimension,
+    Hyperspace,
+    IntRangeDimension,
+)
+from ..core.plugin import ToolPlugin
+from ..core.power import AccessLevel, ControlLevel
+from ..pbft.behaviors import MAC_MASK_WIDTH
+
+#: Canonical dimension name.
+MAC_MASK_DIMENSION = "mac_mask_gray"
+
+
+class MacCorruptionPlugin(ToolPlugin):
+    """Controls which generateMAC calls the malicious clients corrupt."""
+
+    name = "mac_corruption"
+    # Corrupting one's own MACs requires only control of a client and
+    # knowing that MACs exist (documentation-level knowledge).
+    required_access = AccessLevel.DOCUMENTATION
+    required_control = ControlLevel.CLIENT
+
+    def __init__(self, width: int = MAC_MASK_WIDTH, gray: bool = True) -> None:
+        self.width = width
+        #: Ablation switch: with ``gray=False`` the dimension enumerates
+        #: masks in plain binary order, destroying the one-bit-per-step
+        #: locality the paper's encoding provides (DESIGN.md Sec. 5).
+        self.gray = gray
+        if gray:
+            self._dimension = GrayBitmaskDimension(MAC_MASK_DIMENSION, width)
+        else:
+            self._dimension = IntRangeDimension(MAC_MASK_DIMENSION, 0, (1 << width) - 1)
+
+    def dimensions(self) -> Sequence[Dimension]:
+        return [self._dimension]
+
+    def mutate(
+        self,
+        coords: Coords,
+        distance: float,
+        rng: random.Random,
+        hyperspace: Hyperspace,
+    ) -> Coords:
+        """Weak mutation = adjacent Gray position (one bit flip).
+
+        "In order to implement the mutateDistance parameter, the 12-bit
+        number is encoded in Gray code. Thus, a small mutateDistance entails
+        choosing a neighboring value." (Sec. 6)
+        """
+        child = dict(coords)
+        dimension = hyperspace.by_name[MAC_MASK_DIMENSION]
+        child[MAC_MASK_DIMENSION] = dimension.neighbor(
+            coords[MAC_MASK_DIMENSION], distance, rng
+        )
+        return child
+
+    def configure(self, params: Dict[str, object], spec) -> None:
+        spec.mac_mask = int(params[MAC_MASK_DIMENSION])
+
+
+__all__ = ["MAC_MASK_DIMENSION", "MacCorruptionPlugin"]

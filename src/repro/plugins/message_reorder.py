@@ -1,0 +1,87 @@
+"""Message-reordering tool plugin (Sec. 5).
+
+"Many distributed systems use asynchronous communication, where the order
+of incoming messages is not guaranteed. Therefore, vulnerabilities may hide
+in the order in which messages are received."
+
+The tool buffers replica-bound traffic in windows and releases each window
+in a permuted order. The *expected Levenshtein edit distance* between the
+original and permuted stream grows with the window size, so the paper's
+mutate-distance semantics ("a strong mutation would lead to a high edit
+distance") maps onto the window dimension: a weak mutation nudges the
+window by one, a strong mutation jumps it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from ..core.hyperspace import Coords, Dimension, Hyperspace, IntRangeDimension
+from ..core.plugin import ToolPlugin
+from ..core.power import AccessLevel, ControlLevel
+from ..pbft.config import replica_name
+from ..sim.faults import ReorderFault, match_endpoints
+
+REORDER_WINDOW_DIMENSION = "reorder_window"
+
+
+def levenshtein(a: Sequence, b: Sequence) -> int:
+    """Edit distance between two sequences (used by tests and analysis)."""
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, item_a in enumerate(a, start=1):
+        current = [i]
+        for j, item_b in enumerate(b, start=1):
+            cost = 0 if item_a == item_b else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+class MessageReorderPlugin(ToolPlugin):
+    """Reorders replica-bound messages in windows of a chosen size.
+
+    Window 1 means no reordering (the benign position).
+    """
+
+    name = "message_reorder"
+    required_access = AccessLevel.NOTHING
+    required_control = ControlLevel.NETWORK
+
+    def __init__(self, n_replicas: int = 4, max_window: int = 16) -> None:
+        if max_window < 1:
+            raise ValueError("max_window must be >= 1")
+        self.n_replicas = n_replicas
+        self._dimension = IntRangeDimension(REORDER_WINDOW_DIMENSION, 1, max_window)
+
+    def dimensions(self) -> Sequence[Dimension]:
+        return [self._dimension]
+
+    def mutate(
+        self,
+        coords: Coords,
+        distance: float,
+        rng: random.Random,
+        hyperspace: Hyperspace,
+    ) -> Coords:
+        """Edit-distance-flavoured mutation on the window size."""
+        child = dict(coords)
+        dimension = hyperspace.by_name[REORDER_WINDOW_DIMENSION]
+        child[REORDER_WINDOW_DIMENSION] = dimension.neighbor(
+            coords[REORDER_WINDOW_DIMENSION], distance, rng
+        )
+        return child
+
+    def configure(self, params: Dict[str, object], spec) -> None:
+        window = int(params[REORDER_WINDOW_DIMENSION])
+        if window <= 1:
+            return
+        replicas = frozenset(replica_name(i) for i in range(self.n_replicas))
+        spec.network_faults.append(
+            ReorderFault(window=window, matcher=match_endpoints(dst=replicas))
+        )
+
+
+__all__ = ["MessageReorderPlugin", "REORDER_WINDOW_DIMENSION", "levenshtein"]

@@ -1,0 +1,113 @@
+"""Protocol-message synthesis plugin — the symbolic-execution tool class.
+
+Sec. 5: "In order to synthesize malicious nodes, the consistency models in
+the symbolic execution ... can be relaxed, thus generating sequences of
+messages that would not normally be allowed by the code; for instance, in
+the case of PBFT, a malicious replica could send a 'View Change' message
+without actually suspecting the primary."
+
+We do not ship a symbolic executor (the environment is a simulator, not a
+binary), but this plugin reproduces exactly the *capability* symbolic
+execution grants AVD: producing protocol-grammatical messages outside the
+protocol's state constraints, from a compromised replica, on a schedule.
+
+Mutate-distance semantics follow the branch-disparity idea: message kinds
+are ordered by how different the receiver-side code paths they trigger are
+(commit ~ prepare << view_change). A weak mutation tweaks the send interval
+(same code path, different timing); a strong mutation flips to a
+high-disparity message kind or re-aims the compromised replica.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from ..core.hyperspace import ChoiceDimension, Coords, Dimension, Hyperspace, IntRangeDimension
+from ..core.plugin import ToolPlugin
+from ..core.power import AccessLevel, ControlLevel
+from ..pbft.behaviors import ReplicaBehavior
+from ..sim.clock import MS
+
+SYNTH_KIND_DIMENSION = "synth_kind"
+SYNTH_REPLICA_DIMENSION = "synth_replica"
+SYNTH_INTERVAL_DIMENSION = "synth_interval_ms"
+
+#: No synthesized messages (the benign position).
+NO_SYNTHESIS = "none"
+#: Kinds ordered by receiver-side branch disparity (ascending).
+SYNTH_KINDS = [NO_SYNTHESIS, "commit", "prepare", "view_change"]
+
+
+class MessageSynthesisPlugin(ToolPlugin):
+    """A compromised replica emits out-of-protocol messages periodically."""
+
+    name = "message_synthesis"
+    # Relaxed-constraint synthesis presumes full knowledge of the code paths
+    # (symbolic execution over source) and a compromised server.
+    required_access = AccessLevel.SOURCE
+    required_control = ControlLevel.SERVER
+
+    def __init__(
+        self,
+        n_replicas: int = 4,
+        min_interval_ms: int = 5,
+        max_interval_ms: int = 200,
+    ) -> None:
+        self._dimensions = [
+            ChoiceDimension(SYNTH_KIND_DIMENSION, list(SYNTH_KINDS)),
+            ChoiceDimension(SYNTH_REPLICA_DIMENSION, list(range(n_replicas))),
+            IntRangeDimension(SYNTH_INTERVAL_DIMENSION, min_interval_ms, max_interval_ms, 5),
+        ]
+
+    def dimensions(self) -> Sequence[Dimension]:
+        return list(self._dimensions)
+
+    def mutate(
+        self,
+        coords: Coords,
+        distance: float,
+        rng: random.Random,
+        hyperspace: Hyperspace,
+    ) -> Coords:
+        child = dict(coords)
+        if distance < 0.35:
+            # Same code path, different timing.
+            dimension = hyperspace.by_name[SYNTH_INTERVAL_DIMENSION]
+            child[SYNTH_INTERVAL_DIMENSION] = dimension.neighbor(
+                coords[SYNTH_INTERVAL_DIMENSION], distance, rng
+            )
+            return child
+        # High disparity: flip the message kind (and possibly the replica).
+        kind_dimension = hyperspace.by_name[SYNTH_KIND_DIMENSION]
+        child[SYNTH_KIND_DIMENSION] = kind_dimension.neighbor(
+            coords[SYNTH_KIND_DIMENSION], distance, rng
+        )
+        if rng.random() < distance:
+            replica_dimension = hyperspace.by_name[SYNTH_REPLICA_DIMENSION]
+            child[SYNTH_REPLICA_DIMENSION] = replica_dimension.random_position(rng)
+        return child
+
+    def configure(self, params: Dict[str, object], spec) -> None:
+        kind = str(params[SYNTH_KIND_DIMENSION])
+        if kind == NO_SYNTHESIS:
+            return
+        index = int(params[SYNTH_REPLICA_DIMENSION])
+        interval_us = int(params[SYNTH_INTERVAL_DIMENSION]) * MS
+        existing = spec.replica_behaviors.get(index, ReplicaBehavior())
+        spec.replica_behaviors[index] = ReplicaBehavior(
+            slow_primary=existing.slow_primary,
+            synthesize_interval_us=interval_us,
+            synthesize_kind=kind,
+            mac_mask=existing.mac_mask,
+        )
+
+
+__all__ = [
+    "MessageSynthesisPlugin",
+    "NO_SYNTHESIS",
+    "SYNTH_INTERVAL_DIMENSION",
+    "SYNTH_KIND_DIMENSION",
+    "SYNTH_KINDS",
+    "SYNTH_REPLICA_DIMENSION",
+]

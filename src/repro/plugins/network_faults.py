@@ -1,0 +1,57 @@
+"""Network-control plugin: drops and delays on replica traffic (Sec. 4).
+
+Models an attacker with partial network control ("ranging from DoS attacks
+to taking control of routers"): a drop rate and an added delay applied to
+replica-bound traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..core.hyperspace import Dimension, IntRangeDimension
+from ..core.plugin import ToolPlugin
+from ..core.power import AccessLevel, ControlLevel
+from ..pbft.config import replica_name
+from ..sim.clock import MS
+from ..sim.faults import DelayFault, DropFault, match_endpoints
+
+NET_DROP_DIMENSION = "net_drop_pct"
+NET_DELAY_DIMENSION = "net_delay_ms"
+
+
+class NetworkFaultPlugin(ToolPlugin):
+    """Drops a percentage of replica-bound messages and/or delays them."""
+
+    name = "network_faults"
+    required_access = AccessLevel.NOTHING
+    required_control = ControlLevel.NETWORK
+
+    def __init__(
+        self,
+        n_replicas: int = 4,
+        max_drop_pct: int = 30,
+        drop_step: int = 2,
+        max_delay_ms: int = 20,
+    ) -> None:
+        self.n_replicas = n_replicas
+        self._dimensions = [
+            IntRangeDimension(NET_DROP_DIMENSION, 0, max_drop_pct, drop_step),
+            IntRangeDimension(NET_DELAY_DIMENSION, 0, max_delay_ms),
+        ]
+
+    def dimensions(self) -> Sequence[Dimension]:
+        return list(self._dimensions)
+
+    def configure(self, params: Dict[str, object], spec) -> None:
+        replicas = frozenset(replica_name(i) for i in range(self.n_replicas))
+        matcher = match_endpoints(dst=replicas)
+        drop_pct = int(params[NET_DROP_DIMENSION])
+        if drop_pct > 0:
+            spec.network_faults.append(DropFault(drop_pct / 100.0, matcher))
+        delay_ms = int(params[NET_DELAY_DIMENSION])
+        if delay_ms > 0:
+            spec.network_faults.append(DelayFault(delay_ms * MS, jitter_us=MS, matcher=matcher))
+
+
+__all__ = ["NET_DELAY_DIMENSION", "NET_DROP_DIMENSION", "NetworkFaultPlugin"]

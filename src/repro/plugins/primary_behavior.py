@@ -1,0 +1,89 @@
+"""Compromised-primary plugin: the slow-primary attack family (Sec. 6).
+
+Three positions on the main dimension:
+
+- ``correct``        — no compromised replica (benign position);
+- ``slow``           — replica 0 (the initial primary) orders exactly one
+                       request per view-change-timer period, exploiting the
+                       shared-timer bug;
+- ``slow_colluding`` — additionally, a malicious client cooperates: the
+                       primary serves *only* that client, so the useful
+                       throughput of the system drops to zero.
+
+A second dimension tunes how close to the timer period the primary's
+ordering tick runs (too slow and backups' timers expire; the attack is
+sharpest just under the period).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..core.hyperspace import ChoiceDimension, Dimension, IntRangeDimension
+from ..core.plugin import ToolPlugin
+from ..core.power import AccessLevel, ControlLevel
+from ..pbft.behaviors import ReplicaBehavior, SlowPrimaryPolicy
+from ..pbft.config import malicious_client_name
+
+PRIMARY_MODE_DIMENSION = "primary_mode"
+PRIMARY_TICK_DIMENSION = "primary_tick_pct"
+
+PRIMARY_CORRECT = "correct"
+PRIMARY_SLOW = "slow"
+PRIMARY_SLOW_COLLUDING = "slow_colluding"
+
+
+class PrimaryBehaviorPlugin(ToolPlugin):
+    """Installs a slow (and optionally colluding) primary."""
+
+    name = "primary_behavior"
+    # Compromising a replica requires server control; exploiting the timer
+    # requires understanding the implementation (binary-level analysis).
+    required_access = AccessLevel.BINARY
+    required_control = ControlLevel.SERVER
+
+    def __init__(self, min_tick_pct: int = 50, max_tick_pct: int = 95, step: int = 5) -> None:
+        self._dimensions = [
+            ChoiceDimension(
+                PRIMARY_MODE_DIMENSION,
+                [PRIMARY_CORRECT, PRIMARY_SLOW, PRIMARY_SLOW_COLLUDING],
+            ),
+            IntRangeDimension(PRIMARY_TICK_DIMENSION, min_tick_pct, max_tick_pct, step),
+        ]
+
+    def dimensions(self) -> Sequence[Dimension]:
+        return list(self._dimensions)
+
+    def configure(self, params: Dict[str, object], spec) -> None:
+        mode = str(params[PRIMARY_MODE_DIMENSION])
+        if mode == PRIMARY_CORRECT:
+            return
+        tick_fraction = int(params[PRIMARY_TICK_DIMENSION]) / 100.0
+        serve_only = None
+        if mode == PRIMARY_SLOW_COLLUDING:
+            serve_only = malicious_client_name(0)
+            spec.n_malicious_clients = max(spec.n_malicious_clients, 1)
+            # The colluder broadcasts so backups hold its requests as
+            # direct-from-client — the executions that reset their shared
+            # timer (the bug the attack rides on).
+            spec.malicious_broadcast = True
+        policy = SlowPrimaryPolicy(
+            period_fraction=tick_fraction, serve_only_client=serve_only
+        )
+        existing = spec.replica_behaviors.get(0, ReplicaBehavior())
+        spec.replica_behaviors[0] = ReplicaBehavior(
+            slow_primary=policy,
+            synthesize_interval_us=existing.synthesize_interval_us,
+            synthesize_kind=existing.synthesize_kind,
+            mac_mask=existing.mac_mask,
+        )
+
+
+__all__ = [
+    "PRIMARY_CORRECT",
+    "PRIMARY_MODE_DIMENSION",
+    "PRIMARY_SLOW",
+    "PRIMARY_SLOW_COLLUDING",
+    "PRIMARY_TICK_DIMENSION",
+    "PrimaryBehaviorPlugin",
+]

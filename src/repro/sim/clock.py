@@ -1,0 +1,39 @@
+"""Simulated time.
+
+All simulation timestamps are integers, in microseconds. Integer time keeps
+event ordering exact and reproducible across platforms (no floating-point
+drift), which matters because AVD campaigns must be deterministic given a
+seed.
+"""
+
+from __future__ import annotations
+
+#: One microsecond (the base unit).
+US = 1
+#: One millisecond in microseconds.
+MS = 1_000
+#: One second in microseconds.
+SECOND = 1_000_000
+
+#: A time far beyond any realistic simulation horizon.
+TIME_INFINITY = 2**62
+
+
+def seconds(value: float) -> int:
+    """Convert seconds (possibly fractional) to integer microseconds."""
+    return int(round(value * SECOND))
+
+
+def millis(value: float) -> int:
+    """Convert milliseconds (possibly fractional) to integer microseconds."""
+    return int(round(value * MS))
+
+
+def to_seconds(timestamp: int) -> float:
+    """Convert an integer-microsecond timestamp to float seconds."""
+    return timestamp / SECOND
+
+
+def format_time(timestamp: int) -> str:
+    """Render a timestamp as a human-readable string, e.g. ``1.250s``."""
+    return f"{timestamp / SECOND:.6f}s"

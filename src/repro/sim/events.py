@@ -1,0 +1,102 @@
+"""Event queue for the discrete-event kernel.
+
+The queue is a binary heap of ``(time, sequence)`` keys. The sequence number
+breaks ties so that events scheduled first at the same timestamp run first
+(FIFO among simultaneous events), which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class EventHandle:
+    """Handle to a scheduled event; allows cancellation.
+
+    Cancellation is lazy: the heap entry stays in place and is discarded when
+    it reaches the top. This makes :meth:`EventQueue.cancel` O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[..., None]] = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will never fire."""
+        self.cancelled = True
+        # Drop references early so cancelled events do not pin objects alive
+        # while they wait to percolate out of the heap.
+        self.callback = None
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time}, seq={self.seq}, {state})"
+
+
+class EventQueue:
+    """A time-ordered queue of :class:`EventHandle` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[EventHandle] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: int, callback: Callable[..., None], args: tuple = ()) -> EventHandle:
+        """Schedule ``callback(*args)`` at ``time`` and return its handle."""
+        if time < 0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if not handle.cancelled:
+            handle.cancel()
+            self._live -= 1
+
+    def pop(self) -> Optional[EventHandle]:
+        """Pop the earliest non-cancelled event, or ``None`` if empty."""
+        heap = self._heap
+        while heap:
+            handle = heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self._live -= 1
+            return handle
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next live event, or ``None`` if empty."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+        self._live = 0
+
+
+__all__ = ["EventHandle", "EventQueue", "Any"]

@@ -1,0 +1,186 @@
+"""Measurement primitives for simulations.
+
+AVD's impact metric is the performance observed by *correct* nodes
+(Sec. 3 of the paper). These classes provide the raw material: counters,
+latency samplers with percentiles, and time-bucketed series for
+throughput-over-time plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .clock import SECOND
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class LatencySampler:
+    """Collects latency samples (integer microseconds) and summarizes them."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[int] = []
+
+    def record(self, latency_us: int) -> None:
+        if latency_us < 0:
+            raise ValueError(f"negative latency sample: {latency_us}")
+        self.samples.append(latency_us)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        """Mean latency in seconds (0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples) / SECOND
+
+    def percentile(self, fraction: float) -> float:
+        """Latency percentile in seconds, e.g. ``percentile(0.99)``."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"percentile fraction out of range: {fraction}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(math.ceil(fraction * len(ordered))) - 1)
+        index = max(index, 0)
+        return ordered[index] / SECOND
+
+    def maximum(self) -> float:
+        """Largest latency sample in seconds (0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return max(self.samples) / SECOND
+
+
+class IntervalSeries:
+    """Counts occurrences per fixed-width time bucket.
+
+    Used for throughput-over-time series: ``rate_series()`` converts bucket
+    counts into events/second.
+    """
+
+    __slots__ = ("name", "bucket_width", "buckets")
+
+    def __init__(self, name: str, bucket_width: int) -> None:
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        self.name = name
+        self.bucket_width = bucket_width
+        self.buckets: Dict[int, int] = {}
+
+    def record(self, time: int, amount: int = 1) -> None:
+        bucket = time // self.bucket_width
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + amount
+
+    def rate_series(self) -> List[float]:
+        """Events/second for each bucket from the first to the last used."""
+        if not self.buckets:
+            return []
+        first = min(self.buckets)
+        last = max(self.buckets)
+        scale = SECOND / self.bucket_width
+        return [self.buckets.get(b, 0) * scale for b in range(first, last + 1)]
+
+    def total(self) -> int:
+        return sum(self.buckets.values())
+
+
+@dataclass
+class MetricsRegistry:
+    """Per-simulation registry of named metrics."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    latencies: Dict[str, LatencySampler] = field(default_factory=dict)
+    series: Dict[str, IntervalSeries] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self.counters[name] = counter
+        return counter
+
+    def latency(self, name: str) -> LatencySampler:
+        sampler = self.latencies.get(name)
+        if sampler is None:
+            sampler = LatencySampler(name)
+            self.latencies[name] = sampler
+        return sampler
+
+    def interval_series(self, name: str, bucket_width: int = SECOND // 10) -> IntervalSeries:
+        existing = self.series.get(name)
+        if existing is None:
+            existing = IntervalSeries(name, bucket_width)
+            self.series[name] = existing
+        return existing
+
+    def counter_value(self, name: str) -> int:
+        """Value of a counter, 0 if it was never touched."""
+        counter = self.counters.get(name)
+        return counter.value if counter is not None else 0
+
+
+@dataclass(frozen=True)
+class ThroughputMeasurement:
+    """Throughput/latency measured over a window of simulated time.
+
+    This is the quantity AVD maximizes damage against: the paper's impact
+    metric is "the average throughput observed by the correct clients".
+    """
+
+    completed_requests: int
+    window_us: int
+    mean_latency_s: float
+    p99_latency_s: float = 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of simulated time."""
+        if self.window_us <= 0:
+            return 0.0
+        return self.completed_requests * SECOND / self.window_us
+
+
+def measure_window(
+    sampler: LatencySampler,
+    window_us: int,
+    p99: bool = True,
+) -> ThroughputMeasurement:
+    """Summarize a latency sampler into a :class:`ThroughputMeasurement`."""
+    return ThroughputMeasurement(
+        completed_requests=sampler.count,
+        window_us=window_us,
+        mean_latency_s=sampler.mean(),
+        p99_latency_s=sampler.percentile(0.99) if p99 else 0.0,
+    )
+
+
+__all__ = [
+    "Counter",
+    "IntervalSeries",
+    "LatencySampler",
+    "MetricsRegistry",
+    "ThroughputMeasurement",
+    "measure_window",
+]

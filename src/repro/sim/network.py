@@ -1,0 +1,243 @@
+"""Simulated network: endpoints, latency models, and a fault pipeline.
+
+The paper's architecture (Fig. 1) puts the networks partly under AVD's
+control: attackers "can be assumed to exercise some sort of control over the
+network". That control is modelled as a pipeline of :class:`NetworkFault`
+stages each message traverses; AVD plugins install and parameterize stages.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Protocol, Sequence
+
+from .clock import MS
+from .simulator import SimulationError, Simulator
+
+
+class Envelope:
+    """A message in flight between two named endpoints."""
+
+    __slots__ = ("src", "dst", "payload", "send_time", "extra_delay")
+
+    def __init__(self, src: str, dst: str, payload, send_time: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.send_time = send_time
+        #: Additional delay injected by fault stages, in microseconds.
+        self.extra_delay = 0
+
+    def clone(self) -> "Envelope":
+        copy = Envelope(self.src, self.dst, self.payload, self.send_time)
+        copy.extra_delay = self.extra_delay
+        return copy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Envelope({self.src}->{self.dst} @{self.send_time})"
+
+
+class LatencyModel(Protocol):
+    """Samples one-way delivery latency for a (src, dst) pair."""
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> int: ...
+
+
+class FixedLatency:
+    """Constant one-way latency."""
+
+    def __init__(self, latency_us: int) -> None:
+        if latency_us < 0:
+            raise ValueError("latency must be non-negative")
+        self.latency_us = latency_us
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> int:
+        return self.latency_us
+
+
+class UniformLatency:
+    """Latency drawn uniformly from ``[low_us, high_us]``."""
+
+    def __init__(self, low_us: int, high_us: int) -> None:
+        if not 0 <= low_us <= high_us:
+            raise ValueError("require 0 <= low <= high")
+        self.low_us = low_us
+        self.high_us = high_us
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> int:
+        return rng.randint(self.low_us, self.high_us)
+
+
+class LanLatency:
+    """LAN-like latency: a base plus exponentially distributed jitter.
+
+    Defaults approximate the Emulab LAN the paper deployed PBFT on:
+    sub-millisecond one-way delay with a light tail.
+    """
+
+    def __init__(self, base_us: int = 150, jitter_mean_us: int = 50) -> None:
+        if base_us < 0 or jitter_mean_us < 0:
+            raise ValueError("latency parameters must be non-negative")
+        self.base_us = base_us
+        self.jitter_mean_us = jitter_mean_us
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> int:
+        jitter = rng.expovariate(1.0 / self.jitter_mean_us) if self.jitter_mean_us else 0.0
+        return self.base_us + int(jitter)
+
+
+class NetworkFault:
+    """A stage in the network fault pipeline.
+
+    ``apply`` receives an envelope and returns the envelopes to keep
+    propagating: ``[envelope]`` passes it through (possibly mutated),
+    ``[]`` drops it, and multiple envelopes duplicate it. A stage may also
+    hold envelopes and re-emit them later through ``network.inject``.
+    """
+
+    def apply(self, envelope: Envelope, network: "Network") -> List[Envelope]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+MessageHandler = Callable[[object, str], None]
+
+
+class Endpoint(Protocol):
+    """Anything that can be registered on a network."""
+
+    name: str
+
+    def on_message(self, payload: object, src: str) -> None: ...
+
+
+class Network:
+    """Message fabric connecting named endpoints.
+
+    Delivery latency comes from ``latency_model``; installed
+    :class:`NetworkFault` stages may drop, delay, duplicate, or mutate
+    messages. Per-endpoint delivery counters feed victim-load metrics (used
+    by the DHT redirection experiment).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency_model: Optional[LatencyModel] = None,
+        name: str = "net",
+    ) -> None:
+        self.simulator = simulator
+        self.latency_model = latency_model if latency_model is not None else LanLatency()
+        self.name = name
+        self.rng = simulator.rng(f"network:{name}")
+        self.endpoints: Dict[str, Endpoint] = {}
+        self.faults: List[NetworkFault] = []
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.delivered_per_endpoint: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def register(self, endpoint: Endpoint) -> None:
+        """Register an endpoint under its ``name`` (names must be unique)."""
+        if endpoint.name in self.endpoints:
+            raise SimulationError(f"duplicate endpoint name: {endpoint.name}")
+        self.endpoints[endpoint.name] = endpoint
+        self.delivered_per_endpoint[endpoint.name] = 0
+
+    def unregister(self, name: str) -> None:
+        """Remove an endpoint; in-flight messages to it are dropped on arrival."""
+        self.endpoints.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # fault pipeline
+    # ------------------------------------------------------------------
+    def add_fault(self, fault: NetworkFault) -> None:
+        self.faults.append(fault)
+
+    def remove_fault(self, fault: NetworkFault) -> None:
+        self.faults.remove(fault)
+
+    def clear_faults(self) -> None:
+        self.faults.clear()
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: object) -> None:
+        """Send ``payload`` from ``src`` to ``dst`` through the pipeline."""
+        self.messages_sent += 1
+        envelope = Envelope(src, dst, payload, self.simulator.now)
+        if self.faults:
+            self._run_pipeline(envelope)
+        else:
+            self._schedule_delivery(envelope)
+
+    def broadcast(self, src: str, dsts: Iterable[str], payload: object) -> None:
+        """Send the same payload from ``src`` to every name in ``dsts``."""
+        for dst in dsts:
+            self.send(src, dst, payload)
+
+    def inject(self, envelope: Envelope, skip_faults: bool = True) -> None:
+        """Re-emit an envelope a fault stage previously held back.
+
+        With ``skip_faults`` (the default) the envelope bypasses the pipeline
+        so a buffering stage does not re-capture its own output.
+        """
+        if skip_faults or not self.faults:
+            self._schedule_delivery(envelope)
+        else:
+            self._run_pipeline(envelope)
+
+    def _run_pipeline(self, envelope: Envelope) -> None:
+        batch = [envelope]
+        for fault in self.faults:
+            next_batch: List[Envelope] = []
+            for env in batch:
+                next_batch.extend(fault.apply(env, self))
+            batch = next_batch
+            if not batch:
+                break
+        dropped = 1 - len(batch)
+        if dropped > 0:
+            self.messages_dropped += dropped
+        for env in batch:
+            self._schedule_delivery(env)
+
+    def _schedule_delivery(self, envelope: Envelope) -> None:
+        latency = self.latency_model.sample(envelope.src, envelope.dst, self.rng)
+        self.simulator.schedule(latency + envelope.extra_delay, self._deliver, envelope)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        endpoint = self.endpoints.get(envelope.dst)
+        if endpoint is None:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        self.delivered_per_endpoint[envelope.dst] = (
+            self.delivered_per_endpoint.get(envelope.dst, 0) + 1
+        )
+        endpoint.on_message(envelope.payload, envelope.src)
+
+
+def default_lan(simulator: Simulator) -> Network:
+    """A network with Emulab-LAN-like latency (convenience constructor)."""
+    return Network(simulator, LanLatency())
+
+
+__all__ = [
+    "Endpoint",
+    "Envelope",
+    "FixedLatency",
+    "LanLatency",
+    "LatencyModel",
+    "Network",
+    "NetworkFault",
+    "UniformLatency",
+    "default_lan",
+    "MS",
+]

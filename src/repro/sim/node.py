@@ -1,0 +1,102 @@
+"""Base class for simulated protocol nodes."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..injection import LibraryRuntime
+from .events import EventHandle
+from .network import Network
+from .simulator import Simulator
+
+
+class Node:
+    """A named participant attached to a simulator and a network.
+
+    Subclasses implement :meth:`on_message`. Library calls that should be
+    interceptable by the fault-injection tool go through ``self.lib``.
+    """
+
+    def __init__(self, name: str, simulator: Simulator, network: Network) -> None:
+        self.name = name
+        self.simulator = simulator
+        self.network = network
+        self.lib = LibraryRuntime()
+        self.crashed = False
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def send(self, dst: str, payload: object) -> bool:
+        """Send ``payload`` to ``dst``; returns False if the send library
+        call had a fault injected (the message is then not transmitted,
+        modelling e.g. ECONNRESET)."""
+        if self.crashed:
+            return False
+        if self.lib.try_call("send") is not None:
+            return False
+        self.network.send(self.name, dst, payload)
+        return True
+
+    def broadcast(self, dsts: Iterable[str], payload: object) -> int:
+        """Send ``payload`` to each destination; returns how many sends
+        succeeded."""
+        return sum(1 for dst in dsts if self.send(dst, payload))
+
+    def on_message(self, payload: object, src: str) -> None:
+        """Handle a delivered message (subclasses override)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def set_timer(self, delay: int, callback, *args) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` microseconds."""
+        return self.simulator.schedule(delay, self._fire_timer, callback, args)
+
+    def _fire_timer(self, callback, args) -> None:
+        if not self.crashed:
+            callback(*args)
+
+    def cancel_timer(self, handle: Optional[EventHandle]) -> None:
+        """Cancel a timer set with :meth:`set_timer` (None is tolerated)."""
+        if handle is not None:
+            self.simulator.cancel(handle)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Silence the node: it stops sending and handling messages.
+
+        The network still delivers envelopes to it, but the default
+        dispatch in :meth:`receive` discards them.
+        """
+        self.crashed = True
+
+    @property
+    def now(self) -> int:
+        return self.simulator.now
+
+    def trace(self, kind: str, detail=None) -> None:
+        """Record a trace event attributed to this node."""
+        self.simulator.tracer.record(self.simulator.now, self.name, kind, detail)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class CrashAwareNode(Node):
+    """Node whose message handling is automatically gated on ``crashed``."""
+
+    def on_message(self, payload: object, src: str) -> None:
+        if self.crashed:
+            return
+        self.handle_message(payload, src)
+
+    def handle_message(self, payload: object, src: str) -> None:
+        raise NotImplementedError
+
+
+__all__ = ["CrashAwareNode", "Node"]

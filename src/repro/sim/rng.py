@@ -1,0 +1,52 @@
+"""Seeded random-number streams.
+
+A simulation owns one root seed; every consumer (network latency, each node,
+each fault injector) draws from its own named stream derived from that seed.
+Named streams decouple consumers: adding a new random draw in one component
+does not shift the sequence seen by any other component, so scenarios stay
+comparable across code changes and runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a child seed from ``root_seed`` and a stream ``name``.
+
+    Uses SHA-256 so the derivation is stable across Python versions and
+    processes (``hash()`` is salted per process and would not be).
+    """
+    payload = f"{root_seed}:{name}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """Registry of named, independently seeded ``random.Random`` streams."""
+
+    def __init__(self, root_seed: int) -> None:
+        self.root_seed = root_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(derive_seed(self.root_seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Create a child registry whose root seed is derived from ``name``.
+
+        Used to give each test scenario in a campaign an independent but
+        reproducible random universe.
+        """
+        return RngRegistry(derive_seed(self.root_seed, name))
+
+
+__all__ = ["RngRegistry", "derive_seed"]

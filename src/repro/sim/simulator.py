@@ -1,0 +1,121 @@
+"""The discrete-event simulator.
+
+A :class:`Simulator` owns the clock, the event queue, the RNG registry, the
+metrics registry, and the tracer. Nodes and the network schedule callbacks on
+it. Each AVD test scenario creates a fresh simulator (the paper re-initializes
+the distributed system before every test), so a simulator is cheap to build
+and carries no global state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from .clock import TIME_INFINITY
+from .events import EventHandle, EventQueue
+from .metrics import MetricsRegistry
+from .rng import RngRegistry
+from .trace import Tracer
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation kernel."""
+
+
+class Simulator:
+    """Event-driven simulation kernel with deterministic execution.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all named RNG streams.
+    tracer:
+        Optional tracer; a disabled one is created by default.
+    """
+
+    def __init__(self, seed: int = 0, tracer: Optional[Tracer] = None) -> None:
+        self.now = 0
+        self.seed = seed
+        self.queue = EventQueue()
+        self.rngs = RngRegistry(seed)
+        self.metrics = MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.events_executed = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[..., None], *args) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` microseconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay}")
+        return self.queue.push(self.now + delay, callback, args)
+
+    def schedule_at(self, time: int, callback: Callable[..., None], *args) -> EventHandle:
+        """Run ``callback(*args)`` at absolute time ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self.now}")
+        return self.queue.push(time, callback, args)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a scheduled event (idempotent)."""
+        self.queue.cancel(handle)
+
+    def rng(self, name: str) -> random.Random:
+        """Named deterministic RNG stream (see :mod:`repro.sim.rng`)."""
+        return self.rngs.stream(name)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: int = TIME_INFINITY, max_events: Optional[int] = None) -> int:
+        """Execute events in timestamp order.
+
+        Stops when the queue drains, when the next event would be after
+        ``until`` (the clock is then advanced to ``until``), when
+        ``max_events`` events have run, or when :meth:`stop` is called from
+        inside an event. Returns the number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        executed = 0
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if next_time > until:
+                    self.now = until
+                    break
+                handle = self.queue.pop()
+                if handle is None:  # pragma: no cover - peek said otherwise
+                    break
+                self.now = handle.time
+                callback, args = handle.callback, handle.args
+                if callback is not None:
+                    callback(*args)
+                executed += 1
+        finally:
+            self._running = False
+        self.events_executed += executed
+        if not self.queue and self.now < until < TIME_INFINITY:
+            # Queue drained before the horizon: the system is quiescent, so
+            # time simply advances to the requested horizon.
+            self.now = until
+        return executed
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stop_requested = True
+
+
+__all__ = ["SimulationError", "Simulator"]

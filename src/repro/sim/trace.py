@@ -1,0 +1,51 @@
+"""Lightweight event tracing.
+
+Tracing is off by default (a single branch per trace point). When enabled it
+records ``TraceRecord`` tuples that tests and debugging sessions can inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence inside a simulation."""
+
+    time: int
+    source: str
+    kind: str
+    detail: Any = None
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceRecord` objects when enabled.
+
+    ``predicate`` (if set) filters records by kind before storage, which keeps
+    long simulations from accumulating unbounded trace memory.
+    """
+
+    enabled: bool = False
+    predicate: Optional[Callable[[str], bool]] = None
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def record(self, time: int, source: str, kind: str, detail: Any = None) -> None:
+        """Record one occurrence (no-op unless tracing is enabled)."""
+        if not self.enabled:
+            return
+        if self.predicate is not None and not self.predicate(kind):
+            return
+        self.records.append(TraceRecord(time, source, kind, detail))
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records whose kind equals ``kind``."""
+        return [record for record in self.records if record.kind == kind]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+__all__ = ["TraceRecord", "Tracer"]

@@ -1,0 +1,44 @@
+"""Relaxed protocol-message synthesis (the symbolic-execution tool class).
+
+A grammar over PBFT's message space (:mod:`repro.synthesis.grammar`), a
+harness that executes synthesized sequences against a real replica and
+measures behavioural coverage (:mod:`repro.synthesis.harness`), and a
+coverage-guided explorer (:mod:`repro.synthesis.explorer`) that plays the
+role Sec. 5 assigns to symbolic execution: discovering the messages — and
+message *sequences* — that drive a correct node into every reachable
+behaviour, protocol constraints relaxed.
+"""
+
+from .explorer import (
+    CorpusEntry,
+    ExplorationResult,
+    SequenceExplorer,
+    behaviours_of_interest,
+)
+from .grammar import (
+    MESSAGE_KINDS,
+    MessageOp,
+    SequenceProgram,
+    kind_disparity,
+    mutate_program,
+    random_op,
+    random_program,
+)
+from .harness import CoverageReport, RecordingPeer, ReplicaHarness
+
+__all__ = [
+    "CorpusEntry",
+    "CoverageReport",
+    "ExplorationResult",
+    "MESSAGE_KINDS",
+    "MessageOp",
+    "RecordingPeer",
+    "ReplicaHarness",
+    "SequenceExplorer",
+    "SequenceProgram",
+    "behaviours_of_interest",
+    "kind_disparity",
+    "mutate_program",
+    "random_op",
+    "random_program",
+]

@@ -1,0 +1,132 @@
+"""Coverage-guided exploration of the protocol-message sequence space.
+
+The paper's symbolic-execution tool class, operationalized: maintain a
+corpus of message-sequence programs, mutate them with the grammar's
+mutate-distance semantics, and keep mutants that exercise *new* receiver
+behaviours. This is the "finding all the messages a node may produce /
+exercising code paths" role, implemented as a coverage-maximizing search
+(the same feedback structure as AVD's Algorithm 1, with coverage novelty
+as the fitness signal).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .grammar import SequenceProgram, mutate_program, random_program
+from .harness import CoverageReport, ReplicaHarness
+
+
+@dataclass
+class CorpusEntry:
+    """A program kept because it contributed novel coverage."""
+
+    program: SequenceProgram
+    report: CoverageReport
+    novel: FrozenSet[str]
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one exploration run."""
+
+    corpus: List[CorpusEntry]
+    total_coverage: Set[str]
+    executions: int
+    #: Coverage size after each execution (the exploration curve).
+    coverage_curve: List[int] = field(default_factory=list)
+
+
+class SequenceExplorer:
+    """Greedy coverage-guided search over sequence programs."""
+
+    def __init__(
+        self,
+        harness: Optional[ReplicaHarness] = None,
+        seed: int = 0,
+        initial_length: int = 4,
+        max_corpus: int = 64,
+    ) -> None:
+        self.harness = harness if harness is not None else ReplicaHarness()
+        self.rng = random.Random(seed)
+        self.initial_length = initial_length
+        self.max_corpus = max_corpus
+
+    def explore(self, budget: int, seed_programs: int = 6) -> ExplorationResult:
+        """Run ``budget`` harness executions; return the corpus + coverage."""
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        corpus: List[CorpusEntry] = []
+        total: Set[str] = set()
+        curve: List[int] = []
+        executions = 0
+
+        def consider(program: SequenceProgram) -> None:
+            nonlocal executions
+            report = self.harness.run(program)
+            executions += 1
+            novel = report.covered - total
+            if novel:
+                total.update(novel)
+                corpus.append(CorpusEntry(program, report, frozenset(novel)))
+                del corpus[: max(0, len(corpus) - self.max_corpus)]
+            curve.append(len(total))
+
+        for _ in range(min(seed_programs, budget)):
+            consider(random_program(self.rng, self.initial_length, self.harness.n_senders))
+
+        while executions < budget:
+            if corpus and self.rng.random() < 0.85:
+                parent = self.rng.choice(corpus)
+                # Parents that covered a lot get fine-tuned; thin ones get
+                # strong mutations — the same exploitation/exploration
+                # schedule as Algorithm 1's mutateDistance.
+                richness = len(parent.report.covered) / max(len(total), 1)
+                distance = 1.0 - min(richness, 1.0)
+                program = mutate_program(
+                    parent.program, distance, self.rng, self.harness.n_senders
+                )
+            else:
+                program = random_program(
+                    self.rng, self.initial_length, self.harness.n_senders
+                )
+            consider(program)
+
+        return ExplorationResult(
+            corpus=corpus,
+            total_coverage=total,
+            executions=executions,
+            coverage_curve=curve,
+        )
+
+
+def behaviours_of_interest(result: ExplorationResult) -> Dict[str, SequenceProgram]:
+    """Map notable discovered behaviours to a program that triggers them.
+
+    The interesting ones for AVD: making the backup emit a VIEW-CHANGE
+    without a faulty primary, dragging it into a new view, and feeding it
+    unauthenticatable work.
+    """
+    interesting = {
+        "effect:view_advanced": "replica dragged into a new view",
+        "emitted:ViewChange": "replica emitted VIEW-CHANGE",
+        "counter:request_bad_mac": "replica burned cycles on bad MACs",
+        "counter:preprepare_unauthenticated_request": "Big-MAC-style stall reached",
+        "effect:executed": "replica executed synthesized work",
+    }
+    found: Dict[str, SequenceProgram] = {}
+    for entry in result.corpus:
+        for marker in interesting:
+            if marker in entry.novel and marker not in found:
+                found[marker] = entry.program
+    return found
+
+
+__all__ = [
+    "CorpusEntry",
+    "ExplorationResult",
+    "SequenceExplorer",
+    "behaviours_of_interest",
+]

@@ -1,0 +1,174 @@
+"""A protocol grammar for synthesizing PBFT messages out of thin air.
+
+Sec. 5 of the paper describes the symbolic-execution tool class: "symbolic
+execution of a node in a distributed system finds all the messages that the
+node may produce"; relaxing the consistency model "generat[es] sequences of
+messages that would not normally be allowed by the code; for instance ... a
+malicious replica could send a 'View Change' message without actually
+suspecting the primary."
+
+This grammar is that relaxed message producer: every protocol message kind,
+with field slots that can hold in-protocol or out-of-protocol values, and a
+choice of *authentic* or *corrupted* authentication (the synthesizer plays
+an attacker with source access, so it can produce genuine MACs when it
+wants to).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+#: Message kinds the grammar can produce (one per protocol handler).
+MESSAGE_KINDS: Tuple[str, ...] = (
+    "request",
+    "preprepare",
+    "prepare",
+    "commit",
+    "checkpoint",
+    "viewchange",
+    "newview",
+)
+
+#: How disparate the receiver-side code paths of two kinds are (used for the
+#: mutate-distance semantics): kinds in the same phase are close.
+_KIND_FAMILY = {
+    "request": 0,
+    "preprepare": 1,
+    "prepare": 1,
+    "commit": 1,
+    "checkpoint": 2,
+    "viewchange": 3,
+    "newview": 3,
+}
+
+
+def kind_disparity(kind_a: str, kind_b: str) -> int:
+    """0 = same kind, 1 = same protocol phase, 2 = different phase."""
+    if kind_a == kind_b:
+        return 0
+    if _KIND_FAMILY[kind_a] == _KIND_FAMILY[kind_b]:
+        return 1
+    return 2
+
+
+@dataclass(frozen=True)
+class MessageOp:
+    """One synthesized message in a sequence program.
+
+    Fields are abstract slots; :mod:`repro.synthesis.harness` concretizes
+    them against a live replica (views, sequence numbers, digests, keys).
+    """
+
+    kind: str
+    #: View offset relative to the target's current view (-1, 0, +1, +2).
+    view_delta: int = 0
+    #: Sequence offset relative to the target's execution frontier (1..8).
+    seq_offset: int = 1
+    #: Whether the message authenticates genuinely for the receiver.
+    authentic: bool = True
+    #: Whether digests/batches referenced are consistent ("valid") or junk.
+    consistent: bool = True
+    #: Which identity sends it (index into the harness's attacker peers).
+    sender: int = 0
+    #: Gap before sending, in small time units (0..16).
+    delay_steps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in MESSAGE_KINDS:
+            raise ValueError(f"unknown message kind: {self.kind!r}")
+        if not -1 <= self.view_delta <= 2:
+            raise ValueError("view_delta must be in [-1, 2]")
+        if not 1 <= self.seq_offset <= 8:
+            raise ValueError("seq_offset must be in [1, 8]")
+        if not 0 <= self.delay_steps <= 16:
+            raise ValueError("delay_steps must be in [0, 16]")
+
+
+#: A sequence program: the genotype the explorer mutates.
+SequenceProgram = Tuple[MessageOp, ...]
+
+
+def random_op(rng: random.Random, n_senders: int = 2) -> MessageOp:
+    """A uniformly random message op."""
+    return MessageOp(
+        kind=rng.choice(MESSAGE_KINDS),
+        view_delta=rng.randint(-1, 2),
+        seq_offset=rng.randint(1, 8),
+        authentic=rng.random() < 0.5,
+        consistent=rng.random() < 0.5,
+        sender=rng.randrange(n_senders),
+        delay_steps=rng.randint(0, 16),
+    )
+
+
+def random_program(rng: random.Random, length: int, n_senders: int = 2) -> SequenceProgram:
+    """A random sequence program of the given length."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    return tuple(random_op(rng, n_senders) for _ in range(length))
+
+
+def mutate_program(
+    program: SequenceProgram,
+    distance: float,
+    rng: random.Random,
+    n_senders: int = 2,
+    max_length: int = 24,
+) -> SequenceProgram:
+    """Mutate a program with the paper's mutate-distance semantics.
+
+    Weak mutations tweak timing or a field of one op (low receiver-side
+    disparity); strong mutations switch message kinds across protocol
+    phases, toggle authenticity, and insert/delete ops (high disparity).
+    """
+    if not program:
+        return (random_op(rng, n_senders),)
+    ops: List[MessageOp] = list(program)
+    edits = 1 + int(distance * 3)
+    for _ in range(edits):
+        index = rng.randrange(len(ops))
+        op = ops[index]
+        roll = rng.random()
+        if distance < 0.34:
+            # Weak: nudge timing or the sequence slot.
+            if roll < 0.5:
+                delay = min(16, max(0, op.delay_steps + rng.choice((-1, 1))))
+                ops[index] = replace(op, delay_steps=delay)
+            else:
+                seq = min(8, max(1, op.seq_offset + rng.choice((-1, 1))))
+                ops[index] = replace(op, seq_offset=seq)
+        elif distance < 0.67:
+            # Medium: change a field or flip consistency.
+            if roll < 0.33:
+                ops[index] = replace(op, view_delta=rng.randint(-1, 2))
+            elif roll < 0.66:
+                ops[index] = replace(op, consistent=not op.consistent)
+            else:
+                ops[index] = replace(op, sender=rng.randrange(n_senders))
+        else:
+            # Strong: new kinds, authenticity flips, structural edits.
+            if roll < 0.4:
+                far_kinds = [
+                    kind for kind in MESSAGE_KINDS if kind_disparity(kind, op.kind) == 2
+                ]
+                ops[index] = replace(op, kind=rng.choice(far_kinds or list(MESSAGE_KINDS)))
+            elif roll < 0.6:
+                ops[index] = replace(op, authentic=not op.authentic)
+            elif roll < 0.8 and len(ops) < max_length:
+                ops.insert(index, random_op(rng, n_senders))
+            elif len(ops) > 1:
+                del ops[index]
+    return tuple(ops)
+
+
+__all__ = [
+    "MESSAGE_KINDS",
+    "MessageOp",
+    "SequenceProgram",
+    "kind_disparity",
+    "mutate_program",
+    "random_op",
+    "random_program",
+]

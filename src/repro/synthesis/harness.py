@@ -1,0 +1,210 @@
+"""Single-replica exploration harness.
+
+Executes a synthesized message sequence against one *real* replica (the
+exact production state machine from :mod:`repro.pbft`) surrounded by
+recording stubs, and reports which receiver-side behaviours fired — the
+coverage signal the explorer maximizes, playing the role of path coverage
+in the symbolic-execution analogy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..crypto import KeyStore, MacGenerator, mix64, stable_digest
+from ..pbft.config import PbftConfig, replica_name
+from ..pbft.messages import (
+    CheckpointMsg,
+    Commit,
+    NewView,
+    PrePrepare,
+    Prepare,
+    Request,
+    ViewChange,
+)
+from ..pbft.replica import Replica, _COMMIT_DOMAIN, _PREPARE_DOMAIN
+from ..sim import FixedLatency, Network, Node, Simulator
+from .grammar import MessageOp, SequenceProgram
+
+#: Simulated time per ``delay_steps`` unit.
+_STEP_US = 2_000
+
+
+class RecordingPeer(Node):
+    """A stub endpoint that records everything delivered to it."""
+
+    def __init__(self, name: str, simulator: Simulator, network: Network) -> None:
+        super().__init__(name, simulator, network)
+        self.inbox: List[object] = []
+
+    def on_message(self, payload: object, src: str) -> None:
+        self.inbox.append(payload)
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """What a sequence made the target replica do."""
+
+    #: Protocol counters the replica incremented (behavioural branches).
+    fired: FrozenSet[str]
+    #: Message kinds the replica emitted in response.
+    emitted: FrozenSet[str]
+    #: Views advanced during the run.
+    view_delta: int
+    #: Batches executed during the run.
+    executed_delta: int
+    #: Whether the replica crashed.
+    crashed: bool
+
+    @property
+    def covered(self) -> FrozenSet[str]:
+        """The full coverage set (used for corpus-novelty decisions)."""
+        extras = set()
+        if self.view_delta:
+            extras.add("effect:view_advanced")
+        if self.executed_delta:
+            extras.add("effect:executed")
+        if self.crashed:
+            extras.add("effect:crashed")
+        return frozenset(
+            {f"counter:{name}" for name in self.fired}
+            | {f"emitted:{kind}" for kind in self.emitted}
+            | extras
+        )
+
+    def disparity(self, other: "CoverageReport") -> float:
+        """Jaccard distance between two coverage sets (Sec. 5's disparity)."""
+        mine, theirs = self.covered, other.covered
+        union = mine | theirs
+        if not union:
+            return 0.0
+        return 1.0 - len(mine & theirs) / len(union)
+
+
+class ReplicaHarness:
+    """Drives one replica with a synthesized sequence and measures coverage."""
+
+    def __init__(self, config: Optional[PbftConfig] = None, seed: int = 0) -> None:
+        self.config = config if config is not None else PbftConfig.campaign_scale()
+        self.seed = seed
+        self.n_senders = 2  # two attacker-controlled identities
+
+    def run(self, program: SequenceProgram) -> CoverageReport:
+        """Execute ``program`` against a fresh replica."""
+        simulator = Simulator(seed=self.seed)
+        network = Network(simulator, FixedLatency(100))
+        key_root = 0xC0FFEE
+
+        # The target is replica-1 (a backup in view 0, so both backup and
+        # primary paths are reachable by pushing it across views).
+        target = Replica(1, self.config, simulator, network, key_root)
+        peers = {}
+        for index in (0, 2, 3):
+            peers[index] = RecordingPeer(replica_name(index), simulator, network)
+        client_peer = RecordingPeer("client-0", simulator, network)
+        attacker_names = [replica_name(0), replica_name(2)]
+
+        when = 0
+        for op in program:
+            when += op.delay_steps * _STEP_US
+            message = self._concretize(op, target, key_root, attacker_names)
+            if message is None:
+                continue
+            sender = attacker_names[op.sender % len(attacker_names)]
+            simulator.schedule_at(when, network.send, sender, target.name, message)
+        horizon = when + 50_000
+        simulator.run(until=horizon)
+
+        fired = frozenset(
+            name[len("pbft."):]
+            for name in simulator.metrics.counters
+            if name.startswith("pbft.")
+        )
+        emitted = set()
+        for peer in list(peers.values()) + [client_peer]:
+            for payload in peer.inbox:
+                emitted.add(type(payload).__name__)
+        return CoverageReport(
+            fired=fired,
+            emitted=frozenset(emitted),
+            view_delta=target.view,
+            executed_delta=target.last_executed,
+            crashed=target.crashed,
+        )
+
+    # ------------------------------------------------------------------
+    # concretization
+    # ------------------------------------------------------------------
+    def _concretize(self, op: MessageOp, target: Replica, key_root: int, attackers):
+        """Turn an abstract op into a concrete protocol message.
+
+        The synthesizer has source access (Sec. 4's strongest attacker), so
+        it can produce genuine MACs; ``authentic=False`` flips them.
+        """
+        sender = attackers[op.sender % len(attackers)]
+        view = max(0, op.view_delta)  # relative to the initial view 0
+        seq = op.seq_offset
+        keystore = KeyStore(key_root, sender)
+        generator = MacGenerator(
+            keystore, None if op.authentic else (lambda call, verifier: True)
+        )
+
+        if op.kind == "request":
+            client = "client-0"
+            request = Request(client, seq, ("op", client, seq), None)
+            client_generator = MacGenerator(
+                KeyStore(key_root, client),
+                None if op.authentic else (lambda call, verifier: True),
+            )
+            request.authenticator = client_generator.authenticator(
+                target.replica_names, request.digest
+            )
+            return request
+
+        if op.kind == "preprepare":
+            batch = ()
+            if op.consistent:
+                client = "client-0"
+                request = Request(client, seq, ("op", client, seq), None)
+                client_generator = MacGenerator(KeyStore(key_root, client))
+                request.authenticator = client_generator.authenticator(
+                    target.replica_names, request.digest
+                )
+                batch = (request,)
+            message = PrePrepare(view, seq, batch, sender)
+            message.authenticator = generator.authenticator(
+                [target.name], message.batch_digest
+            )
+            return message
+
+        if op.kind in ("prepare", "commit"):
+            digest = 0 if op.consistent else stable_digest(("junk", seq))
+            if op.kind == "prepare":
+                message = Prepare(view, seq, digest, sender)
+                domain = _PREPARE_DOMAIN
+            else:
+                message = Commit(view, seq, digest, sender)
+                domain = _COMMIT_DOMAIN
+            message.authenticator = generator.authenticator(
+                [target.name], mix64(domain, view, seq, digest)
+            )
+            return message
+
+        if op.kind == "checkpoint":
+            digest = stable_digest(("genesis",)) if op.consistent else stable_digest(("junk",))
+            return CheckpointMsg(seq * self.config.checkpoint_interval, digest, sender)
+
+        if op.kind == "viewchange":
+            return ViewChange(max(1, view + 1), 0, {}, sender)
+
+        if op.kind == "newview":
+            voters = tuple(attackers) + (target.name,) if op.consistent else (sender,)
+            new_view = max(1, view + 1)
+            primary = target.replica_names[new_view % len(target.replica_names)]
+            return NewView(new_view, voters, (), 0, primary if op.consistent else sender)
+
+        return None
+
+
+__all__ = ["CoverageReport", "RecordingPeer", "ReplicaHarness"]

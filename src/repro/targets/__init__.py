@@ -1,0 +1,23 @@
+"""Target-system adapters binding AVD to concrete systems under test."""
+
+from .dht_target import (
+    DHT_MALICIOUS_DIMENSION,
+    DhtScenarioSpec,
+    DhtTarget,
+    POISON_FANOUT_DIMENSION,
+    POISON_RATE_DIMENSION,
+    RoutingPoisonPlugin,
+)
+from .pbft_target import PbftScenarioSpec, PbftTarget, derive_baseline_seed
+
+__all__ = [
+    "DHT_MALICIOUS_DIMENSION",
+    "DhtScenarioSpec",
+    "DhtTarget",
+    "PbftScenarioSpec",
+    "PbftTarget",
+    "POISON_FANOUT_DIMENSION",
+    "POISON_RATE_DIMENSION",
+    "RoutingPoisonPlugin",
+    "derive_baseline_seed",
+]

@@ -1,0 +1,111 @@
+"""DHT target adapter: AVD searching for the redirection DoS.
+
+Demonstrates AVD's generality beyond PBFT (the paper's architecture is
+target-agnostic). The impact metric is the *amplified load* a small number
+of malicious nodes can steer at a victim, normalized with a saturating
+transform so it lands in [0, 1].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.hyperspace import ChoiceDimension, Dimension, Hyperspace, IntRangeDimension
+from ..core.plugin import ToolPlugin
+from ..core.power import AccessLevel, ControlLevel
+from ..dht import DhtConfig, DhtDeployment, DhtRunResult
+
+POISON_RATE_DIMENSION = "poison_rate_pct"
+POISON_FANOUT_DIMENSION = "poison_fanout"
+DHT_MALICIOUS_DIMENSION = "n_malicious_nodes"
+
+
+class RoutingPoisonPlugin(ToolPlugin):
+    """Controls the routing-poisoning behaviour of malicious DHT nodes."""
+
+    name = "routing_poison"
+    # Crafting poisoned routing replies requires knowing the protocol
+    # (documentation) and controlling participant nodes (clients, in DHT
+    # terms every participant is a client-grade peer).
+    required_access = AccessLevel.DOCUMENTATION
+    required_control = ControlLevel.CLIENT
+
+    def __init__(self, max_fanout: int = 16, malicious_choices: Sequence[int] = (1, 2)) -> None:
+        self._dimensions = [
+            IntRangeDimension(POISON_RATE_DIMENSION, 0, 100, 10),
+            IntRangeDimension(POISON_FANOUT_DIMENSION, 1, max_fanout),
+            ChoiceDimension(DHT_MALICIOUS_DIMENSION, list(malicious_choices)),
+        ]
+
+    def dimensions(self) -> Sequence[Dimension]:
+        return list(self._dimensions)
+
+    def configure(self, params: Dict[str, object], spec: "DhtScenarioSpec") -> None:
+        spec.poison_rate = int(params[POISON_RATE_DIMENSION]) / 100.0
+        spec.fanout = int(params[POISON_FANOUT_DIMENSION])
+        spec.n_malicious = int(params[DHT_MALICIOUS_DIMENSION])
+
+
+class DhtScenarioSpec:
+    """Deployment parameters for one DHT test."""
+
+    def __init__(self, config: DhtConfig, n_correct: int) -> None:
+        self.config = config
+        self.n_correct = n_correct
+        self.n_malicious = 1
+        self.poison_rate = 0.0
+        self.fanout = 1
+
+    def build(self, seed: int) -> DhtDeployment:
+        return DhtDeployment(
+            self.config,
+            self.n_correct,
+            self.n_malicious,
+            self.poison_rate,
+            self.fanout,
+            seed,
+        )
+
+
+class DhtTarget:
+    """System-under-test adapter for the DHT redirection scenario."""
+
+    #: Victim load (messages/s) at which impact saturates to ~0.5; chosen
+    #: around the load one fully-poisoning node inflicts on a 40-node swarm.
+    HALF_IMPACT_LOAD = 500.0
+
+    def __init__(
+        self,
+        plugins: Sequence[ToolPlugin],
+        config: Optional[DhtConfig] = None,
+        n_correct: int = 40,
+    ) -> None:
+        if not plugins:
+            raise ValueError("the DHT target needs at least one tool plugin")
+        self.plugins = list(plugins)
+        self.config = config if config is not None else DhtConfig()
+        self.n_correct = n_correct
+        dimensions = []
+        for plugin in self.plugins:
+            dimensions.extend(plugin.dimensions())
+        self.hyperspace = Hyperspace(dimensions)
+
+    def execute(self, params: Dict[str, object], seed: int) -> DhtRunResult:
+        spec = DhtScenarioSpec(self.config, self.n_correct)
+        for plugin in self.plugins:
+            plugin.configure(params, spec)
+        return spec.build(seed).run()
+
+    def impact_of(self, measurement: DhtRunResult, params: Dict[str, object]) -> float:
+        load = measurement.victim_load_mps
+        return load / (load + self.HALF_IMPACT_LOAD)
+
+
+__all__ = [
+    "DHT_MALICIOUS_DIMENSION",
+    "DhtScenarioSpec",
+    "DhtTarget",
+    "POISON_FANOUT_DIMENSION",
+    "POISON_RATE_DIMENSION",
+    "RoutingPoisonPlugin",
+]

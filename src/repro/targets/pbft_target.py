@@ -1,0 +1,152 @@
+"""The PBFT target adapter: scenario parameters -> deployment -> impact.
+
+The target owns a :class:`PbftScenarioSpec` assembly pipeline: every tool
+plugin folds its parameters into the spec, the spec builds a fresh
+deployment, and the run result is scored against a benign baseline at the
+same client count. The impact metric follows the paper (Sec. 3/6): damage
+to the average throughput observed by the correct clients — measured on the
+window *tail* so that end states (a crashed system) count fully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..injection import FaultPlan
+from ..pbft import (
+    ClientBehavior,
+    PbftConfig,
+    PbftDeployment,
+    PbftRunResult,
+    ReplicaBehavior,
+)
+from ..sim import NetworkFault
+from ..core.hyperspace import Hyperspace
+from ..core.plugin import ToolPlugin
+
+
+@dataclass
+class PbftScenarioSpec:
+    """Everything needed to instantiate one PBFT test scenario.
+
+    Plugins write fields; :meth:`build` assembles the deployment. Fields are
+    deliberately flat so plugins stay order-independent.
+    """
+
+    config: PbftConfig
+    n_correct_clients: int = 10
+    n_malicious_clients: int = 1
+    #: MAC corruption bitmask for every malicious client (plain binary).
+    mac_mask: int = 0
+    #: Malicious clients broadcast every transmission (colluder behaviour).
+    malicious_broadcast: bool = False
+    #: Replica behaviours by index (slow primary, synthesis, ...).
+    replica_behaviors: Dict[int, ReplicaBehavior] = field(default_factory=dict)
+    #: Network fault stages to install.
+    network_faults: List[NetworkFault] = field(default_factory=list)
+    #: Library fault plans by node name.
+    injection_plans: Dict[str, List[FaultPlan]] = field(default_factory=dict)
+
+    def build(self, seed: int) -> PbftDeployment:
+        malicious = [
+            ClientBehavior(mac_mask=self.mac_mask, broadcast_always=self.malicious_broadcast)
+            for _ in range(self.n_malicious_clients)
+        ]
+        deployment = PbftDeployment(
+            self.config,
+            self.n_correct_clients,
+            malicious_clients=malicious,
+            replica_behaviors=dict(self.replica_behaviors),
+            seed=seed,
+            network_faults=list(self.network_faults),
+        )
+        for node_name, plans in self.injection_plans.items():
+            node = deployment.network.endpoints.get(node_name)
+            if node is None:
+                continue
+            for plan in plans:
+                node.lib.install(plan)
+        return deployment
+
+
+class PbftTarget:
+    """System-under-test adapter for the AVD controller."""
+
+    def __init__(
+        self,
+        plugins: Sequence[ToolPlugin],
+        config: Optional[PbftConfig] = None,
+        hyperspace: Optional[Hyperspace] = None,
+    ) -> None:
+        if not plugins:
+            raise ValueError("the PBFT target needs at least one tool plugin")
+        self.plugins = list(plugins)
+        self.config = config if config is not None else PbftConfig.campaign_scale()
+        if hyperspace is None:
+            dimensions = []
+            for plugin in self.plugins:
+                dimensions.extend(plugin.dimensions())
+            hyperspace = Hyperspace(dimensions)
+        self.hyperspace = hyperspace
+        #: Benign run result by client count (lazy cache).
+        self._baselines: Dict[int, PbftRunResult] = {}
+        self.tests_run = 0
+
+    # ------------------------------------------------------------------
+    # TargetSystem interface
+    # ------------------------------------------------------------------
+    def execute(self, params: Dict[str, object], seed: int) -> PbftRunResult:
+        spec = PbftScenarioSpec(config=self.config)
+        for plugin in self.plugins:
+            plugin.configure(params, spec)
+        deployment = spec.build(seed)
+        self.tests_run += 1
+        return deployment.run()
+
+    def impact_of(self, measurement: PbftRunResult, params: Dict[str, object]) -> float:
+        """Damage to the correct clients' throughput, in [0, 1].
+
+        Both the window *average* and the window *tail* are compared against
+        the benign baseline at the same client count, and the larger damage
+        wins: the average captures sustained degradation (stalls, view-change
+        storms), the tail captures terminal collapse (a crashed system whose
+        early window still looked healthy).
+        """
+        baseline = self.baseline(measurement.correct_clients)
+        damages = []
+        if baseline.throughput_rps > 0:
+            damages.append(1.0 - measurement.throughput_rps / baseline.throughput_rps)
+        if baseline.tail_throughput_rps > 0:
+            damages.append(
+                1.0 - measurement.tail_throughput_rps / baseline.tail_throughput_rps
+            )
+        if not damages:
+            return 0.0
+        return min(max(max(damages), 0.0), 1.0)
+
+    # ------------------------------------------------------------------
+    # baseline calibration
+    # ------------------------------------------------------------------
+    def baseline(self, n_correct_clients: int) -> PbftRunResult:
+        """The benign measurement at this client count (cached)."""
+        cached = self._baselines.get(n_correct_clients)
+        if cached is None:
+            deployment = PbftDeployment(
+                self.config, n_correct_clients, seed=derive_baseline_seed(n_correct_clients)
+            )
+            cached = deployment.run()
+            self._baselines[n_correct_clients] = cached
+        return cached
+
+    def baseline_throughput(self, n_correct_clients: int) -> float:
+        """Benign average throughput at this client count (cached)."""
+        return self.baseline(n_correct_clients).throughput_rps
+
+
+def derive_baseline_seed(n_correct_clients: int) -> int:
+    """Fixed, client-count-specific seed for baseline calibration runs."""
+    return 0xBA5E << 8 | (n_correct_clients & 0xFF)
+
+
+__all__ = ["PbftScenarioSpec", "PbftTarget", "derive_baseline_seed"]

@@ -1,0 +1,121 @@
+"""Structure statistics (Fig. 3 claim) and convergence summaries (Fig. 2)."""
+
+import pytest
+
+from repro.analysis import (
+    analyze_structure,
+    dark_grid,
+    discovery_speedup,
+    mean_series,
+    summarize,
+)
+from tests.core.test_sampling_campaign import make_campaign
+
+
+# ---------------------------------------------------------------------------
+# structure
+# ---------------------------------------------------------------------------
+def test_dark_grid_binarizes_below_threshold():
+    grid = dark_grid([[100.0, 900.0]], threshold=500.0)
+    assert grid == [[True, False]]
+
+
+def test_vertical_lines_have_high_column_consistency():
+    # Two dark mask columns, dark at every client count: Figure 3's shape.
+    grid = [
+        [False, True, False, True, False, False],
+        [False, True, False, True, False, False],
+        [False, True, False, True, False, False],
+    ]
+    stats = analyze_structure(grid)
+    assert stats.column_consistency == 1.0
+    assert stats.dark_density == pytest.approx(2 / 6)
+
+
+def test_clustered_runs_beat_null_model():
+    # One long dark run per row clusters far more than a shuffled row.
+    row = [True] * 10 + [False] * 40
+    grid = [list(row) for _ in range(4)]
+    stats = analyze_structure(grid, null_seed=1)
+    assert stats.mean_dark_run == 10.0
+    assert stats.clustering_ratio > 2.0
+    assert stats.neighbor_dark_given_dark > 0.8
+
+
+def test_scattered_grid_shows_no_structure():
+    # Alternating cells: runs of length 1, same as any shuffle.
+    grid = [[bool(i % 2) for i in range(40)] for _ in range(3)]
+    stats = analyze_structure(grid, null_seed=1)
+    assert stats.mean_dark_run == 1.0
+    assert stats.clustering_ratio <= 1.5
+
+
+def test_all_light_grid():
+    stats = analyze_structure([[False] * 10])
+    assert stats.dark_density == 0.0
+    assert stats.mean_dark_run == 0.0
+    assert stats.column_consistency == 1.0
+
+
+def test_empty_grid_rejected():
+    with pytest.raises(ValueError):
+        analyze_structure([])
+    with pytest.raises(ValueError):
+        analyze_structure([[]])
+
+
+# ---------------------------------------------------------------------------
+# convergence
+# ---------------------------------------------------------------------------
+def test_summarize_campaign():
+    campaign = make_campaign([0.0, 0.2, 0.9, 0.8], strategy="avd")
+    stats = summarize(campaign, strong_threshold=0.85)
+    assert stats.tests == 4
+    assert stats.best_impact == 0.9
+    assert stats.mean_impact == pytest.approx(0.475)
+    assert stats.late_mean_impact == pytest.approx(0.8)
+    assert stats.tests_to_strong == 3
+
+
+def test_summarize_empty_campaign():
+    stats = summarize(make_campaign([]))
+    assert stats.tests == 0
+    assert stats.tests_to_strong is None
+
+
+def test_discovery_speedup():
+    guided = make_campaign([0.9], strategy="avd")
+    baseline = make_campaign([0.0, 0.0, 0.9], strategy="random")
+    assert discovery_speedup(guided, baseline) == 3.0
+
+
+def test_discovery_speedup_none_when_not_found():
+    guided = make_campaign([0.9])
+    baseline = make_campaign([0.0, 0.0])
+    assert discovery_speedup(guided, baseline) is None
+
+
+def test_mean_series_truncates_to_shortest():
+    assert mean_series([[1.0, 3.0, 5.0], [3.0, 5.0]]) == [2.0, 4.0]
+    assert mean_series([]) == []
+
+
+def test_windowed_dispersion_detects_regional_clustering():
+    # Dark cells concentrated in one region -> high dispersion vs shuffle.
+    row = [True] * 20 + [False] * 80
+    grid = [row, list(row)]
+    stats = analyze_structure(grid, null_seed=3, windows=10)
+    assert stats.windowed_dispersion > stats.null_windowed_dispersion
+    assert stats.dispersion_ratio > 2.0
+
+
+def test_windowed_dispersion_flat_for_even_spread():
+    # Perfectly periodic darkness spreads evenly across windows.
+    row = [i % 5 == 0 for i in range(100)]
+    stats = analyze_structure([row], null_seed=3, windows=10)
+    assert stats.windowed_dispersion == pytest.approx(0.0)
+
+
+def test_dispersion_ratio_handles_empty_dark_set():
+    stats = analyze_structure([[False] * 40], windows=8)
+    assert stats.dispersion_ratio == 1.0

@@ -1,0 +1,44 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pbft import PbftConfig
+from repro.sim import FixedLatency, Network, Simulator
+from repro.sim.clock import MS
+
+
+def tiny_pbft_config(**overrides) -> PbftConfig:
+    """A PBFT config small enough for sub-second unit/integration tests.
+
+    Keeps the structural ratios of the campaign preset (view-change timer
+    = 10x the client retransmission timeout) at a much smaller scale.
+    """
+    defaults = dict(
+        view_change_timer_us=80 * MS,
+        client_retransmit_us=8 * MS,
+        client_retransmit_max_us=64 * MS,
+        batch_interval_us=1 * MS,
+        checkpoint_interval=16,
+        watermark_window=64,
+        warmup_us=50 * MS,
+        measurement_us=300 * MS,
+    )
+    defaults.update(overrides)
+    return PbftConfig(**defaults)
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def network(simulator: Simulator) -> Network:
+    return Network(simulator, FixedLatency(100))
+
+
+@pytest.fixture
+def tiny_config() -> PbftConfig:
+    return tiny_pbft_config()

@@ -1,0 +1,95 @@
+"""A cheap synthetic target for exercising the controller and strategies.
+
+The impact landscape is a 1-D "battleships board" over a Gray-coded mask
+dimension with a smooth hill around a hidden optimum plus a plateau of
+zero elsewhere — structured enough for hill-climbing to beat random, cheap
+enough for thousands of tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Sequence
+
+from repro.core import (
+    ChoiceDimension,
+    Dimension,
+    GrayBitmaskDimension,
+    Hyperspace,
+    IntRangeDimension,
+    ToolPlugin,
+)
+
+
+class MaskPlugin(ToolPlugin):
+    name = "mask"
+
+    def dimensions(self) -> Sequence[Dimension]:
+        return [GrayBitmaskDimension("mask", 8)]
+
+    def configure(self, params: Dict[str, object], spec) -> None:
+        spec["mask"] = params["mask"]
+
+
+class LoadPlugin(ToolPlugin):
+    name = "load"
+
+    def dimensions(self) -> Sequence[Dimension]:
+        return [IntRangeDimension("load", 0, 9)]
+
+    def configure(self, params: Dict[str, object], spec) -> None:
+        spec["load"] = params["load"]
+
+
+class NoisePlugin(ToolPlugin):
+    """A plugin whose dimension never matters (tests fitness-gain sampling)."""
+
+    name = "noise"
+
+    def dimensions(self) -> Sequence[Dimension]:
+        return [ChoiceDimension("noise", list(range(4)))]
+
+    def configure(self, params: Dict[str, object], spec) -> None:
+        spec["noise"] = params["noise"]
+
+
+class HillTarget:
+    """Impact peaks when the mask's POSITION is near ``optimum``."""
+
+    def __init__(self, plugins, optimum: int = 200, width: int = 24) -> None:
+        self.plugins = list(plugins)
+        dimensions = []
+        for plugin in self.plugins:
+            dimensions.extend(plugin.dimensions())
+        self.hyperspace = Hyperspace(dimensions)
+        self.optimum = optimum
+        self.width = width
+        self.executions = 0
+
+    def execute(self, params: Dict[str, object], seed: int) -> Dict[str, object]:
+        self.executions += 1
+        spec: Dict[str, object] = {}
+        for plugin in self.plugins:
+            plugin.configure(params, spec)
+        return spec
+
+    def impact_of(self, measurement: Dict[str, object], params: Dict[str, object]) -> float:
+        mask_value = int(measurement.get("mask", 0))
+        # Recover the Gray position (the axis with locality).
+        position = mask_value
+        decoded = 0
+        while position:
+            decoded ^= position
+            position >>= 1
+        distance = abs(decoded - self.optimum)
+        if distance > self.width:
+            return 0.0
+        base = 1.0 - distance / self.width
+        # A secondary, weaker dependence on load, if present.
+        load = int(measurement.get("load", 9))
+        return max(0.0, min(1.0, base * (0.5 + load / 18)))
+
+
+def make_hill_target(extra_plugins=()):
+    plugins = [MaskPlugin(), *extra_plugins]
+    return HillTarget(plugins), plugins

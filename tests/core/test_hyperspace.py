@@ -1,0 +1,164 @@
+"""Dimensions, the hyperspace, and coordinate handling."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    ChoiceDimension,
+    GrayBitmaskDimension,
+    Hyperspace,
+    IntRangeDimension,
+    coords_key,
+)
+from repro.pbft import binary_to_gray
+
+
+def small_space():
+    return Hyperspace(
+        [
+            GrayBitmaskDimension("mask", 4),
+            IntRangeDimension("clients", 10, 50, 10),
+            ChoiceDimension("mal", [1, 2]),
+        ]
+    )
+
+
+def test_int_range_values():
+    dimension = IntRangeDimension("d", 10, 50, 10)
+    assert dimension.size == 5
+    assert [dimension.value_at(i) for i in range(5)] == [10, 20, 30, 40, 50]
+
+
+def test_int_range_validation():
+    with pytest.raises(ValueError):
+        IntRangeDimension("d", 10, 5)
+    with pytest.raises(ValueError):
+        IntRangeDimension("d", 0, 5, 0)
+
+
+def test_choice_dimension_values():
+    dimension = ChoiceDimension("d", ["a", "b"])
+    assert dimension.size == 2
+    assert dimension.value_at(1) == "b"
+
+
+def test_position_bounds_checked():
+    dimension = ChoiceDimension("d", ["a"])
+    with pytest.raises(IndexError):
+        dimension.value_at(1)
+    with pytest.raises(IndexError):
+        dimension.value_at(-1)
+
+
+def test_gray_dimension_maps_positions_to_gray_codes():
+    dimension = GrayBitmaskDimension("mask", 12)
+    assert dimension.size == 4096
+    for position in (0, 1, 77, 4095):
+        assert dimension.value_at(position) == binary_to_gray(position)
+
+
+def test_gray_adjacent_positions_are_one_bit_apart():
+    dimension = GrayBitmaskDimension("mask", 12)
+    for position in range(0, 4095, 97):
+        diff = dimension.value_at(position) ^ dimension.value_at(position + 1)
+        assert bin(diff).count("1") == 1
+
+
+def test_neighbor_weak_mutation_moves_one_step():
+    rng = random.Random(0)
+    dimension = IntRangeDimension("d", 0, 100)
+    for position in (0, 50, 100):
+        for _ in range(20):
+            moved = dimension.neighbor(position, 0.0, rng)
+            assert moved != position
+            assert abs(moved - position) == 1
+
+
+def test_neighbor_strong_mutation_can_jump():
+    rng = random.Random(0)
+    dimension = IntRangeDimension("d", 0, 100)
+    jumps = [abs(dimension.neighbor(50, 1.0, rng) - 50) for _ in range(50)]
+    assert max(jumps) > 10
+
+
+def test_neighbor_stays_in_range():
+    rng = random.Random(0)
+    dimension = IntRangeDimension("d", 0, 7)
+    for position in range(8):
+        for distance in (0.0, 0.3, 1.0):
+            for _ in range(20):
+                assert 0 <= dimension.neighbor(position, distance, rng) < 8
+
+
+def test_neighbor_single_value_dimension():
+    rng = random.Random(0)
+    dimension = ChoiceDimension("d", ["only"])
+    assert dimension.neighbor(0, 1.0, rng) == 0
+
+
+def test_hyperspace_size_is_product():
+    assert small_space().size == 16 * 5 * 2
+
+
+def test_hyperspace_params_translation():
+    space = small_space()
+    params = space.params({"mask": 2, "clients": 1, "mal": 0})
+    assert params == {"mask": binary_to_gray(2), "clients": 20, "mal": 1}
+
+
+def test_duplicate_dimension_names_rejected():
+    with pytest.raises(ValueError):
+        Hyperspace([ChoiceDimension("d", [1]), ChoiceDimension("d", [2])])
+
+
+def test_random_coords_cover_all_dimensions():
+    space = small_space()
+    coords = space.random_coords(random.Random(1))
+    assert set(coords) == {"mask", "clients", "mal"}
+    space.validate(coords)
+
+
+def test_validate_rejects_missing_and_extra_dims():
+    space = small_space()
+    with pytest.raises(ValueError):
+        space.validate({"mask": 0})
+    with pytest.raises(ValueError):
+        space.validate({"mask": 0, "clients": 0, "mal": 0, "extra": 0})
+
+
+def test_iter_grid_enumerates_every_point_once():
+    space = Hyperspace([ChoiceDimension("a", [1, 2]), ChoiceDimension("b", [1, 2, 3])])
+    points = [coords_key(coords) for coords in space.iter_grid()]
+    assert len(points) == 6
+    assert len(set(points)) == 6
+
+
+def test_restricted_replaces_dimension():
+    space = small_space()
+    smaller = space.restricted(mask=GrayBitmaskDimension("mask", 2))
+    assert smaller.size == 4 * 5 * 2
+    assert smaller.by_name["clients"] is space.by_name["clients"]
+
+
+def test_restricted_validates_names():
+    space = small_space()
+    with pytest.raises(ValueError):
+        space.restricted(nope=ChoiceDimension("nope", [1]))
+    with pytest.raises(ValueError):
+        space.restricted(mask=ChoiceDimension("other", [1]))
+
+
+def test_coords_key_is_order_insensitive():
+    assert coords_key({"a": 1, "b": 2}) == coords_key({"b": 2, "a": 1})
+
+
+@given(st.integers(min_value=2, max_value=50), st.data())
+def test_neighbor_never_escapes_any_dimension(size, data):
+    dimension = IntRangeDimension("d", 0, size - 1)
+    position = data.draw(st.integers(0, size - 1))
+    distance = data.draw(st.floats(0, 1))
+    rng = random.Random(data.draw(st.integers(0, 1000)))
+    moved = dimension.neighbor(position, distance, rng)
+    assert 0 <= moved < size

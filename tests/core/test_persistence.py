@@ -1,0 +1,82 @@
+"""Campaign save/load round-trips."""
+
+import json
+
+import pytest
+
+from repro.core import AvdExploration, run_campaign
+from repro.core.persistence import (
+    campaign_from_dict,
+    campaign_to_dict,
+    load_campaign,
+    save_campaign,
+)
+from tests.core.fake_target import make_hill_target
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    target, plugins = make_hill_target()
+    return run_campaign(AvdExploration(target, plugins, seed=9), budget=20)
+
+
+def test_round_trip_preserves_results(campaign, tmp_path):
+    path = tmp_path / "campaign.json"
+    save_campaign(campaign, path)
+    loaded = load_campaign(path)
+    assert loaded.strategy == campaign.strategy
+    assert len(loaded.results) == len(campaign.results)
+    assert loaded.impacts() == campaign.impacts()
+    assert loaded.best_so_far() == campaign.best_so_far()
+    for original, restored in zip(campaign.results, loaded.results):
+        assert restored.key == original.key
+        assert restored.params == {
+            k: v for k, v in original.params.items()
+        }
+        assert restored.scenario.plugin == original.scenario.plugin
+        assert restored.scenario.origin == original.scenario.origin
+
+
+def test_saved_file_is_plain_json(campaign, tmp_path):
+    path = tmp_path / "campaign.json"
+    save_campaign(campaign, path)
+    data = json.loads(path.read_text())
+    assert data["format_version"] == 1
+    assert data["strategy"] == campaign.strategy
+
+
+def test_measurement_view_exposes_attributes(campaign, tmp_path):
+    path = tmp_path / "campaign.json"
+    save_campaign(campaign, path)
+    loaded = load_campaign(path)
+    measurement = loaded.results[0].measurement
+    # The hill target's measurement is a dict {mask: ...}.
+    assert measurement.mask == campaign.results[0].measurement["mask"]
+    with pytest.raises(AttributeError):
+        measurement.nonexistent_field
+
+
+def test_unknown_format_version_rejected(campaign):
+    data = campaign_to_dict(campaign)
+    data["format_version"] = 99
+    with pytest.raises(ValueError):
+        campaign_from_dict(data)
+
+
+def test_pbft_measurements_serialize(tmp_path):
+    from repro.core import RandomExploration
+    from repro.plugins import ClientCountPlugin, MacCorruptionPlugin
+    from repro.targets import PbftTarget
+    from tests.conftest import tiny_pbft_config
+
+    plugins = [MacCorruptionPlugin(), ClientCountPlugin(4, 8, 4)]
+    target = PbftTarget(plugins, config=tiny_pbft_config())
+    campaign = run_campaign(RandomExploration(target, seed=1), budget=3)
+    path = tmp_path / "pbft.json"
+    save_campaign(campaign, path)
+    loaded = load_campaign(path)
+    measurement = loaded.results[0].measurement
+    assert measurement.throughput_rps == pytest.approx(
+        campaign.results[0].measurement.throughput_rps
+    )
+    assert measurement.view_changes == campaign.results[0].measurement.view_changes

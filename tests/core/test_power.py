@@ -1,0 +1,91 @@
+"""The attacker power model (Sec. 4)."""
+
+from repro.core import (
+    AccessLevel,
+    AttackerPower,
+    ControlLevel,
+    POWER_LADDER,
+    available_plugins,
+    estimate_difficulty,
+)
+from repro.plugins import (
+    ClientCountPlugin,
+    LibraryFaultPlugin,
+    MacCorruptionPlugin,
+    MessageReorderPlugin,
+    MessageSynthesisPlugin,
+    NetworkFaultPlugin,
+    PrimaryBehaviorPlugin,
+)
+from tests.core.test_sampling_campaign import make_result
+
+
+def toolbox():
+    return [
+        ClientCountPlugin(),
+        MacCorruptionPlugin(),
+        MessageReorderPlugin(),
+        NetworkFaultPlugin(),
+        LibraryFaultPlugin(),
+        PrimaryBehaviorPlugin(),
+        MessageSynthesisPlugin(),
+    ]
+
+
+def test_levels_are_ordered():
+    assert AccessLevel.NOTHING < AccessLevel.DOCUMENTATION < AccessLevel.BINARY < AccessLevel.SOURCE
+    assert ControlLevel.CLIENT < ControlLevel.NETWORK < ControlLevel.SERVER
+
+
+def test_weak_attacker_gets_only_client_side_blind_tools():
+    weak = AttackerPower(AccessLevel.NOTHING, ControlLevel.CLIENT)
+    names = {plugin.name for plugin in available_plugins(toolbox(), weak)}
+    assert names == {"client_count"}
+
+
+def test_documented_client_attacker_gets_mac_corruption():
+    power = AttackerPower(AccessLevel.DOCUMENTATION, ControlLevel.CLIENT)
+    names = {plugin.name for plugin in available_plugins(toolbox(), power)}
+    assert "mac_corruption" in names
+    assert "fault_injection" not in names  # needs server control
+    assert "message_reorder" not in names  # needs network control
+
+
+def test_network_attacker_adds_reordering_and_faults():
+    power = AttackerPower(AccessLevel.DOCUMENTATION, ControlLevel.NETWORK)
+    names = {plugin.name for plugin in available_plugins(toolbox(), power)}
+    assert {"message_reorder", "network_faults"} <= names
+    assert "message_synthesis" not in names  # needs source access
+
+
+def test_insider_gets_everything():
+    insider = AttackerPower(AccessLevel.SOURCE, ControlLevel.SERVER)
+    assert len(available_plugins(toolbox(), insider)) == len(toolbox())
+
+
+def test_power_ladder_is_monotone_in_tool_count():
+    counts = [len(available_plugins(toolbox(), power)) for power in POWER_LADDER]
+    assert counts == sorted(counts)
+    assert counts[0] >= 1 and counts[-1] == len(toolbox())
+
+
+def test_estimate_difficulty_finds_first_crossing():
+    results = [make_result(i / 10) for i in range(10)]
+    estimate = estimate_difficulty(results, POWER_LADDER[0], impact_threshold=0.75)
+    assert estimate.tests_to_find == 9  # impacts 0.0..0.9; 0.8 is the 9th
+    assert estimate.found
+
+
+def test_estimate_difficulty_not_found():
+    results = [make_result(0.1) for _ in range(5)]
+    estimate = estimate_difficulty(results, POWER_LADDER[0])
+    assert not estimate.found
+    assert "not found" in estimate.rating()
+
+
+def test_difficulty_ratings_buckets():
+    cases = [(10, "trivial"), (100, "easy"), (1000, "moderate"), (10_000, "hard")]
+    for tests, expected in cases:
+        results = [make_result(0.0)] * (tests - 1) + [make_result(0.9)]
+        estimate = estimate_difficulty(results, POWER_LADDER[0])
+        assert expected in estimate.rating()

@@ -1,0 +1,199 @@
+"""Weighted sampling, plugin stats, top set, campaigns, and reporting."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    CampaignResult,
+    PluginSampler,
+    ScenarioResult,
+    TestScenario,
+    TopSet,
+    compare_campaigns,
+    weighted_choice,
+)
+from repro.core.report import describe_best, format_table, heatmap, sparkline
+
+
+def make_result(impact, name="d", position=0, test_index=0, measurement=None):
+    scenario = TestScenario(coords={name: position})
+    return ScenarioResult(
+        scenario=scenario, impact=impact, test_index=test_index, measurement=measurement
+    )
+
+
+# ---------------------------------------------------------------------------
+# weighted sampling
+# ---------------------------------------------------------------------------
+def test_weighted_choice_respects_weights():
+    rng = random.Random(0)
+    counts = {"a": 0, "b": 0}
+    for _ in range(2000):
+        counts[weighted_choice(["a", "b"], [9.0, 1.0], rng)] += 1
+    assert counts["a"] > counts["b"] * 4
+
+
+def test_weighted_choice_uniform_fallback_on_zero_weights():
+    rng = random.Random(0)
+    picks = {weighted_choice(["a", "b", "c"], [0, 0, 0], rng) for _ in range(100)}
+    assert picks == {"a", "b", "c"}
+
+
+def test_weighted_choice_validation():
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        weighted_choice([], [], rng)
+    with pytest.raises(ValueError):
+        weighted_choice(["a"], [1.0, 2.0], rng)
+    with pytest.raises(ValueError):
+        weighted_choice(["a"], [-1.0], rng)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=10), st.integers(0, 99))
+def test_weighted_choice_always_returns_an_item(weights, seed):
+    items = list(range(len(weights)))
+    assert weighted_choice(items, weights, random.Random(seed)) in items
+
+
+# ---------------------------------------------------------------------------
+# plugin fitness-gain stats
+# ---------------------------------------------------------------------------
+def test_plugin_stats_accumulate_positive_gains_only():
+    sampler = PluginSampler(["a", "b"])
+    sampler.record("a", parent_impact=0.2, child_impact=0.7)  # gain 0.5
+    sampler.record("a", parent_impact=0.9, child_impact=0.1)  # negative: ignored
+    stats = sampler.stats["a"]
+    assert stats.selections == 2
+    assert stats.total_gain == pytest.approx(0.5)
+    assert stats.improvements == 1
+
+
+def test_gainful_plugin_sampled_more_often():
+    sampler = PluginSampler(["good", "bad"])
+    for _ in range(20):
+        sampler.record("good", 0.1, 0.9)
+        sampler.record("bad", 0.5, 0.1)
+    rng = random.Random(0)
+    picks = [sampler.sample(rng) for _ in range(500)]
+    assert picks.count("good") > picks.count("bad") * 2
+
+
+def test_unlucky_plugin_never_starves():
+    sampler = PluginSampler(["good", "bad"])
+    for _ in range(50):
+        sampler.record("good", 0.1, 0.9)
+        sampler.record("bad", 0.5, 0.1)
+    rng = random.Random(0)
+    picks = [sampler.sample(rng) for _ in range(1000)]
+    assert picks.count("bad") > 0  # smoothing keeps exploration alive
+
+
+def test_uniform_mode_ignores_gains():
+    sampler = PluginSampler(["good", "bad"], uniform=True)
+    for _ in range(50):
+        sampler.record("good", 0.1, 0.9)
+    rng = random.Random(0)
+    picks = [sampler.sample(rng) for _ in range(1000)]
+    assert abs(picks.count("good") - 500) < 100
+
+
+def test_sampler_requires_plugins():
+    with pytest.raises(ValueError):
+        PluginSampler([])
+
+
+# ---------------------------------------------------------------------------
+# the top set (Pi)
+# ---------------------------------------------------------------------------
+def test_top_set_keeps_highest_impacts():
+    top = TopSet(capacity=3)
+    for index, impact in enumerate([0.1, 0.9, 0.5, 0.7, 0.2]):
+        top.offer(make_result(impact, position=index))
+    assert [entry.impact for entry in top.entries] == [0.9, 0.7, 0.5]
+
+
+def test_top_set_sampling_prefers_impact():
+    top = TopSet(capacity=3)
+    top.offer(make_result(0.9, position=1))
+    top.offer(make_result(0.05, position=2))
+    rng = random.Random(0)
+    picks = [top.sample_by_impact(rng).impact for _ in range(500)]
+    assert picks.count(0.9) > picks.count(0.05) * 3
+
+
+def test_top_set_empty_sample_returns_none():
+    assert TopSet().sample_by_impact(random.Random(0)) is None
+    assert TopSet().best is None
+
+
+# ---------------------------------------------------------------------------
+# campaigns
+# ---------------------------------------------------------------------------
+def make_campaign(impacts, strategy="x"):
+    results = [make_result(impact, position=i, test_index=i) for i, impact in enumerate(impacts)]
+    return CampaignResult(strategy=strategy, results=results)
+
+
+def test_campaign_best_and_curves():
+    campaign = make_campaign([0.1, 0.6, 0.3, 0.8])
+    assert campaign.best.impact == 0.8
+    assert campaign.best_so_far() == [0.1, 0.6, 0.6, 0.8]
+    assert campaign.tests_to_reach(0.5) == 2
+    assert campaign.tests_to_reach(0.95) is None
+
+
+def test_campaign_smoothing():
+    campaign = make_campaign([])
+    smoothed = campaign.smoothed([1.0, 3.0, 5.0], window=2)
+    assert smoothed == [1.0, 2.0, 4.0]
+    with pytest.raises(ValueError):
+        campaign.smoothed([1.0], window=0)
+
+
+def test_compare_campaigns_summary():
+    summary = compare_campaigns(
+        [make_campaign([0.2, 0.9], "avd"), make_campaign([0.1, 0.1], "random")],
+        impact_threshold=0.8,
+    )
+    assert summary["avd"]["tests_to_threshold"] == 2
+    assert summary["random"]["tests_to_threshold"] is None
+    assert summary["avd"]["best_impact"] == 0.9
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+def test_format_table_aligns_columns():
+    table = format_table(["name", "v"], [["a", 1], ["long-name", 2.5]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert "long-name" in lines[3]
+    assert "2.500" in lines[3]
+
+
+def test_sparkline_shapes():
+    assert sparkline([]) == "(empty)"
+    assert len(sparkline([1.0] * 100, width=40)) == 40
+    flat = sparkline([0.0, 0.0])
+    assert set(flat) == {"_"}
+
+
+def test_heatmap_threshold_mode():
+    grid = [[100.0, 900.0], [50.0, 600.0]]
+    rendered = heatmap(grid, row_labels=["r1", "r2"], threshold=500.0)
+    lines = rendered.splitlines()
+    assert lines[0].endswith("|#.|")
+    assert lines[1].endswith("|#.|")
+
+
+def test_heatmap_gradient_mode():
+    rendered = heatmap([[0.0, 10.0]])
+    assert "|" in rendered
+
+
+def test_describe_best_renders_all_strategies():
+    summary = compare_campaigns([make_campaign([0.5], "avd"), make_campaign([0.2], "random")])
+    text = describe_best(summary)
+    assert "avd" in text and "random" in text

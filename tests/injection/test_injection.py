@@ -1,0 +1,102 @@
+"""Library fault injection: plans, validation, call counting, triggering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.injection import (
+    DEFAULT_FAULT_PROFILES,
+    FaultPlan,
+    InjectedFault,
+    LibraryRuntime,
+    validate_plan,
+)
+
+
+def test_plan_triggers_exactly_at_call_number():
+    plan = FaultPlan("send", "EPIPE", 3)
+    assert [plan.triggers(n) for n in (1, 2, 3, 4)] == [False, False, True, False]
+
+
+def test_repeating_plan_triggers_from_call_onward():
+    plan = FaultPlan("send", "EPIPE", 3, repeat=True)
+    assert [plan.triggers(n) for n in (2, 3, 4, 100)] == [False, True, True, True]
+
+
+def test_call_number_must_be_positive():
+    with pytest.raises(ValueError):
+        FaultPlan("send", "EPIPE", 0)
+
+
+def test_validate_plan_accepts_documented_errors():
+    for function, errors in DEFAULT_FAULT_PROFILES.items():
+        for error in errors:
+            validate_plan(FaultPlan(function, error, 1))
+
+
+def test_validate_plan_rejects_unknown_function():
+    with pytest.raises(ValueError):
+        validate_plan(FaultPlan("nonsense", "EIO", 1))
+
+
+def test_validate_plan_rejects_undocumented_error():
+    with pytest.raises(ValueError):
+        validate_plan(FaultPlan("send", "ENOMEM", 1))
+
+
+def test_runtime_counts_calls_per_function():
+    runtime = LibraryRuntime()
+    runtime.call("send")
+    runtime.call("send")
+    runtime.call("recv")
+    assert runtime.calls_made("send") == 2
+    assert runtime.calls_made("recv") == 1
+    assert runtime.calls_made("malloc") == 0
+
+
+def test_runtime_raises_on_planned_call():
+    runtime = LibraryRuntime([FaultPlan("send", "EAGAIN", 2)])
+    assert runtime.call("send") == 1
+    with pytest.raises(InjectedFault) as excinfo:
+        runtime.call("send")
+    assert excinfo.value.error == "EAGAIN"
+    assert excinfo.value.call_number == 2
+    assert runtime.call("send") == 3  # one-shot plan
+
+
+def test_try_call_returns_fault_instead_of_raising():
+    runtime = LibraryRuntime([FaultPlan("send", "EAGAIN", 1)])
+    fault = runtime.try_call("send")
+    assert isinstance(fault, InjectedFault)
+    assert runtime.try_call("send") is None
+
+
+def test_injected_history_is_recorded():
+    runtime = LibraryRuntime([FaultPlan("send", "EAGAIN", 1, repeat=True)])
+    runtime.try_call("send")
+    runtime.try_call("send")
+    assert len(runtime.injected) == 2
+
+
+def test_install_validates_by_default():
+    runtime = LibraryRuntime()
+    with pytest.raises(ValueError):
+        runtime.install(FaultPlan("bogus", "EIO", 1))
+    runtime.install(FaultPlan("bogus", "EIO", 1), validate=False)  # explicit opt-out
+
+
+def test_clear_resets_counts_and_plans():
+    runtime = LibraryRuntime([FaultPlan("send", "EAGAIN", 1)])
+    runtime.try_call("send")
+    runtime.clear()
+    assert runtime.calls_made("send") == 0
+    assert runtime.try_call("send") is None
+
+
+@given(st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=50))
+def test_single_shot_plan_fires_exactly_once(call_number, extra_calls):
+    runtime = LibraryRuntime([FaultPlan("send", "EAGAIN", call_number)])
+    faults = 0
+    for _ in range(call_number + extra_calls):
+        if runtime.try_call("send") is not None:
+            faults += 1
+    assert faults == 1

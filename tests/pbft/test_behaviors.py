@@ -1,0 +1,89 @@
+"""Gray coding, corruption masks, and behaviour bundles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pbft import (
+    ClientBehavior,
+    ReplicaBehavior,
+    SlowPrimaryPolicy,
+    binary_to_gray,
+    gray_to_binary,
+    mask_corruption_policy,
+)
+from repro.pbft.behaviors import MAC_MASK_WIDTH
+
+
+# ---------------------------------------------------------------------------
+# Gray coding (the Sec. 6 encoding of the MAC mask dimension)
+# ---------------------------------------------------------------------------
+def test_gray_code_first_values():
+    assert [binary_to_gray(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+
+@given(st.integers(min_value=0, max_value=2**20))
+def test_gray_roundtrip(value):
+    assert gray_to_binary(binary_to_gray(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=2**12 - 2))
+def test_adjacent_gray_codes_differ_in_one_bit(position):
+    codes = binary_to_gray(position) ^ binary_to_gray(position + 1)
+    assert bin(codes).count("1") == 1
+
+
+def test_gray_code_is_a_permutation_of_the_mask_space():
+    codes = {binary_to_gray(i) for i in range(4096)}
+    assert codes == set(range(4096))
+
+
+# ---------------------------------------------------------------------------
+# corruption mask policy
+# ---------------------------------------------------------------------------
+def test_zero_mask_means_no_policy():
+    assert mask_corruption_policy(0) is None
+
+
+def test_mask_bit_maps_to_call_position_mod_width():
+    policy = mask_corruption_policy(0b1)  # corrupt call positions 0 mod 12
+    assert policy(1, "r")            # call 1 -> position 0
+    assert not policy(2, "r")        # call 2 -> position 1
+    assert policy(13, "r")           # wraps: call 13 -> position 0
+
+
+def test_full_mask_corrupts_every_call():
+    policy = mask_corruption_policy((1 << MAC_MASK_WIDTH) - 1)
+    assert all(policy(call, "r") for call in range(1, 40))
+
+
+def test_mask_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        mask_corruption_policy(1 << MAC_MASK_WIDTH)
+    with pytest.raises(ValueError):
+        mask_corruption_policy(-1)
+
+
+@given(st.integers(min_value=1, max_value=2**12 - 1), st.integers(min_value=1, max_value=100))
+def test_policy_is_periodic_in_call_number(mask, call):
+    policy = mask_corruption_policy(mask)
+    assert policy(call, "r") == policy(call + MAC_MASK_WIDTH, "r")
+
+
+# ---------------------------------------------------------------------------
+# behaviour bundles
+# ---------------------------------------------------------------------------
+def test_benign_detection():
+    assert ReplicaBehavior().is_benign()
+    assert ClientBehavior().is_benign()
+    assert not ClientBehavior(mac_mask=1).is_benign()
+    assert not ReplicaBehavior(slow_primary=SlowPrimaryPolicy()).is_benign()
+    assert not ClientBehavior(broadcast_always=True).is_benign()
+
+
+def test_slow_primary_policy_validation():
+    with pytest.raises(ValueError):
+        SlowPrimaryPolicy(period_fraction=1.0)
+    with pytest.raises(ValueError):
+        SlowPrimaryPolicy(period_fraction=0.0)
+    with pytest.raises(ValueError):
+        SlowPrimaryPolicy(requests_per_tick=0)

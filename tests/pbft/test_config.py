@@ -1,0 +1,61 @@
+"""PBFT configuration validation and presets."""
+
+import pytest
+
+from repro.pbft import PbftConfig, client_name, malicious_client_name, replica_name
+
+
+def test_derived_quantities():
+    config = PbftConfig(f=1)
+    assert config.n_replicas == 4
+    assert config.quorum == 3
+    assert config.reply_quorum == 2
+    config2 = PbftConfig(f=2)
+    assert config2.n_replicas == 7
+    assert config2.quorum == 5
+
+
+def test_f_must_be_positive():
+    with pytest.raises(ValueError):
+        PbftConfig(f=0)
+
+
+def test_view_change_timer_must_exceed_retransmit():
+    with pytest.raises(ValueError):
+        PbftConfig(view_change_timer_us=100, client_retransmit_us=100)
+
+
+def test_watermark_window_vs_checkpoint_interval():
+    with pytest.raises(ValueError):
+        PbftConfig(checkpoint_interval=100, watermark_window=150)
+
+
+def test_campaign_scale_preserves_timer_ratio():
+    paper = PbftConfig.paper_scale()
+    campaign = PbftConfig.campaign_scale()
+    paper_ratio = paper.view_change_timer_us / paper.client_retransmit_us
+    campaign_ratio = campaign.view_change_timer_us / campaign.client_retransmit_us
+    assert paper_ratio == campaign_ratio
+
+
+def test_paper_scale_uses_five_second_timer():
+    assert PbftConfig.paper_scale().view_change_timer_us == 5_000_000
+
+
+def test_with_overrides_returns_modified_copy():
+    config = PbftConfig()
+    fixed = config.with_overrides(per_request_timers=True)
+    assert fixed.per_request_timers and not config.per_request_timers
+    assert fixed.f == config.f
+
+
+def test_overrides_are_validated():
+    with pytest.raises(ValueError):
+        PbftConfig.campaign_scale(batch_size_max=0)
+
+
+def test_node_names_are_distinct_and_stable():
+    assert replica_name(0) == "replica-0"
+    assert client_name(3) == "client-3"
+    assert malicious_client_name(0) == "mclient-0"
+    assert len({replica_name(0), client_name(0), malicious_client_name(0)}) == 3

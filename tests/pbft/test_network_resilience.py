@@ -1,0 +1,46 @@
+"""PBFT under network-level adversity (the network-control attack surface)."""
+
+from repro.pbft import PbftDeployment, run_deployment
+from repro.sim import DelayFault, DropFault, ReorderFault
+from repro.sim.faults import match_endpoints
+from tests.conftest import tiny_pbft_config
+
+
+def replicas():
+    return frozenset(f"replica-{i}" for i in range(4))
+
+
+def test_pbft_tolerates_moderate_message_loss(tiny_config):
+    # Client retransmissions + quorum redundancy mask a lossy network.
+    lossy = DropFault(0.05, match_endpoints(dst=replicas()))
+    result = run_deployment(tiny_config, 5, seed=1, network_faults=[lossy])
+    clean = run_deployment(tiny_config, 5, seed=1)
+    assert result.completed_requests > clean.completed_requests * 0.5
+    assert result.crashed_replicas == 0
+
+
+def test_heavy_loss_degrades_but_does_not_violate_safety(tiny_config):
+    lossy = DropFault(0.4, match_endpoints(dst=replicas()))
+    deployment = PbftDeployment(tiny_config, 5, seed=2, network_faults=[lossy])
+    deployment.run()
+    # Replicas at the same execution frontier agree on state.
+    frontiers = {}
+    for replica in deployment.replicas:
+        frontiers.setdefault(replica.last_executed, set()).add(replica.state_digest)
+    for digests in frontiers.values():
+        assert len(digests) == 1
+
+
+def test_reordering_replica_traffic_is_tolerated(tiny_config):
+    # PBFT is asynchronous-safe: reordering delays but never corrupts.
+    reorder = ReorderFault(window=6, spacing_us=100, matcher=match_endpoints(dst=replicas()))
+    result = run_deployment(tiny_config, 5, seed=3, network_faults=[reorder])
+    assert result.completed_requests > 0
+    assert result.crashed_replicas == 0
+
+
+def test_added_latency_raises_client_latency(tiny_config):
+    slow = DelayFault(3_000, matcher=match_endpoints(dst=replicas()))
+    slow_result = run_deployment(tiny_config, 3, seed=4, network_faults=[slow])
+    fast_result = run_deployment(tiny_config, 3, seed=4)
+    assert slow_result.mean_latency_s > fast_result.mean_latency_s + 0.002

@@ -1,0 +1,150 @@
+"""The view-change timer disciplines — including the paper's bug.
+
+The shared timer must reproduce exactly the semantics of Sec. 6:
+"If a message is received by a replica directly from a client, the timer is
+set. If any such message is executed before the timer expires, the timer is
+reset." The per-request variant is what the protocol actually specifies.
+"""
+
+from repro.pbft.timers import (
+    PerRequestViewChangeTimer,
+    SharedViewChangeTimer,
+    make_view_change_timer,
+)
+from repro.sim import FixedLatency, Network, Node, Simulator
+
+
+class Host(Node):
+    def on_message(self, payload, src):  # pragma: no cover - not used
+        pass
+
+
+def build(per_request: bool, period=1000):
+    sim = Simulator(seed=1)
+    net = Network(sim, FixedLatency(1))
+    host = Host("h", sim, net)
+    expirations = []
+    timer = make_view_change_timer(host, period, lambda: expirations.append(sim.now), per_request)
+    return sim, timer, expirations
+
+
+def test_factory_selects_implementation():
+    _, shared, _ = build(per_request=False)
+    _, per_request, _ = build(per_request=True)
+    assert isinstance(shared, SharedViewChangeTimer)
+    assert isinstance(per_request, PerRequestViewChangeTimer)
+
+
+# ---------------------------------------------------------------------------
+# the buggy shared timer
+# ---------------------------------------------------------------------------
+def test_shared_timer_expires_when_request_never_executes():
+    sim, timer, expirations = build(False)
+    timer.request_pending(("c", 1))
+    sim.run()
+    assert expirations == [1000]
+
+
+def test_shared_timer_cancelled_when_all_executed():
+    sim, timer, expirations = build(False)
+    timer.request_pending(("c", 1))
+    sim.run(until=500)
+    timer.request_executed(("c", 1))
+    sim.run()
+    assert expirations == []
+    assert not timer.running
+
+
+def test_shared_timer_second_request_does_not_restart():
+    # "the timer is set" only if not already running: a stream of new
+    # requests must not indefinitely defer expiry.
+    sim, timer, expirations = build(False)
+    timer.request_pending(("c", 1))
+    sim.run(until=900)
+    timer.request_pending(("c", 2))
+    sim.run(until=1500)
+    assert expirations == [1000]
+
+
+def test_shared_timer_THE_BUG_any_execution_resets_for_everyone():
+    # The slow-primary vulnerability: executing any one direct request
+    # grants every other pending request a brand-new full period.
+    sim, timer, expirations = build(False)
+    timer.request_pending(("victim", 1))
+    timer.request_pending(("served", 1))
+    sim.run(until=900)
+    timer.request_executed(("served", 1))  # resets; victim still pending
+    sim.run(until=1800)
+    assert expirations == []  # would have expired at 1000 without the bug
+    sim.run()
+    assert expirations == [1900]  # 900 + full fresh period
+
+
+def test_shared_timer_executing_unknown_key_is_noop():
+    sim, timer, expirations = build(False)
+    timer.request_pending(("c", 1))
+    timer.request_executed(("other", 9))
+    sim.run()
+    assert expirations == [1000]  # not reset by an unrelated execution
+
+
+def test_shared_timer_stop_and_restart_pending():
+    sim, timer, expirations = build(False)
+    timer.request_pending(("c", 1))
+    timer.stop_all()
+    sim.run(until=2000)
+    assert expirations == []
+    timer.restart_pending()
+    sim.run()
+    assert expirations == [3000]
+
+
+# ---------------------------------------------------------------------------
+# the fixed per-request timers
+# ---------------------------------------------------------------------------
+def test_per_request_timer_expires_per_request():
+    sim, timer, expirations = build(True)
+    timer.request_pending(("c", 1))
+    sim.run(until=500)
+    timer.request_pending(("c", 2))
+    sim.run()
+    assert expirations == [1000, 1500]
+
+
+def test_per_request_execution_only_cancels_that_request():
+    # The fix: executing one request does NOT protect the others.
+    sim, timer, expirations = build(True)
+    timer.request_pending(("victim", 1))
+    timer.request_pending(("served", 1))
+    sim.run(until=900)
+    timer.request_executed(("served", 1))
+    sim.run()
+    assert expirations == [1000]  # the victim's timer still fires on time
+
+
+def test_per_request_stop_and_restart():
+    sim, timer, expirations = build(True)
+    timer.request_pending(("a", 1))
+    timer.request_pending(("b", 1))
+    timer.stop_all()
+    sim.run(until=5000)
+    assert expirations == []
+    timer.restart_pending()
+    sim.run()
+    assert expirations == [6000, 6000]
+
+
+def test_per_request_duplicate_pending_does_not_double_arm():
+    sim, timer, expirations = build(True)
+    timer.request_pending(("a", 1))
+    timer.request_pending(("a", 1))
+    sim.run()
+    assert expirations == [1000]
+
+
+def test_outstanding_tracking():
+    _, shared, _ = build(False)
+    shared.request_pending(("a", 1))
+    shared.request_pending(("b", 1))
+    shared.request_executed(("a", 1))
+    assert shared.outstanding == {("b", 1)}

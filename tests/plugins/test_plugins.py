@@ -1,0 +1,301 @@
+"""Tool plugins: dimensions, mutation semantics, spec configuration."""
+
+import random
+
+import pytest
+
+from repro.core import Hyperspace
+from repro.pbft import PbftConfig, binary_to_gray
+from repro.plugins import (
+    ClientCountPlugin,
+    LibraryFaultPlugin,
+    MacCorruptionPlugin,
+    MessageReorderPlugin,
+    MessageSynthesisPlugin,
+    NetworkFaultPlugin,
+    PrimaryBehaviorPlugin,
+    levenshtein,
+)
+from repro.plugins.fault_injection import (
+    LFI_CALL_DIMENSION,
+    LFI_ERROR_DIMENSION,
+    LFI_FUNCTION_DIMENSION,
+    LFI_TARGET_DIMENSION,
+)
+from repro.plugins.mac_corruption import MAC_MASK_DIMENSION
+from repro.plugins.message_synthesis import (
+    SYNTH_INTERVAL_DIMENSION,
+    SYNTH_KIND_DIMENSION,
+    SYNTH_REPLICA_DIMENSION,
+)
+from repro.plugins.primary_behavior import (
+    PRIMARY_MODE_DIMENSION,
+    PRIMARY_TICK_DIMENSION,
+)
+from repro.targets import PbftScenarioSpec
+
+
+def spec():
+    return PbftScenarioSpec(config=PbftConfig.campaign_scale())
+
+
+def space_of(plugin):
+    return Hyperspace(list(plugin.dimensions()))
+
+
+# ---------------------------------------------------------------------------
+# MAC corruption
+# ---------------------------------------------------------------------------
+def test_mac_plugin_dimension_is_gray_coded_12_bits():
+    plugin = MacCorruptionPlugin()
+    space = space_of(plugin)
+    dimension = space.by_name[MAC_MASK_DIMENSION]
+    assert dimension.size == 4096
+    assert dimension.value_at(5) == binary_to_gray(5)
+
+
+def test_mac_plugin_weak_mutation_flips_one_bit():
+    plugin = MacCorruptionPlugin()
+    space = space_of(plugin)
+    rng = random.Random(1)
+    coords = {MAC_MASK_DIMENSION: 100}
+    for _ in range(30):
+        child = plugin.mutate(coords, 0.0, rng, space)
+        parent_mask = space.params(coords)[MAC_MASK_DIMENSION]
+        child_mask = space.params(child)[MAC_MASK_DIMENSION]
+        assert bin(parent_mask ^ child_mask).count("1") == 1
+
+
+def test_mac_plugin_configures_spec():
+    plugin = MacCorruptionPlugin()
+    scenario = spec()
+    plugin.configure({MAC_MASK_DIMENSION: 0xABC}, scenario)
+    assert scenario.mac_mask == 0xABC
+
+
+# ---------------------------------------------------------------------------
+# client counts
+# ---------------------------------------------------------------------------
+def test_client_count_dimensions_match_paper():
+    plugin = ClientCountPlugin()
+    space = space_of(plugin)
+    assert space.by_name["n_correct_clients"].size == 25  # 10..250 step 10
+    assert space.by_name["n_malicious_clients"].size == 2  # 1 or 2
+    # With the 4096-mask dimension: 204,800 scenarios (Sec. 6).
+    assert space.size * 4096 == 204_800
+
+
+def test_client_count_configures_spec():
+    plugin = ClientCountPlugin()
+    scenario = spec()
+    plugin.configure({"n_correct_clients": 130, "n_malicious_clients": 2}, scenario)
+    assert scenario.n_correct_clients == 130
+    assert scenario.n_malicious_clients == 2
+
+
+# ---------------------------------------------------------------------------
+# message reordering
+# ---------------------------------------------------------------------------
+def test_levenshtein_basics():
+    assert levenshtein("abc", "abc") == 0
+    assert levenshtein("abc", "abd") == 1
+    assert levenshtein("abc", "") == 3
+    assert levenshtein("kitten", "sitting") == 3
+
+
+def test_reorder_window_one_installs_nothing():
+    plugin = MessageReorderPlugin()
+    scenario = spec()
+    plugin.configure({"reorder_window": 1}, scenario)
+    assert scenario.network_faults == []
+
+
+def test_reorder_window_installs_fault():
+    plugin = MessageReorderPlugin()
+    scenario = spec()
+    plugin.configure({"reorder_window": 6}, scenario)
+    assert len(scenario.network_faults) == 1
+    assert scenario.network_faults[0].window == 6
+
+
+# ---------------------------------------------------------------------------
+# library fault injection
+# ---------------------------------------------------------------------------
+def test_lfi_none_function_is_benign():
+    plugin = LibraryFaultPlugin()
+    scenario = spec()
+    plugin.configure(
+        {
+            LFI_FUNCTION_DIMENSION: "none",
+            LFI_ERROR_DIMENSION: 0,
+            LFI_CALL_DIMENSION: 5,
+            LFI_TARGET_DIMENSION: 1,
+        },
+        scenario,
+    )
+    assert scenario.injection_plans == {}
+
+
+def test_lfi_configures_valid_plan():
+    plugin = LibraryFaultPlugin()
+    scenario = spec()
+    plugin.configure(
+        {
+            LFI_FUNCTION_DIMENSION: "send",
+            LFI_ERROR_DIMENSION: 7,  # resolved modulo the error list
+            LFI_CALL_DIMENSION: 5,
+            LFI_TARGET_DIMENSION: 2,
+        },
+        scenario,
+    )
+    plans = scenario.injection_plans["replica-2"]
+    assert len(plans) == 1
+    assert plans[0].function == "send"
+    assert plans[0].call_number == 5
+
+
+def test_lfi_weak_mutation_only_moves_call_number():
+    plugin = LibraryFaultPlugin()
+    space = space_of(plugin)
+    rng = random.Random(2)
+    coords = {
+        LFI_FUNCTION_DIMENSION: 1,
+        LFI_ERROR_DIMENSION: 0,
+        LFI_CALL_DIMENSION: 20,
+        LFI_TARGET_DIMENSION: 1,
+    }
+    for _ in range(20):
+        child = plugin.mutate(coords, 0.1, rng, space)
+        assert child[LFI_FUNCTION_DIMENSION] == coords[LFI_FUNCTION_DIMENSION]
+        assert child[LFI_TARGET_DIMENSION] == coords[LFI_TARGET_DIMENSION]
+        assert child[LFI_CALL_DIMENSION] != coords[LFI_CALL_DIMENSION]
+        assert abs(child[LFI_CALL_DIMENSION] - coords[LFI_CALL_DIMENSION]) <= 8
+
+
+def test_lfi_strong_mutation_can_retarget():
+    plugin = LibraryFaultPlugin()
+    space = space_of(plugin)
+    rng = random.Random(3)
+    coords = {
+        LFI_FUNCTION_DIMENSION: 1,
+        LFI_ERROR_DIMENSION: 0,
+        LFI_CALL_DIMENSION: 20,
+        LFI_TARGET_DIMENSION: 1,
+    }
+    children = [plugin.mutate(coords, 1.0, rng, space) for _ in range(30)]
+    assert any(c[LFI_FUNCTION_DIMENSION] != 1 for c in children)
+    assert any(c[LFI_TARGET_DIMENSION] != 1 for c in children)
+
+
+# ---------------------------------------------------------------------------
+# network faults
+# ---------------------------------------------------------------------------
+def test_network_plugin_zero_is_benign():
+    plugin = NetworkFaultPlugin()
+    scenario = spec()
+    plugin.configure({"net_drop_pct": 0, "net_delay_ms": 0}, scenario)
+    assert scenario.network_faults == []
+
+
+def test_network_plugin_installs_drop_and_delay():
+    plugin = NetworkFaultPlugin()
+    scenario = spec()
+    plugin.configure({"net_drop_pct": 10, "net_delay_ms": 5}, scenario)
+    assert len(scenario.network_faults) == 2
+
+
+# ---------------------------------------------------------------------------
+# message synthesis
+# ---------------------------------------------------------------------------
+def test_synthesis_none_is_benign():
+    plugin = MessageSynthesisPlugin()
+    scenario = spec()
+    plugin.configure(
+        {SYNTH_KIND_DIMENSION: "none", SYNTH_REPLICA_DIMENSION: 0, SYNTH_INTERVAL_DIMENSION: 50},
+        scenario,
+    )
+    assert scenario.replica_behaviors == {}
+
+
+def test_synthesis_installs_replica_behavior():
+    plugin = MessageSynthesisPlugin()
+    scenario = spec()
+    plugin.configure(
+        {
+            SYNTH_KIND_DIMENSION: "view_change",
+            SYNTH_REPLICA_DIMENSION: 2,
+            SYNTH_INTERVAL_DIMENSION: 50,
+        },
+        scenario,
+    )
+    behavior = scenario.replica_behaviors[2]
+    assert behavior.synthesize_kind == "view_change"
+    assert behavior.synthesize_interval_us == 50_000
+
+
+def test_synthesis_weak_mutation_keeps_kind():
+    plugin = MessageSynthesisPlugin()
+    space = space_of(plugin)
+    rng = random.Random(4)
+    coords = {SYNTH_KIND_DIMENSION: 3, SYNTH_REPLICA_DIMENSION: 0, SYNTH_INTERVAL_DIMENSION: 5}
+    for _ in range(20):
+        child = plugin.mutate(coords, 0.1, rng, space)
+        assert child[SYNTH_KIND_DIMENSION] == 3
+
+
+# ---------------------------------------------------------------------------
+# primary behaviour
+# ---------------------------------------------------------------------------
+def test_primary_correct_mode_is_benign():
+    plugin = PrimaryBehaviorPlugin()
+    scenario = spec()
+    plugin.configure({PRIMARY_MODE_DIMENSION: "correct", PRIMARY_TICK_DIMENSION: 80}, scenario)
+    assert scenario.replica_behaviors == {}
+
+
+def test_primary_slow_mode_installs_policy():
+    plugin = PrimaryBehaviorPlugin()
+    scenario = spec()
+    plugin.configure({PRIMARY_MODE_DIMENSION: "slow", PRIMARY_TICK_DIMENSION: 80}, scenario)
+    policy = scenario.replica_behaviors[0].slow_primary
+    assert policy is not None
+    assert policy.period_fraction == 0.8
+    assert policy.serve_only_client is None
+
+
+def test_primary_colluding_mode_adds_broadcasting_client():
+    plugin = PrimaryBehaviorPlugin()
+    scenario = spec()
+    scenario.n_malicious_clients = 0
+    plugin.configure(
+        {PRIMARY_MODE_DIMENSION: "slow_colluding", PRIMARY_TICK_DIMENSION: 75}, scenario
+    )
+    assert scenario.n_malicious_clients == 1
+    assert scenario.malicious_broadcast
+    assert scenario.replica_behaviors[0].slow_primary.serve_only_client == "mclient-0"
+
+
+# ---------------------------------------------------------------------------
+# cross-cutting: every plugin's default mutate stays inside its hyperspace
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "plugin",
+    [
+        MacCorruptionPlugin(),
+        ClientCountPlugin(),
+        MessageReorderPlugin(),
+        NetworkFaultPlugin(),
+        LibraryFaultPlugin(),
+        PrimaryBehaviorPlugin(),
+        MessageSynthesisPlugin(),
+    ],
+    ids=lambda plugin: plugin.name,
+)
+def test_mutation_always_yields_valid_coords(plugin):
+    space = space_of(plugin)
+    rng = random.Random(5)
+    coords = space.random_coords(rng)
+    for distance in (0.0, 0.3, 0.7, 1.0):
+        for _ in range(10):
+            child = plugin.mutate(dict(coords), distance, rng, space)
+            space.validate(child)

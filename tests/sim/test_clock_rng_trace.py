@@ -1,0 +1,85 @@
+"""Clock helpers, RNG derivation, and the tracer."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim import (
+    MS,
+    SECOND,
+    RngRegistry,
+    Tracer,
+    US,
+    derive_seed,
+    format_time,
+    millis,
+    seconds,
+    to_seconds,
+)
+
+
+def test_time_constants_relate():
+    assert MS == 1000 * US
+    assert SECOND == 1000 * MS
+
+
+def test_seconds_millis_roundtrip():
+    assert seconds(1.5) == 1_500_000
+    assert millis(2.5) == 2_500
+    assert to_seconds(seconds(3.25)) == 3.25
+
+
+def test_format_time():
+    assert format_time(1_250_000) == "1.250000s"
+
+
+def test_derive_seed_is_stable_and_distinct():
+    assert derive_seed(42, "a") == derive_seed(42, "a")
+    assert derive_seed(42, "a") != derive_seed(42, "b")
+    assert derive_seed(42, "a") != derive_seed(43, "a")
+
+
+def test_registry_streams_are_cached():
+    registry = RngRegistry(1)
+    assert registry.stream("x") is registry.stream("x")
+
+
+def test_fork_creates_independent_universe():
+    parent = RngRegistry(1)
+    child_a = parent.fork("scenario-1")
+    child_b = parent.fork("scenario-2")
+    assert child_a.stream("x").random() != child_b.stream("x").random()
+    # Forking is deterministic.
+    again = RngRegistry(1).fork("scenario-1")
+    assert again.stream("x").random() == RngRegistry(1).fork("scenario-1").stream("x").random()
+
+
+@given(st.integers(), st.text(max_size=40))
+def test_derive_seed_in_64_bit_range(root, name):
+    value = derive_seed(root, name)
+    assert 0 <= value < 2**64
+
+
+def test_tracer_disabled_by_default():
+    tracer = Tracer()
+    tracer.record(0, "n", "kind")
+    assert tracer.records == []
+
+
+def test_tracer_records_when_enabled():
+    tracer = Tracer(enabled=True)
+    tracer.record(5, "n", "kind", "detail")
+    assert tracer.of_kind("kind")[0].detail == "detail"
+    assert tracer.of_kind("other") == []
+
+
+def test_tracer_predicate_filters():
+    tracer = Tracer(enabled=True, predicate=lambda kind: kind.startswith("keep"))
+    tracer.record(0, "n", "keep-this")
+    tracer.record(0, "n", "drop-this")
+    assert len(tracer.records) == 1
+
+
+def test_tracer_clear():
+    tracer = Tracer(enabled=True)
+    tracer.record(0, "n", "x")
+    tracer.clear()
+    assert tracer.records == []

@@ -1,0 +1,156 @@
+"""Network fault pipeline stages."""
+
+import pytest
+
+from repro.sim import (
+    CorruptFault,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    FixedLatency,
+    Network,
+    Node,
+    PartitionFault,
+    ReorderFault,
+    Simulator,
+)
+from repro.sim.faults import match_endpoints
+
+
+class Sink(Node):
+    def __init__(self, name, simulator, network):
+        super().__init__(name, simulator, network)
+        self.received = []
+
+    def on_message(self, payload, src):
+        self.received.append((self.simulator.now, payload))
+
+
+def build():
+    sim = Simulator(seed=9)
+    net = Network(sim, FixedLatency(10))
+    a = Sink("a", sim, net)
+    b = Sink("b", sim, net)
+    return sim, net, a, b
+
+
+def test_drop_fault_full_probability_drops_everything():
+    sim, net, a, b = build()
+    net.add_fault(DropFault(1.0))
+    for i in range(5):
+        a.send("b", i)
+    sim.run()
+    assert b.received == []
+    assert net.messages_dropped == 5
+
+
+def test_drop_fault_zero_probability_passes_everything():
+    sim, net, a, b = build()
+    net.add_fault(DropFault(0.0))
+    for i in range(5):
+        a.send("b", i)
+    sim.run()
+    assert len(b.received) == 5
+
+
+def test_drop_fault_respects_matcher():
+    sim, net, a, b = build()
+    c = Sink("c", sim, net)
+    net.add_fault(DropFault(1.0, match_endpoints(dst=frozenset({"b"}))))
+    a.send("b", "drop me")
+    a.send("c", "keep me")
+    sim.run()
+    assert b.received == []
+    assert [p for _, p in c.received] == ["keep me"]
+
+
+def test_delay_fault_adds_exact_delay():
+    sim, net, a, b = build()
+    net.add_fault(DelayFault(500))
+    a.send("b", "x")
+    sim.run()
+    assert b.received[0][0] == 510  # 10 latency + 500 injected
+
+
+def test_duplicate_fault_duplicates():
+    sim, net, a, b = build()
+    net.add_fault(DuplicateFault(1.0))
+    a.send("b", "x")
+    sim.run()
+    assert len(b.received) == 2
+
+
+def test_partition_blocks_cross_traffic_both_ways():
+    sim, net, a, b = build()
+    net.add_fault(PartitionFault(frozenset({"a"}), frozenset({"b"})))
+    a.send("b", 1)
+    b.send("a", 2)
+    sim.run()
+    assert a.received == [] and b.received == []
+
+
+def test_partition_window_heals():
+    sim, net, a, b = build()
+    net.add_fault(PartitionFault(frozenset({"a"}), frozenset({"b"}), start_us=0, end_us=100))
+    a.send("b", "during")
+    sim.schedule(200, lambda: a.send("b", "after"))
+    sim.run()
+    assert [p for _, p in b.received] == ["after"]
+
+
+def test_partition_groups_must_be_disjoint():
+    with pytest.raises(ValueError):
+        PartitionFault(frozenset({"a"}), frozenset({"a", "b"}))
+
+
+def test_corrupt_fault_transforms_payload():
+    sim, net, a, b = build()
+    net.add_fault(CorruptFault(1.0, lambda payload, rng: payload + "!"))
+    a.send("b", "msg")
+    sim.run()
+    assert b.received[0][1] == "msg!"
+
+
+def test_reorder_fault_delivers_all_messages():
+    sim, net, a, b = build()
+    net.add_fault(ReorderFault(window=4, spacing_us=10))
+    for i in range(8):
+        a.send("b", i)
+    sim.run()
+    assert sorted(p for _, p in b.received) == list(range(8))
+
+
+def test_reorder_fault_actually_permutes():
+    sim, net, a, b = build()
+    net.add_fault(ReorderFault(window=8, spacing_us=10))
+    for i in range(8):
+        a.send("b", i)
+    sim.run()
+    order = [p for _, p in b.received]
+    assert order != sorted(order)
+
+
+def test_reorder_fault_flushes_partial_window_on_timeout():
+    sim, net, a, b = build()
+    net.add_fault(ReorderFault(window=100, flush_after_us=1_000))
+    a.send("b", "lonely")
+    sim.run()
+    assert [p for _, p in b.received] == ["lonely"]
+
+
+def test_fault_stages_compose_in_order():
+    sim, net, a, b = build()
+    net.add_fault(DelayFault(100))
+    net.add_fault(DelayFault(200))
+    a.send("b", "x")
+    sim.run()
+    assert b.received[0][0] == 310
+
+
+def test_probability_validation():
+    with pytest.raises(ValueError):
+        DropFault(1.5)
+    with pytest.raises(ValueError):
+        DuplicateFault(-0.1)
+    with pytest.raises(ValueError):
+        DelayFault(-5)

@@ -1,0 +1,106 @@
+"""Counters, latency samplers, interval series, throughput summaries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import SECOND
+from repro.sim.metrics import (
+    IntervalSeries,
+    LatencySampler,
+    MetricsRegistry,
+    ThroughputMeasurement,
+    measure_window,
+)
+
+
+def test_counter_registry_reuses_instances():
+    registry = MetricsRegistry()
+    registry.counter("x").increment()
+    registry.counter("x").increment(2)
+    assert registry.counter_value("x") == 3
+    assert registry.counter_value("missing") == 0
+
+
+def test_latency_sampler_mean_and_percentiles():
+    sampler = LatencySampler("l")
+    for value in range(1, 101):
+        sampler.record(value * 1000)
+    assert sampler.count == 100
+    assert sampler.mean() == pytest.approx(50.5 * 1000 / SECOND)
+    assert sampler.percentile(0.99) == pytest.approx(99_000 / SECOND)
+    assert sampler.percentile(1.0) == pytest.approx(100_000 / SECOND)
+    assert sampler.maximum() == pytest.approx(100_000 / SECOND)
+
+
+def test_latency_sampler_empty_is_zero():
+    sampler = LatencySampler("l")
+    assert sampler.mean() == 0.0
+    assert sampler.percentile(0.5) == 0.0
+    assert sampler.maximum() == 0.0
+
+
+def test_latency_sampler_rejects_negative():
+    sampler = LatencySampler("l")
+    with pytest.raises(ValueError):
+        sampler.record(-1)
+
+
+def test_percentile_fraction_validated():
+    sampler = LatencySampler("l")
+    sampler.record(1)
+    with pytest.raises(ValueError):
+        sampler.percentile(1.5)
+
+
+def test_interval_series_rate_conversion():
+    series = IntervalSeries("s", bucket_width=SECOND // 10)  # 100 ms buckets
+    series.record(50_000)    # bucket 0
+    series.record(60_000)    # bucket 0
+    series.record(250_000)   # bucket 2
+    rates = series.rate_series()
+    assert rates == [20.0, 0.0, 10.0]
+    assert series.total() == 3
+
+
+def test_interval_series_empty():
+    series = IntervalSeries("s", bucket_width=1000)
+    assert series.rate_series() == []
+    assert series.total() == 0
+
+
+def test_interval_series_bucket_width_validated():
+    with pytest.raises(ValueError):
+        IntervalSeries("s", bucket_width=0)
+
+
+def test_throughput_measurement_rps():
+    measurement = ThroughputMeasurement(
+        completed_requests=500, window_us=SECOND // 2, mean_latency_s=0.01
+    )
+    assert measurement.throughput_rps == 1000.0
+
+
+def test_throughput_measurement_zero_window():
+    measurement = ThroughputMeasurement(0, 0, 0.0)
+    assert measurement.throughput_rps == 0.0
+
+
+def test_measure_window_summarizes_sampler():
+    sampler = LatencySampler("l")
+    for value in (1000, 2000, 3000):
+        sampler.record(value)
+    measurement = measure_window(sampler, window_us=SECOND)
+    assert measurement.completed_requests == 3
+    assert measurement.throughput_rps == 3.0
+    assert measurement.mean_latency_s == pytest.approx(2000 / SECOND)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=200))
+def test_percentile_monotone_in_fraction(samples):
+    sampler = LatencySampler("l")
+    for sample in samples:
+        sampler.record(sample)
+    fractions = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+    values = [sampler.percentile(f) for f in fractions]
+    assert values == sorted(values)
+    assert values[-1] == sampler.maximum()

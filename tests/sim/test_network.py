@@ -1,0 +1,126 @@
+"""Network delivery, latency models, and endpoint bookkeeping."""
+
+import pytest
+
+from repro.sim import (
+    FixedLatency,
+    LanLatency,
+    Network,
+    Node,
+    SimulationError,
+    Simulator,
+    UniformLatency,
+)
+
+
+class Recorder(Node):
+    def __init__(self, name, simulator, network):
+        super().__init__(name, simulator, network)
+        self.received = []
+
+    def on_message(self, payload, src):
+        self.received.append((self.simulator.now, payload, src))
+
+
+def build(latency=None):
+    sim = Simulator(seed=3)
+    net = Network(sim, latency if latency is not None else FixedLatency(100))
+    a = Recorder("a", sim, net)
+    b = Recorder("b", sim, net)
+    return sim, net, a, b
+
+
+def test_send_delivers_after_latency():
+    sim, net, a, b = build()
+    a.send("b", "hello")
+    sim.run()
+    assert b.received == [(100, "hello", "a")]
+
+
+def test_broadcast_reaches_every_destination():
+    sim, net, a, b = build()
+    c = Recorder("c", sim, net)
+    a.broadcast(["b", "c"], "hi")
+    sim.run()
+    assert b.received and c.received
+
+
+def test_duplicate_endpoint_name_rejected():
+    sim, net, a, b = build()
+    with pytest.raises(SimulationError):
+        Recorder("a", sim, net)
+
+
+def test_send_to_unknown_endpoint_counts_as_dropped():
+    sim, net, a, b = build()
+    a.send("ghost", "x")
+    sim.run()
+    assert net.messages_dropped == 1
+    assert net.messages_delivered == 0
+
+
+def test_unregister_drops_in_flight_messages():
+    sim, net, a, b = build()
+    a.send("b", "x")
+    net.unregister("b")
+    sim.run()
+    assert b.received == []
+    assert net.messages_dropped == 1
+
+
+def test_delivery_counters_per_endpoint():
+    sim, net, a, b = build()
+    a.send("b", 1)
+    a.send("b", 2)
+    b.send("a", 3)
+    sim.run()
+    assert net.delivered_per_endpoint["b"] == 2
+    assert net.delivered_per_endpoint["a"] == 1
+    assert net.messages_sent == 3
+    assert net.messages_delivered == 3
+
+
+def test_uniform_latency_stays_in_bounds():
+    sim, net, a, b = build(UniformLatency(50, 150))
+    for _ in range(20):
+        a.send("b", "x")
+    sim.run()
+    for time, _, _ in b.received:
+        assert 50 <= time <= 150
+
+
+def test_lan_latency_has_base_floor():
+    sim, net, a, b = build(LanLatency(base_us=200, jitter_mean_us=50))
+    for _ in range(20):
+        a.send("b", "x")
+    sim.run()
+    assert all(time >= 200 for time, _, _ in b.received)
+
+
+def test_fixed_latency_rejects_negative():
+    with pytest.raises(ValueError):
+        FixedLatency(-1)
+
+
+def test_uniform_latency_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        UniformLatency(10, 5)
+
+
+def test_crashed_node_does_not_send():
+    sim, net, a, b = build()
+    a.crash()
+    assert a.send("b", "x") is False
+    sim.run()
+    assert b.received == []
+
+
+def test_same_seed_same_delivery_times():
+    def run_once():
+        sim, net, a, b = build(LanLatency())
+        for i in range(10):
+            a.send("b", i)
+        sim.run()
+        return [time for time, _, _ in b.received]
+
+    assert run_once() == run_once()

@@ -1,0 +1,135 @@
+"""Simulator execution semantics: clock, horizons, stop, determinism."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    seen = []
+    sim.schedule(100, lambda: seen.append(sim.now))
+    sim.schedule(50, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [50, 100]
+    assert sim.now == 100
+
+
+def test_run_until_stops_before_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "early")
+    sim.schedule(1000, fired.append, "late")
+    executed = sim.run(until=500)
+    assert fired == ["early"]
+    assert executed == 1
+    assert sim.now == 500  # clock advances to the horizon
+
+
+def test_remaining_events_run_on_second_call():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1000, fired.append, "late")
+    sim.run(until=500)
+    sim.run(until=2000)
+    assert fired == ["late"]
+
+
+def test_quiescent_run_advances_clock_to_horizon():
+    sim = Simulator()
+    sim.run(until=1234)
+    assert sim.now == 1234
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(i, fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_stop_from_inside_event():
+    sim = Simulator()
+    fired = []
+
+    def stopper():
+        fired.append("stop")
+        sim.stop()
+
+    sim.schedule(1, stopper)
+    sim.schedule(2, fired.append, "never")
+    sim.run()
+    assert fired == ["stop"]
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 5:
+            sim.schedule(1, chain, depth + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert fired == list(range(6))
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(5, fired.append, "x")
+    sim.cancel(handle)
+    sim.run()
+    assert fired == []
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_rng_streams_are_independent_and_deterministic():
+    sim_a = Simulator(seed=7)
+    sim_b = Simulator(seed=7)
+    assert sim_a.rng("x").random() == sim_b.rng("x").random()
+    # Draws on one stream must not shift another stream.
+    sim_c = Simulator(seed=7)
+    sim_c.rng("y").random()
+    assert sim_c.rng("x").random() == Simulator(seed=7).rng("x").random()
+
+
+def test_events_executed_counter_accumulates():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(i, lambda: None)
+    sim.run(max_events=2)
+    sim.run()
+    assert sim.events_executed == 4

@@ -1,0 +1,175 @@
+"""The message-synthesis substrate: grammar, harness, explorer."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synthesis import (
+    MESSAGE_KINDS,
+    CoverageReport,
+    MessageOp,
+    ReplicaHarness,
+    SequenceExplorer,
+    behaviours_of_interest,
+    kind_disparity,
+    mutate_program,
+    random_program,
+)
+from tests.conftest import tiny_pbft_config
+
+
+# ---------------------------------------------------------------------------
+# grammar
+# ---------------------------------------------------------------------------
+def test_message_op_validation():
+    with pytest.raises(ValueError):
+        MessageOp(kind="bogus")
+    with pytest.raises(ValueError):
+        MessageOp(kind="prepare", view_delta=5)
+    with pytest.raises(ValueError):
+        MessageOp(kind="prepare", seq_offset=0)
+    with pytest.raises(ValueError):
+        MessageOp(kind="prepare", delay_steps=99)
+
+
+def test_kind_disparity_ordering():
+    assert kind_disparity("prepare", "prepare") == 0
+    assert kind_disparity("prepare", "commit") == 1  # same phase
+    assert kind_disparity("prepare", "viewchange") == 2  # different phase
+    assert kind_disparity("viewchange", "newview") == 1
+
+
+def test_random_program_respects_length():
+    rng = random.Random(0)
+    program = random_program(rng, 5)
+    assert len(program) == 5
+    assert all(op.kind in MESSAGE_KINDS for op in program)
+    with pytest.raises(ValueError):
+        random_program(rng, 0)
+
+
+def test_weak_mutation_preserves_kinds():
+    rng = random.Random(1)
+    program = random_program(rng, 6)
+    for _ in range(20):
+        mutated = mutate_program(program, 0.1, rng)
+        assert [op.kind for op in mutated] == [op.kind for op in program]
+        assert len(mutated) == len(program)
+
+
+def test_strong_mutation_changes_structure_eventually():
+    rng = random.Random(2)
+    program = random_program(rng, 6)
+    changed_kind = changed_length = False
+    for _ in range(50):
+        mutated = mutate_program(program, 1.0, rng)
+        if len(mutated) != len(program):
+            changed_length = True
+        elif [op.kind for op in mutated] != [op.kind for op in program]:
+            changed_kind = True
+    assert changed_kind and changed_length
+
+
+def test_mutating_empty_program_creates_one_op():
+    rng = random.Random(3)
+    assert len(mutate_program((), 0.5, rng)) == 1
+
+
+@given(st.integers(0, 2**32 - 1), st.floats(0, 1))
+@settings(max_examples=30, deadline=None)
+def test_mutation_always_yields_valid_programs(seed, distance):
+    rng = random.Random(seed)
+    program = random_program(rng, 4)
+    mutated = mutate_program(program, distance, rng)
+    assert 1 <= len(mutated) <= 24
+    for op in mutated:
+        MessageOp(**{f: getattr(op, f) for f in (
+            "kind", "view_delta", "seq_offset", "authentic",
+            "consistent", "sender", "delay_steps",
+        )})  # re-validates every field
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+def harness():
+    return ReplicaHarness(config=tiny_pbft_config(), seed=4)
+
+
+def test_empty_sequence_covers_little():
+    report = harness().run(())
+    assert "effect:crashed" not in report.covered
+    assert report.view_delta == 0
+
+
+def test_bad_mac_request_fires_rejection_branch():
+    op = MessageOp(kind="request", authentic=False)
+    report = harness().run((op,))
+    assert "counter:request_bad_mac" in report.covered
+
+
+def test_authentic_request_is_forwarded_to_primary():
+    op = MessageOp(kind="request", authentic=True)
+    report = harness().run((op,))
+    assert "emitted:ForwardedRequest" in report.covered
+
+
+def test_consistent_preprepare_yields_prepare():
+    ops = (MessageOp(kind="preprepare", authentic=True, consistent=True, view_delta=0),)
+    report = harness().run(ops)
+    assert "emitted:Prepare" in report.covered
+
+
+def test_forged_newview_drags_replica_forward():
+    ops = (MessageOp(kind="newview", consistent=True, view_delta=0),)
+    report = harness().run(ops)
+    assert report.view_delta >= 1
+
+
+def test_coverage_disparity_metric():
+    a = harness().run((MessageOp(kind="request", authentic=False),))
+    b = harness().run((MessageOp(kind="newview", consistent=True),))
+    assert a.disparity(a) == 0.0
+    assert 0.0 < a.disparity(b) <= 1.0
+    assert a.disparity(b) == b.disparity(a)
+
+
+def test_harness_is_deterministic():
+    ops = (MessageOp(kind="preprepare"), MessageOp(kind="viewchange"))
+    assert harness().run(ops).covered == harness().run(ops).covered
+
+
+# ---------------------------------------------------------------------------
+# explorer
+# ---------------------------------------------------------------------------
+def test_explorer_coverage_is_monotone():
+    explorer = SequenceExplorer(harness(), seed=5)
+    result = explorer.explore(budget=25)
+    assert result.executions == 25
+    assert result.coverage_curve == sorted(result.coverage_curve)
+    assert result.coverage_curve[-1] == len(result.total_coverage)
+
+
+def test_explorer_discovers_multiple_behaviours():
+    explorer = SequenceExplorer(harness(), seed=6)
+    result = explorer.explore(budget=40)
+    assert len(result.total_coverage) >= 6
+    found = behaviours_of_interest(result)
+    assert found  # at least one headline behaviour reached
+
+
+def test_corpus_entries_record_their_novelty():
+    explorer = SequenceExplorer(harness(), seed=7)
+    result = explorer.explore(budget=20)
+    seen = set()
+    for entry in result.corpus:
+        assert entry.novel
+        assert not (entry.novel & seen)  # novelty is really novel
+        seen |= entry.novel
+    assert seen == result.total_coverage
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        SequenceExplorer(harness()).explore(budget=0)

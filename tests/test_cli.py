@@ -1,0 +1,55 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in ("campaign", "bigmac", "slow-primary", "dht-attack", "explore", "power"):
+        args = parser.parse_args([command] if command != "campaign" else ["campaign"])
+        assert callable(args.func)
+
+
+def test_unknown_tool_is_a_clean_error():
+    with pytest.raises(SystemExit):
+        main(["campaign", "--tools", "nonsense", "--budget", "2"])
+
+
+def test_dht_attack_command(capsys):
+    assert main(["dht-attack", "--swarm", "12", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "amplification" in out
+
+
+def test_explore_command(capsys):
+    assert main(["explore", "--budget", "15", "--seed", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "behaviours covered" in out
+
+
+def test_campaign_command_saves_results(tmp_path, capsys):
+    out_file = tmp_path / "campaign.json"
+    code = main(
+        [
+            "campaign",
+            "--target", "pbft",
+            "--tools", "mac,clients",
+            "--budget", "4",
+            "--seed", "1",
+            "--out", str(out_file),
+        ]
+    )
+    assert code == 0
+    data = json.loads(out_file.read_text())
+    assert len(data["results"]) == 4
+    out = capsys.readouterr().out
+    assert "impact per test" in out
+
+
+def test_campaign_dht_target(capsys):
+    assert main(["campaign", "--target", "dht", "--budget", "3", "--seed", "2"]) == 0
+    assert "best impact" in capsys.readouterr().out

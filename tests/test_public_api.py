@@ -1,0 +1,51 @@
+"""The public package surface: everything advertised must be importable."""
+
+import repro
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_quickstart_flow_from_docstring():
+    # The README/docstring quickstart, miniaturized.
+    from repro import AvdExploration, MacCorruptionPlugin, PbftTarget, run_campaign
+    from repro.plugins import ClientCountPlugin
+    from tests.conftest import tiny_pbft_config
+
+    plugins = [MacCorruptionPlugin(), ClientCountPlugin(4, 8, 4)]
+    target = PbftTarget(plugins, config=tiny_pbft_config())
+    campaign = run_campaign(AvdExploration(target, plugins, seed=1), budget=6)
+    assert len(campaign.results) == 6
+    assert campaign.best is not None
+
+
+def test_subpackages_have_docstrings():
+    import repro.analysis
+    import repro.core
+    import repro.crypto
+    import repro.dht
+    import repro.injection
+    import repro.pbft
+    import repro.plugins
+    import repro.sim
+    import repro.targets
+
+    for module in (
+        repro,
+        repro.analysis,
+        repro.core,
+        repro.crypto,
+        repro.dht,
+        repro.injection,
+        repro.pbft,
+        repro.plugins,
+        repro.sim,
+        repro.targets,
+    ):
+        assert module.__doc__ and len(module.__doc__) > 20
