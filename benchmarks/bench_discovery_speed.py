@@ -13,8 +13,12 @@ for BOTH strategies here; the claim that survives scaling is that the
 attack is found within a few tens of iterations.
 """
 
+import os
 import statistics
+from time import perf_counter
 from typing import Optional
+
+import pytest
 
 from repro.core import AvdExploration, RandomExploration, format_table, run_campaign
 from repro.plugins import ClientCountPlugin, MacCorruptionPlugin
@@ -25,6 +29,12 @@ from _helpers import banner, campaign_config
 SEEDS = (3, 17, 2011)
 BUDGET = 40
 FOUND_IMPACT = 0.95
+
+#: Experiment S1b — parallel campaign engine: serial vs workers=N wall-clock
+#: on an identical 200-test trajectory.
+SPEEDUP_BUDGET = 200
+SPEEDUP_WORKERS = 4
+SPEEDUP_SEED = 17
 
 
 def tests_to_collapse(target, campaign) -> Optional[int]:
@@ -83,5 +93,89 @@ def test_avd_finds_bigmac_in_tens_of_iterations(benchmark):
     ) <= BUDGET  # sanity: the space is findable at this budget
 
 
+# ---------------------------------------------------------------------------
+# Experiment S1b — the parallel campaign engine
+# ---------------------------------------------------------------------------
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed_campaign(workers: int):
+    """One AVD campaign; batch_size is pinned so every worker count runs
+    the exact same exploration trajectory (the determinism guarantee)."""
+    plugins = [MacCorruptionPlugin(), ClientCountPlugin(10, 60, 10)]
+    target = PbftTarget(plugins, config=campaign_config())
+    strategy = AvdExploration(target, plugins, seed=SPEEDUP_SEED)
+    start = perf_counter()
+    campaign = run_campaign(
+        strategy,
+        SPEEDUP_BUDGET,
+        workers=workers,
+        batch_size=2 * SPEEDUP_WORKERS,
+    )
+    return perf_counter() - start, campaign
+
+
+def run_speedup():
+    serial_s, serial = _timed_campaign(workers=1)
+    parallel_s, parallel = _timed_campaign(workers=SPEEDUP_WORKERS)
+    return {
+        "budget": SPEEDUP_BUDGET,
+        "workers": SPEEDUP_WORKERS,
+        "cores": _usable_cores(),
+        "serial_wall_clock_s": serial_s,
+        "parallel_wall_clock_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+        "trajectories_identical": (
+            [(r.key, r.impact) for r in serial.results]
+            == [(r.key, r.impact) for r in parallel.results]
+        ),
+        "best_impact": serial.best.impact if serial.best else 0.0,
+    }
+
+
+def report_speedup(stats) -> None:
+    banner(
+        f"Parallel campaign engine — {stats['budget']} tests, "
+        f"serial vs {stats['workers']} workers",
+        "identical trajectory, wall-clock divided by the worker count",
+    )
+    print(format_table(
+        ["cores", "serial s", f"{stats['workers']}-worker s", "speedup", "identical"],
+        [[
+            stats["cores"],
+            f"{stats['serial_wall_clock_s']:.1f}",
+            f"{stats['parallel_wall_clock_s']:.1f}",
+            f"{stats['speedup']:.2f}x",
+            stats["trajectories_identical"],
+        ]],
+    ))
+
+
+def test_parallel_campaign_speedup(benchmark):
+    """Serial-vs-parallel wall-clock, recorded in the benchmark JSON
+    (``--benchmark-json`` -> ``extra_info``)."""
+    cores = _usable_cores()
+    if cores < 2:
+        pytest.skip(f"speedup needs >= 2 usable cores, have {cores}")
+    stats = benchmark.pedantic(run_speedup, rounds=1, iterations=1)
+    benchmark.extra_info.update(stats)
+    report_speedup(stats)
+    assert stats["trajectories_identical"], "workers changed the trajectory"
+    if cores >= SPEEDUP_WORKERS:
+        assert stats["speedup"] >= 2.0, (
+            f"expected >= 2x at {SPEEDUP_WORKERS} workers on {cores} cores, "
+            f"got {stats['speedup']:.2f}x"
+        )
+    else:
+        assert stats["speedup"] >= 1.2, (
+            f"expected some speedup on {cores} cores, got {stats['speedup']:.2f}x"
+        )
+
+
 if __name__ == "__main__":
     report(*run_discovery())
+    report_speedup(run_speedup())

@@ -42,6 +42,7 @@ from .core import (
     GeneticExploration,
     Hyperspace,
     POWER_LADDER,
+    ParallelScenarioExecutor,
     RandomExploration,
     ScenarioResult,
     TestController,
@@ -98,6 +99,7 @@ __all__ = [
     "MessageSynthesisPlugin",
     "NetworkFaultPlugin",
     "POWER_LADDER",
+    "ParallelScenarioExecutor",
     "PbftConfig",
     "PbftDeployment",
     "PbftRunResult",

@@ -26,6 +26,7 @@ from .core import (
     compare_campaigns,
     estimate_difficulty,
     format_table,
+    resolve_workers,
     run_campaign,
     sparkline,
 )
@@ -98,11 +99,15 @@ def cmd_campaign(args) -> int:
         strategy = RandomExploration(target, seed=args.seed)
     else:
         strategy = GeneticExploration(target, plugins, seed=args.seed)
+    workers = resolve_workers(args.workers)
+    note = f" on {workers} workers" if workers > 1 else ""
     print(
         f"exploring {target.hyperspace.size:,} scenarios with "
-        f"'{args.strategy}' for {args.budget} tests ..."
+        f"'{args.strategy}' for {args.budget} tests{note} ..."
     )
-    campaign = run_campaign(strategy, args.budget)
+    campaign = run_campaign(
+        strategy, args.budget, workers=workers, batch_size=args.batch_size
+    )
     print(describe_best(compare_campaigns([campaign])))
     print("impact per test:", sparkline(campaign.impacts()))
     if args.out:
@@ -225,6 +230,16 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--strategy", choices=("avd", "random", "genetic"), default="avd")
     campaign.add_argument("--budget", type=int, default=40)
     campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument(
+        "--workers", type=int, default=1,
+        help="concurrent test executions (0 = one per CPU); the exploration "
+             "trajectory for a given seed does not depend on this",
+    )
+    campaign.add_argument(
+        "--batch-size", type=int, default=None,
+        help="scenarios generated speculatively per round "
+             "(default: 1 serial, 2x workers parallel)",
+    )
     campaign.add_argument("--fixed-timers", action="store_true")
     campaign.add_argument("--aardvark", action="store_true")
     campaign.add_argument("--out", help="save results to this JSON file")

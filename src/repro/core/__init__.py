@@ -27,6 +27,7 @@ from .hyperspace import (
     IntRangeDimension,
     coords_key,
 )
+from .parallel import ParallelScenarioExecutor, resolve_workers
 from .plugin import ToolPlugin
 from .power import (
     AccessLevel,
@@ -61,6 +62,7 @@ __all__ = [
     "Hyperspace",
     "IntRangeDimension",
     "POWER_LADDER",
+    "ParallelScenarioExecutor",
     "PluginSampler",
     "PluginStats",
     "RandomExploration",
@@ -78,6 +80,7 @@ __all__ = [
     "estimate_difficulty",
     "format_table",
     "heatmap",
+    "resolve_workers",
     "sparkline",
     "weighted_choice",
 ]

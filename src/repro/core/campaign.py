@@ -72,9 +72,22 @@ class CampaignResult:
         return out
 
 
-def run_campaign(strategy: ExplorationStrategy, budget: int) -> CampaignResult:
-    """Run a strategy to its budget and wrap the results."""
-    results = strategy.run(budget)
+def run_campaign(
+    strategy: ExplorationStrategy,
+    budget: int,
+    workers: Optional[int] = 1,
+    batch_size: Optional[int] = None,
+) -> CampaignResult:
+    """Run a strategy to its budget and wrap the results.
+
+    ``workers``/``batch_size`` enable concurrent scenario execution for the
+    strategies that support it (AVD, random, exhaustive); the result
+    trajectory depends only on ``(seed, batch_size)``, never on ``workers``.
+    """
+    if workers == 1 and batch_size is None:
+        results = strategy.run(budget)
+    else:
+        results = strategy.run(budget, workers=workers, batch_size=batch_size)
     return CampaignResult(strategy=strategy.name, results=list(results))
 
 

@@ -23,6 +23,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Set
 
 from .executor import ScenarioExecutor, TargetSystem
 from .hyperspace import CoordsKey
+from .parallel import ParallelScenarioExecutor, resolve_workers
 from .plugin import ToolPlugin
 from .sampling import PluginSampler, TopSet
 from .scenario import ScenarioResult, TestScenario
@@ -78,11 +79,14 @@ class TestController:
         if len(self.plugins) != len(plugins):
             raise ValueError("duplicate plugin names")
         self.config = config
+        self.campaign_seed = seed
         self.rng = random.Random(seed)
         self.executor = ScenarioExecutor(target, campaign_seed=seed)
 
         self.top_set = TopSet(capacity=config.top_set_size)  # Pi
         self.pending: Deque[TestScenario] = deque()  # Psi
+        #: Companion set of Psi's keys so dedup is O(1), not O(|Psi|).
+        self._pending_keys: Set[CoordsKey] = set()
         self.history: Set[CoordsKey] = set()  # Omega
         self.max_impact = 0.0  # mu
         self.results: List[ScenarioResult] = []
@@ -109,11 +113,20 @@ class TestController:
         if not explore_randomly:
             scenario = self._generate_mutation()
             if scenario is not None:
-                self.pending.append(scenario)
+                self._enqueue(scenario)
                 return scenario
         scenario = self._generate_random()
         if scenario is not None:
-            self.pending.append(scenario)
+            self._enqueue(scenario)
+        return scenario
+
+    def _enqueue(self, scenario: TestScenario) -> None:
+        self.pending.append(scenario)
+        self._pending_keys.add(scenario.key)
+
+    def _dequeue(self) -> TestScenario:
+        scenario = self.pending.popleft()
+        self._pending_keys.discard(scenario.key)
         return scenario
 
     def _generate_mutation(self) -> Optional[TestScenario]:
@@ -153,9 +166,7 @@ class TestController:
         return None
 
     def _is_new(self, key: CoordsKey) -> bool:
-        if key in self.history:
-            return False
-        return all(pending.key != key for pending in self.pending)
+        return key not in self.history and key not in self._pending_keys
 
     # ------------------------------------------------------------------
     # execution (the worker)
@@ -164,7 +175,7 @@ class TestController:
         """Dequeue one scenario from Psi, run it, update Pi/Omega/mu."""
         if not self.pending:
             return None
-        scenario = self.pending.popleft()
+        scenario = self._dequeue()
         result = self.executor.execute(scenario, test_index=len(self.results))
         self._absorb(result)
         return result
@@ -179,15 +190,68 @@ class TestController:
             parent_impact = self._parent_impact.pop(result.key, 0.0)
             self.plugin_sampler.record(result.scenario.plugin, parent_impact, result.impact)
 
-    def run(self, budget: int) -> List[ScenarioResult]:
-        """Run ``budget`` tests end to end; returns results in order."""
+    def run(
+        self,
+        budget: int,
+        workers: Optional[int] = 1,
+        batch_size: Optional[int] = None,
+    ) -> List[ScenarioResult]:
+        """Run ``budget`` tests end to end; returns results in order.
+
+        ``workers`` sets how many scenarios execute concurrently (on a
+        process pool; ``0``/``None`` means one per CPU). ``batch_size``
+        controls speculative generation: each round, up to that many
+        unexplored scenarios are generated from the *current* Pi/mu
+        snapshot, executed concurrently, and absorbed in submission order.
+        It defaults to ``1`` serially and ``2 * workers`` otherwise.
+
+        Determinism: the exploration trajectory is a pure function of
+        ``(seed, batch_size)`` — the worker count only changes wall-clock
+        time, never the results (see ``tests/core/test_parallel.py``).
+        """
         if budget < 1:
             raise ValueError("budget must be >= 1")
+        workers = resolve_workers(workers)
+        if batch_size is None:
+            batch_size = 1 if workers == 1 else 2 * workers
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if workers == 1 and batch_size == 1:
+            return self._run_serial(budget)
+        with ParallelScenarioExecutor(
+            self.target, campaign_seed=self.campaign_seed, workers=workers
+        ) as pool:
+            return self._run_batched(budget, batch_size, pool)
+
+    def _run_serial(self, budget: int) -> List[ScenarioResult]:
+        """The paper's strictly sequential Algorithm 1 loop."""
         while len(self.results) < budget:
             if not self.pending and self.generate() is None:
                 break  # hyperspace exhausted
             if self.execute_next() is None:
                 break
+        return self.results
+
+    def _run_batched(
+        self, budget: int, batch_size: int, pool: ParallelScenarioExecutor
+    ) -> List[ScenarioResult]:
+        """Batched speculative generation + concurrent execution.
+
+        With ``batch_size=1`` this degenerates to exactly the serial loop
+        (generate one, execute one); larger batches trade a little guidance
+        staleness — siblings are generated before their predecessors'
+        impacts are known — for parallel execution.
+        """
+        while len(self.results) < budget:
+            room = min(batch_size, budget - len(self.results))
+            while len(self.pending) < room:
+                if self.generate() is None:
+                    break  # hyperspace (locally) exhausted
+            if not self.pending:
+                break
+            batch = [self._dequeue() for _ in range(min(room, len(self.pending)))]
+            for result in pool.execute_batch(batch, start_index=len(self.results)):
+                self._absorb(result)
         return self.results
 
     # ------------------------------------------------------------------

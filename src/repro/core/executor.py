@@ -9,6 +9,7 @@ contaminates measurements.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional, Protocol
 
 from ..sim.rng import derive_seed
@@ -49,6 +50,11 @@ class ScenarioExecutor:
         seed = derive_seed(self.campaign_seed, f"scenario:{scenario.key}")
         measurement = self.target.execute(params, seed)
         impact = self.target.impact_of(measurement, params)
+        if math.isnan(impact):
+            raise ValueError(
+                f"target returned NaN impact for scenario {scenario.key} "
+                "(impact must be a number in [0, 1])"
+            )
         if not 0.0 <= impact <= 1.0:
             raise ValueError(f"target returned impact outside [0, 1]: {impact}")
         self.executed += 1

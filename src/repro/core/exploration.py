@@ -8,22 +8,37 @@ cites GA-based meta-heuristics [Inkumsah & Xie] as kin of its approach).
 
 from __future__ import annotations
 
+import itertools
 import random
 from typing import List, Optional, Sequence
 
 from .controller import ControllerConfig, TestController
 from .executor import ScenarioExecutor, TargetSystem
 from .hyperspace import Hyperspace, coords_key
+from .parallel import ParallelScenarioExecutor, resolve_workers
 from .plugin import ToolPlugin
 from .scenario import ScenarioResult, TestScenario
 
 
 class ExplorationStrategy:
-    """Common interface: run ``budget`` tests, return ordered results."""
+    """Common interface: run ``budget`` tests, return ordered results.
+
+    ``workers``/``batch_size`` request concurrent scenario execution.
+    Strategies whose next test depends on the previous result (annealing,
+    generational GAs between generations) are inherently sequential and
+    ignore them; for the strategies that do parallelize, the result
+    trajectory is independent of ``workers`` (see
+    :mod:`repro.core.parallel`).
+    """
 
     name = "strategy"
 
-    def run(self, budget: int) -> List[ScenarioResult]:
+    def run(
+        self,
+        budget: int,
+        workers: Optional[int] = 1,
+        batch_size: Optional[int] = None,
+    ) -> List[ScenarioResult]:
         raise NotImplementedError
 
 
@@ -41,30 +56,66 @@ class AvdExploration(ExplorationStrategy):
     ) -> None:
         self.controller = TestController(target, plugins, seed=seed, config=config)
 
-    def run(self, budget: int) -> List[ScenarioResult]:
-        return self.controller.run(budget)
+    def run(
+        self,
+        budget: int,
+        workers: Optional[int] = 1,
+        batch_size: Optional[int] = None,
+    ) -> List[ScenarioResult]:
+        return self.controller.run(budget, workers=workers, batch_size=batch_size)
 
 
 class RandomExploration(ExplorationStrategy):
-    """Uniform random sampling of the hyperspace (Figure 2's baseline)."""
+    """Uniform random sampling of the hyperspace (Figure 2's baseline).
+
+    Scenario generation never looks at results, so the sampled trajectory
+    is identical for every ``workers``/``batch_size`` combination.
+    """
 
     name = "random"
 
     def __init__(self, target: TargetSystem, seed: int = 0) -> None:
         self.target = target
+        self.seed = seed
         self.rng = random.Random(seed)
         self.executor = ScenarioExecutor(target, campaign_seed=seed)
         self.results: List[ScenarioResult] = []
         self._seen = set()
 
-    def run(self, budget: int) -> List[ScenarioResult]:
-        while len(self.results) < budget:
-            scenario = self._fresh_random()
-            if scenario is None:
-                break
-            result = self.executor.execute(scenario, test_index=len(self.results))
-            self._seen.add(result.key)
-            self.results.append(result)
+    def run(
+        self,
+        budget: int,
+        workers: Optional[int] = 1,
+        batch_size: Optional[int] = None,
+    ) -> List[ScenarioResult]:
+        workers = resolve_workers(workers)
+        if workers == 1:
+            while len(self.results) < budget:
+                scenario = self._fresh_random()
+                if scenario is None:
+                    break
+                result = self.executor.execute(scenario, test_index=len(self.results))
+                self._seen.add(result.key)
+                self.results.append(result)
+            return self.results
+        if batch_size is None:
+            batch_size = 2 * workers
+        with ParallelScenarioExecutor(
+            self.target, campaign_seed=self.seed, workers=workers
+        ) as pool:
+            while len(self.results) < budget:
+                batch: List[TestScenario] = []
+                while len(batch) < min(batch_size, budget - len(self.results)):
+                    scenario = self._fresh_random()
+                    if scenario is None:
+                        break
+                    self._seen.add(scenario.key)
+                    batch.append(scenario)
+                if not batch:
+                    break
+                self.results.extend(
+                    pool.execute_batch(batch, start_index=len(self.results))
+                )
         return self.results
 
     def _fresh_random(self) -> Optional[TestScenario]:
@@ -87,18 +138,48 @@ class ExhaustiveExploration(ExplorationStrategy):
         hyperspace: Optional[Hyperspace] = None,
     ) -> None:
         self.target = target
+        self.campaign_seed = seed
         self.executor = ScenarioExecutor(target, campaign_seed=seed)
         self.hyperspace = hyperspace if hyperspace is not None else target.hyperspace
         self.results: List[ScenarioResult] = []
 
-    def run(self, budget: Optional[int] = None) -> List[ScenarioResult]:
-        for coords in self.hyperspace.iter_grid():
-            if budget is not None and len(self.results) >= budget:
-                break
-            scenario = TestScenario(coords=coords, origin="exhaustive")
-            self.results.append(
-                self.executor.execute(scenario, test_index=len(self.results))
-            )
+    def run(
+        self,
+        budget: Optional[int] = None,
+        workers: Optional[int] = 1,
+        batch_size: Optional[int] = None,
+    ) -> List[ScenarioResult]:
+        workers = resolve_workers(workers)
+        if workers == 1:
+            for coords in self.hyperspace.iter_grid():
+                if budget is not None and len(self.results) >= budget:
+                    break
+                scenario = TestScenario(coords=coords, origin="exhaustive")
+                self.results.append(
+                    self.executor.execute(scenario, test_index=len(self.results))
+                )
+            return self.results
+        # The grid is predetermined, so sweeping it is embarrassingly
+        # parallel; batches preserve row-major result order.
+        if batch_size is None:
+            batch_size = 4 * workers
+        grid = self.hyperspace.iter_grid()
+        with ParallelScenarioExecutor(
+            self.target, campaign_seed=self.campaign_seed, workers=workers
+        ) as pool:
+            while budget is None or len(self.results) < budget:
+                room = batch_size
+                if budget is not None:
+                    room = min(room, budget - len(self.results))
+                batch = [
+                    TestScenario(coords=coords, origin="exhaustive")
+                    for coords in itertools.islice(grid, room)
+                ]
+                if not batch:
+                    break
+                self.results.extend(
+                    pool.execute_batch(batch, start_index=len(self.results))
+                )
         return self.results
 
 
@@ -128,7 +209,13 @@ class GeneticExploration(ExplorationStrategy):
         self.results: List[ScenarioResult] = []
         self._seen = set()
 
-    def run(self, budget: int) -> List[ScenarioResult]:
+    def run(
+        self,
+        budget: int,
+        workers: Optional[int] = 1,
+        batch_size: Optional[int] = None,
+    ) -> List[ScenarioResult]:
+        # Generations depend on each other; execution stays sequential.
         population: List[ScenarioResult] = []
         while len(self.results) < budget:
             if not population:
@@ -210,7 +297,13 @@ class AnnealingExploration(ExplorationStrategy):
         self.results: List[ScenarioResult] = []
         self._seen = set()
 
-    def run(self, budget: int) -> List[ScenarioResult]:
+    def run(
+        self,
+        budget: int,
+        workers: Optional[int] = 1,
+        batch_size: Optional[int] = None,
+    ) -> List[ScenarioResult]:
+        # A single walker: each step needs the previous step's impact.
         import math
 
         current = self._evaluate(self._random_scenario())

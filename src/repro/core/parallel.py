@@ -1,0 +1,178 @@
+"""Parallel campaign execution: the multi-worker scenario engine.
+
+Sec. 3 of the paper describes the execution side of AVD as a worker model:
+"a worker thread dequeues scenarios from Psi, instantiates the test
+configuration, executes the test and computes the impact". Tests are
+independent — the target re-initializes the distributed system for every
+test — so nothing in the algorithm requires them to run one at a time.
+
+:class:`ParallelScenarioExecutor` executes *batches* of scenarios, either
+in-process (``workers=1``) or on a ``concurrent.futures`` process pool.
+Two properties make concurrency safe for the meta-heuristic's measurements:
+
+1. every scenario's simulation seed derives from ``(campaign_seed,
+   scenario.key)`` (see :func:`repro.sim.rng.derive_seed`), so a scenario's
+   measurement is a pure function of the scenario, not of scheduling;
+2. results are returned in **submission order**, never completion order, so
+   callers absorb them into Pi/Omega/mu exactly as a serial worker would.
+
+Together these give the determinism guarantee the test harness in
+``tests/core/test_parallel.py`` enforces: for a fixed ``(seed,
+batch_size)`` the exploration trajectory is bit-identical regardless of
+worker count.
+
+Targets are shipped to workers by pickling them once per worker process
+(via the pool initializer), not once per task. Targets that cannot be
+pickled — closures, open simulators, test doubles with lambdas — degrade
+gracefully: the executor falls back to in-process execution, which yields
+the same results, only serially.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Sequence
+
+from .executor import ScenarioExecutor, TargetSystem
+from .scenario import ScenarioResult, TestScenario
+
+#: Each worker process holds one executor, built once by the initializer.
+_WORKER_EXECUTOR: Optional[ScenarioExecutor] = None
+
+
+def _init_worker(target_blob: bytes, campaign_seed: int) -> None:
+    global _WORKER_EXECUTOR
+    target = pickle.loads(target_blob)
+    _WORKER_EXECUTOR = ScenarioExecutor(target, campaign_seed=campaign_seed)
+
+
+def _execute_in_worker(scenario: TestScenario, test_index: int) -> ScenarioResult:
+    executor = _WORKER_EXECUTOR
+    if executor is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker process was not initialized")
+    return executor.execute(scenario, test_index)
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count request.
+
+    ``None`` or ``0`` means "one worker per available CPU"; anything else
+    must be a positive integer.
+    """
+    if workers is None or workers == 0:
+        try:
+            available = len(os.sched_getaffinity(0))
+        except AttributeError:  # platforms without affinity masks
+            available = os.cpu_count() or 1
+        return max(1, available)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 (0 = auto), got {workers}")
+    return workers
+
+
+class ParallelScenarioExecutor:
+    """Executes scenario batches against a target, serially or on a pool.
+
+    The pool is created lazily on the first multi-scenario batch and is
+    reused for the executor's lifetime; use the instance as a context
+    manager (or call :meth:`close`) to release the worker processes.
+    """
+
+    def __init__(
+        self,
+        target: TargetSystem,
+        campaign_seed: int = 0,
+        workers: Optional[int] = 1,
+    ) -> None:
+        self.target = target
+        self.campaign_seed = campaign_seed
+        self.workers = resolve_workers(workers)
+        #: Scenarios executed through this instance (any mode).
+        self.executed = 0
+        #: True once the pool was abandoned (non-picklable target, broken
+        #: workers); execution then stays in-process for the lifetime.
+        self.fallback_serial = False
+        self._local = ScenarioExecutor(target, campaign_seed=campaign_seed)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ParallelScenarioExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self.fallback_serial or self.workers <= 1:
+            return None
+        if self._pool is None:
+            try:
+                target_blob = pickle.dumps(self.target)
+            except Exception:
+                # Non-picklable target: stay in-process. Same results,
+                # serial wall-clock.
+                self.fallback_serial = True
+                return None
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(target_blob, self.campaign_seed),
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self, scenarios: Sequence[TestScenario], start_index: int
+    ) -> List[ScenarioResult]:
+        """Execute ``scenarios``; results come back in submission order.
+
+        ``start_index`` is the campaign-wide index of the first scenario;
+        scenario ``i`` of the batch gets ``test_index = start_index + i``,
+        exactly as if a serial worker had drained the queue.
+        """
+        if not scenarios:
+            return []
+        pool = self._ensure_pool() if len(scenarios) > 1 else None
+        if pool is None:
+            return self._execute_local(scenarios, start_index)
+        try:
+            futures = [
+                pool.submit(_execute_in_worker, scenario, start_index + offset)
+                for offset, scenario in enumerate(scenarios)
+            ]
+            results = [future.result() for future in futures]
+        except (BrokenProcessPool, pickle.PicklingError):
+            # A worker died or a scenario/result refused to cross the
+            # process boundary: recompute the whole batch in-process (the
+            # per-scenario seeds make the redo identical, minus the crash).
+            self.fallback_serial = True
+            self.close()
+            return self._execute_local(scenarios, start_index)
+        self.executed += len(results)
+        return results
+
+    def _execute_local(
+        self, scenarios: Sequence[TestScenario], start_index: int
+    ) -> List[ScenarioResult]:
+        results = [
+            self._local.execute(scenario, start_index + offset)
+            for offset, scenario in enumerate(scenarios)
+        ]
+        self.executed += len(results)
+        return results
+
+
+__all__ = ["ParallelScenarioExecutor", "resolve_workers"]

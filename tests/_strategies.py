@@ -1,0 +1,116 @@
+"""Shared property-test helpers: seed sweeps and the mutate contract.
+
+Used by the plugin contract tests (``tests/plugins/test_plugins.py``) and
+the parallel-campaign determinism harness (``tests/core/test_parallel.py``).
+Plain loops over derived seeds rather than ``hypothesis`` so sweeps stay
+deterministic, cheap, and trivially reproducible from a failure message.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core import Coords, Hyperspace, ToolPlugin
+from repro.sim.rng import derive_seed
+
+
+def seed_sweep(count: int, label: str = "sweep") -> List[int]:
+    """``count`` well-spread, deterministic seeds for property-style loops.
+
+    Seeds are derived (SHA-256) from the label and index, so two sweeps
+    with different labels never share RNG streams, and a failing seed can
+    be replayed by name.
+    """
+    return [derive_seed(index, label) for index in range(count)]
+
+
+def campaign_seeds(count: int) -> List[int]:
+    """Small, human-readable seeds for whole-campaign determinism runs."""
+    return [11 * (index + 1) for index in range(count)]
+
+
+def sweep_points(
+    plugin: ToolPlugin, seeds: Sequence[int]
+) -> Iterator[Tuple[random.Random, Hyperspace, Coords]]:
+    """One random in-bounds parent point per seed, with its RNG and space."""
+    space = Hyperspace(list(plugin.dimensions()))
+    for seed in seeds:
+        rng = random.Random(seed)
+        yield rng, space, space.random_coords(rng)
+
+
+def assert_mutation_in_bounds(
+    plugin: ToolPlugin,
+    seeds: Sequence[int],
+    distances: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+) -> None:
+    """Contract: ``mutate`` never raises and never leaves the hyperspace."""
+    for rng, space, parent in sweep_points(plugin, seeds):
+        for distance in distances:
+            child = plugin.mutate(dict(parent), distance, rng, space)
+            space.validate(child)  # raises on any out-of-bounds position
+            assert set(child) == set(parent), (
+                f"{plugin.name}: mutate changed the dimension set "
+                f"{sorted(parent)} -> {sorted(child)} (seed sweep)"
+            )
+
+
+def assert_weak_mutation_is_local(
+    plugin: ToolPlugin, seeds: Sequence[int], max_changed_dims: int = 1
+) -> None:
+    """Contract: ``distance=0.0`` stays *near* the parent.
+
+    "Near" across every shipped plugin means: at most ``max_changed_dims``
+    dimensions move, and any moved dimension moves by exactly one position
+    (for Gray-coded dimensions, one position = one flipped bit).
+    """
+    for rng, space, parent in sweep_points(plugin, seeds):
+        child = plugin.mutate(dict(parent), 0.0, rng, space)
+        moved = {
+            name: abs(child[name] - parent[name])
+            for name in parent
+            if child[name] != parent[name]
+        }
+        assert len(moved) <= max_changed_dims, (
+            f"{plugin.name}: weak mutation moved {sorted(moved)} "
+            f"({len(moved)} dims > {max_changed_dims})"
+        )
+        for name, delta in moved.items():
+            assert delta == 1, (
+                f"{plugin.name}: weak mutation jumped {name} by {delta} positions"
+            )
+
+
+def assert_mutation_eventually_moves(
+    plugin: ToolPlugin, seeds: Sequence[int], attempts: int = 8
+) -> None:
+    """Contract: mutation is not a no-op generator (unless the space is 1 point)."""
+    for rng, space, parent in sweep_points(plugin, seeds):
+        if space.size == 1:
+            continue
+        if any(
+            plugin.mutate(dict(parent), 1.0, rng, space) != parent
+            for _ in range(attempts)
+        ):
+            continue
+        raise AssertionError(f"{plugin.name}: {attempts} strong mutations were all no-ops")
+
+
+def trajectory(results) -> List[Tuple]:
+    """The bit-comparable identity of an exploration run, test by test."""
+    return [
+        (result.test_index, result.key, result.impact, result.scenario.origin)
+        for result in results
+    ]
+
+
+__all__ = [
+    "assert_mutation_eventually_moves",
+    "assert_mutation_in_bounds",
+    "assert_weak_mutation_is_local",
+    "campaign_seeds",
+    "seed_sweep",
+    "sweep_points",
+    "trajectory",
+]

@@ -64,6 +64,26 @@ def test_executor_rejects_out_of_range_impact():
         executor.execute(scenario, 0)
 
 
+def test_executor_rejects_nan_impact_with_explicit_message():
+    class NanTarget:
+        def __init__(self, inner):
+            self.hyperspace = inner.hyperspace
+
+        def execute(self, params, seed):
+            return {}
+
+        def impact_of(self, measurement, params):
+            return float("nan")
+
+    target, _ = make_hill_target()
+    executor = ScenarioExecutor(NanTarget(target), campaign_seed=0)
+    import random as random_module
+
+    scenario = TestScenario(coords=target.hyperspace.random_coords(random_module.Random(3)))
+    with pytest.raises(ValueError, match="NaN impact"):
+        executor.execute(scenario, 0)
+
+
 def test_scenario_result_key_delegates():
     scenario = TestScenario(coords={"x": 3})
     result = ScenarioResult(scenario=scenario, impact=0.5, test_index=0)

@@ -152,6 +152,42 @@ def test_campaign_smoothing():
         campaign.smoothed([1.0], window=0)
 
 
+def test_smoothing_window_larger_than_series():
+    campaign = make_campaign([])
+    # A window wider than the series degrades to the running mean.
+    assert campaign.smoothed([2.0, 4.0, 6.0], window=10) == [2.0, 3.0, 4.0]
+    assert campaign.smoothed([], window=10) == []
+
+
+def test_tests_to_reach_on_empty_results():
+    campaign = make_campaign([])
+    assert campaign.results == []
+    assert campaign.tests_to_reach(0.0) is None
+    assert campaign.best is None
+    assert campaign.best_so_far() == []
+    assert campaign.impacts() == []
+
+
+def test_measurement_series_with_missing_attributes():
+    class Throughput:
+        throughput_rps = 120.5
+
+    campaign = CampaignResult(
+        strategy="x",
+        results=[
+            make_result(0.1, position=0, measurement=Throughput()),
+            make_result(0.2, position=1, measurement=object()),  # attr missing
+            make_result(0.3, position=2, measurement=None),  # no measurement
+        ],
+    )
+    assert campaign.measurement_series("throughput_rps") == [120.5, 0.0, 0.0]
+    assert campaign.measurement_series("throughput_rps", default=-1.0) == [
+        120.5,
+        -1.0,
+        -1.0,
+    ]
+
+
 def test_compare_campaigns_summary():
     summary = compare_campaigns(
         [make_campaign([0.2, 0.9], "avd"), make_campaign([0.1, 0.1], "random")],

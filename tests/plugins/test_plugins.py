@@ -33,6 +33,12 @@ from repro.plugins.primary_behavior import (
     PRIMARY_TICK_DIMENSION,
 )
 from repro.targets import PbftScenarioSpec
+from tests._strategies import (
+    assert_mutation_eventually_moves,
+    assert_mutation_in_bounds,
+    assert_weak_mutation_is_local,
+    seed_sweep,
+)
 
 
 def spec():
@@ -276,26 +282,37 @@ def test_primary_colluding_mode_adds_broadcasting_client():
 
 
 # ---------------------------------------------------------------------------
-# cross-cutting: every plugin's default mutate stays inside its hyperspace
+# cross-cutting: the mutate() contract, property-style over a seed sweep
+# (shared generators live in tests/_strategies.py)
 # ---------------------------------------------------------------------------
-@pytest.mark.parametrize(
-    "plugin",
-    [
-        MacCorruptionPlugin(),
-        ClientCountPlugin(),
-        MessageReorderPlugin(),
-        NetworkFaultPlugin(),
-        LibraryFaultPlugin(),
-        PrimaryBehaviorPlugin(),
-        MessageSynthesisPlugin(),
-    ],
-    ids=lambda plugin: plugin.name,
+ALL_PLUGINS = [
+    MacCorruptionPlugin(),
+    ClientCountPlugin(),
+    MessageReorderPlugin(),
+    NetworkFaultPlugin(),
+    LibraryFaultPlugin(),
+    PrimaryBehaviorPlugin(),
+    MessageSynthesisPlugin(),
+]
+
+parametrize_plugins = pytest.mark.parametrize(
+    "plugin", ALL_PLUGINS, ids=lambda plugin: plugin.name
 )
-def test_mutation_always_yields_valid_coords(plugin):
-    space = space_of(plugin)
-    rng = random.Random(5)
-    coords = space.random_coords(rng)
-    for distance in (0.0, 0.3, 0.7, 1.0):
-        for _ in range(10):
-            child = plugin.mutate(dict(coords), distance, rng, space)
-            space.validate(child)
+
+
+@parametrize_plugins
+def test_mutation_stays_in_bounds_across_seed_sweep(plugin):
+    seeds = seed_sweep(200, label=f"bounds:{plugin.name}")
+    assert_mutation_in_bounds(plugin, seeds)
+
+
+@parametrize_plugins
+def test_weak_mutation_stays_near_parent_across_seed_sweep(plugin):
+    seeds = seed_sweep(200, label=f"local:{plugin.name}")
+    assert_weak_mutation_is_local(plugin, seeds)
+
+
+@parametrize_plugins
+def test_mutation_is_not_a_no_op_generator(plugin):
+    seeds = seed_sweep(50, label=f"moves:{plugin.name}")
+    assert_mutation_eventually_moves(plugin, seeds)

@@ -50,6 +50,25 @@ def test_campaign_command_saves_results(tmp_path, capsys):
     assert "impact per test" in out
 
 
+def test_campaign_workers_flag_keeps_trajectory(tmp_path, capsys):
+    """--workers parallelizes execution without changing what is explored."""
+    serial_file = tmp_path / "serial.json"
+    parallel_file = tmp_path / "parallel.json"
+    base = ["campaign", "--tools", "mac", "--budget", "4", "--seed", "7"]
+    assert main(base + ["--batch-size", "2", "--out", str(serial_file)]) == 0
+    assert main(base + ["--workers", "2", "--batch-size", "2",
+                        "--out", str(parallel_file)]) == 0
+    serial = json.loads(serial_file.read_text())
+    parallel = json.loads(parallel_file.read_text())
+    assert [r["coords"] for r in serial["results"]] == [
+        r["coords"] for r in parallel["results"]
+    ]
+    assert [r["impact"] for r in serial["results"]] == [
+        r["impact"] for r in parallel["results"]
+    ]
+    assert "on 2 workers" in capsys.readouterr().out
+
+
 def test_campaign_dht_target(capsys):
     assert main(["campaign", "--target", "dht", "--budget", "3", "--seed", "2"]) == 0
     assert "best impact" in capsys.readouterr().out
