@@ -43,7 +43,10 @@ from .core import (
     Hyperspace,
     POWER_LADDER,
     ParallelScenarioExecutor,
+    Quarantine,
     RandomExploration,
+    RetryPolicy,
+    ScenarioFailure,
     ScenarioResult,
     TestController,
     TestScenario,
@@ -51,7 +54,12 @@ from .core import (
     available_plugins,
     compare_campaigns,
     estimate_difficulty,
+    load_campaign,
+    load_checkpoint,
+    restore_controller,
     run_campaign,
+    save_campaign,
+    save_checkpoint,
 )
 from .dht import DhtConfig, DhtDeployment, run_dht_deployment
 from .pbft import (
@@ -105,9 +113,12 @@ __all__ = [
     "PbftRunResult",
     "PbftTarget",
     "PrimaryBehaviorPlugin",
+    "Quarantine",
     "RandomExploration",
     "ReplicaBehavior",
+    "RetryPolicy",
     "RoutingPoisonPlugin",
+    "ScenarioFailure",
     "ScenarioResult",
     "SlowPrimaryPolicy",
     "TestController",
@@ -116,7 +127,12 @@ __all__ = [
     "available_plugins",
     "compare_campaigns",
     "estimate_difficulty",
+    "load_campaign",
+    "load_checkpoint",
+    "restore_controller",
     "run_campaign",
+    "save_campaign",
+    "save_checkpoint",
     "run_deployment",
     "run_dht_deployment",
     "__version__",

@@ -3,6 +3,7 @@
 Commands
 --------
 campaign    run an AVD (or baseline) campaign against a target
+resume      continue a killed campaign from its checkpoint file
 bigmac      sweep the Big MAC mask family against PBFT
 slow-primary demonstrate the shared-timer bug and its fixes
 dht-attack  measure the DHT redirection DoS
@@ -18,9 +19,12 @@ from typing import List, Optional
 
 from .core import (
     AvdExploration,
+    CampaignResult,
+    ControllerConfig,
     GeneticExploration,
     POWER_LADDER,
     RandomExploration,
+    RetryPolicy,
     available_plugins,
     describe_best,
     compare_campaigns,
@@ -30,7 +34,11 @@ from .core import (
     run_campaign,
     sparkline,
 )
-from .core.persistence import save_campaign
+from .core.persistence import (
+    load_checkpoint,
+    restore_controller,
+    save_campaign,
+)
 from .dht import run_dht_deployment
 from .pbft import (
     ClientBehavior,
@@ -82,23 +90,63 @@ def _pbft_config(args) -> PbftConfig:
     return PbftConfig.campaign_scale(**overrides)
 
 
+def _build_target(target_name: str, tool_names: List[str], fixed_timers: bool, aardvark: bool):
+    """Rebuild (target, plugins) from CLI-level choices (campaign + resume)."""
+    if target_name == "pbft":
+        plugins = _build_plugins(tool_names)
+        overrides = {}
+        if fixed_timers:
+            overrides["per_request_timers"] = True
+        if aardvark:
+            overrides["defenses"] = DefenseConfig.aardvark()
+        target = PbftTarget(plugins, config=PbftConfig.campaign_scale(**overrides))
+    else:
+        plugins = [RoutingPoisonPlugin()]
+        target = DhtTarget(plugins)
+    return target, plugins
+
+
+def _print_campaign_summary(campaign) -> None:
+    print(describe_best(compare_campaigns([campaign])))
+    print("impact per test:", sparkline(campaign.impacts()))
+    failures = campaign.failures()
+    if failures:
+        kinds = {}
+        for failure in failures:
+            kinds[failure.kind] = kinds.get(failure.kind, 0) + 1
+        rendered = ", ".join(f"{kind}: {count}" for kind, count in sorted(kinds.items()))
+        print(f"failures: {len(failures)} quarantined ({rendered})")
+
+
 # ---------------------------------------------------------------------------
 # commands
 # ---------------------------------------------------------------------------
 def cmd_campaign(args) -> int:
-    plugins = _build_plugins(args.tools.split(","))
-    if args.target == "pbft":
-        target = PbftTarget(plugins, config=_pbft_config(args))
-    else:
-        poison = RoutingPoisonPlugin()
-        plugins = [poison]
-        target = DhtTarget(plugins)
+    target, plugins = _build_target(
+        args.target, args.tools.split(","), args.fixed_timers, args.aardvark
+    )
+    config = ControllerConfig(
+        fault_isolation=not args.no_fault_isolation,
+        scenario_timeout=args.scenario_timeout,
+        retry=RetryPolicy(max_attempts=args.retries),
+    )
     if args.strategy == "avd":
-        strategy = AvdExploration(target, plugins, seed=args.seed)
+        strategy = AvdExploration(target, plugins, seed=args.seed, config=config)
     elif args.strategy == "random":
         strategy = RandomExploration(target, seed=args.seed)
     else:
         strategy = GeneticExploration(target, plugins, seed=args.seed)
+    if args.checkpoint and args.strategy != "avd":
+        raise SystemExit("--checkpoint requires --strategy avd (only AVD is resumable)")
+    if args.checkpoint:
+        # Everything `repro resume` needs to rebuild this campaign.
+        strategy.controller.checkpoint_context = {
+            "target": args.target,
+            "tools": args.tools,
+            "fixed_timers": bool(args.fixed_timers),
+            "aardvark": bool(args.aardvark),
+            "out": args.out,
+        }
     workers = resolve_workers(args.workers)
     note = f" on {workers} workers" if workers > 1 else ""
     print(
@@ -106,13 +154,55 @@ def cmd_campaign(args) -> int:
         f"'{args.strategy}' for {args.budget} tests{note} ..."
     )
     campaign = run_campaign(
-        strategy, args.budget, workers=workers, batch_size=args.batch_size
+        strategy,
+        args.budget,
+        workers=workers,
+        batch_size=args.batch_size,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
     )
-    print(describe_best(compare_campaigns([campaign])))
-    print("impact per test:", sparkline(campaign.impacts()))
+    _print_campaign_summary(campaign)
     if args.out:
         save_campaign(campaign, args.out)
         print(f"campaign saved to {args.out}")
+    return 0
+
+
+def cmd_resume(args) -> int:
+    data = load_checkpoint(args.checkpoint)
+    context = data.get("context", {})
+    run_params = data.get("run", {})
+    target, plugins = _build_target(
+        context.get("target", "pbft"),
+        context.get("tools", "mac,clients").split(","),
+        bool(context.get("fixed_timers")),
+        bool(context.get("aardvark")),
+    )
+    controller = restore_controller(data, target, plugins)
+    budget = args.budget if args.budget is not None else int(run_params.get("budget", 0))
+    if budget < 1:
+        raise SystemExit("checkpoint carries no budget; pass --budget explicitly")
+    done = len(controller.results)
+    if done >= budget:
+        print(f"campaign already complete ({done}/{budget} tests); nothing to resume")
+    else:
+        # batch_size comes from the checkpoint: the trajectory depends on
+        # it. The worker count is override-safe (wall-clock only).
+        workers = args.workers if args.workers is not None else run_params.get("workers", 1)
+        print(f"resuming campaign at test {done}/{budget} from {args.checkpoint} ...")
+        controller.run(
+            budget,
+            workers=workers,
+            batch_size=run_params.get("batch_size"),
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=int(run_params.get("checkpoint_every", 25)),
+        )
+    campaign = CampaignResult(strategy="avd", results=list(controller.results))
+    _print_campaign_summary(campaign)
+    out = args.out or context.get("out")
+    if out:
+        save_campaign(campaign, out)
+        print(f"campaign saved to {out}")
     return 0
 
 
@@ -243,7 +333,46 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--fixed-timers", action="store_true")
     campaign.add_argument("--aardvark", action="store_true")
     campaign.add_argument("--out", help="save results to this JSON file")
+    campaign.add_argument(
+        "--scenario-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline per scenario; overruns are retried, then "
+             "quarantined (default: no deadline)",
+    )
+    campaign.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="execution attempts per scenario for transient failures "
+             "(timeouts, worker crashes) before quarantine (default: 3)",
+    )
+    campaign.add_argument(
+        "--no-fault-isolation", action="store_true",
+        help="let scenario failures abort the campaign (debugging aid; "
+             "the default records them as zero-impact ScenarioFailure results)",
+    )
+    campaign.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="write a resumable campaign checkpoint to PATH (avd only); "
+             "continue a killed run with `repro resume PATH`",
+    )
+    campaign.add_argument(
+        "--checkpoint-every", type=int, default=25, metavar="K",
+        help="checkpoint at least every K executed scenarios (default: 25)",
+    )
     campaign.set_defaults(func=cmd_campaign)
+
+    resume = sub.add_parser(
+        "resume", help="continue a killed campaign from its checkpoint"
+    )
+    resume.add_argument("checkpoint", help="checkpoint file written by campaign --checkpoint")
+    resume.add_argument(
+        "--budget", type=int, default=None,
+        help="total campaign budget (default: the checkpointed budget)",
+    )
+    resume.add_argument(
+        "--workers", type=int, default=None,
+        help="override the worker count (safe: the trajectory does not depend on it)",
+    )
+    resume.add_argument("--out", help="save results to this JSON file (default: checkpointed --out)")
+    resume.set_defaults(func=cmd_resume)
 
     bigmac = sub.add_parser("bigmac", help="sweep the Big MAC mask family")
     bigmac.add_argument("--clients", type=int, default=20)

@@ -9,6 +9,12 @@ Baseline strategies and the attacker power model live alongside.
 from .campaign import CampaignResult, compare_campaigns, run_campaign
 from .controller import ControllerConfig, TestController
 from .executor import ScenarioExecutor, TargetSystem
+from .failures import (
+    Quarantine,
+    RetryPolicy,
+    ScenarioFailure,
+    ScenarioTimeout,
+)
 from .exploration import (
     AnnealingExploration,
     AvdExploration,
@@ -28,6 +34,13 @@ from .hyperspace import (
     coords_key,
 )
 from .parallel import ParallelScenarioExecutor, resolve_workers
+from .persistence import (
+    load_campaign,
+    load_checkpoint,
+    restore_controller,
+    save_campaign,
+    save_checkpoint,
+)
 from .plugin import ToolPlugin
 from .power import (
     AccessLevel,
@@ -65,9 +78,13 @@ __all__ = [
     "ParallelScenarioExecutor",
     "PluginSampler",
     "PluginStats",
+    "Quarantine",
     "RandomExploration",
+    "RetryPolicy",
     "ScenarioExecutor",
+    "ScenarioFailure",
     "ScenarioResult",
+    "ScenarioTimeout",
     "TargetSystem",
     "TestController",
     "TestScenario",
@@ -80,7 +97,12 @@ __all__ = [
     "estimate_difficulty",
     "format_table",
     "heatmap",
+    "load_campaign",
+    "load_checkpoint",
     "resolve_workers",
+    "restore_controller",
+    "save_campaign",
+    "save_checkpoint",
     "sparkline",
     "weighted_choice",
 ]

@@ -47,6 +47,10 @@ class CampaignResult:
                 return index
         return None
 
+    def failures(self) -> List[ScenarioResult]:
+        """The scenarios that failed (see :mod:`repro.core.failures`)."""
+        return [result for result in self.results if result.failed]
+
     def measurement_series(self, attribute: str, default: float = 0.0) -> List[float]:
         """Per-test series of a measurement attribute (e.g. throughput).
 
@@ -77,17 +81,31 @@ def run_campaign(
     budget: int,
     workers: Optional[int] = 1,
     batch_size: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 25,
 ) -> CampaignResult:
     """Run a strategy to its budget and wrap the results.
 
     ``workers``/``batch_size`` enable concurrent scenario execution for the
     strategies that support it (AVD, random, exhaustive); the result
     trajectory depends only on ``(seed, batch_size)``, never on ``workers``.
+
+    ``checkpoint_path`` periodically persists the campaign state so a
+    killed run can be resumed bit-identically; only strategies that carry
+    resumable state support it (currently AVD).
     """
-    if workers == 1 and batch_size is None:
+    if checkpoint_path is not None and not getattr(strategy, "supports_checkpoints", False):
+        raise ValueError(
+            f"strategy {strategy.name!r} does not support checkpointing "
+            "(only 'avd' campaigns are resumable)"
+        )
+    kwargs = {}
+    if checkpoint_path is not None:
+        kwargs = {"checkpoint_path": checkpoint_path, "checkpoint_every": checkpoint_every}
+    if workers == 1 and batch_size is None and not kwargs:
         results = strategy.run(budget)
     else:
-        results = strategy.run(budget, workers=workers, batch_size=batch_size)
+        results = strategy.run(budget, workers=workers, batch_size=batch_size, **kwargs)
     return CampaignResult(strategy=strategy.name, results=list(results))
 
 
@@ -106,6 +124,7 @@ def compare_campaigns(
             "mean_impact": (
                 sum(campaign.impacts()) / len(campaign.results) if campaign.results else 0.0
             ),
+            "failures": len(campaign.failures()),
         }
     return summary
 

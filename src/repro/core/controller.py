@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Set
 
 from .executor import ScenarioExecutor, TargetSystem
+from .failures import Quarantine, RetryPolicy, ScenarioFailure
 from .hyperspace import CoordsKey
 from .parallel import ParallelScenarioExecutor, resolve_workers
 from .plugin import ToolPlugin
@@ -48,6 +49,15 @@ class ControllerConfig:
     fixed_mutate_distance: Optional[float] = None
     #: Ablation X2: sample plugins uniformly instead of by fitness gain.
     uniform_plugin_choice: bool = False
+    #: Catch per-scenario failures and absorb them as zero-impact
+    #: :class:`ScenarioFailure` results instead of aborting the campaign.
+    fault_isolation: bool = True
+    #: Wall-clock deadline per scenario, in seconds (None = no deadline).
+    #: Only enforced when ``fault_isolation`` is on.
+    scenario_timeout: Optional[float] = None
+    #: Retry budget + backoff for transient failures (timeouts, worker
+    #: crashes).
+    retry: RetryPolicy = RetryPolicy()
 
     def __post_init__(self) -> None:
         if self.top_set_size < 1:
@@ -60,6 +70,8 @@ class ControllerConfig:
             0.0 <= self.fixed_mutate_distance <= 1.0
         ):
             raise ValueError("fixed_mutate_distance must be in [0, 1]")
+        if self.scenario_timeout is not None and not self.scenario_timeout > 0:
+            raise ValueError("scenario_timeout must be positive (or None)")
 
 
 class TestController:
@@ -81,7 +93,21 @@ class TestController:
         self.config = config
         self.campaign_seed = seed
         self.rng = random.Random(seed)
-        self.executor = ScenarioExecutor(target, campaign_seed=seed)
+        self.executor = ScenarioExecutor(
+            target,
+            campaign_seed=seed,
+            timeout=config.scenario_timeout,
+            retry=config.retry,
+        )
+        #: Scenario keys banned after terminal failures, with reasons.
+        self.quarantine = Quarantine()
+        #: Opaque caller context (e.g. CLI target/tool flags) embedded in
+        #: every checkpoint so ``repro resume`` can rebuild the campaign.
+        self.checkpoint_context: Dict[str, object] = {}
+        self._checkpoint_path: Optional[str] = None
+        self._checkpoint_every: int = 25
+        self._last_checkpoint_at: int = 0
+        self._run_params: Dict[str, object] = {}
 
         self.top_set = TopSet(capacity=config.top_set_size)  # Pi
         self.pending: Deque[TestScenario] = deque()  # Psi
@@ -176,16 +202,27 @@ class TestController:
         if not self.pending:
             return None
         scenario = self._dequeue()
-        result = self.executor.execute(scenario, test_index=len(self.results))
+        if self.config.fault_isolation:
+            result = self.executor.execute_isolated(scenario, test_index=len(self.results))
+        else:
+            result = self.executor.execute(scenario, test_index=len(self.results))
         self._absorb(result)
         return result
 
     def _absorb(self, result: ScenarioResult) -> None:
         self.history.add(result.key)
         self.results.append(result)
-        self.top_set.offer(result)
-        if result.impact > self.max_impact:
-            self.max_impact = result.impact
+        if isinstance(result, ScenarioFailure):
+            # A failure is data, not a parent: it enters Omega and the
+            # quarantine, never Pi. The plugin that generated a crasher
+            # still pays for it in its fitness-gain stats (zero gain).
+            self.quarantine.record(
+                result.key, kind=result.kind, error=result.error, attempts=result.attempts
+            )
+        else:
+            self.top_set.offer(result)
+            if result.impact > self.max_impact:
+                self.max_impact = result.impact
         if result.scenario.plugin is not None:
             parent_impact = self._parent_impact.pop(result.key, 0.0)
             self.plugin_sampler.record(result.scenario.plugin, parent_impact, result.impact)
@@ -195,6 +232,8 @@ class TestController:
         budget: int,
         workers: Optional[int] = 1,
         batch_size: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 25,
     ) -> List[ScenarioResult]:
         """Run ``budget`` tests end to end; returns results in order.
 
@@ -205,23 +244,57 @@ class TestController:
         snapshot, executed concurrently, and absorbed in submission order.
         It defaults to ``1`` serially and ``2 * workers`` otherwise.
 
+        ``checkpoint_path`` makes the run crash-safe across process death:
+        a versioned campaign checkpoint (results, Pi, RNG state, plugin
+        fitness stats, pending queue, quarantine) is written atomically to
+        that path at least every ``checkpoint_every`` executed scenarios,
+        and once more when the budget completes. A controller restored
+        from the checkpoint (``repro.core.persistence.restore_controller``
+        or ``repro resume``) continues the campaign bit-identically to an
+        uninterrupted run (see ``tests/core/test_checkpoint.py``).
+
+        ``budget`` is the campaign total: a restored controller that has
+        already executed ``n`` scenarios runs ``budget - n`` more.
+
         Determinism: the exploration trajectory is a pure function of
         ``(seed, batch_size)`` — the worker count only changes wall-clock
         time, never the results (see ``tests/core/test_parallel.py``).
         """
         if budget < 1:
             raise ValueError("budget must be >= 1")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         workers = resolve_workers(workers)
         if batch_size is None:
             batch_size = 1 if workers == 1 else 2 * workers
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
-        if workers == 1 and batch_size == 1:
-            return self._run_serial(budget)
-        with ParallelScenarioExecutor(
-            self.target, campaign_seed=self.campaign_seed, workers=workers
-        ) as pool:
-            return self._run_batched(budget, batch_size, pool)
+        self._checkpoint_path = checkpoint_path
+        self._checkpoint_every = checkpoint_every
+        self._last_checkpoint_at = len(self.results)
+        self._run_params = {
+            "budget": budget,
+            "workers": workers,
+            "batch_size": batch_size,
+            "checkpoint_every": checkpoint_every,
+        }
+        try:
+            if workers == 1 and batch_size == 1:
+                results = self._run_serial(budget)
+            else:
+                with ParallelScenarioExecutor(
+                    self.target,
+                    campaign_seed=self.campaign_seed,
+                    workers=workers,
+                    timeout=self.config.scenario_timeout,
+                    retry=self.config.retry,
+                ) as pool:
+                    results = self._run_batched(budget, batch_size, pool)
+        finally:
+            self._checkpoint_path = None
+        if checkpoint_path is not None:
+            self._write_checkpoint(checkpoint_path)  # final state, resume-safe
+        return results
 
     def _run_serial(self, budget: int) -> List[ScenarioResult]:
         """The paper's strictly sequential Algorithm 1 loop."""
@@ -230,6 +303,7 @@ class TestController:
                 break  # hyperspace exhausted
             if self.execute_next() is None:
                 break
+            self._maybe_checkpoint()
         return self.results
 
     def _run_batched(
@@ -242,6 +316,7 @@ class TestController:
         staleness — siblings are generated before their predecessors'
         impacts are known — for parallel execution.
         """
+        isolate = self.config.fault_isolation
         while len(self.results) < budget:
             room = min(batch_size, budget - len(self.results))
             while len(self.pending) < room:
@@ -250,9 +325,30 @@ class TestController:
             if not self.pending:
                 break
             batch = [self._dequeue() for _ in range(min(room, len(self.pending)))]
-            for result in pool.execute_batch(batch, start_index=len(self.results)):
+            if isolate:
+                executed = pool.execute_batch_isolated(batch, start_index=len(self.results))
+            else:
+                executed = pool.execute_batch(batch, start_index=len(self.results))
+            for result in executed:
                 self._absorb(result)
+            self._maybe_checkpoint()
         return self.results
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def _maybe_checkpoint(self) -> None:
+        if self._checkpoint_path is None:
+            return
+        if len(self.results) - self._last_checkpoint_at < self._checkpoint_every:
+            return
+        self._write_checkpoint(self._checkpoint_path)
+
+    def _write_checkpoint(self, path: str) -> None:
+        from .persistence import save_checkpoint  # lazy: avoids import cycle
+
+        save_checkpoint(self, path)
+        self._last_checkpoint_at = len(self.results)
 
     # ------------------------------------------------------------------
     # reporting helpers

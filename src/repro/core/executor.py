@@ -5,14 +5,38 @@ configuration (using the plugins), executes the test and computes the
 impact." Tests are independent; the target re-initializes the distributed
 system for every test (a fresh simulator per run), so execution order never
 contaminates measurements.
+
+Two execution entry points:
+
+- :meth:`ScenarioExecutor.execute` is the raw contract: any target
+  exception propagates. Used by code that wants to fail loudly (unit
+  tests, single-shot tools).
+- :meth:`ScenarioExecutor.execute_isolated` is the crash-safe campaign
+  path: target exceptions, impact-contract violations, and wall-clock
+  deadline overruns are classified (see :mod:`repro.core.failures`) and
+  converted into zero-impact :class:`ScenarioFailure` results; transient
+  kinds are retried with exponential backoff first.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Protocol
+import time
+from typing import Callable, Dict, Optional, Protocol
 
 from ..sim.rng import derive_seed
+from .failures import (
+    HARNESS_BUG,
+    FailureSignal,
+    RetryPolicy,
+    ScenarioFailure,
+    ScenarioTimeout,
+    TARGET_FAULT,
+    TIMEOUT,
+    TRANSIENT_KINDS,
+    describe_exception,
+    scenario_deadline,
+)
 from .hyperspace import Hyperspace
 from .scenario import ScenarioResult, TestScenario
 
@@ -37,18 +61,42 @@ class ScenarioExecutor:
 
     Each scenario's simulation seed derives from the campaign seed and the
     scenario's coordinates, so re-running an already-explored point (which
-    the Omega dedup set prevents anyway) would reproduce the same result.
+    the Omega dedup set prevents anyway) would reproduce the same result —
+    and a retried transient failure re-executes the identical test.
     """
 
-    def __init__(self, target: TargetSystem, campaign_seed: int = 0) -> None:
+    def __init__(
+        self,
+        target: TargetSystem,
+        campaign_seed: int = 0,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if timeout is not None and not timeout > 0:
+            raise ValueError("timeout must be positive (or None to disable)")
         self.target = target
         self.campaign_seed = campaign_seed
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
         self.executed = 0
+        #: Terminal scenario failures produced through the isolated path.
+        self.failures = 0
+        self._sleep = sleep
 
     def execute(self, scenario: TestScenario, test_index: int) -> ScenarioResult:
         params = self.target.hyperspace.params(scenario.coords)
         seed = derive_seed(self.campaign_seed, f"scenario:{scenario.key}")
         measurement = self.target.execute(params, seed)
+        return self._finish(scenario, test_index, params, measurement)
+
+    def _finish(
+        self,
+        scenario: TestScenario,
+        test_index: int,
+        params: Dict[str, object],
+        measurement: object,
+    ) -> ScenarioResult:
         impact = self.target.impact_of(measurement, params)
         if math.isnan(impact):
             raise ValueError(
@@ -65,6 +113,64 @@ class ScenarioExecutor:
             measurement=measurement,
             params=params,
         )
+
+    # ------------------------------------------------------------------
+    # crash-safe execution
+    # ------------------------------------------------------------------
+    def _attempt(self, scenario: TestScenario, test_index: int) -> ScenarioResult:
+        """One classified execution attempt.
+
+        Raises :class:`FailureSignal` carrying the failure kind;
+        ``KeyboardInterrupt``/``SystemExit`` always propagate so a campaign
+        stays interruptible.
+        """
+        params = self.target.hyperspace.params(scenario.coords)
+        seed = derive_seed(self.campaign_seed, f"scenario:{scenario.key}")
+        try:
+            with scenario_deadline(self.timeout):
+                measurement = self.target.execute(params, seed)
+        except ScenarioTimeout as exc:
+            raise FailureSignal(TIMEOUT, str(exc)) from exc
+        except FailureSignal:
+            raise
+        except Exception as exc:
+            raise FailureSignal(TARGET_FAULT, describe_exception(exc)) from exc
+        try:
+            return self._finish(scenario, test_index, params, measurement)
+        except Exception as exc:
+            raise FailureSignal(HARNESS_BUG, describe_exception(exc)) from exc
+
+    def execute_isolated(self, scenario: TestScenario, test_index: int) -> ScenarioResult:
+        """Execute with fault isolation: never raises on a failing scenario.
+
+        Transient failures (timeouts) are retried up to the policy's
+        attempt budget with exponential backoff; everything else fails
+        fast. A terminal failure comes back as a zero-impact
+        :class:`ScenarioFailure` for the caller to record and quarantine.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return self._attempt(scenario, test_index)
+            except FailureSignal as failure:
+                kind, error = failure.kind, failure.error
+            if kind in TRANSIENT_KINDS and attempts < self.retry.max_attempts:
+                delay = self.retry.delay(attempts)
+                if delay > 0:
+                    self._sleep(delay)
+                continue
+            self.failures += 1
+            return ScenarioFailure(
+                scenario=scenario,
+                impact=0.0,
+                test_index=test_index,
+                measurement=None,
+                params=self.target.hyperspace.params(scenario.coords),
+                kind=kind,
+                error=error,
+                attempts=attempts,
+            )
 
 
 __all__ = ["ScenarioExecutor", "TargetSystem"]

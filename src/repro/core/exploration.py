@@ -32,6 +32,8 @@ class ExplorationStrategy:
     """
 
     name = "strategy"
+    #: Strategies with resumable state override this (see AVD).
+    supports_checkpoints = False
 
     def run(
         self,
@@ -46,6 +48,8 @@ class AvdExploration(ExplorationStrategy):
     """The paper's feedback-driven exploration (Algorithm 1)."""
 
     name = "avd"
+    #: The controller's state is checkpointable and resumable.
+    supports_checkpoints = True
 
     def __init__(
         self,
@@ -61,8 +65,16 @@ class AvdExploration(ExplorationStrategy):
         budget: int,
         workers: Optional[int] = 1,
         batch_size: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 25,
     ) -> List[ScenarioResult]:
-        return self.controller.run(budget, workers=workers, batch_size=batch_size)
+        return self.controller.run(
+            budget,
+            workers=workers,
+            batch_size=batch_size,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
 
 
 class RandomExploration(ExplorationStrategy):

@@ -1,0 +1,245 @@
+"""Scenario failure model: classification, retry policy, and quarantine.
+
+A campaign runs hundreds to thousands of simulated deployments; the Test
+Controller must survive every one of them. Injected faults routinely
+surface as harness-level exceptions (Alipour & Groce's lightweight Python
+fault injection makes the same observation), and a long-lived fuzzing loop
+has to treat target crashes as *data* — an impact measurement of a broken
+run — not as a reason to die and discard every result already paid for.
+
+The model distinguishes four failure kinds:
+
+``target-fault``
+    ``target.execute`` raised: the system under test (or the fault being
+    injected into it) blew up. Deterministic for a given scenario seed, so
+    it is never retried — the scenario is recorded as a zero-impact
+    :class:`ScenarioFailure` and quarantined.
+``harness-bug``
+    The target adapter broke its own contract: ``impact_of`` raised, or
+    returned NaN / a value outside [0, 1]. Also deterministic; quarantined
+    so one buggy adapter region cannot poison the whole campaign.
+``timeout``
+    The scenario exceeded its wall-clock deadline. Transient (a loaded
+    machine can time out a healthy scenario), so retried with exponential
+    backoff before quarantine.
+``worker-crash``
+    A pool worker process died mid-scenario (``os._exit``, segfault, OOM
+    kill). Transient from the campaign's point of view: the pool is
+    rebuilt and the scenario retried before quarantine.
+
+Failures are first-class results: a :class:`ScenarioFailure` *is* a
+:class:`~repro.core.scenario.ScenarioResult` with ``impact == 0.0``, so
+campaign aggregation, persistence, and reporting handle it unchanged,
+while ``result.failed`` lets callers filter.
+"""
+
+from __future__ import annotations
+
+import math
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from .hyperspace import CoordsKey
+from .scenario import ScenarioResult
+
+#: Failure kinds (the classification in the module docstring).
+TARGET_FAULT = "target-fault"
+HARNESS_BUG = "harness-bug"
+TIMEOUT = "timeout"
+WORKER_CRASH = "worker-crash"
+
+#: Kinds that are retried (with backoff) before quarantine.
+TRANSIENT_KINDS = frozenset({TIMEOUT, WORKER_CRASH})
+
+
+class ScenarioTimeout(Exception):
+    """A scenario exceeded its wall-clock deadline."""
+
+
+@dataclass(frozen=True)
+class ScenarioFailure(ScenarioResult):
+    """A scenario whose execution failed, recorded as a zero-impact result.
+
+    ``kind`` is one of the module-level failure kinds; ``error`` is a
+    human-readable description of the last failure; ``attempts`` counts how
+    many executions were tried before giving up (1 for non-transient
+    kinds, up to ``RetryPolicy.max_attempts`` for transient ones).
+    """
+
+    kind: str = TARGET_FAULT
+    error: str = ""
+    attempts: int = 1
+
+    @property
+    def failed(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and exponential backoff for transient failures."""
+
+    #: Total execution attempts (1 = no retries).
+    max_attempts: int = 3
+    #: Backoff before the second attempt, in seconds.
+    backoff_base: float = 0.05
+    #: Multiplier applied per further attempt.
+    backoff_factor: float = 2.0
+    #: Upper bound on any single backoff sleep, in seconds.
+    backoff_max: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff after the ``attempt``-th failed execution (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.backoff_max, self.backoff_base * self.backoff_factor ** (attempt - 1))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_base": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+            "backoff_max": self.backoff_max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RetryPolicy":
+        return cls(**{key: data[key] for key in cls().to_dict() if key in data})
+
+
+@dataclass
+class QuarantineEntry:
+    key: CoordsKey
+    kind: str
+    error: str = ""
+    attempts: int = 1
+
+
+class Quarantine:
+    """Scenario keys banned from further execution, with their reasons.
+
+    The controller records every terminal :class:`ScenarioFailure` here;
+    since a quarantined key is also in Omega, the generator never proposes
+    it again. The set is serialized into campaign checkpoints so a resumed
+    campaign does not re-pay for known crashers.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[CoordsKey, QuarantineEntry] = {}
+
+    def record(self, key: CoordsKey, kind: str, error: str = "", attempts: int = 1) -> None:
+        existing = self._entries.get(key)
+        if existing is not None:
+            existing.attempts += attempts
+            existing.kind = kind
+            existing.error = error
+        else:
+            self._entries[key] = QuarantineEntry(key, kind, error, attempts)
+
+    def __contains__(self, key: CoordsKey) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CoordsKey]:
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> List[QuarantineEntry]:
+        return list(self._entries.values())
+
+    def to_list(self) -> List[Dict[str, Any]]:
+        return [
+            {
+                "key": [list(pair) for pair in entry.key],
+                "kind": entry.kind,
+                "error": entry.error,
+                "attempts": entry.attempts,
+            }
+            for entry in self._entries.values()
+        ]
+
+    @classmethod
+    def from_list(cls, data: List[Dict[str, Any]]) -> "Quarantine":
+        quarantine = cls()
+        for item in data:
+            key: CoordsKey = tuple((str(name), int(pos)) for name, pos in item["key"])
+            quarantine.record(
+                key,
+                kind=item.get("kind", TARGET_FAULT),
+                error=item.get("error", ""),
+                attempts=int(item.get("attempts", 1)),
+            )
+        return quarantine
+
+
+class FailureSignal(Exception):
+    """Internal carrier of a classified scenario failure (kind + message)."""
+
+    def __init__(self, kind: str, error: str) -> None:
+        super().__init__(error)
+        self.kind = kind
+        self.error = error
+
+
+def describe_exception(exc: BaseException) -> str:
+    text = str(exc)
+    return f"{type(exc).__name__}: {text}" if text else type(exc).__name__
+
+
+def _alarm_usable() -> bool:
+    return hasattr(signal, "SIGALRM") and threading.current_thread() is threading.main_thread()
+
+
+@contextmanager
+def scenario_deadline(seconds: Optional[float]):
+    """Raise :class:`ScenarioTimeout` if the block outlives ``seconds``.
+
+    Enforced with ``SIGALRM`` (main thread, POSIX). Where the alarm is not
+    usable — non-main thread, platforms without ``SIGALRM`` — the block
+    runs without a deadline; the process-pool path has its own wall-clock
+    backstop for those cases.
+    """
+    if not seconds or seconds <= 0 or not math.isfinite(seconds) or not _alarm_usable():
+        yield
+        return
+
+    def _expire(signum, frame):
+        raise ScenarioTimeout(f"scenario exceeded its {seconds}s wall-clock deadline")
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+__all__ = [
+    "HARNESS_BUG",
+    "FailureSignal",
+    "Quarantine",
+    "QuarantineEntry",
+    "RetryPolicy",
+    "ScenarioFailure",
+    "ScenarioTimeout",
+    "TARGET_FAULT",
+    "TIMEOUT",
+    "TRANSIENT_KINDS",
+    "WORKER_CRASH",
+    "describe_exception",
+    "scenario_deadline",
+]

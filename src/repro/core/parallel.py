@@ -26,6 +26,18 @@ Targets are shipped to workers by pickling them once per worker process
 pickled — closures, open simulators, test doubles with lambdas — degrade
 gracefully: the executor falls back to in-process execution, which yields
 the same results, only serially.
+
+Crash safety (:meth:`ParallelScenarioExecutor.execute_batch_isolated`):
+scenarios run through the workers' *isolated* path, so target faults,
+harness bugs, and in-worker deadline overruns come back as zero-impact
+:class:`~repro.core.failures.ScenarioFailure` values instead of
+exceptions. Failures the worker cannot report — the worker process dying,
+or a worker stuck past the wall-clock backstop — break the pool; the pool
+is then torn down and rebuilt, and the unresolved scenarios are re-driven
+one at a time so the culprit is identified exactly: it burns its own
+retry budget (fresh pool per attempt, exponential backoff between) and is
+quarantined as ``worker-crash``/``timeout`` without ever executing in the
+controller's process, while innocent batch-mates complete normally.
 """
 
 from __future__ import annotations
@@ -33,20 +45,36 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
+
+import time
 
 from .executor import ScenarioExecutor, TargetSystem
+from .failures import (
+    RetryPolicy,
+    ScenarioFailure,
+    TIMEOUT,
+    WORKER_CRASH,
+)
 from .scenario import ScenarioResult, TestScenario
 
 #: Each worker process holds one executor, built once by the initializer.
 _WORKER_EXECUTOR: Optional[ScenarioExecutor] = None
 
 
-def _init_worker(target_blob: bytes, campaign_seed: int) -> None:
+def _init_worker(
+    target_blob: bytes,
+    campaign_seed: int,
+    timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+) -> None:
     global _WORKER_EXECUTOR
     target = pickle.loads(target_blob)
-    _WORKER_EXECUTOR = ScenarioExecutor(target, campaign_seed=campaign_seed)
+    _WORKER_EXECUTOR = ScenarioExecutor(
+        target, campaign_seed=campaign_seed, timeout=timeout, retry=retry
+    )
 
 
 def _execute_in_worker(scenario: TestScenario, test_index: int) -> ScenarioResult:
@@ -54,6 +82,13 @@ def _execute_in_worker(scenario: TestScenario, test_index: int) -> ScenarioResul
     if executor is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker process was not initialized")
     return executor.execute(scenario, test_index)
+
+
+def _execute_in_worker_isolated(scenario: TestScenario, test_index: int) -> ScenarioResult:
+    executor = _WORKER_EXECUTOR
+    if executor is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker process was not initialized")
+    return executor.execute_isolated(scenario, test_index)
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -86,16 +121,26 @@ class ParallelScenarioExecutor:
         target: TargetSystem,
         campaign_seed: int = 0,
         workers: Optional[int] = 1,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.target = target
         self.campaign_seed = campaign_seed
         self.workers = resolve_workers(workers)
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
         #: Scenarios executed through this instance (any mode).
         self.executed = 0
         #: True once the pool was abandoned (non-picklable target, broken
         #: workers); execution then stays in-process for the lifetime.
         self.fallback_serial = False
-        self._local = ScenarioExecutor(target, campaign_seed=campaign_seed)
+        #: Pools torn down and rebuilt after a worker crash or hang.
+        self.pool_rebuilds = 0
+        self._sleep = sleep
+        self._local = ScenarioExecutor(
+            target, campaign_seed=campaign_seed, timeout=timeout, retry=retry, sleep=sleep
+        )
         self._pool: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
@@ -113,6 +158,23 @@ class ParallelScenarioExecutor:
             self._pool.shutdown()
             self._pool = None
 
+    def _terminate_pool(self) -> None:
+        """Hard-kill the pool (workers may be hung; a clean join could block)."""
+        if self._pool is None:
+            return
+        processes = list(getattr(self._pool, "_processes", {}).values())
+        for process in processes:
+            try:
+                process.kill()
+            except Exception:  # pragma: no cover - already-dead workers
+                pass
+        try:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # pragma: no cover - python < 3.9
+            self._pool.shutdown(wait=False)
+        self._pool = None
+        self.pool_rebuilds += 1
+
     def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
         if self.fallback_serial or self.workers <= 1:
             return None
@@ -127,9 +189,22 @@ class ParallelScenarioExecutor:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_worker,
-                initargs=(target_blob, self.campaign_seed),
+                initargs=(target_blob, self.campaign_seed, self.timeout, self.retry),
             )
         return self._pool
+
+    def _wait_budget(self) -> Optional[float]:
+        """Parent-side backstop for one future, or None (wait forever).
+
+        The in-worker ``SIGALRM`` deadline fires first for scenarios that
+        hang in Python code; this backstop only catches workers stuck in
+        non-interruptible code. It covers a full in-worker retry cycle
+        (attempts x (deadline + backoff)) plus queueing slack.
+        """
+        if self.timeout is None:
+            return None
+        per_attempt = self.timeout + self.retry.backoff_max
+        return self.retry.max_attempts * per_attempt + 10.0
 
     # ------------------------------------------------------------------
     # execution
@@ -163,6 +238,99 @@ class ParallelScenarioExecutor:
             return self._execute_local(scenarios, start_index)
         self.executed += len(results)
         return results
+
+    def execute_batch_isolated(
+        self, scenarios: Sequence[TestScenario], start_index: int
+    ) -> List[ScenarioResult]:
+        """Crash-safe :meth:`execute_batch`: failures are results, not raises.
+
+        Submission-order results are preserved, so callers absorb them
+        exactly as the non-isolated path would; scenarios whose worker
+        died or hung are retried on a rebuilt pool (one at a time, so the
+        culprit quarantines alone) before becoming ``ScenarioFailure``.
+        """
+        if not scenarios:
+            return []
+        pool = self._ensure_pool() if len(scenarios) > 1 else None
+        if pool is None:
+            results = [
+                self._local.execute_isolated(scenario, start_index + offset)
+                for offset, scenario in enumerate(scenarios)
+            ]
+            self.executed += len(results)
+            return results
+        slots: List[Optional[ScenarioResult]] = [None] * len(scenarios)
+        futures = [
+            pool.submit(_execute_in_worker_isolated, scenario, start_index + offset)
+            for offset, scenario in enumerate(scenarios)
+        ]
+        broken = False
+        for offset, future in enumerate(futures):
+            try:
+                # After a break, drain whatever already completed (0s wait).
+                slots[offset] = future.result(timeout=0 if broken else self._wait_budget())
+            except (BrokenProcessPool, FutureTimeout, OSError):
+                broken = True
+        if broken:
+            self._terminate_pool()
+            for offset, slot in enumerate(slots):
+                if slot is None:
+                    slots[offset] = self._execute_single_isolated(
+                        scenarios[offset], start_index + offset
+                    )
+        results = [slot for slot in slots if slot is not None]
+        self.executed += len(results)
+        return results
+
+    def _execute_single_isolated(
+        self, scenario: TestScenario, test_index: int
+    ) -> ScenarioResult:
+        """Drive one suspect scenario through its own pool submissions.
+
+        Each attempt gets a fresh (or rebuilt) pool; a scenario that keeps
+        killing or hanging workers exhausts its retry budget and is
+        returned as a ``worker-crash``/``timeout`` failure without ever
+        running inside the controller's own process.
+        """
+        attempts = 0
+        kind, error = WORKER_CRASH, "worker process died mid-scenario"
+        while attempts < self.retry.max_attempts:
+            attempts += 1
+            pool = self._ensure_pool()
+            if pool is None:
+                # Pool permanently unavailable: last resort is in-process,
+                # where the deadline/retry machinery still applies.
+                return self._local.execute_isolated(scenario, test_index)
+            try:
+                return pool.submit(
+                    _execute_in_worker_isolated, scenario, test_index
+                ).result(timeout=self._wait_budget())
+            except FutureTimeout:
+                kind, error = TIMEOUT, (
+                    "worker exceeded the wall-clock backstop "
+                    f"({self._wait_budget():.1f}s) and was killed"
+                )
+                self._terminate_pool()
+            except (BrokenProcessPool, OSError) as exc:
+                kind, error = WORKER_CRASH, (
+                    f"worker process died mid-scenario ({type(exc).__name__})"
+                )
+                self._terminate_pool()
+            if attempts < self.retry.max_attempts:
+                delay = self.retry.delay(attempts)
+                if delay > 0:
+                    self._sleep(delay)
+        self._local.failures += 1
+        return ScenarioFailure(
+            scenario=scenario,
+            impact=0.0,
+            test_index=test_index,
+            measurement=None,
+            params=self.target.hyperspace.params(scenario.coords),
+            kind=kind,
+            error=error,
+            attempts=attempts,
+        )
 
     def _execute_local(
         self, scenarios: Sequence[TestScenario], start_index: int

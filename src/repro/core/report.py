@@ -92,7 +92,9 @@ def describe_best(summary: Dict[str, Dict[str, object]]) -> str:
     lines = []
     for strategy, stats in summary.items():
         reached = stats["tests_to_threshold"]
-        reached_text = f"in {reached} tests" if reached else "never"
+        # 0 is a real value (threshold met on the very first test in some
+        # callers' 0-based accounting); only None means "never reached".
+        reached_text = f"in {reached} tests" if reached is not None else "never"
         lines.append(
             f"{strategy:>10}: best impact {stats['best_impact']:.3f} "
             f"(mean {stats['mean_impact']:.3f}), threshold reached {reached_text}; "

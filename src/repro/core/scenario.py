@@ -50,5 +50,10 @@ class ScenarioResult:
     def key(self) -> CoordsKey:
         return self.scenario.key
 
+    @property
+    def failed(self) -> bool:
+        """True for :class:`~repro.core.failures.ScenarioFailure` results."""
+        return False
+
 
 __all__ = ["ScenarioResult", "TestScenario"]

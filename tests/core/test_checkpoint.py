@@ -1,0 +1,284 @@
+"""Checkpoint/resume: a killed campaign continues bit-identically.
+
+The contract under test (see ``repro.core.persistence``): a campaign run
+with ``checkpoint_path`` writes its complete controller state atomically
+every ``checkpoint_every`` scenarios; killing the process and resuming
+from the last checkpoint produces *exactly* the trajectory an
+uninterrupted run would have — same scenarios, same impacts, same Pi and
+Omega, same plugin fitness statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import (
+    ControllerConfig,
+    TestController,
+    load_checkpoint,
+    restore_controller,
+    run_campaign,
+    save_checkpoint,
+)
+from repro.core.exploration import AvdExploration, RandomExploration
+from repro.core.persistence import CHECKPOINT_KIND, FORMAT_VERSION
+from tests._strategies import trajectory
+from tests.core.fake_target import HillTarget, LoadPlugin, MaskPlugin, make_hill_target
+
+BUDGET = 100
+KILL_AT = 51  # checkpoints land at 50 (serial) / 48 (batch_size=4)
+
+
+class DieAtTarget(HillTarget):
+    """Raises KeyboardInterrupt on its ``die_at``-th execution.
+
+    ``KeyboardInterrupt`` is what a real ^C / SIGINT delivers; fault
+    isolation deliberately lets it through, so this simulates the process
+    being killed mid-campaign.
+    """
+
+    def __init__(self, plugins, die_at):
+        super().__init__(plugins)
+        self.die_at = die_at
+
+    def execute(self, params, seed):
+        if self.executions + 1 == self.die_at:
+            raise KeyboardInterrupt
+        return super().execute(params, seed)
+
+
+def fresh(die_at=None):
+    plugins = [MaskPlugin(), LoadPlugin()]
+    if die_at is None:
+        target = HillTarget(plugins)
+    else:
+        target = DieAtTarget(plugins, die_at=die_at)
+    return target, plugins
+
+
+def make_controller(target, plugins, seed=13):
+    return TestController(target, plugins, seed=seed)
+
+
+def controller_state(controller):
+    """Everything the meta-heuristic learned, in comparable form."""
+    return {
+        "trajectory": trajectory(controller.results),
+        "omega": controller.history,
+        "mu": controller.max_impact,
+        "top_set": [(e.key, e.impact) for e in controller.top_set.entries],
+        "plugin_gains": {
+            name: (stats.selections, stats.total_gain, stats.improvements)
+            for name, stats in controller.plugin_sampler.stats.items()
+        },
+        "rng": controller.rng.getstate(),
+        "quarantine": set(controller.quarantine),
+    }
+
+
+def run_interrupted_then_resume(tmp_path, seed=13, checkpoint_every=10, **run_kwargs):
+    """Kill a campaign at execution KILL_AT, resume it from the checkpoint."""
+    path = tmp_path / "campaign.ckpt.json"
+    target, plugins = fresh(die_at=KILL_AT)
+    interrupted = make_controller(target, plugins, seed=seed)
+    with pytest.raises(KeyboardInterrupt):
+        interrupted.run(
+            BUDGET,
+            checkpoint_path=str(path),
+            checkpoint_every=checkpoint_every,
+            **run_kwargs,
+        )
+    data = load_checkpoint(path)
+    resumed_target, resumed_plugins = fresh()
+    resumed = restore_controller(data, resumed_target, resumed_plugins)
+    resumed.run(
+        data["run"]["budget"],
+        batch_size=data["run"]["batch_size"],
+        checkpoint_path=str(path),
+        checkpoint_every=data["run"]["checkpoint_every"],
+    )
+    return data, resumed, resumed_target
+
+
+# ---------------------------------------------------------------------------
+# the headline guarantee: kill at 50, resume, bit-identical
+# ---------------------------------------------------------------------------
+def test_serial_resume_is_bit_identical_to_uninterrupted(tmp_path):
+    target, plugins = fresh()
+    reference = make_controller(target, plugins)
+    reference.run(BUDGET)
+    data, resumed, resumed_target = run_interrupted_then_resume(tmp_path)
+    assert len(data["results"]) == 50  # the kill landed between checkpoints
+    assert controller_state(resumed) == controller_state(reference)
+    # The resumed run re-executed only what the checkpoint had not paid for.
+    assert resumed_target.executions == BUDGET - 50
+
+
+def test_batched_resume_is_bit_identical_to_uninterrupted(tmp_path):
+    target, plugins = fresh()
+    reference = make_controller(target, plugins)
+    reference.run(BUDGET, workers=1, batch_size=4)
+    data, resumed, _ = run_interrupted_then_resume(
+        tmp_path, checkpoint_every=8, workers=1, batch_size=4
+    )
+    assert len(data["results"]) == 48  # last full batch boundary before the kill
+    assert controller_state(resumed) == controller_state(reference)
+
+
+def test_resume_twice_converges_to_the_same_state(tmp_path):
+    """A checkpoint chain (kill, resume, kill, resume) still matches."""
+    target, plugins = fresh()
+    reference = make_controller(target, plugins)
+    reference.run(BUDGET)
+    path = tmp_path / "chain.ckpt.json"
+    first_target, first_plugins = fresh(die_at=KILL_AT)
+    first = make_controller(first_target, first_plugins)
+    with pytest.raises(KeyboardInterrupt):
+        first.run(BUDGET, checkpoint_path=str(path), checkpoint_every=10)
+    # Second leg dies again 30 executions in (campaign execution ~80).
+    second_target, second_plugins = fresh(die_at=31)
+    second = restore_controller(load_checkpoint(path), second_target, second_plugins)
+    with pytest.raises(KeyboardInterrupt):
+        second.run(BUDGET, checkpoint_path=str(path), checkpoint_every=10)
+    final_target, final_plugins = fresh()
+    final = restore_controller(load_checkpoint(path), final_target, final_plugins)
+    final.run(BUDGET, checkpoint_path=str(path), checkpoint_every=10)
+    assert controller_state(final) == controller_state(reference)
+
+
+# ---------------------------------------------------------------------------
+# checkpoint document properties
+# ---------------------------------------------------------------------------
+def test_completed_run_writes_a_final_checkpoint(tmp_path):
+    path = tmp_path / "final.ckpt.json"
+    target, plugins = fresh()
+    controller = make_controller(target, plugins)
+    controller.run(30, checkpoint_path=str(path), checkpoint_every=1000)
+    data = load_checkpoint(path)
+    assert data["format_version"] == FORMAT_VERSION
+    assert data["kind"] == CHECKPOINT_KIND
+    assert len(data["results"]) == 30  # written even though every > budget
+    assert data["run"] == {
+        "budget": 30,
+        "workers": 1,
+        "batch_size": 1,
+        "checkpoint_every": 1000,
+    }
+    restored = restore_controller(data, *fresh())
+    assert controller_state(restored) == controller_state(controller)
+    # Nothing left to do: running to the same budget is a no-op.
+    restored.run(30)
+    assert len(restored.results) == 30
+
+
+def test_checkpoint_context_round_trips(tmp_path):
+    path = tmp_path / "ctx.ckpt.json"
+    target, plugins = fresh()
+    controller = make_controller(target, plugins)
+    controller.checkpoint_context = {"target": "pbft", "tools": ["bigmac"], "out": None}
+    controller.run(10, checkpoint_path=str(path))
+    restored = restore_controller(load_checkpoint(path), *fresh())
+    assert restored.checkpoint_context == {
+        "target": "pbft",
+        "tools": ["bigmac"],
+        "out": None,
+    }
+
+
+def test_quarantine_survives_the_checkpoint(tmp_path):
+    from tests.core.test_failures import FAST_RETRY, POISON, PoisonedTarget
+
+    path = tmp_path / "poison.ckpt.json"
+    plugins = [MaskPlugin(), LoadPlugin()]
+    target = PoisonedTarget(plugins, poison=POISON)
+    config = ControllerConfig(retry=FAST_RETRY)
+    controller = TestController(target, plugins, seed=5, config=config)
+    controller.run(40, checkpoint_path=str(path))
+    assert len(controller.quarantine) > 0
+    restored = restore_controller(load_checkpoint(path), target, plugins)
+    assert set(restored.quarantine) == set(controller.quarantine)
+    assert restored.config.retry == FAST_RETRY
+
+
+def test_atomic_write_never_tears_an_existing_checkpoint(tmp_path, monkeypatch):
+    path = tmp_path / "atomic.ckpt.json"
+    target, plugins = fresh()
+    controller = make_controller(target, plugins)
+    controller.run(10, checkpoint_path=str(path))
+    before = path.read_text()
+    controller.generate()
+
+    def torn_replace(src, dst):
+        raise OSError("simulated crash mid-rename")
+
+    monkeypatch.setattr(os, "replace", torn_replace)
+    with pytest.raises(OSError):
+        save_checkpoint(controller, path)
+    # The visible file is still the previous complete document.
+    assert path.read_text() == before
+    load_checkpoint(path)  # and it still parses + validates
+
+
+def test_checkpoint_files_are_plain_json(tmp_path):
+    path = tmp_path / "plain.ckpt.json"
+    target, plugins = fresh()
+    controller = make_controller(target, plugins)
+    controller.run(10, checkpoint_path=str(path))
+    data = json.loads(path.read_text())
+    assert data["campaign_seed"] == 13
+    assert isinstance(data["rng_state"], list)
+    assert set(data["plugin_stats"]) == {"mask", "load"}
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+def test_load_checkpoint_rejects_campaign_documents(tmp_path):
+    from repro.core import save_campaign
+
+    target, plugins = fresh()
+    campaign = run_campaign(AvdExploration(target, plugins, seed=1), budget=5)
+    path = tmp_path / "campaign.json"
+    save_campaign(campaign, path)
+    with pytest.raises(ValueError, match="not a campaign checkpoint"):
+        load_checkpoint(path)
+
+
+def test_load_checkpoint_rejects_unknown_versions(tmp_path):
+    path = tmp_path / "future.ckpt.json"
+    target, plugins = fresh()
+    controller = make_controller(target, plugins)
+    controller.run(5, checkpoint_path=str(path))
+    data = json.loads(path.read_text())
+    data["format_version"] = 99
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError, match="unsupported"):
+        load_checkpoint(path)
+
+
+def test_restore_rejects_mismatched_plugins(tmp_path):
+    path = tmp_path / "plugins.ckpt.json"
+    target, plugins = fresh()
+    controller = make_controller(target, plugins)
+    controller.run(5, checkpoint_path=str(path))
+    data = load_checkpoint(path)
+    other_target, other_plugins = make_hill_target()  # mask only, no load
+    with pytest.raises(ValueError, match="plugin set"):
+        restore_controller(data, other_target, other_plugins)
+
+
+def test_run_rejects_bad_checkpoint_cadence():
+    target, plugins = fresh()
+    controller = make_controller(target, plugins)
+    with pytest.raises(ValueError):
+        controller.run(10, checkpoint_every=0)
+
+
+def test_run_campaign_rejects_checkpoints_for_unsupported_strategies(tmp_path):
+    target, _ = fresh()
+    strategy = RandomExploration(target, seed=1)
+    with pytest.raises(ValueError, match="checkpoint"):
+        run_campaign(strategy, budget=5, checkpoint_path=str(tmp_path / "x.json"))

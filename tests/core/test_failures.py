@@ -1,0 +1,412 @@
+"""Fault isolation: crashing, hanging, and worker-killing scenarios.
+
+The contract under test (see ``repro.core.failures`` / ``executor`` /
+``parallel``): a failing scenario never takes the campaign down. It comes
+back as a zero-impact :class:`ScenarioFailure`, classified by kind —
+deterministic faults fail fast, transient faults (timeouts, worker
+crashes) are retried with exponential backoff — and terminal failures are
+quarantined so the generator never proposes them again.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core import (
+    AvdExploration,
+    ControllerConfig,
+    RetryPolicy,
+    ScenarioExecutor,
+    ScenarioFailure,
+    ScenarioTimeout,
+    TestController,
+    TestScenario,
+    run_campaign,
+)
+from repro.core.failures import (
+    HARNESS_BUG,
+    Quarantine,
+    TARGET_FAULT,
+    TIMEOUT,
+    WORKER_CRASH,
+    scenario_deadline,
+)
+from repro.core.parallel import ParallelScenarioExecutor
+from tests._strategies import trajectory
+from tests.core.fake_target import HillTarget, LoadPlugin, MaskPlugin, make_hill_target
+
+
+class PoisonedTarget(HillTarget):
+    """Hill target that raises whenever the mask value is in ``poison``."""
+
+    def __init__(self, plugins, poison, exc_type=RuntimeError):
+        super().__init__(plugins)
+        self.poison = frozenset(poison)
+        self.exc_type = exc_type
+
+    def execute(self, params, seed):
+        if params["mask"] in self.poison:
+            raise self.exc_type(f"injected crash for mask={params['mask']}")
+        return super().execute(params, seed)
+
+
+class FlakyTimeoutTarget(HillTarget):
+    """Times out the first ``flaky`` executions of each scenario, then works."""
+
+    def __init__(self, plugins, flaky):
+        super().__init__(plugins)
+        self.flaky = flaky
+        self.attempts = {}
+
+    def execute(self, params, seed):
+        count = self.attempts.get(seed, 0) + 1
+        self.attempts[seed] = count
+        if count <= self.flaky:
+            raise ScenarioTimeout("simulated deadline overrun")
+        return super().execute(params, seed)
+
+
+class HangingTarget(HillTarget):
+    """Sleeps far past any reasonable deadline on poisoned masks."""
+
+    def __init__(self, plugins, poison):
+        super().__init__(plugins)
+        self.poison = frozenset(poison)
+
+    def execute(self, params, seed):
+        if params["mask"] in self.poison:
+            time.sleep(30.0)
+        return super().execute(params, seed)
+
+
+class BadImpactTarget(HillTarget):
+    """Breaks the impact contract (impact > 1) on poisoned masks."""
+
+    def __init__(self, plugins, poison):
+        super().__init__(plugins)
+        self.poison = frozenset(poison)
+
+    def impact_of(self, measurement, params):
+        if params["mask"] in self.poison:
+            return 7.5
+        return super().impact_of(measurement, params)
+
+
+class WorkerKillerTarget(HillTarget):
+    """Kills the executing *worker process* on poisoned masks.
+
+    The parent pid is captured at construction, so the kill only fires
+    inside pool workers — never in the controller's own process.
+    """
+
+    def __init__(self, plugins, poison):
+        super().__init__(plugins)
+        self.poison = frozenset(poison)
+        self.parent_pid = os.getpid()
+
+    def execute(self, params, seed):
+        if params["mask"] in self.poison and os.getpid() != self.parent_pid:
+            os._exit(17)
+        return super().execute(params, seed)
+
+
+class InterruptingTarget(HillTarget):
+    """Raises KeyboardInterrupt on poisoned masks (simulates ^C)."""
+
+    def __init__(self, plugins, poison):
+        super().__init__(plugins)
+        self.poison = frozenset(poison)
+
+    def execute(self, params, seed):
+        if params["mask"] in self.poison:
+            raise KeyboardInterrupt
+        return super().execute(params, seed)
+
+
+def scenario_for_mask(target, mask_value):
+    """A scenario whose mask dimension sits at ``mask_value``."""
+    dim = target.hyperspace.by_name["mask"]
+    for position in range(dim.size):
+        if dim.value_at(position) == mask_value:
+            coords = {"mask": position}
+            for name, other in target.hyperspace.by_name.items():
+                if name != "mask":
+                    coords[name] = 0
+            return TestScenario(coords=coords)
+    raise AssertionError(f"mask value {mask_value} not in the dimension")
+
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.01, backoff_max=0.05)
+
+
+# ---------------------------------------------------------------------------
+# the deadline context manager
+# ---------------------------------------------------------------------------
+def test_scenario_deadline_interrupts_a_hung_block():
+    with pytest.raises(ScenarioTimeout):
+        with scenario_deadline(0.05):
+            time.sleep(5.0)
+
+
+def test_scenario_deadline_disabled_values_are_noops():
+    for seconds in (None, 0, -1.0, float("inf"), float("nan")):
+        with scenario_deadline(seconds):
+            pass
+
+
+def test_scenario_deadline_clears_the_timer_on_exit():
+    with scenario_deadline(0.05):
+        pass
+    time.sleep(0.08)  # an un-cleared itimer would fire here and kill us
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+def test_retry_policy_backoff_schedule_is_exponential_and_capped():
+    policy = RetryPolicy(max_attempts=5, backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3)
+    assert [policy.delay(n) for n in (1, 2, 3, 4)] == [0.1, 0.2, 0.3, 0.3]
+
+
+def test_retry_policy_validates_itself():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_base=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy().delay(0)
+
+
+def test_retry_policy_round_trips_through_dict():
+    policy = RetryPolicy(max_attempts=7, backoff_base=0.2, backoff_factor=3.0, backoff_max=9.0)
+    assert RetryPolicy.from_dict(policy.to_dict()) == policy
+
+
+# ---------------------------------------------------------------------------
+# quarantine
+# ---------------------------------------------------------------------------
+def test_quarantine_records_merges_and_round_trips():
+    quarantine = Quarantine()
+    key_a = (("mask", 3),)
+    key_b = (("mask", 5),)
+    quarantine.record(key_a, kind=TIMEOUT, error="slow", attempts=3)
+    quarantine.record(key_b, kind=TARGET_FAULT, error="boom")
+    assert key_a in quarantine and key_b in quarantine
+    assert len(quarantine) == 2
+    # Re-recording the same key merges attempt counts.
+    quarantine.record(key_a, kind=WORKER_CRASH, error="died", attempts=2)
+    assert len(quarantine) == 2
+    (entry,) = [e for e in quarantine.entries if e.key == key_a]
+    assert entry.attempts == 5 and entry.kind == WORKER_CRASH
+    restored = Quarantine.from_list(quarantine.to_list())
+    assert set(restored) == {key_a, key_b}
+    assert sorted((e.kind, e.attempts) for e in restored.entries) == sorted(
+        (e.kind, e.attempts) for e in quarantine.entries
+    )
+
+
+# ---------------------------------------------------------------------------
+# the isolated executor path
+# ---------------------------------------------------------------------------
+def test_raising_target_becomes_a_target_fault_without_retry():
+    target = PoisonedTarget([MaskPlugin()], poison=range(256))
+    executor = ScenarioExecutor(target, campaign_seed=1, retry=FAST_RETRY)
+    scenario = scenario_for_mask(target, 3)
+    result = executor.execute_isolated(scenario, test_index=0)
+    assert isinstance(result, ScenarioFailure)
+    assert result.failed
+    assert result.kind == TARGET_FAULT
+    assert result.attempts == 1  # deterministic faults are never retried
+    assert result.impact == 0.0
+    assert "RuntimeError" in result.error and "injected crash" in result.error
+    assert executor.failures == 1
+    assert result.params  # params survive for reporting
+
+
+def test_raw_execute_still_raises():
+    target = PoisonedTarget([MaskPlugin()], poison=range(256))
+    executor = ScenarioExecutor(target, campaign_seed=1)
+    with pytest.raises(RuntimeError):
+        executor.execute(scenario_for_mask(target, 3), test_index=0)
+
+
+def test_impact_contract_violation_is_a_harness_bug():
+    target = BadImpactTarget([MaskPlugin()], poison=range(256))
+    executor = ScenarioExecutor(target, campaign_seed=1, retry=FAST_RETRY)
+    result = executor.execute_isolated(scenario_for_mask(target, 3), test_index=0)
+    assert isinstance(result, ScenarioFailure)
+    assert result.kind == HARNESS_BUG
+    assert result.attempts == 1
+    assert "outside [0, 1]" in result.error
+
+
+def test_transient_timeout_is_retried_with_backoff_then_succeeds():
+    target = FlakyTimeoutTarget([MaskPlugin()], flaky=2)
+    sleeps = []
+    executor = ScenarioExecutor(
+        target, campaign_seed=1, retry=FAST_RETRY, sleep=sleeps.append
+    )
+    result = executor.execute_isolated(scenario_for_mask(target, 3), test_index=0)
+    assert not result.failed  # third attempt succeeded
+    assert executor.failures == 0
+    assert sleeps == [FAST_RETRY.delay(1), FAST_RETRY.delay(2)]
+
+
+def test_transient_timeout_exhausts_retries_then_quarantines():
+    target = FlakyTimeoutTarget([MaskPlugin()], flaky=99)
+    sleeps = []
+    executor = ScenarioExecutor(
+        target, campaign_seed=1, retry=FAST_RETRY, sleep=sleeps.append
+    )
+    result = executor.execute_isolated(scenario_for_mask(target, 3), test_index=0)
+    assert isinstance(result, ScenarioFailure)
+    assert result.kind == TIMEOUT
+    assert result.attempts == FAST_RETRY.max_attempts
+    assert len(sleeps) == FAST_RETRY.max_attempts - 1
+
+
+def test_real_hang_is_cut_by_the_wall_clock_deadline():
+    target = HangingTarget([MaskPlugin()], poison=range(256))
+    executor = ScenarioExecutor(
+        target,
+        campaign_seed=1,
+        timeout=0.05,
+        retry=RetryPolicy(max_attempts=1),
+    )
+    start = time.monotonic()
+    result = executor.execute_isolated(scenario_for_mask(target, 3), test_index=0)
+    assert time.monotonic() - start < 5.0  # nowhere near the 30s sleep
+    assert isinstance(result, ScenarioFailure)
+    assert result.kind == TIMEOUT
+    assert "deadline" in result.error
+
+
+def test_keyboard_interrupt_is_never_swallowed():
+    target = InterruptingTarget([MaskPlugin()], poison=range(256))
+    executor = ScenarioExecutor(target, campaign_seed=1, retry=FAST_RETRY)
+    with pytest.raises(KeyboardInterrupt):
+        executor.execute_isolated(scenario_for_mask(target, 3), test_index=0)
+
+
+def test_executor_rejects_nonpositive_timeouts():
+    target, _ = make_hill_target()
+    with pytest.raises(ValueError):
+        ScenarioExecutor(target, timeout=0.0)
+    with pytest.raises(ValueError):
+        ControllerConfig(scenario_timeout=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# the controller under fire
+# ---------------------------------------------------------------------------
+#: A quarter of the mask space crashes — dense enough that every short
+#: campaign hits it, sparse enough that exploration still works.
+POISON = frozenset(range(0, 256, 4))
+
+
+def poisoned_controller(seed=5, poison=POISON, **config_kwargs):
+    plugins = [MaskPlugin(), LoadPlugin()]
+    target = PoisonedTarget(plugins, poison=poison)
+    config = ControllerConfig(retry=FAST_RETRY, **config_kwargs)
+    return TestController(target, plugins, seed=seed, config=config)
+
+
+def test_campaign_survives_crashing_scenarios():
+    controller = poisoned_controller()
+    results = controller.run(40)
+    assert len(results) == 40
+    failures = [r for r in results if r.failed]
+    successes = [r for r in results if not r.failed]
+    assert failures, "the poison set should have been hit at least once"
+    assert successes, "most of the space is healthy"
+    for failure in failures:
+        assert failure.impact == 0.0
+        assert failure.kind == TARGET_FAULT
+        assert failure.key in controller.quarantine
+        assert failure.key in controller.history  # Omega still dedups it
+    # Failures never enter Pi or mu.
+    top_keys = {entry.key for entry in controller.top_set.entries}
+    assert top_keys.isdisjoint({f.key for f in failures})
+    assert controller.max_impact == max(r.impact for r in successes)
+    assert len(controller.quarantine) == len(failures)
+
+
+def test_fault_isolation_off_restores_fail_fast():
+    controller = poisoned_controller(fault_isolation=False, poison=range(256))
+    with pytest.raises(RuntimeError):
+        controller.run(10)
+
+
+def test_campaign_result_surfaces_failures():
+    plugins = [MaskPlugin()]
+    target = PoisonedTarget(plugins, poison=POISON)
+    strategy = AvdExploration(
+        target, plugins, seed=5, config=ControllerConfig(retry=FAST_RETRY)
+    )
+    campaign = run_campaign(strategy, budget=30)
+    failures = campaign.failures()
+    assert failures == [r for r in campaign.results if r.failed]
+    assert failures, "expected the poison set to be hit"
+
+
+def test_failure_trajectory_is_deterministic_across_workers():
+    serial = poisoned_controller(seed=7)
+    batched = poisoned_controller(seed=7)
+    serial.run(24, workers=1, batch_size=4)
+    batched.run(24, workers=2, batch_size=4)
+    assert trajectory(serial.results) == trajectory(batched.results)
+    assert set(serial.quarantine) == set(batched.quarantine)
+
+
+# ---------------------------------------------------------------------------
+# worker crashes in the pool
+# ---------------------------------------------------------------------------
+def killer_batch(target, poison_mask, innocents=5):
+    scenarios = [scenario_for_mask(target, poison_mask)]
+    healthy = [m for m in range(256) if m != poison_mask]
+    scenarios += [scenario_for_mask(target, m) for m in healthy[:innocents]]
+    # Poison in the middle so innocents sit on both sides of the break.
+    scenarios[0], scenarios[2] = scenarios[2], scenarios[0]
+    return scenarios
+
+
+def test_killed_worker_quarantines_the_culprit_not_the_batch():
+    plugins = [MaskPlugin()]
+    target = WorkerKillerTarget(plugins, poison=(9,))
+    scenarios = killer_batch(target, poison_mask=9)
+    retry = RetryPolicy(max_attempts=2, backoff_base=0.0)
+    with ParallelScenarioExecutor(target, campaign_seed=3, workers=2, retry=retry) as pool:
+        results = pool.execute_batch_isolated(scenarios, start_index=0)
+        assert pool.pool_rebuilds >= 1
+    assert [r.key for r in results] == [s.key for s in scenarios]
+    assert [r.test_index for r in results] == list(range(len(scenarios)))
+    failures = [r for r in results if r.failed]
+    assert len(failures) == 1
+    (failure,) = failures
+    assert failure.scenario.coords == scenarios[2].coords
+    assert failure.kind == WORKER_CRASH
+    assert failure.attempts == retry.max_attempts
+    # Innocent batch-mates completed with their real measurements.
+    reference, _ = make_hill_target()
+    local = ScenarioExecutor(reference, campaign_seed=3)
+    for offset, result in enumerate(results):
+        if result.failed:
+            continue
+        expected = local.execute(scenarios[offset], test_index=offset)
+        assert result.impact == expected.impact
+
+
+def test_wait_budget_covers_a_full_retry_cycle():
+    target, _ = make_hill_target()
+    retry = RetryPolicy(max_attempts=3, backoff_max=2.0)
+    pool = ParallelScenarioExecutor(target, workers=2, timeout=1.5, retry=retry)
+    assert pool._wait_budget() == pytest.approx(3 * (1.5 + 2.0) + 10.0)
+    pool.close()
+    no_deadline = ParallelScenarioExecutor(target, workers=2)
+    assert no_deadline._wait_budget() is None
+    no_deadline.close()

@@ -4,8 +4,10 @@ import json
 
 import pytest
 
-from repro.core import AvdExploration, run_campaign
+from repro.core import AvdExploration, ScenarioFailure, ScenarioResult, TestScenario, run_campaign
+from repro.core.campaign import CampaignResult
 from repro.core.persistence import (
+    FORMAT_VERSION,
     campaign_from_dict,
     campaign_to_dict,
     load_campaign,
@@ -41,8 +43,75 @@ def test_saved_file_is_plain_json(campaign, tmp_path):
     path = tmp_path / "campaign.json"
     save_campaign(campaign, path)
     data = json.loads(path.read_text())
-    assert data["format_version"] == 1
+    assert data["format_version"] == FORMAT_VERSION
     assert data["strategy"] == campaign.strategy
+
+
+def test_v1_campaign_files_still_load(campaign):
+    """Files written before the v2 format bump stay loadable."""
+    data = campaign_to_dict(campaign)
+    data["format_version"] = 1
+    for entry in data["results"]:  # v1 had neither provenance keys nor failures
+        entry.pop("parent_key", None)
+        entry.pop("failure", None)
+    loaded = campaign_from_dict(data)
+    assert loaded.impacts() == campaign.impacts()
+    assert [r.key for r in loaded.results] == [r.key for r in campaign.results]
+
+
+def test_parent_key_provenance_round_trips(campaign, tmp_path):
+    mutated = [r for r in campaign.results if r.scenario.parent_key is not None]
+    assert mutated, "fixture campaign should contain mutations"
+    path = tmp_path / "campaign.json"
+    save_campaign(campaign, path)
+    loaded = load_campaign(path)
+    for original, restored in zip(campaign.results, loaded.results):
+        assert restored.scenario.parent_key == original.scenario.parent_key
+
+
+def test_empty_dict_measurement_round_trips():
+    """Regression: a {} measurement is falsy but real — it must not load as None."""
+    result = ScenarioResult(
+        scenario=TestScenario(coords={"x": 1}), impact=0.5, test_index=0, measurement={}
+    )
+    loaded = campaign_from_dict(
+        campaign_to_dict(CampaignResult(strategy="x", results=[result]))
+    )
+    measurement = loaded.results[0].measurement
+    assert measurement is not None
+    assert measurement.as_dict() == {}
+
+
+def test_none_measurement_stays_none():
+    result = ScenarioResult(
+        scenario=TestScenario(coords={"x": 1}), impact=0.5, test_index=0, measurement=None
+    )
+    loaded = campaign_from_dict(
+        campaign_to_dict(CampaignResult(strategy="x", results=[result]))
+    )
+    assert loaded.results[0].measurement is None
+
+
+def test_scenario_failure_round_trips(tmp_path):
+    failure = ScenarioFailure(
+        scenario=TestScenario(coords={"x": 2}),
+        impact=0.0,
+        test_index=3,
+        kind="timeout",
+        error="scenario exceeded its 0.5s wall-clock deadline",
+        attempts=3,
+    )
+    ok = ScenarioResult(scenario=TestScenario(coords={"x": 1}), impact=0.4, test_index=0)
+    path = tmp_path / "campaign.json"
+    save_campaign(CampaignResult(strategy="avd", results=[ok, failure]), path)
+    loaded = load_campaign(path)
+    restored = loaded.results[1]
+    assert isinstance(restored, ScenarioFailure)
+    assert restored.failed and not loaded.results[0].failed
+    assert restored.kind == "timeout"
+    assert restored.attempts == 3
+    assert "deadline" in restored.error
+    assert loaded.failures() == [restored]
 
 
 def test_measurement_view_exposes_attributes(campaign, tmp_path):

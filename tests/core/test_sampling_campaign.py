@@ -57,6 +57,33 @@ def test_weighted_choice_always_returns_an_item(weights, seed):
     assert weighted_choice(items, weights, random.Random(seed)) in items
 
 
+def test_weighted_choice_rejects_non_finite_weights():
+    rng = random.Random(0)
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError, match="non-finite"):
+            weighted_choice(["a", "b"], [1.0, bad], rng)
+
+
+def test_weighted_choice_non_finite_rejected_at_any_position():
+    """Regression: a NaN slipped past the ``weight < 0`` sign guard and
+    silently poisoned the cumulative total. Sweep random weight vectors
+    with one non-finite value planted at every position."""
+    from tests._strategies import seed_sweep
+
+    for seed in seed_sweep(10, label="nonfinite-weights"):
+        rng = random.Random(seed)
+        weights = [rng.uniform(0.0, 10.0) for _ in range(rng.randint(1, 8))]
+        bad = rng.choice([float("nan"), float("inf"), float("-inf")])
+        for position in range(len(weights)):
+            poisoned = list(weights)
+            poisoned[position] = bad
+            items = list(range(len(poisoned)))
+            with pytest.raises(ValueError, match="non-finite"):
+                weighted_choice(items, poisoned, random.Random(seed))
+        # The clean vector still samples fine.
+        assert weighted_choice(list(range(len(weights))), weights, rng) is not None
+
+
 # ---------------------------------------------------------------------------
 # plugin fitness-gain stats
 # ---------------------------------------------------------------------------
@@ -126,6 +153,39 @@ def test_top_set_sampling_prefers_impact():
 def test_top_set_empty_sample_returns_none():
     assert TopSet().sample_by_impact(random.Random(0)) is None
     assert TopSet().best is None
+
+
+def test_top_set_never_holds_duplicate_keys():
+    """Regression: re-offering a scenario (e.g. after a retry) used to give
+    it multiple Pi slots, skewing impact-weighted parent sampling."""
+    top = TopSet(capacity=3)
+    top.offer(make_result(0.5, position=1))
+    top.offer(make_result(0.3, position=1))  # same key, lower impact: ignored
+    assert len(top) == 1
+    assert top.best.impact == 0.5
+    top.offer(make_result(0.8, position=1))  # same key, higher impact: replaces
+    assert len(top) == 1
+    assert top.best.impact == 0.8
+
+
+def test_top_set_duplicate_never_evicts_an_innocent_entry():
+    top = TopSet(capacity=2)
+    top.offer(make_result(0.9, position=1))
+    top.offer(make_result(0.6, position=2))
+    for _ in range(5):
+        top.offer(make_result(0.9, position=1))  # spam the same winner
+    assert sorted(entry.impact for entry in top.entries) == [0.6, 0.9]
+    keys = [entry.key for entry in top.entries]
+    assert len(keys) == len(set(keys))
+
+
+def test_top_set_duplicate_improvement_resorts():
+    top = TopSet(capacity=3)
+    top.offer(make_result(0.9, position=1))
+    top.offer(make_result(0.2, position=2))
+    top.offer(make_result(0.95, position=2))  # position 2 improves past 1
+    assert [entry.impact for entry in top.entries] == [0.95, 0.9]
+    assert top.best.key == make_result(0.95, position=2).key
 
 
 # ---------------------------------------------------------------------------
@@ -233,3 +293,38 @@ def test_describe_best_renders_all_strategies():
     summary = compare_campaigns([make_campaign([0.5], "avd"), make_campaign([0.2], "random")])
     text = describe_best(summary)
     assert "avd" in text and "random" in text
+
+
+def test_describe_best_zero_tests_is_not_never():
+    """Regression: ``tests_to_threshold == 0`` is falsy and used to render
+    as "never"; only ``None`` means the threshold was never reached."""
+    summary = {
+        "instant": {
+            "best_impact": 1.0,
+            "mean_impact": 1.0,
+            "tests_to_threshold": 0,
+            "best_params": {},
+        },
+        "hopeless": {
+            "best_impact": 0.1,
+            "mean_impact": 0.1,
+            "tests_to_threshold": None,
+            "best_params": {},
+        },
+    }
+    text = describe_best(summary)
+    instant_line, hopeless_line = text.splitlines()
+    assert "in 0 tests" in instant_line and "never" not in instant_line
+    assert "never" in hopeless_line
+
+
+def test_compare_campaigns_counts_failures():
+    from repro.core import ScenarioFailure
+
+    failure = ScenarioFailure(
+        scenario=TestScenario(coords={"d": 5}), impact=0.0, test_index=1, kind="timeout"
+    )
+    campaign = CampaignResult(strategy="avd", results=[make_result(0.4), failure])
+    summary = compare_campaigns([campaign])
+    assert summary["avd"]["failures"] == 1
+    assert campaign.failures() == [failure]

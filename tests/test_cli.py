@@ -72,3 +72,73 @@ def test_campaign_workers_flag_keeps_trajectory(tmp_path, capsys):
 def test_campaign_dht_target(capsys):
     assert main(["campaign", "--target", "dht", "--budget", "3", "--seed", "2"]) == 0
     assert "best impact" in capsys.readouterr().out
+
+
+def test_parser_knows_resume():
+    args = build_parser().parse_args(["resume", "some.ckpt.json"])
+    assert callable(args.func)
+    assert args.checkpoint == "some.ckpt.json"
+
+
+def test_campaign_crash_safety_flags_smoke(capsys):
+    code = main(
+        [
+            "campaign",
+            "--tools", "mac",
+            "--budget", "3",
+            "--seed", "2",
+            "--scenario-timeout", "30",
+            "--retries", "2",
+        ]
+    )
+    assert code == 0
+    assert "best impact" in capsys.readouterr().out
+
+
+def test_checkpoint_requires_the_avd_strategy(tmp_path):
+    with pytest.raises(SystemExit, match="avd"):
+        main(
+            [
+                "campaign",
+                "--strategy", "random",
+                "--budget", "2",
+                "--checkpoint", str(tmp_path / "ckpt.json"),
+            ]
+        )
+
+
+def test_resume_continues_to_a_larger_budget(tmp_path, capsys):
+    """campaign --checkpoint, then resume --budget N: the combined run
+    matches an uninterrupted seed-matched campaign test for test."""
+    ckpt = tmp_path / "ckpt.json"
+    resumed_file = tmp_path / "resumed.json"
+    reference_file = tmp_path / "reference.json"
+    base = ["campaign", "--tools", "mac", "--seed", "9"]
+    assert main(base + [
+        "--budget", "4",
+        "--checkpoint", str(ckpt),
+        "--checkpoint-every", "2",
+    ]) == 0
+    assert main(["resume", str(ckpt), "--budget", "8", "--out", str(resumed_file)]) == 0
+    assert "resuming campaign at test 4/8" in capsys.readouterr().out
+    assert main(base + ["--budget", "8", "--out", str(reference_file)]) == 0
+    resumed = json.loads(resumed_file.read_text())
+    reference = json.loads(reference_file.read_text())
+    assert len(resumed["results"]) == 8
+    assert [r["coords"] for r in resumed["results"]] == [
+        r["coords"] for r in reference["results"]
+    ]
+    assert [r["impact"] for r in resumed["results"]] == [
+        r["impact"] for r in reference["results"]
+    ]
+
+
+def test_resume_of_a_complete_campaign_is_a_noop(tmp_path, capsys):
+    ckpt = tmp_path / "ckpt.json"
+    assert main(
+        ["campaign", "--tools", "mac", "--budget", "3", "--seed", "1",
+         "--checkpoint", str(ckpt)]
+    ) == 0
+    capsys.readouterr()
+    assert main(["resume", str(ckpt)]) == 0
+    assert "nothing to resume" in capsys.readouterr().out
