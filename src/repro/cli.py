@@ -9,11 +9,13 @@ slow-primary demonstrate the shared-timer bug and its fixes
 dht-attack  measure the DHT redirection DoS
 explore     coverage-guided protocol-message sequence exploration
 power       tests-to-find along the attacker power ladder
+lint        determinism/picklability/plugin-API static analysis
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -304,6 +306,31 @@ def cmd_power(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .lint import LintEngine, count_by_rule, load_config
+
+    config = load_config(args.config_root)
+    engine = LintEngine(config=config)
+    findings = engine.lint_paths(args.paths)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [finding.to_json() for finding in findings],
+                    "counts": count_by_rule(findings),
+                    "total": len(findings),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"repro lint: {len(findings)} {noun}")
+    return 1 if findings else 0
+
+
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
@@ -405,6 +432,25 @@ def build_parser() -> argparse.ArgumentParser:
     power.add_argument("--budget", type=int, default=20)
     power.add_argument("--seed", type=int, default=0)
     power.set_defaults(func=cmd_power)
+
+    lint = sub.add_parser(
+        "lint", help="determinism/picklability/plugin-API static analysis"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text = compiler-style lines; json = machine-readable findings "
+             "+ per-rule counts (for CI/benchmark diffing)",
+    )
+    lint.add_argument(
+        "--config-root", default=None, metavar="DIR",
+        help="directory whose pyproject.toml supplies [tool.repro-lint] "
+             "(default: the current directory)",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -1,0 +1,33 @@
+"""``repro.lint``: determinism & picklability static analysis.
+
+An AST-based rule engine guarding the two invariants the campaign engine
+is built on: scenario execution is bit-identically replayable (DET rules),
+and everything that crosses the process pool pickles (PKL rules), plus the
+tool-plugin contract the controller's mutate-distance semantics assume
+(API rules). Run it as ``repro lint [paths]``; see README "Static
+analysis" for suppressions, scoping, and adding rules.
+"""
+
+from .config import LintConfig, load_config
+from .engine import LintEngine, PARSE_RULE, iter_python_files, lint_paths
+from .findings import Finding, count_by_rule, sort_findings
+from .rules import ModuleContext, Rule, all_rules, register
+from .suppress import collect_suppressions, is_suppressed
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintEngine",
+    "ModuleContext",
+    "PARSE_RULE",
+    "Rule",
+    "all_rules",
+    "collect_suppressions",
+    "count_by_rule",
+    "is_suppressed",
+    "iter_python_files",
+    "lint_paths",
+    "load_config",
+    "register",
+    "sort_findings",
+]

@@ -1,0 +1,156 @@
+"""Lint configuration: rule-family scopes and per-path opt-outs.
+
+The analyzer enforces *contracts* that only hold in specific parts of the
+tree: determinism (DET) applies to code that runs inside a simulated
+scenario, picklability (PKL) and the plugin API (API) apply wherever
+objects cross the process pool. Scoping therefore lives in configuration,
+not in the rules: ``[tool.repro-lint]`` in ``pyproject.toml`` maps each
+family to path prefixes, and a ``per-path`` table disables individual
+rules for individual files (coarser than an inline
+``# repro: lint-ignore[RULE]``, for hazards a whole file legitimately
+contains).
+
+``pyproject.toml`` parsing needs ``tomllib`` (Python 3.11+) or the
+``tomli`` backport; when neither is importable the built-in defaults —
+which mirror the shipped ``pyproject.toml`` — are used unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+try:  # Python 3.11+
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - 3.9/3.10 fallback
+    try:
+        import tomli as _toml  # type: ignore[no-redef]
+    except ImportError:
+        _toml = None  # type: ignore[assignment]
+
+#: Directories whose code must be deterministic: everything that executes
+#: inside a scenario (simulation kernel, protocol implementations, tool
+#: plugins) plus the controller layer whose trajectory must replay.
+DEFAULT_DET_PATHS = (
+    "src/repro/sim",
+    "src/repro/pbft",
+    "src/repro/dht",
+    "src/repro/plugins",
+    "src/repro/core",
+)
+#: Picklability and plugin-API contracts apply across the package: targets
+#: and plugins are defined under several top-level directories.
+DEFAULT_PKL_PATHS = ("src/repro",)
+DEFAULT_API_PATHS = ("src/repro",)
+
+
+def _norm_prefix(prefix: str) -> str:
+    return prefix.replace("\\", "/").strip("/")
+
+
+def _norm_file(path: str) -> str:
+    return os.path.abspath(path).replace("\\", "/")
+
+
+def _path_in_scope(path: str, prefixes: Tuple[str, ...]) -> bool:
+    """True when ``path`` sits under any of the (repo-relative) prefixes.
+
+    Matching is by path-segment subsequence on the absolute path, so it
+    works no matter which directory the linter is invoked from.
+    """
+    normalized = _norm_file(path)
+    for prefix in prefixes:
+        needle = f"/{_norm_prefix(prefix)}"
+        if normalized.endswith(needle) or f"{needle}/" in normalized:
+            return True
+    return False
+
+
+@dataclass
+class LintConfig:
+    """Scopes and opt-outs consumed by the engine and rules."""
+
+    det_paths: Tuple[str, ...] = DEFAULT_DET_PATHS
+    pkl_paths: Tuple[str, ...] = DEFAULT_PKL_PATHS
+    api_paths: Tuple[str, ...] = DEFAULT_API_PATHS
+    #: Path prefixes never linted at all (generated code, vendored files).
+    exclude: Tuple[str, ...] = ()
+    #: Rule ids disabled globally.
+    disable: Tuple[str, ...] = ()
+    #: path prefix -> rule ids disabled under it.
+    per_path_disable: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def family_paths(self, family: str) -> Tuple[str, ...]:
+        return {
+            "DET": self.det_paths,
+            "PKL": self.pkl_paths,
+            "API": self.api_paths,
+        }[family]
+
+    def is_excluded(self, path: str) -> bool:
+        return bool(self.exclude) and _path_in_scope(path, self.exclude)
+
+    def rule_applies(self, rule_id: str, family: str, path: str) -> bool:
+        """Does ``rule_id`` (of ``family``) apply to the file at ``path``?"""
+        if rule_id in self.disable:
+            return False
+        if not _path_in_scope(path, self.family_paths(family)):
+            return False
+        for prefix, disabled in self.per_path_disable.items():
+            if rule_id in disabled and _path_in_scope(path, (prefix,)):
+                return False
+        return True
+
+
+def _as_tuple(value: object, fallback: Tuple[str, ...]) -> Tuple[str, ...]:
+    if isinstance(value, (list, tuple)) and all(isinstance(v, str) for v in value):
+        return tuple(value)
+    return fallback
+
+
+def load_config(root: Optional[str] = None) -> LintConfig:
+    """Load ``[tool.repro-lint]`` from ``<root>/pyproject.toml``.
+
+    Missing file, missing table, or missing TOML parser all degrade to the
+    built-in defaults, so the linter runs everywhere the package runs.
+    """
+    defaults = LintConfig()
+    if _toml is None:
+        return defaults
+    pyproject = os.path.join(root or os.getcwd(), "pyproject.toml")
+    if not os.path.isfile(pyproject):
+        return defaults
+    try:
+        with open(pyproject, "rb") as handle:
+            data = _toml.load(handle)
+    except (OSError, ValueError):
+        return defaults
+    table = data.get("tool", {}).get("repro-lint", {})
+    if not isinstance(table, dict):
+        return defaults
+    scopes = table.get("scopes", {})
+    if not isinstance(scopes, dict):
+        scopes = {}
+    per_path_raw = table.get("per-path", {})
+    per_path: Dict[str, Tuple[str, ...]] = {}
+    if isinstance(per_path_raw, dict):
+        for prefix, rules in per_path_raw.items():
+            per_path[str(prefix)] = _as_tuple(rules, ())
+    return LintConfig(
+        det_paths=_as_tuple(scopes.get("det"), defaults.det_paths),
+        pkl_paths=_as_tuple(scopes.get("pkl"), defaults.pkl_paths),
+        api_paths=_as_tuple(scopes.get("api"), defaults.api_paths),
+        exclude=_as_tuple(table.get("exclude"), ()),
+        disable=_as_tuple(table.get("disable"), ()),
+        per_path_disable=per_path,
+    )
+
+
+__all__ = [
+    "DEFAULT_API_PATHS",
+    "DEFAULT_DET_PATHS",
+    "DEFAULT_PKL_PATHS",
+    "LintConfig",
+    "load_config",
+]

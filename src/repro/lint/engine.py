@@ -1,0 +1,102 @@
+"""The lint engine: walk files, run scoped rules, filter suppressions.
+
+The engine is deliberately boring: parse each file once, ask the registry
+which rules apply under the configuration's path scopes, run each rule's
+AST pass, drop findings waived by ``# repro: lint-ignore[...]`` comments,
+and return a deterministically ordered report. A file that does not parse
+yields a single ``PARSE`` finding instead of crashing the run, so one
+broken file cannot hide findings in the rest of the tree.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from .config import LintConfig, load_config
+from .findings import Finding, sort_findings
+from .rules import ModuleContext, Rule, all_rules
+from .suppress import collect_suppressions, is_suppressed
+
+#: Pseudo-rule id for files that fail to parse (never suppressible by scope).
+PARSE_RULE = "PARSE"
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Yield ``.py`` files under ``paths`` in a stable, sorted order."""
+    seen = set()
+    for path in paths:
+        if os.path.isfile(path):
+            candidates = [path] if path.endswith(".py") else []
+        else:
+            candidates = []
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                candidates.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".py")
+                )
+        for candidate in candidates:
+            marker = os.path.abspath(candidate)
+            if marker not in seen:
+                seen.add(marker)
+                yield candidate
+
+
+class LintEngine:
+    """Runs every applicable rule over a set of files."""
+
+    def __init__(
+        self,
+        config: Optional[LintConfig] = None,
+        rules: Optional[Sequence[Rule]] = None,
+    ) -> None:
+        self.config = config if config is not None else load_config()
+        self.rules = list(rules) if rules is not None else all_rules()
+
+    def lint_file(self, path: str) -> List[Finding]:
+        if self.config.is_excluded(path):
+            return []
+        applicable = [
+            rule
+            for rule in self.rules
+            if self.config.rule_applies(rule.rule_id, rule.family, path)
+        ]
+        if not applicable:
+            return []
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            return [Finding(path, 1, 0, PARSE_RULE, f"cannot read file: {exc}")]
+        try:
+            module = ModuleContext.parse(path, source)
+        except SyntaxError as exc:
+            return [
+                Finding(path, exc.lineno or 1, 0, PARSE_RULE, f"syntax error: {exc.msg}")
+            ]
+        suppressions = collect_suppressions(source)
+        findings: List[Finding] = []
+        for rule in applicable:
+            for finding in rule.check(module):
+                if not is_suppressed(suppressions, finding.line, finding.rule_id):
+                    findings.append(finding)
+        return sort_findings(findings)
+
+    def lint_paths(self, paths: Sequence[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in iter_python_files(paths):
+            findings.extend(self.lint_file(path))
+        return sort_findings(findings)
+
+
+def lint_paths(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> List[Finding]:
+    """Convenience wrapper: lint ``paths`` with ``config`` (or pyproject's)."""
+    return LintEngine(config=config).lint_paths(paths)
+
+
+__all__ = ["LintEngine", "PARSE_RULE", "iter_python_files", "lint_paths"]

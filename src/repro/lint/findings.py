@@ -1,0 +1,52 @@
+"""Lint findings: the one value every rule produces.
+
+A :class:`Finding` pins a rule violation to a ``(file, line)`` location so
+the CLI can render it like a compiler diagnostic, CI can fail on any of
+them, and benchmarks can diff machine-readable finding counts across
+commits (``repro lint --format json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    file: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """Compiler-style one-liner: ``path:line:col: RULE message``."""
+        return f"{self.file}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+def count_by_rule(findings: Iterable[Finding]) -> Dict[str, int]:
+    """Finding counts keyed by rule id (stable, sorted keys)."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    return {rule_id: counts[rule_id] for rule_id in sorted(counts)}
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deterministic report order: by file, then line, col, rule id."""
+    return sorted(findings)
+
+
+__all__ = ["Finding", "count_by_rule", "sort_findings"]

@@ -1,0 +1,11 @@
+"""Rule registry: importing this package registers every built-in rule.
+
+Adding a rule family is one module + one import line here; adding a rule
+is a ``@register``-decorated subclass of :class:`~.base.Rule` (see
+README "Static analysis" for the recipe).
+"""
+
+from .base import ModuleContext, Rule, all_rules, register
+from . import api, det, pkl  # noqa: F401  (imported for registration side effect)
+
+__all__ = ["ModuleContext", "Rule", "all_rules", "register"]

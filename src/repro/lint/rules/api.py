@@ -1,0 +1,187 @@
+"""API rules: the tool-plugin contract, enforced statically.
+
+The controller's mutate-distance semantics (Sec. 3 of the paper) only
+work if every plugin honours the same contract. Three things go wrong in
+practice, and each gets a rule:
+
+- API001 — an overridden ``mutate`` whose signature drifts from
+  ``mutate(self, coords, distance, rng, hyperspace)``: the controller
+  calls positionally, so drift silently rebinds arguments.
+- API002 — ``mutate`` drawing randomness from anywhere but the ``rng``
+  parameter (module-level ``random.*``, a private ``self.rng``): the
+  controller threads a deterministic stream through that parameter, and a
+  foreign stream breaks replay *and* biases the plugin-score sampler.
+- API003 — ``mutate`` touching a hyperspace dimension the plugin never
+  declares: the mutation lands on another tool's dimension (or nothing),
+  corrupting the per-plugin credit assignment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..findings import Finding
+from .base import ModuleContext, Rule, register
+
+_MUTATE_PARAMS = ["self", "coords", "distance", "rng", "hyperspace"]
+
+#: Dimension-name subscript containers read/written by ``mutate``.
+_COORD_CONTAINERS = {"coords", "child", "parent"}
+
+
+def _is_plugin_class(node: ast.ClassDef) -> bool:
+    if node.name.endswith("Plugin"):
+        return True
+    for base in node.bases:
+        text = ast.unparse(base)
+        if text.rsplit(".", 1)[-1].endswith("Plugin"):
+            return True
+    return False
+
+
+def _mutate_method(node: ast.ClassDef) -> Optional[ast.FunctionDef]:
+    for statement in node.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name == "mutate":
+            return statement
+    return None
+
+
+@register
+class MutateSignatureRule(Rule):
+    rule_id = "API001"
+    family = "API"
+    description = "mutate() signature drift"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_plugin_class(node):
+                continue
+            mutate = _mutate_method(node)
+            if mutate is None:
+                continue
+            args = mutate.args
+            names = [arg.arg for arg in args.posonlyargs + args.args]
+            extras = bool(args.vararg or args.kwonlyargs or args.kwarg)
+            if names != _MUTATE_PARAMS or extras:
+                got = ", ".join(names) or "<none>"
+                yield self.finding(
+                    module,
+                    mutate,
+                    "mutate() must be mutate(self, coords, distance, rng, "
+                    f"hyperspace) — the controller calls it positionally; got "
+                    f"({got})",
+                )
+
+
+@register
+class MutateForeignRngRule(Rule):
+    rule_id = "API002"
+    family = "API"
+    description = "mutate() using randomness other than the rng parameter"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_plugin_class(node):
+                continue
+            mutate = _mutate_method(node)
+            if mutate is None:
+                continue
+            for inner in ast.walk(mutate):
+                if isinstance(inner, ast.Call):
+                    name = module.resolve_call_name(inner.func)
+                    if name is not None and name.startswith("random."):
+                        yield self.finding(
+                            module,
+                            inner,
+                            f"mutate() calls `{name}()`; mutation must use only "
+                            "the provided `rng` parameter so trajectories replay",
+                        )
+                elif (
+                    isinstance(inner, ast.Attribute)
+                    and isinstance(inner.value, ast.Name)
+                    and inner.value.id == "self"
+                    and inner.attr in {"rng", "random", "_rng"}
+                ):
+                    yield self.finding(
+                        module,
+                        inner,
+                        f"mutate() reads `self.{inner.attr}`; mutation must use "
+                        "only the provided `rng` parameter so trajectories replay",
+                    )
+
+
+def _declared_dimensions(node: ast.ClassDef, module: ModuleContext) -> Set[str]:
+    """Dimension names constructed anywhere in the class body.
+
+    Recognizes ``<Something>Dimension(<name>, ...)`` constructor calls and
+    resolves the first argument through module-level string constants.
+    """
+    declared: Set[str] = set()
+    for inner in ast.walk(node):
+        if not isinstance(inner, ast.Call):
+            continue
+        name = module.resolve_call_name(inner.func)
+        if name is None or not name.rsplit(".", 1)[-1].endswith("Dimension"):
+            continue
+        if inner.args:
+            value = module.resolve_string(inner.args[0])
+            if value is not None:
+                declared.add(value)
+    return declared
+
+
+def _touched_dimensions(
+    mutate: ast.FunctionDef, module: ModuleContext
+) -> List[ast.Subscript]:
+    """Subscripts in ``mutate`` whose key names a hyperspace dimension."""
+    touched: List[ast.Subscript] = []
+    for inner in ast.walk(mutate):
+        if not isinstance(inner, ast.Subscript):
+            continue
+        value = inner.value
+        is_coords = isinstance(value, ast.Name) and value.id in _COORD_CONTAINERS
+        is_by_name = isinstance(value, ast.Attribute) and value.attr == "by_name"
+        if is_coords or is_by_name:
+            touched.append(inner)
+    return touched
+
+
+@register
+class UndeclaredDimensionRule(Rule):
+    rule_id = "API003"
+    family = "API"
+    description = "mutate() touching undeclared dimensions"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_plugin_class(node):
+                continue
+            mutate = _mutate_method(node)
+            if mutate is None:
+                continue
+            declared = _declared_dimensions(node, module)
+            if not declared:
+                # Dimensions built outside the class (or injected): nothing
+                # to check against without whole-program analysis.
+                continue
+            reported: Set[str] = set()
+            for subscript in _touched_dimensions(mutate, module):
+                key = module.resolve_string(subscript.slice)
+                if key is None or key in declared or key in reported:
+                    continue
+                reported.add(key)
+                yield self.finding(
+                    module,
+                    subscript,
+                    f"mutate() touches dimension {key!r} which this plugin "
+                    "never declares in dimensions(); mutations must stay on "
+                    "owned dimensions",
+                )
+
+
+__all__ = [
+    "MutateForeignRngRule",
+    "MutateSignatureRule",
+    "UndeclaredDimensionRule",
+]

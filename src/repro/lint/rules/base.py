@@ -1,0 +1,123 @@
+"""Rule infrastructure: the registry, module context, and AST helpers.
+
+Every rule is a small object with a stable ``rule_id`` (``DET001``,
+``PKL002``, ...), a ``family`` that drives path scoping (see
+:mod:`repro.lint.config`), and a ``check(module)`` generator yielding
+:class:`~repro.lint.findings.Finding` values. Rules register themselves
+into a module-level registry at import time; the engine asks the registry
+for every rule and lets configuration decide which apply to which file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..findings import Finding
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may need about one parsed module."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    #: module-level ``NAME = "literal"`` string constants, for resolving
+    #: dimension-name references like ``coords[MAC_MASK_DIMENSION]``.
+    constants: Dict[str, str] = field(default_factory=dict)
+    #: local alias -> canonical dotted prefix, from import statements
+    #: (``import time as t`` -> ``{"t": "time"}``;
+    #: ``from random import randint`` -> ``{"randint": "random.randint"}``).
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleContext":
+        tree = ast.parse(source, filename=path)
+        context = cls(path=path, tree=tree, source=source)
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and isinstance(node.value, ast.Constant):
+                    if isinstance(node.value.value, str):
+                        context.constants[target.id] = node.value.value
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    canonical = alias.name if alias.asname else local
+                    context.aliases[local] = canonical
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    context.aliases[local] = f"{node.module}.{alias.name}"
+        return context
+
+    def resolve_call_name(self, func: ast.expr) -> Optional[str]:
+        """Canonical dotted name of a call target, or ``None``.
+
+        ``t.monotonic()`` with ``import time as t`` resolves to
+        ``time.monotonic``; ``randint()`` after ``from random import
+        randint`` resolves to ``random.randint``.
+        """
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def resolve_string(self, node: ast.expr) -> Optional[str]:
+        """Value of a string constant or a module-level constant name."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            return self.constants.get(node.id)
+        return None
+
+
+class Rule:
+    """Base class: subclasses set the id/family and implement ``check``."""
+
+    rule_id: str = ""
+    family: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            file=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_class: type) -> type:
+    """Class decorator adding one instance of the rule to the registry."""
+    rule = rule_class()
+    if not rule.rule_id or not rule.family:
+        raise ValueError(f"{rule_class.__name__} must define rule_id and family")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in stable rule-id order."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+__all__ = ["ModuleContext", "Rule", "all_rules", "register"]

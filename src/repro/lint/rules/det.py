@@ -1,0 +1,239 @@
+"""DET rules: sources of nondeterminism banned in deterministic code.
+
+The replay contract (checkpoint/resume bit-identity, worker-count-
+independent trajectories) only holds if scenario execution is a pure
+function of ``(campaign_seed, scenario)``. These rules ban the classic
+leaks statically:
+
+- DET001 — wall-clock reads (``time.time``, ``datetime.now``, ...);
+  simulated components must take time from the simulated clock.
+- DET002 — unseeded randomness (module-level ``random.*``, zero-argument
+  ``random.Random()``, ``os.urandom``, ``uuid.uuid4``, ``secrets``);
+  seeded ``random.Random(seed)`` streams from ``sim/rng.py`` stay allowed.
+- DET003 — order-sensitive iteration over set expressions; set order
+  depends on string-hash salting and so differs between processes.
+- DET004 — ``id()`` anywhere, and ``hash()`` in sort keys or string
+  formatting: both vary across processes (addresses, hash salting) and
+  must never reach RNG stream names, sort orders, or results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..findings import Finding
+from .base import ModuleContext, Rule, register
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: ``random`` module attributes that are *not* draws from the shared
+#: unseeded stream (safe to reference).
+_RANDOM_SAFE = {"random.Random", "random.getstate", "random.setstate"}
+
+_ENTROPY_CALLS = {"os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4"}
+
+
+@register
+class WallClockRule(Rule):
+    rule_id = "DET001"
+    family = "DET"
+    description = "wall-clock reads in deterministic code"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve_call_name(node.func)
+            if name in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock read `{name}()` in deterministic code; "
+                    "take time from the simulated clock (`simulator.now`)",
+                )
+
+
+@register
+class UnseededRandomRule(Rule):
+    rule_id = "DET002"
+    family = "DET"
+    description = "unseeded or ambient randomness"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve_call_name(node.func)
+            if name is None:
+                continue
+            if name == "random.Random":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        "`random.Random()` with no seed draws from OS entropy; "
+                        "derive the seed from the scenario "
+                        "(`sim/rng.py:derive_seed`)",
+                    )
+                continue
+            if name.startswith("random.") and name not in _RANDOM_SAFE:
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{name}()` uses the shared unseeded stream; draw from a "
+                    "named seeded stream (`simulator.rng(name)`) instead",
+                )
+            elif name in _ENTROPY_CALLS or name.startswith("secrets."):
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{name}()` reads OS entropy and can never replay; "
+                    "derive values from the scenario seed",
+                )
+            elif name == "random.SystemRandom" or name.endswith(".SystemRandom"):
+                yield self.finding(
+                    module,
+                    node,
+                    "`SystemRandom` reads OS entropy and can never replay",
+                )
+
+
+def _is_set_expression(node: ast.expr, module: ModuleContext) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = module.resolve_call_name(node.func)
+        return name in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expression(node.left, module) or _is_set_expression(
+            node.right, module
+        )
+    return False
+
+
+#: Builtins that consume their argument in iteration order.
+_ORDER_SENSITIVE_CONSUMERS = {"list", "tuple", "enumerate", "iter", "next"}
+
+
+@register
+class SetIterationRule(Rule):
+    rule_id = "DET003"
+    family = "DET"
+    description = "order-sensitive iteration over a set"
+
+    def _flag(self, module: ModuleContext, node: ast.AST) -> Finding:
+        return self.finding(
+            module,
+            node,
+            "iteration order of a set depends on hash salting and differs "
+            "across processes; sort it (`sorted(...)`) or count with "
+            "`collections.Counter` before consuming order",
+        )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expression(node.iter, module):
+                    yield self._flag(module, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    if _is_set_expression(generator.iter, module):
+                        yield self._flag(module, generator.iter)
+            elif isinstance(node, ast.Call):
+                name = module.resolve_call_name(node.func)
+                consumes = name in _ORDER_SENSITIVE_CONSUMERS or (
+                    isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+                )
+                if consumes:
+                    for arg in node.args:
+                        if _is_set_expression(arg, module):
+                            yield self._flag(module, arg)
+            elif isinstance(node, ast.Starred) and _is_set_expression(node.value, module):
+                yield self._flag(module, node.value)
+
+
+def _sort_key_lambdas(tree: ast.Module, module: ModuleContext) -> Set[ast.AST]:
+    """Bodies of ``key=`` lambdas passed to sorted/sort/min/max."""
+    bodies: Set[ast.AST] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = module.resolve_call_name(node.func)
+        is_sorter = name in {"sorted", "min", "max"} or (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "sort"
+        )
+        if not is_sorter:
+            continue
+        for keyword in node.keywords:
+            if keyword.arg == "key" and isinstance(keyword.value, ast.Lambda):
+                bodies.add(keyword.value.body)
+    return bodies
+
+
+@register
+class UnstableIdentityRule(Rule):
+    rule_id = "DET004"
+    family = "DET"
+    description = "id()/hash() where the value can reach results"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        key_bodies = _sort_key_lambdas(module.tree, module)
+        formatted: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.FormattedValue):
+                for inner in ast.walk(node):
+                    formatted.add(id(inner))
+        in_key_body: Set[int] = set()
+        for body in key_bodies:
+            for inner in ast.walk(body):
+                in_key_body.add(id(inner))
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve_call_name(node.func)
+            if name == "id":
+                yield self.finding(
+                    module,
+                    node,
+                    "`id()` is a memory address and differs between runs and "
+                    "processes; use a stable key (an index, a name, a digest)",
+                )
+            elif name == "hash":
+                arg_is_str = bool(node.args) and (
+                    isinstance(node.args[0], ast.JoinedStr)
+                    or (
+                        isinstance(node.args[0], ast.Constant)
+                        and isinstance(node.args[0].value, str)
+                    )
+                )
+                if arg_is_str or id(node) in in_key_body or id(node) in formatted:
+                    yield self.finding(
+                        module,
+                        node,
+                        "builtin `hash()` is salted per process for str/bytes; "
+                        "use `crypto.stable_digest` for stable identities",
+                    )
+
+
+__all__ = [
+    "SetIterationRule",
+    "UnseededRandomRule",
+    "UnstableIdentityRule",
+    "WallClockRule",
+]

@@ -1,0 +1,70 @@
+"""Inline suppression comments: ``# repro: lint-ignore[RULE]``.
+
+A suppression silences findings on its own line; a comment that has a
+whole line to itself silences the *next* line instead (the common "put
+the waiver above the offending statement" style). ``lint-ignore`` with no
+bracket suppresses every rule on that line; ``lint-ignore[DET001,PKL002]``
+suppresses exactly the listed rule ids.
+
+Comments are recovered with :mod:`tokenize` (the AST drops them), so
+suppressions survive any formatting the AST-based rules can see through.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet
+
+#: Sentinel meaning "every rule suppressed on this line".
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+_PATTERN = re.compile(r"#\s*repro:\s*lint-ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+
+def _rules_of(match: "re.Match[str]") -> FrozenSet[str]:
+    listed = match.group(1)
+    if listed is None:
+        return ALL_RULES
+    rules = frozenset(rule.strip() for rule in listed.split(",") if rule.strip())
+    return rules or ALL_RULES
+
+
+def collect_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> rule ids suppressed there.
+
+    Tokenization errors (the file will separately fail to parse) yield an
+    empty map rather than raising: suppression handling must never be the
+    thing that crashes the linter.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        # A comment alone on its line waives the following line.
+        prefix = token.line[: token.start[1]]
+        target = line + 1 if not prefix.strip() else line
+        existing = suppressions.get(target, frozenset())
+        suppressions[target] = existing | _rules_of(match)
+    return suppressions
+
+
+def is_suppressed(
+    suppressions: Dict[int, FrozenSet[str]], line: int, rule_id: str
+) -> bool:
+    rules = suppressions.get(line)
+    if not rules:
+        return False
+    return rules is ALL_RULES or "*" in rules or rule_id in rules
+
+
+__all__ = ["ALL_RULES", "collect_suppressions", "is_suppressed"]

@@ -16,6 +16,7 @@ re-MAC the request). This is precisely the surface of the Big MAC attack.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..crypto import KeyStore, MacGenerator, compute_mac, mix64, stable_digest
@@ -531,9 +532,13 @@ class Replica(CrashAwareNode):
             return
         votes = self.checkpoints.setdefault(message.seq, {})
         votes[message.replica] = message.state_digest
-        digests = list(votes.values())
+        # Counter preserves first-seen order, so the scan is deterministic
+        # (and O(n)) no matter how votes arrived; iterating set(digests)
+        # here would order candidates by process-specific hashing.
+        digest_counts = Counter(votes.values())
         stable_digest_value = next(
-            (d for d in set(digests) if digests.count(d) >= self.config.quorum), None
+            (d for d, count in digest_counts.items() if count >= self.config.quorum),
+            None,
         )
         if stable_digest_value is None:
             return

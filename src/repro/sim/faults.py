@@ -38,7 +38,13 @@ def match_endpoints(
 
 
 class _SeededFault(NetworkFault):
-    """Base for faults needing their own deterministic RNG stream."""
+    """Base for faults needing their own deterministic RNG stream.
+
+    The stream is named by the fault's pipeline slot on its network, so
+    the derived seed is identical in every process that builds the same
+    scenario. (Naming it by ``id(self)`` — a memory address — made traces
+    differ between the controller and pool workers.)
+    """
 
     def __init__(self, matcher: EnvelopeMatcher = match_all) -> None:
         self.matcher = matcher
@@ -46,7 +52,13 @@ class _SeededFault(NetworkFault):
 
     def _stream(self, network: Network) -> random.Random:
         if self._rng is None:
-            self._rng = network.simulator.rng(f"fault:{type(self).__name__}:{id(self)}")
+            try:
+                slot = network.faults.index(self)
+            except ValueError:  # applied without being installed (tests)
+                slot = len(network.faults)
+            self._rng = network.simulator.rng(
+                f"fault:{network.name}:{type(self).__name__}:{slot}"
+            )
         return self._rng
 
 

@@ -8,6 +8,9 @@ stages each message traverses; AVD plugins install and parameterize stages.
 
 from __future__ import annotations
 
+# Annotation-only import: latency sampling draws from the network's named
+# seeded stream (`simulator.rng(f"network:{name}")`); `repro lint`
+# (DET002) bans module-level `random.*` calls here.
 import random
 from typing import Callable, Dict, Iterable, List, Optional, Protocol, Sequence
 

@@ -9,6 +9,9 @@ and carries no global state.
 
 from __future__ import annotations
 
+# Annotation-only import: every draw goes through a named seeded stream
+# from the RngRegistry (see `rng()` below); `repro lint` (DET002) bans
+# module-level `random.*` calls here.
 import random
 from typing import Callable, Optional
 

@@ -1,0 +1,43 @@
+"""API fixture: every line marked ``# expect: RULE`` must be flagged."""
+
+import random
+
+WINDOW = "window"
+FOREIGN_KNOB = "other_tool_knob"
+
+
+class IntRangeDimension:
+    def __init__(self, name, low, high):
+        self.name = name
+
+
+class DriftPlugin:
+    def mutate(self, parent, distance):  # expect: API001
+        return dict(parent)
+
+
+class ForeignRngPlugin:
+    def __init__(self):
+        self._dimension = IntRangeDimension(WINDOW, 1, 8)
+
+    def mutate(self, coords, distance, rng, hyperspace):
+        child = dict(coords)
+        child[WINDOW] = random.randint(1, 8)  # expect: API002
+        return child
+
+
+class PrivateRngPlugin:
+    def mutate(self, coords, distance, rng, hyperspace):
+        child = dict(coords)
+        child["knob"] = self.rng.random()  # expect: API002
+        return child
+
+
+class PoachingPlugin:
+    def __init__(self):
+        self._dimension = IntRangeDimension(WINDOW, 1, 8)
+
+    def mutate(self, coords, distance, rng, hyperspace):
+        child = dict(coords)
+        child[FOREIGN_KNOB] = rng.randint(1, 8)  # expect: API003
+        return child

@@ -1,0 +1,42 @@
+"""API fixture near-misses: nothing in this file may be flagged."""
+
+MASK = "mask"
+
+
+class ChoiceDimension:
+    def __init__(self, name, values):
+        self.name = name
+
+
+class WellBehavedPlugin:
+    def __init__(self):
+        self._dimension = ChoiceDimension(MASK, [0, 1, 2])
+
+    def dimensions(self):
+        return [self._dimension]
+
+    def mutate(self, coords, distance, rng, hyperspace):
+        child = dict(coords)
+        dimension = hyperspace.by_name[MASK]
+        child[MASK] = dimension.neighbor(coords[MASK], distance, rng)
+        return child
+
+
+class GenericBasePlugin:
+    """Dimension names unresolvable statically: API003 must stay quiet."""
+
+    def __init__(self):
+        self._dimension = ChoiceDimension(MASK, [0, 1, 2])
+
+    def mutate(self, coords, distance, rng, hyperspace):
+        child = dict(coords)
+        name = rng.choice(sorted(coords))
+        child[name] = hyperspace.by_name[name].neighbor(coords[name], distance, rng)
+        return child
+
+
+class NotAPluginHelper:
+    """Not a plugin: the mutate() contract does not apply."""
+
+    def mutate(self, values, factor):
+        return [value * factor for value in values]

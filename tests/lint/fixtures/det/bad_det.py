@@ -1,0 +1,45 @@
+"""DET fixture: every line marked ``# expect: RULE`` must be flagged.
+
+Never imported — this file exists to be parsed by the lint engine.
+"""
+
+import os
+import random
+import time
+import time as clock
+import uuid
+from datetime import datetime
+from random import randint
+
+
+def wall_clock():
+    start = time.time()  # expect: DET001
+    stamp = datetime.now()  # expect: DET001
+    tick = clock.monotonic()  # expect: DET001
+    return start, stamp, tick
+
+
+def ambient_randomness():
+    a = random.random()  # expect: DET002
+    b = random.randint(0, 10)  # expect: DET002
+    c = randint(1, 6)  # expect: DET002
+    stream = random.Random()  # expect: DET002
+    entropy = os.urandom(8)  # expect: DET002
+    token = uuid.uuid4()  # expect: DET002
+    return a, b, c, stream, entropy, token
+
+
+def set_order(votes, names):
+    for digest in set(votes):  # expect: DET003
+        print(digest)
+    ordered = list({"a", "b", "c"})  # expect: DET003
+    first = next(d for d in frozenset(names))  # expect: DET003
+    joined = ",".join({n for n in names})  # expect: DET003
+    return ordered, first, joined
+
+
+def unstable_identity(items, obj):
+    stream_name = f"fault:{id(obj)}"  # expect: DET004
+    ranked = sorted(items, key=lambda item: hash(item))  # expect: DET004
+    salted = hash("stream-name")  # expect: DET004
+    return stream_name, ranked, salted

@@ -1,0 +1,32 @@
+"""DET fixture near-misses: nothing in this file may be flagged."""
+
+import random
+import time
+
+
+def seeded_stream(seed):
+    stream = random.Random(seed)
+    return stream.random()
+
+
+def injected_sleep(sleep=time.sleep):
+    # Referencing (not reading) the clock module is fine; sleep is not a
+    # wall-clock *read*.
+    return sleep
+
+
+def ordered_set_use(votes, names):
+    for digest in sorted(set(votes)):
+        print(digest)
+    count = len({name for name in names})
+    present = "a" in {"a", "b"}
+    return count, present
+
+
+def stable_keys(items):
+    return sorted(items, key=lambda item: item.name)
+
+
+def int_hash_is_fine(value):
+    # hash() of a non-string is not flagged outside order-sensitive spots.
+    return hash(value)

@@ -1,0 +1,20 @@
+"""Suppression fixture: only the line marked ``# expect:`` may be flagged."""
+
+import time
+
+
+def waived_inline():
+    return time.time()  # repro: lint-ignore[DET001]
+
+
+def waived_from_line_above():
+    # repro: lint-ignore[DET001]
+    return time.time()
+
+
+def waived_all_rules():
+    return time.time()  # repro: lint-ignore
+
+
+def waived_wrong_rule():
+    return time.time()  # repro: lint-ignore[DET002]  # expect: DET001

@@ -1,0 +1,29 @@
+"""PKL fixture: every line marked ``# expect: RULE`` must be flagged."""
+
+
+def launch(target, scenarios, strategy):
+    executor = ParallelScenarioExecutor(lambda params, seed: 0.0)  # expect: PKL001
+    campaign = run_campaign(strategy, 10, on_result=lambda r: None)  # expect: PKL001
+    return executor, campaign
+
+
+def ship_local_function(pool, scenario):
+    def helper(s):
+        return s.run()
+
+    return pool.submit(helper, scenario)  # expect: PKL001
+
+
+def ship_assigned_lambda(pool, scenario):
+    metric = lambda s: s.run()  # noqa: E731
+    return pool.submit(metric, scenario)  # expect: PKL001
+
+
+class BadTarget:
+    def __init__(self, corruptor=lambda payload: payload):  # expect: PKL002
+        self.corruptor = corruptor
+        self.metric = lambda measurement: 0.0  # expect: PKL002
+
+
+class BadPlugin(ToolPlugin):
+    scorer = lambda self, value: value  # noqa: E731  # expect: PKL002

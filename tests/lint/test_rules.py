@@ -1,0 +1,98 @@
+"""Per-rule fixture tests: each DET/PKL/API rule fires where expected.
+
+Every ``bad_*`` fixture line carries a trailing ``# expect: RULE`` marker;
+the test asserts the engine produces *exactly* the marked ``(line, rule)``
+pairs — proving each rule both fires on the hazard and does not over-fire
+on the rest of the file. ``good_*`` fixtures are near-misses that must
+come back completely clean.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, LintEngine
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_MARKER = re.compile(r"#\s*expect:\s*([A-Z]+\d+)")
+
+
+def fixture_config() -> LintConfig:
+    return LintConfig(
+        det_paths=(str(FIXTURES / "det"),),
+        pkl_paths=(str(FIXTURES / "pkl"),),
+        api_paths=(str(FIXTURES / "api"),),
+    )
+
+
+def expected_markers(path: Path):
+    expected = set()
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in _MARKER.finditer(line):
+            expected.add((number, match.group(1)))
+    return expected
+
+
+def found_pairs(path: Path):
+    engine = LintEngine(config=fixture_config())
+    return {(finding.line, finding.rule_id) for finding in engine.lint_file(str(path))}
+
+
+@pytest.mark.parametrize(
+    "fixture",
+    ["det/bad_det.py", "pkl/bad_pkl.py", "api/bad_api.py", "det/suppressed.py"],
+)
+def test_bad_fixture_flags_exactly_the_marked_lines(fixture):
+    path = FIXTURES / fixture
+    expected = expected_markers(path)
+    assert expected, f"fixture {fixture} has no expect markers"
+    assert found_pairs(path) == expected
+
+
+@pytest.mark.parametrize(
+    "fixture", ["det/good_det.py", "pkl/good_pkl.py", "api/good_api.py"]
+)
+def test_good_fixture_is_clean(fixture):
+    assert found_pairs(FIXTURES / fixture) == set()
+
+
+def test_each_rule_family_has_a_flagged_and_a_clean_fixture():
+    """Acceptance: every family proves it fires and does not over-fire."""
+    families = {"DET": "det", "PKL": "pkl", "API": "api"}
+    for family, directory in families.items():
+        bad = expected_markers(FIXTURES / directory / f"bad_{directory}.py")
+        assert any(rule.startswith(family) for _, rule in bad), family
+        clean = found_pairs(FIXTURES / directory / f"good_{directory}.py")
+        assert clean == set(), (family, clean)
+
+
+def test_every_registered_rule_fires_somewhere_in_the_fixtures():
+    from repro.lint import all_rules
+
+    covered = set()
+    for fixture in ["det/bad_det.py", "pkl/bad_pkl.py", "api/bad_api.py"]:
+        covered |= {rule for _, rule in expected_markers(FIXTURES / fixture)}
+    assert covered == {rule.rule_id for rule in all_rules()}
+
+
+def test_out_of_scope_file_is_untouched(tmp_path):
+    hazard = tmp_path / "free_zone.py"
+    hazard.write_text("import time\nstamp = time.time()\n")
+    engine = LintEngine(config=fixture_config())
+    assert engine.lint_file(str(hazard)) == []
+
+
+def test_findings_carry_messages_and_render(tmp_path):
+    scoped = tmp_path / "det" / "mod.py"
+    scoped.parent.mkdir()
+    scoped.write_text("import time\nstamp = time.time()\n")
+    engine = LintEngine(config=LintConfig(det_paths=(str(scoped.parent),)))
+    findings = engine.lint_file(str(scoped))
+    assert [f.rule_id for f in findings] == ["DET001"]
+    assert findings[0].line == 2
+    rendered = findings[0].render()
+    assert rendered.startswith(str(scoped)) and "DET001" in rendered

@@ -1,0 +1,80 @@
+"""Regression: the checkpoint-quorum scan is deterministic and order-free.
+
+The scan used to iterate ``set(digests)``, whose order depends on
+per-process hash salting — the first real finding ``repro lint`` (DET003)
+surfaced. It now counts votes with ``collections.Counter``, so the chosen
+stable digest is a pure function of the votes, not of hashing or vote
+arrival order.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.pbft.config import PbftConfig, replica_name
+from repro.pbft.messages import CheckpointMsg
+from repro.pbft.replica import Replica
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+
+
+def make_replica() -> Replica:
+    config = PbftConfig.campaign_scale()
+    simulator = Simulator(seed=0)
+    network = Network(simulator)
+    return Replica(0, config, simulator, network, key_root=7)
+
+
+def record(replica: Replica, seq: int, digest: int, voter: int) -> None:
+    replica._record_checkpoint(CheckpointMsg(seq, digest, replica_name(voter)))
+
+
+def test_quorum_digest_becomes_stable():
+    replica = make_replica()
+    replica.last_executed = 10  # no state transfer needed
+    quorum = replica.config.quorum
+    for voter in range(quorum - 1):
+        record(replica, 10, digest=111, voter=voter)
+        assert replica.stable_seq == 0  # below quorum: nothing stabilizes
+    record(replica, 10, digest=111, voter=quorum - 1)
+    assert replica.stable_seq == 10
+    assert replica._checkpoint_states[10] == 111
+
+
+def test_minority_digest_never_wins():
+    replica = make_replica()
+    replica.last_executed = 12
+    quorum = replica.config.quorum
+    # One divergent vote plus a quorum of agreeing votes: the agreeing
+    # digest must be chosen no matter how votes interleave.
+    record(replica, 12, digest=999, voter=3)
+    for voter in range(quorum):
+        record(replica, 12, digest=555, voter=voter)
+    assert replica.stable_seq == 12
+    assert replica._checkpoint_states[12] == 555
+
+
+def test_stable_digest_independent_of_vote_arrival_order():
+    """Every arrival permutation yields the same stable state."""
+    quorum = PbftConfig.campaign_scale().quorum
+    votes = [(voter, 555) for voter in range(quorum)] + [(3, 999)]
+    outcomes = set()
+    for permutation in itertools.permutations(votes):
+        replica = make_replica()
+        replica.last_executed = 20
+        for voter, digest in permutation:
+            record(replica, 20, digest, voter)
+        outcomes.add((replica.stable_seq, replica._checkpoint_states[20]))
+    assert outcomes == {(20, 555)}
+
+
+def test_checkpoint_scan_garbage_collects_older_rounds():
+    replica = make_replica()
+    replica.last_executed = 30
+    quorum = replica.config.quorum
+    for voter in range(quorum - 1):  # an older round that never stabilizes
+        record(replica, 10, digest=111, voter=voter)
+    for voter in range(quorum):
+        record(replica, 30, digest=222, voter=voter)
+    assert replica.stable_seq == 30
+    assert all(seq > 30 for seq in replica.checkpoints)

@@ -9,7 +9,9 @@ from repro.cli import build_parser, main
 
 def test_parser_knows_all_commands():
     parser = build_parser()
-    for command in ("campaign", "bigmac", "slow-primary", "dht-attack", "explore", "power"):
+    for command in (
+        "campaign", "bigmac", "slow-primary", "dht-attack", "explore", "power", "lint"
+    ):
         args = parser.parse_args([command] if command != "campaign" else ["campaign"])
         assert callable(args.func)
 

@@ -31,6 +31,7 @@ def test_subpackages_have_docstrings():
     import repro.crypto
     import repro.dht
     import repro.injection
+    import repro.lint
     import repro.pbft
     import repro.plugins
     import repro.sim
@@ -43,9 +44,22 @@ def test_subpackages_have_docstrings():
         repro.crypto,
         repro.dht,
         repro.injection,
+        repro.lint,
         repro.pbft,
         repro.plugins,
         repro.sim,
         repro.targets,
     ):
         assert module.__doc__ and len(module.__doc__) > 20
+
+
+def test_lint_surface_is_importable():
+    from repro.lint import Finding, LintConfig, LintEngine, all_rules, lint_paths
+
+    assert callable(lint_paths)
+    assert {rule.rule_id for rule in all_rules()} == {
+        "DET001", "DET002", "DET003", "DET004",
+        "PKL001", "PKL002",
+        "API001", "API002", "API003",
+    }
+    assert Finding and LintConfig and LintEngine
