@@ -306,6 +306,17 @@ def cmd_power(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .bench import run_bench
+
+    return run_bench(
+        quick=args.quick,
+        workers=args.workers,
+        out_dir=args.out_dir,
+        skip_parallel=args.skip_parallel,
+    )
+
+
 def cmd_lint(args) -> int:
     from .lint import LintEngine, count_by_rule, load_config
 
@@ -432,6 +443,27 @@ def build_parser() -> argparse.ArgumentParser:
     power.add_argument("--budget", type=int, default=20)
     power.add_argument("--seed", type=int, default=0)
     power.set_defaults(func=cmd_power)
+
+    bench = sub.add_parser(
+        "bench", help="perf-regression benchmarks (writes BENCH_*.json)"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized workloads, one timed repeat per mode",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=0,
+        help="pool size for the parallel campaign workload (0 = one per CPU)",
+    )
+    bench.add_argument(
+        "--out-dir", default=".", metavar="DIR",
+        help="directory for BENCH_kernel.json / BENCH_campaign.json (default: .)",
+    )
+    bench.add_argument(
+        "--skip-parallel", action="store_true",
+        help="skip the worker-pool campaign workload",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     lint = sub.add_parser(
         "lint", help="determinism/picklability/plugin-API static analysis"

@@ -72,6 +72,14 @@ def _init_worker(
 ) -> None:
     global _WORKER_EXECUTOR
     target = pickle.loads(target_blob)
+    # Targets may expose a warm_caches() hook (the PBFT target precomputes
+    # its benign baselines there). Running it in the initializer means the
+    # cost is paid once per worker at startup instead of lazily inside the
+    # first scenarios — and not at all when the parent's pickled target
+    # already carried warm caches.
+    warm = getattr(target, "warm_caches", None)
+    if callable(warm):
+        warm()
     _WORKER_EXECUTOR = ScenarioExecutor(
         target, campaign_seed=campaign_seed, timeout=timeout, retry=retry
     )
@@ -179,6 +187,15 @@ class ParallelScenarioExecutor:
         if self.fallback_serial or self.workers <= 1:
             return None
         if self._pool is None:
+            # Warm shareable caches once in the parent so the pickled blob
+            # carries them into every worker (the worker-side warm hook then
+            # finds nothing left to do).
+            warm = getattr(self.target, "warm_caches", None)
+            if callable(warm):
+                try:
+                    warm()
+                except Exception:
+                    pass  # warming is an optimization; never block the pool
             try:
                 target_blob = pickle.dumps(self.target)
             except Exception:

@@ -74,13 +74,31 @@ class LibraryRuntime:
     def try_call(self, function: str) -> Optional[InjectedFault]:
         """Like :meth:`call` but returns the fault instead of raising.
 
-        Convenient for hot paths where exceptions would dominate runtime.
+        Convenient for hot paths where exceptions would dominate runtime
+        (this is also why it does not delegate to :meth:`call`: the common
+        no-plans case is one counter bump and one dict probe).
         Returns ``None`` on success.
         """
-        try:
-            self.call(function)
-        except InjectedFault as fault:
-            return fault
+        counts = self._counts
+        number = counts.get(function, 0) + 1
+        counts[function] = number
+        if self._plans:
+            return self.check(function, number)
+        return None
+
+    def check(self, function: str, number: int) -> Optional[InjectedFault]:
+        """Consult the plans for call ``number`` without counting it.
+
+        Callers that inline the counter bump (the node send path) use this
+        to keep the trigger/record semantics in one place.
+        """
+        plans = self._plans.get(function)
+        if plans:
+            for plan in plans:
+                if plan.triggers(number):
+                    fault = InjectedFault(function, plan.error, number)
+                    self.injected.append(fault)
+                    return fault
         return None
 
 

@@ -16,12 +16,13 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from .. import perf
 from ..crypto import KeyStore, MacGenerator
 from ..sim import Network, Simulator
 from ..sim.node import CrashAwareNode
 from .behaviors import CORRECT_CLIENT, ClientBehavior, mask_corruption_policy
 from .config import PbftConfig, replica_name
-from .messages import Reply, Request
+from .messages import Reply, Request, fast_request_digest
 
 
 class Client(CrashAwareNode):
@@ -36,13 +37,15 @@ class Client(CrashAwareNode):
         key_root: int,
         behavior: ClientBehavior = CORRECT_CLIENT,
         start_delay_us: int = 0,
+        tag_cache: Optional[dict] = None,
     ) -> None:
         super().__init__(name, simulator, network)
         self.config = config
         self.behavior = behavior
-        self.keystore = KeyStore(key_root, name)
+        self.keystore = KeyStore(key_root, name, tag_cache)
         self.mac = MacGenerator(self.keystore, mask_corruption_policy(behavior.mac_mask))
         self.replica_names = [replica_name(i) for i in range(config.n_replicas)]
+        self._optimized = perf.enabled()
 
         self.view_hint = 0
         self.timestamp = 0
@@ -52,6 +55,10 @@ class Client(CrashAwareNode):
         self._reply_votes: Dict[object, set] = {}
         self._retransmit_handle = None
         self._timeout_us = config.client_retransmit_us
+        # Hoisted config values for the per-request hot path.
+        self._retransmit_floor = config.client_retransmit_us
+        self._retransmit_cap = config.client_retransmit_max_us
+        self._reply_quorum = config.reply_quorum
         #: EWMA of observed end-to-end latency; the retransmission timeout
         #: adapts to it (real PBFT clients do the same), which prevents
         #: retransmission spirals when the service saturates at high client
@@ -87,16 +94,24 @@ class Client(CrashAwareNode):
         operation = ("op", self.name, self.timestamp)
         # The authenticator always covers all replicas (the primary embeds it
         # in the pre-prepare), so every transmission costs n generateMAC calls.
-        request = Request(self.name, self.timestamp, operation, None)
+        if self._optimized:
+            request = Request(
+                self.name, self.timestamp, operation, None,
+                digest=fast_request_digest(self.name, self.timestamp),
+            )
+        else:
+            request = Request(self.name, self.timestamp, operation, None)
         request.authenticator = self.mac.authenticator(self.replica_names, request.digest)
         self.outstanding = request
         self.sent_at = self.now
         self.transmissions = 1
         self._reply_votes.clear()
-        self._timeout_us = max(
-            self.config.client_retransmit_us, int(4 * self._ewma_latency_us)
-        )
-        self._timeout_us = min(self._timeout_us, self.config.client_retransmit_max_us)
+        timeout = int(4 * self._ewma_latency_us)
+        if timeout < self._retransmit_floor:
+            timeout = self._retransmit_floor
+        if timeout > self._retransmit_cap:
+            timeout = self._retransmit_cap
+        self._timeout_us = timeout
         if self.behavior.broadcast_always:
             self.broadcast(self.replica_names, request)
         else:
@@ -113,11 +128,17 @@ class Client(CrashAwareNode):
             return
         request = self.outstanding
         # Re-MAC: fresh generateMAC calls advance the corruption-mask cursor.
-        request.authenticator = self.mac.authenticator(self.replica_names, request.digest)
+        if self._optimized and self.mac.corruption_policy is None:
+            # A correct client's regenerated vector is identical (genuine
+            # tags are deterministic); advance the generateMAC cursor
+            # exactly as regeneration would and keep the old authenticator.
+            self.mac.calls += len(self.replica_names)
+        else:
+            request.authenticator = self.mac.authenticator(self.replica_names, request.digest)
         self.transmissions += 1
         self.simulator.metrics.counter("pbft.client_retransmissions").increment()
         self.broadcast(self.replica_names, request)
-        self._timeout_us = min(self._timeout_us * 2, self.config.client_retransmit_max_us)
+        self._timeout_us = min(self._timeout_us * 2, self._retransmit_cap)
         self._arm_retransmit()
 
     # ------------------------------------------------------------------
@@ -131,9 +152,11 @@ class Client(CrashAwareNode):
             self.view_hint = reply.view
         if self.outstanding is None or reply.timestamp != self.outstanding.timestamp:
             return
-        voters = self._reply_votes.setdefault(reply.result, set())
+        voters = self._reply_votes.get(reply.result)
+        if voters is None:
+            voters = self._reply_votes[reply.result] = set()
         voters.add(reply.replica)
-        if len(voters) >= self.config.reply_quorum:
+        if len(voters) >= self._reply_quorum:
             self._complete()
 
     def _complete(self) -> None:

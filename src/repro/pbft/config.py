@@ -15,6 +15,7 @@ Two presets matter for the reproduction:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Optional
 
 from ..sim.clock import MS, SECOND
@@ -138,16 +139,22 @@ class PbftConfig:
         return replace(self, **overrides)
 
 
+# Endpoint names are pure functions of the index and every deployment in a
+# campaign re-derives the same small set, so the memo makes repeat
+# deployments share one interned string per node.
+@lru_cache(maxsize=None)
 def replica_name(index: int) -> str:
     """Canonical replica endpoint name."""
     return f"replica-{index}"
 
 
+@lru_cache(maxsize=None)
 def client_name(index: int) -> str:
     """Canonical correct-client endpoint name."""
     return f"client-{index}"
 
 
+@lru_cache(maxsize=None)
 def malicious_client_name(index: int) -> str:
     """Canonical malicious-client endpoint name."""
     return f"mclient-{index}"

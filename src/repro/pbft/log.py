@@ -54,14 +54,22 @@ class SequenceSlot:
         digest = self.batch_digest()
         if digest is None:
             return 0
-        return sum(1 for vote in self.prepares.values() if vote == digest)
+        count = 0
+        for vote in self.prepares.values():
+            if vote == digest:
+                count += 1
+        return count
 
     def matching_commits(self) -> int:
         """COMMIT votes matching the accepted batch digest."""
         digest = self.batch_digest()
         if digest is None:
             return 0
-        return sum(1 for vote in self.commits.values() if vote == digest)
+        count = 0
+        for vote in self.commits.values():
+            if vote == digest:
+                count += 1
+        return count
 
 
 class ReplicaLog:

@@ -18,11 +18,17 @@ behaviour hinges on this detail (see DESIGN.md A1).
 
 from __future__ import annotations
 
+import zlib
+from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
 from ..crypto import Authenticator, mix64, stable_digest
 
 NULL_DIGEST = 0
+
+#: Domain-separation constants for replica-message MAC payloads.
+_PREPARE_DOMAIN = stable_digest("pbft-prepare")
+_COMMIT_DOMAIN = stable_digest("pbft-commit")
 
 
 def request_digest(client: str, timestamp: int, operation: object) -> int:
@@ -30,10 +36,45 @@ def request_digest(client: str, timestamp: int, operation: object) -> int:
     return stable_digest(("request", client, timestamp, operation))
 
 
+# -- fast path for the standard client operation ---------------------------
+# A correct client issues `("op", client, timestamp)` operations, so its
+# request digest is a pure function of (client, timestamp). The fold below
+# replays `stable_digest(("request", client, timestamp, op))` step by step
+# with the per-client string CRCs memoized — bit-identical by construction
+# (asserted by the tests/pbft/test_messages_log digest-equivalence sweep).
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+_TUPLE_MARK = 0x9E3779B97F4A7C15
+_OP_CRC = zlib.crc32(b"op")
+
+
+@lru_cache(maxsize=None)
+def _request_digest_prefix(client: str) -> Tuple[int, int]:
+    """Fold accumulator after ("request", client), plus the client CRC."""
+    client_crc = zlib.crc32(client.encode("utf-8"))
+    accumulator = ((_FNV_OFFSET ^ zlib.crc32(b"request")) * _FNV_PRIME) & _MASK64
+    accumulator = ((accumulator ^ client_crc) * _FNV_PRIME) & _MASK64
+    return accumulator, client_crc
+
+
+def fast_request_digest(client: str, timestamp: int) -> int:
+    """``request_digest(client, ts, ("op", client, ts))`` without the
+    recursive type-dispatching fold."""
+    accumulator, client_crc = _request_digest_prefix(client)
+    ts = timestamp & _MASK64
+    accumulator = ((accumulator ^ ts) * _FNV_PRIME) & _MASK64
+    accumulator = ((accumulator ^ _OP_CRC) * _FNV_PRIME) & _MASK64
+    accumulator = ((accumulator ^ client_crc) * _FNV_PRIME) & _MASK64
+    accumulator = ((accumulator ^ ts) * _FNV_PRIME) & _MASK64
+    accumulator = ((accumulator ^ _TUPLE_MARK) * _FNV_PRIME) & _MASK64
+    return ((accumulator ^ _TUPLE_MARK) * _FNV_PRIME) & _MASK64
+
+
 class Request:
     """A client request: ``(operation, timestamp, client)`` + authenticator."""
 
-    __slots__ = ("client", "timestamp", "operation", "digest", "authenticator")
+    __slots__ = ("client", "timestamp", "operation", "digest", "authenticator", "key")
 
     def __init__(
         self,
@@ -41,17 +82,18 @@ class Request:
         timestamp: int,
         operation: object,
         authenticator: Authenticator,
+        digest: Optional[int] = None,
     ) -> None:
         self.client = client
         self.timestamp = timestamp
         self.operation = operation
-        self.digest = request_digest(client, timestamp, operation)
+        # Callers on the hot path pass a precomputed digest (see
+        # `fast_request_digest`); it must equal the canonical one.
+        self.digest = request_digest(client, timestamp, operation) if digest is None else digest
         self.authenticator = authenticator
-
-    @property
-    def key(self) -> Tuple[str, int]:
-        """Identity of the request across retransmissions."""
-        return (self.client, self.timestamp)
+        #: Identity of the request across retransmissions. Stored rather
+        #: than a property: replicas read it several times per request.
+        self.key: Tuple[str, int] = (client, timestamp)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Request({self.client}#{self.timestamp})"
@@ -108,7 +150,7 @@ def batch_digest_of(batch: Tuple[Request, ...]) -> int:
 class Prepare:
     """A backup's agreement to the primary's ordering proposal."""
 
-    __slots__ = ("view", "seq", "batch_digest", "replica", "authenticator")
+    __slots__ = ("view", "seq", "batch_digest", "replica", "authenticator", "_mac_payload")
 
     def __init__(
         self,
@@ -123,12 +165,27 @@ class Prepare:
         self.batch_digest = batch_digest
         self.replica = replica
         self.authenticator = authenticator
+        self._mac_payload: Optional[int] = None
+
+    def mac_payload(self) -> int:
+        """The digest this message's authenticator covers (memoized).
+
+        A pure function of the immutable message fields; the sender and
+        every receiver share the same message object, so the fold runs once
+        per message instead of once per MAC operation.
+        """
+        payload = self._mac_payload
+        if payload is None:
+            payload = self._mac_payload = mix64(
+                _PREPARE_DOMAIN, self.view, self.seq, self.batch_digest
+            )
+        return payload
 
 
 class Commit:
     """A replica's commitment to execute the batch at ``seq`` in ``view``."""
 
-    __slots__ = ("view", "seq", "batch_digest", "replica", "authenticator")
+    __slots__ = ("view", "seq", "batch_digest", "replica", "authenticator", "_mac_payload")
 
     def __init__(
         self,
@@ -143,6 +200,16 @@ class Commit:
         self.batch_digest = batch_digest
         self.replica = replica
         self.authenticator = authenticator
+        self._mac_payload: Optional[int] = None
+
+    def mac_payload(self) -> int:
+        """The digest this message's authenticator covers (memoized)."""
+        payload = self._mac_payload
+        if payload is None:
+            payload = self._mac_payload = mix64(
+                _COMMIT_DOMAIN, self.view, self.seq, self.batch_digest
+            )
+        return payload
 
 
 class Reply:
@@ -288,5 +355,6 @@ __all__ = [
     "Request",
     "ViewChange",
     "batch_digest_of",
+    "fast_request_digest",
     "request_digest",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, List, Optional, Set, Tuple
 
+from .. import perf
 from ..crypto import KeyStore, MacGenerator, compute_mac, mix64, stable_digest
 from ..crypto.keys import derive_session_key
 from ..sim import Network, Simulator
@@ -42,9 +43,9 @@ from .messages import (
 )
 from .timers import RequestKey, make_view_change_timer
 
-#: Domain-separation constants for replica-message MAC payloads.
-_PREPARE_DOMAIN = stable_digest("pbft-prepare")
-_COMMIT_DOMAIN = stable_digest("pbft-commit")
+#: Domain-separation constant for execution-result MAC payloads (the
+#: PREPARE/COMMIT domains live in :mod:`repro.pbft.messages` next to the
+#: message classes that memoize payloads under them).
 _RESULT_DOMAIN = stable_digest("pbft-result")
 
 
@@ -59,13 +60,20 @@ class Replica(CrashAwareNode):
         network: Network,
         key_root: int,
         behavior: ReplicaBehavior = CORRECT_REPLICA,
+        tag_cache: Optional[dict] = None,
     ) -> None:
         super().__init__(replica_name(index), simulator, network)
         self.index = index
         self.config = config
         self.behavior = behavior
         self.key_root = key_root
-        self.keystore = KeyStore(key_root, self.name)
+        self.keystore = KeyStore(key_root, self.name, tag_cache)
+        # The deployment-shared mix64 memo doubles as the execution-digest
+        # cache: all replicas fold the same (state, request-digest) chains
+        # and result digests, so the first replica to execute a request
+        # computes them for everyone. Sampled at construction (repro.perf).
+        self._fold_cache: Dict = tag_cache if tag_cache is not None else {}
+        self._optimized = perf.enabled()
         self.mac = MacGenerator(
             self.keystore, mask_corruption_policy(behavior.mac_mask)
         )
@@ -88,6 +96,13 @@ class Replica(CrashAwareNode):
         self.pending: Dict[RequestKey, Request] = {}
         #: client -> (last executed timestamp, cached reply).
         self.client_table: Dict[str, Tuple[int, Reply]] = {}
+        #: Conservative "a pre-prepare may be stalled on authentication"
+        #: flag: set on every `_try_accept` failure, cleared when a retry
+        #: scan finds no unaccepted slot left. While False, the per-request
+        #: retry scan is skipped entirely (the common benign case).
+        self._maybe_held = False
+        #: Hoisted defense flag (checked once per request verification).
+        self._client_signatures = config.defenses.client_signatures
 
         # -- timers -----------------------------------------------------------
         self.vc_timer = make_view_change_timer(
@@ -201,7 +216,7 @@ class Replica(CrashAwareNode):
         signature — it must verify for EVERY replica, so a request one
         replica accepts is acceptable to all (no Big MAC asymmetry).
         """
-        if not self.config.defenses.client_signatures:
+        if not self._client_signatures:
             return request.authenticator.verifies_for(
                 self.keystore, request.client, request.digest
             )
@@ -234,9 +249,10 @@ class Replica(CrashAwareNode):
         if request.client in self.blacklisted:
             return
         key = request.key
-        executed_ts, cached_reply = self.client_table.get(request.client, (0, None))
-        if request.timestamp <= executed_ts:
+        entry = self.client_table.get(request.client)
+        if entry is not None and request.timestamp <= entry[0]:
             # Already executed: resend the cached reply for the latest request.
+            cached_reply = entry[1]
             if direct and cached_reply is not None and cached_reply.timestamp == request.timestamp:
                 self.send(request.client, cached_reply)
             return
@@ -377,8 +393,8 @@ class Replica(CrashAwareNode):
         if slot.accepted or slot.pre_prepare is None:
             return
         for request in slot.pre_prepare.batch:
-            executed_ts, _ = self.client_table.get(request.client, (0, None))
-            if request.timestamp <= executed_ts:
+            entry = self.client_table.get(request.client)
+            if entry is not None and request.timestamp <= entry[0]:
                 continue  # stale: authenticated by virtue of having executed
             if request.digest in self.authenticated:
                 continue
@@ -386,6 +402,7 @@ class Replica(CrashAwareNode):
                 self.authenticated[request.digest] = request
                 continue
             self._counter("preprepare_unauthenticated_request")
+            self._maybe_held = True
             return  # cannot authenticate this batch (yet) — the Big MAC stall
         slot.accepted = True
         slot.prepares[self.name] = slot.pre_prepare.batch_digest
@@ -394,25 +411,39 @@ class Replica(CrashAwareNode):
 
     def _make_prepare(self, slot: SequenceSlot) -> Prepare:
         prepare = Prepare(slot.view, slot.seq, slot.pre_prepare.batch_digest, self.name)
-        prepare.authenticator = self.mac.authenticator(
-            self.peer_names, mix64(_PREPARE_DOMAIN, slot.view, slot.seq, prepare.batch_digest)
-        )
+        prepare.authenticator = self.mac.authenticator(self.peer_names, prepare.mac_payload())
         return prepare
 
     def _make_commit(self, slot: SequenceSlot) -> Commit:
         commit = Commit(slot.view, slot.seq, slot.pre_prepare.batch_digest, self.name)
-        commit.authenticator = self.mac.authenticator(
-            self.peer_names, mix64(_COMMIT_DOMAIN, slot.view, slot.seq, commit.batch_digest)
-        )
+        commit.authenticator = self.mac.authenticator(self.peer_names, commit.mac_payload())
         return commit
 
     def _retry_unaccepted_slots(self, digest: int) -> None:
-        """A new authenticated request copy may unblock a held pre-prepare."""
+        """A new authenticated request copy may unblock a held pre-prepare.
+
+        Guarded by ``_maybe_held``: every path that leaves a slot
+        unaccepted with a pre-prepare in place goes through a
+        ``_try_accept`` failure (which sets the flag), so while it is
+        False the scan cannot find anything. When a scan finds no
+        unaccepted slot in *any* view, the flag resets.
+        """
+        if not self._maybe_held:
+            return
+        view = self.view
+        still_held = False
         for slot in self.log.slots.values():
-            if slot.accepted or slot.pre_prepare is None or slot.view != self.view:
+            if slot.accepted or slot.pre_prepare is None:
                 continue
-            if any(request.digest == digest for request in slot.pre_prepare.batch):
-                self._try_accept(slot)
+            still_held = True
+            if slot.view != view:
+                continue
+            for request in slot.pre_prepare.batch:
+                if request.digest == digest:
+                    self._try_accept(slot)
+                    break
+        if not still_held:
+            self._maybe_held = False
 
     def _on_prepare(self, message: Prepare) -> None:
         if self.in_view_change or message.view != self.view:
@@ -422,9 +453,7 @@ class Replica(CrashAwareNode):
         if message.replica == self.primary_of(message.view):
             return  # the primary never sends PREPARE; its pre-prepare counts
         if message.authenticator is not None and not message.authenticator.verifies_for(
-            self.keystore,
-            message.replica,
-            mix64(_PREPARE_DOMAIN, message.view, message.seq, message.batch_digest),
+            self.keystore, message.replica, message.mac_payload()
         ):
             self._counter("prepare_bad_mac")
             return
@@ -450,9 +479,7 @@ class Replica(CrashAwareNode):
         if not (self.stable_seq < message.seq <= self.high_watermark):
             return
         if message.authenticator is not None and not message.authenticator.verifies_for(
-            self.keystore,
-            message.replica,
-            mix64(_COMMIT_DOMAIN, message.view, message.seq, message.batch_digest),
+            self.keystore, message.replica, message.mac_payload()
         ):
             self._counter("commit_bad_mac")
             return
@@ -489,22 +516,52 @@ class Replica(CrashAwareNode):
         slot.executed = True
         self.last_executed = slot.seq
         batch = slot.batch()
-        executed_real_request = False
+        executed = 0
+        client_table = self.client_table
+        authenticated = self.authenticated
+        pending = self.pending
+        request_executed = self.vc_timer.request_executed
+        optimized = self._optimized
+        cache = self._fold_cache
+        state_digest = self.state_digest
+        view = self.view
+        name = self.name
+        send = self.send
         for request in batch:
-            executed_ts, _ = self.client_table.get(request.client, (0, None))
-            if request.timestamp <= executed_ts:
+            client = request.client
+            timestamp = request.timestamp
+            entry = client_table.get(client)
+            if entry is not None and timestamp <= entry[0]:
                 continue  # duplicate ordered twice across a view change
-            self.state_digest = mix64(self.state_digest, request.digest)
-            result = mix64(_RESULT_DOMAIN, request.digest)
-            reply = Reply(self.view, request.timestamp, request.client, self.name, result)
-            self.client_table[request.client] = (request.timestamp, reply)
-            self.send(request.client, reply)
-            self.authenticated.pop(request.digest, None)
-            self.pending.pop(request.key, None)
-            self.vc_timer.request_executed(request.key)
-            executed_real_request = True
-            self.requests_executed += 1
-            self._period_executed += 1
+            digest = request.digest
+            if optimized:
+                # All replicas execute identical request sequences, so the
+                # state/result folds are shared through the deployment memo
+                # (exact tuple keys — no collision with MAC-tag entries).
+                state_key = (state_digest, digest)
+                state = cache.get(state_key)
+                if state is None:
+                    state = cache[state_key] = mix64(state_digest, digest)
+                state_digest = state
+                result_key = (_RESULT_DOMAIN, digest)
+                result = cache.get(result_key)
+                if result is None:
+                    result = cache[result_key] = mix64(_RESULT_DOMAIN, digest)
+            else:
+                state_digest = mix64(state_digest, digest)
+                result = mix64(_RESULT_DOMAIN, digest)
+            reply = Reply(view, timestamp, client, name, result)
+            client_table[client] = (timestamp, reply)
+            send(client, reply)
+            authenticated.pop(digest, None)
+            pending.pop(request.key, None)
+            request_executed(request.key)
+            executed += 1
+        self.state_digest = state_digest
+        if executed:
+            self.requests_executed += executed
+            self._period_executed += executed
+        executed_real_request = executed > 0
         self.batches_executed += 1
         if executed_real_request and not self.vc_timer.outstanding:
             # Every request the replica was suspicious about has now been

@@ -1,44 +1,70 @@
 """Event queue for the discrete-event kernel.
 
-The queue is a binary heap of ``(time, sequence)`` keys. The sequence number
-breaks ties so that events scheduled first at the same timestamp run first
-(FIFO among simultaneous events), which keeps runs deterministic.
+The queue is a binary heap of ``[time, seq, callback, args, handle]``
+list entries. The sequence number breaks ties so that events scheduled
+first at the same timestamp run first (FIFO among simultaneous events),
+which keeps runs deterministic — and because ``seq`` is unique, heap
+comparisons never look past the second element, so they stay entirely in
+C (no ``__lt__`` dispatch on the hot path; profiling showed the old
+per-handle ``__lt__`` was called ~1.6M times per PBFT test).
+
+Two scheduling paths:
+
+- :meth:`EventQueue.push` returns an :class:`EventHandle` for events that
+  may be cancelled (timers);
+- :meth:`EventQueue.defer` allocates **no handle** for the non-cancellable
+  majority (message deliveries never cancel; only timers do). Both paths
+  share one sequence counter, so interleaving them cannot change the
+  execution order relative to an all-``push`` run.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
+
+#: Heap-entry field indices (entries are plain lists for C-level compares).
+_TIME, _SEQ, _CALLBACK, _ARGS, _HANDLE = range(5)
 
 
 class EventHandle:
     """Handle to a scheduled event; allows cancellation.
 
-    Cancellation is lazy: the heap entry stays in place and is discarded when
-    it reaches the top. This makes :meth:`EventQueue.cancel` O(1).
+    Cancellation is lazy: the heap entry stays in place (its callback
+    nulled) and is discarded when it reaches the top. This makes
+    :meth:`EventQueue.cancel` O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("_entry", "cancelled")
 
-    def __init__(self, time: int, seq: int, callback: Callable[..., None], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.callback: Optional[Callable[..., None]] = callback
-        self.args = args
+    def __init__(self, entry: list):
+        self._entry = entry
         self.cancelled = False
+
+    @property
+    def time(self) -> int:
+        return self._entry[_TIME]
+
+    @property
+    def seq(self) -> int:
+        return self._entry[_SEQ]
+
+    @property
+    def callback(self) -> Optional[Callable[..., None]]:
+        return self._entry[_CALLBACK]
+
+    @property
+    def args(self) -> tuple:
+        return self._entry[_ARGS]
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will never fire."""
         self.cancelled = True
         # Drop references early so cancelled events do not pin objects alive
         # while they wait to percolate out of the heap.
-        self.callback = None
-        self.args = ()
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
+        entry = self._entry
+        entry[_CALLBACK] = None
+        entry[_ARGS] = ()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -46,10 +72,10 @@ class EventHandle:
 
 
 class EventQueue:
-    """A time-ordered queue of :class:`EventHandle` objects."""
+    """A time-ordered queue of scheduled callbacks."""
 
     def __init__(self) -> None:
-        self._heap: list[EventHandle] = []
+        self._heap: List[list] = []
         self._seq = 0
         self._live = 0
 
@@ -63,11 +89,26 @@ class EventQueue:
         """Schedule ``callback(*args)`` at ``time`` and return its handle."""
         if time < 0:
             raise ValueError(f"cannot schedule event at negative time {time}")
-        handle = EventHandle(time, self._seq, callback, args)
+        entry = [time, self._seq, callback, args, None]
+        handle = EventHandle(entry)
+        entry[_HANDLE] = handle
         self._seq += 1
         self._live += 1
-        heapq.heappush(self._heap, handle)
+        heapq.heappush(self._heap, entry)
         return handle
+
+    def defer(self, time: int, callback: Callable[..., None], args: tuple = ()) -> None:
+        """Schedule a non-cancellable event; no handle is allocated.
+
+        The hot path for message deliveries: same ordering contract as
+        :meth:`push` (shared sequence counter), minus one object allocation
+        per event.
+        """
+        if time < 0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        heapq.heappush(self._heap, [time, self._seq, callback, args, None])
+        self._seq += 1
+        self._live += 1
 
     def cancel(self, handle: EventHandle) -> None:
         """Cancel a previously pushed event (idempotent)."""
@@ -76,25 +117,45 @@ class EventQueue:
             self._live -= 1
 
     def pop(self) -> Optional[EventHandle]:
-        """Pop the earliest non-cancelled event, or ``None`` if empty."""
+        """Pop the earliest non-cancelled event, or ``None`` if empty.
+
+        Returns the event's :class:`EventHandle` (creating one lazily for
+        events scheduled through :meth:`defer`).
+        """
         heap = self._heap
         while heap:
-            handle = heapq.heappop(heap)
-            if handle.cancelled:
+            entry = heapq.heappop(heap)
+            if entry[_CALLBACK] is None:
                 continue
             self._live -= 1
+            handle = entry[_HANDLE]
+            if handle is None:
+                handle = EventHandle(entry)
+                entry[_HANDLE] = handle
             return handle
         return None
 
     def peek_time(self) -> Optional[int]:
         """Timestamp of the next live event, or ``None`` if empty."""
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][_CALLBACK] is None:
             heapq.heappop(heap)
-        return heap[0].time if heap else None
+        return heap[0][_TIME] if heap else None
 
     def clear(self) -> None:
-        """Drop all pending events."""
+        """Drop all pending events.
+
+        Every outstanding handle is marked cancelled, so a later
+        ``cancel(handle)`` is a no-op instead of decrementing the live
+        count below zero (which used to corrupt ``__len__``/``__bool__``).
+        """
+        for entry in self._heap:
+            handle = entry[_HANDLE]
+            if handle is not None and not handle.cancelled:
+                handle.cancel()
+            else:
+                entry[_CALLBACK] = None
+                entry[_ARGS] = ()
         self._heap.clear()
         self._live = 0
 

@@ -32,18 +32,26 @@ class Counter:
 
 
 class LatencySampler:
-    """Collects latency samples (integer microseconds) and summarizes them."""
+    """Collects latency samples (integer microseconds) and summarizes them.
 
-    __slots__ = ("name", "samples")
+    Percentile reads sort the history once and memoize the sorted array;
+    any new sample invalidates the memo. Per-window monitors that read
+    ``percentile`` repeatedly between records stop paying an O(n log n)
+    re-sort per read.
+    """
+
+    __slots__ = ("name", "samples", "_sorted")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.samples: List[int] = []
+        self._sorted: Optional[List[int]] = None
 
     def record(self, latency_us: int) -> None:
         if latency_us < 0:
             raise ValueError(f"negative latency sample: {latency_us}")
         self.samples.append(latency_us)
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -61,7 +69,9 @@ class LatencySampler:
             raise ValueError(f"percentile fraction out of range: {fraction}")
         if not self.samples:
             return 0.0
-        ordered = sorted(self.samples)
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self.samples)
         index = min(len(ordered) - 1, int(math.ceil(fraction * len(ordered))) - 1)
         index = max(index, 0)
         return ordered[index] / SECOND
@@ -70,6 +80,8 @@ class LatencySampler:
         """Largest latency sample in seconds (0.0 when empty)."""
         if not self.samples:
             return 0.0
+        if self._sorted is not None:
+            return self._sorted[-1] / SECOND
         return max(self.samples) / SECOND
 
 

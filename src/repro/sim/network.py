@@ -12,8 +12,11 @@ from __future__ import annotations
 # seeded stream (`simulator.rng(f"network:{name}")`); `repro lint`
 # (DET002) bans module-level `random.*` calls here.
 import random
+from heapq import heappush as _heappush
+from math import log as _log
 from typing import Callable, Dict, Iterable, List, Optional, Protocol, Sequence
 
+from .. import perf
 from .clock import MS
 from .simulator import SimulationError, Simulator
 
@@ -136,25 +139,55 @@ class Network:
         self.name = name
         self.rng = simulator.rng(f"network:{name}")
         self.endpoints: Dict[str, Endpoint] = {}
+        #: Bound ``on_message`` per endpoint, kept in lockstep with
+        #: ``endpoints`` — delivery calls through this dict, saving one
+        #: attribute lookup per message.
+        self._handlers: Dict[str, MessageHandler] = {}
         self.faults: List[NetworkFault] = []
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.delivered_per_endpoint: Dict[str, int] = {}
+        # Fused fast path (sampled at construction, see `repro.perf`):
+        # deliveries are scheduled straight onto the queue's handle-free
+        # `defer`, and for the common LanLatency model the exponential draw
+        # is inlined (`-log(1-u)/lambd` — exactly `rng.expovariate(lambd)`,
+        # so reference and optimized runs consume identical RNG streams).
+        self._optimized = perf.enabled()
+        self._rng_random = self.rng.random
+        self._queue_defer = simulator.queue.defer
+        self._lan: Optional[LanLatency] = (
+            self.latency_model if type(self.latency_model) is LanLatency else None
+        )
+        self._lan_lambd = (
+            1.0 / self._lan.jitter_mean_us
+            if self._lan is not None and self._lan.jitter_mean_us
+            else None
+        )
+        self._lan_base = self._lan.base_us if self._lan is not None else 0
+        self._fast_send = self._make_fast_send() if self._optimized else None
 
     # ------------------------------------------------------------------
     # topology
     # ------------------------------------------------------------------
     def register(self, endpoint: Endpoint) -> None:
-        """Register an endpoint under its ``name`` (names must be unique)."""
+        """Register an endpoint under its ``name`` (names must be unique).
+
+        Re-registering a name after :meth:`unregister` (node churn,
+        restart-style scenarios) preserves the endpoint's prior delivery
+        count — the DHT redirection metric reads victim load from
+        ``delivered_per_endpoint`` and must not lose counts mid-run.
+        """
         if endpoint.name in self.endpoints:
             raise SimulationError(f"duplicate endpoint name: {endpoint.name}")
         self.endpoints[endpoint.name] = endpoint
-        self.delivered_per_endpoint[endpoint.name] = 0
+        self._handlers[endpoint.name] = endpoint.on_message
+        self.delivered_per_endpoint.setdefault(endpoint.name, 0)
 
     def unregister(self, name: str) -> None:
         """Remove an endpoint; in-flight messages to it are dropped on arrival."""
         self.endpoints.pop(name, None)
+        self._handlers.pop(name, None)
 
     # ------------------------------------------------------------------
     # fault pipeline
@@ -171,14 +204,74 @@ class Network:
     # ------------------------------------------------------------------
     # transmission
     # ------------------------------------------------------------------
+    def _make_fast_send(self):
+        """Build the fused LAN send path as a closure.
+
+        Closure cells beat attribute loads at ~10⁶ calls per campaign, and
+        everything captured is construction-stable (the queue, the RNG, the
+        latency parameters). Returns None for non-LAN models; those use the
+        generic envelope-free path in :meth:`send`.
+        """
+        lan = self._lan
+        if lan is None:
+            return None
+        simulator = self.simulator
+        rng_random = self._rng_random
+        queue = simulator.queue
+        heap = queue._heap  # cleared in place by EventQueue.clear, never rebound
+        heappush = _heappush
+        deliver = self._deliver_fast
+        base = self._lan_base
+        lambd = self._lan_lambd
+        log = _log
+        if lambd is None:
+            def fast_send(src: str, dst: str, payload: object) -> None:
+                # Inlined `queue.defer` (delivery times are never negative).
+                heappush(heap, [simulator.now + base, queue._seq, deliver, (dst, payload, src), None])
+                queue._seq += 1
+                queue._live += 1
+        else:
+            def fast_send(src: str, dst: str, payload: object) -> None:
+                # Inlined `rng.expovariate(lambd)` jitter (identical RNG
+                # stream) on top of the base latency, then an inlined
+                # `queue.defer` (delivery times are never negative).
+                heappush(
+                    heap,
+                    [
+                        simulator.now + base + int(-log(1.0 - rng_random()) / lambd),
+                        queue._seq,
+                        deliver,
+                        (dst, payload, src),
+                        None,
+                    ],
+                )
+                queue._seq += 1
+                queue._live += 1
+        return fast_send
+
     def send(self, src: str, dst: str, payload: object) -> None:
         """Send ``payload`` from ``src`` to ``dst`` through the pipeline."""
         self.messages_sent += 1
+        if not self.faults:
+            # Fused delivery scheduling: inline the latency draw and go
+            # straight to the queue without materializing an Envelope
+            # (fresh envelopes carry no extra delay, and nothing between
+            # send and delivery observes them when no faults are installed).
+            fast = self._fast_send
+            if fast is not None:
+                fast(src, dst, payload)
+                return
+            if self._optimized:
+                latency = self.latency_model.sample(src, dst, self.rng)
+                self._queue_defer(
+                    self.simulator.now + latency, self._deliver_fast, (dst, payload, src)
+                )
+                return
         envelope = Envelope(src, dst, payload, self.simulator.now)
         if self.faults:
             self._run_pipeline(envelope)
-        else:
-            self._schedule_delivery(envelope)
+            return
+        self._schedule_delivery(envelope)
 
     def broadcast(self, src: str, dsts: Iterable[str], payload: object) -> None:
         """Send the same payload from ``src`` to every name in ``dsts``."""
@@ -212,19 +305,23 @@ class Network:
             self._schedule_delivery(env)
 
     def _schedule_delivery(self, envelope: Envelope) -> None:
+        # Deliveries are never cancelled, so they take the handle-free
+        # `defer` path (in reference mode it degrades to `schedule`).
         latency = self.latency_model.sample(envelope.src, envelope.dst, self.rng)
-        self.simulator.schedule(latency + envelope.extra_delay, self._deliver, envelope)
+        self.simulator.defer(latency + envelope.extra_delay, self._deliver, envelope)
 
     def _deliver(self, envelope: Envelope) -> None:
-        endpoint = self.endpoints.get(envelope.dst)
-        if endpoint is None:
+        self._deliver_fast(envelope.dst, envelope.payload, envelope.src)
+
+    def _deliver_fast(self, dst: str, payload: object, src: str) -> None:
+        handler = self._handlers.get(dst)
+        if handler is None:
             self.messages_dropped += 1
             return
         self.messages_delivered += 1
-        self.delivered_per_endpoint[envelope.dst] = (
-            self.delivered_per_endpoint.get(envelope.dst, 0) + 1
-        )
-        endpoint.on_message(envelope.payload, envelope.src)
+        counts = self.delivered_per_endpoint
+        counts[dst] = counts.get(dst, 0) + 1
+        handler(payload, src)
 
 
 def default_lan(simulator: Simulator) -> Network:

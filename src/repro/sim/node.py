@@ -34,7 +34,14 @@ class Node:
         modelling e.g. ECONNRESET)."""
         if self.crashed:
             return False
-        if self.lib.try_call("send") is not None:
+        # Inlined `lib.try_call("send")` — this is the hottest library call
+        # site, and the common case (no plans installed) is one counter
+        # bump. Plan semantics stay in LibraryRuntime.check.
+        lib = self.lib
+        counts = lib._counts
+        number = counts.get("send", 0) + 1
+        counts["send"] = number
+        if lib._plans and lib.check("send", number) is not None:
             return False
         self.network.send(self.name, dst, payload)
         return True
@@ -42,7 +49,11 @@ class Node:
     def broadcast(self, dsts: Iterable[str], payload: object) -> int:
         """Send ``payload`` to each destination; returns how many sends
         succeeded."""
-        return sum(1 for dst in dsts if self.send(dst, payload))
+        sent = 0
+        for dst in dsts:
+            if self.send(dst, payload):
+                sent += 1
+        return sent
 
     def on_message(self, payload: object, src: str) -> None:
         """Handle a delivered message (subclasses override)."""
@@ -62,7 +73,10 @@ class Node:
     def cancel_timer(self, handle: Optional[EventHandle]) -> None:
         """Cancel a timer set with :meth:`set_timer` (None is tolerated)."""
         if handle is not None:
-            self.simulator.cancel(handle)
+            # Straight to the queue: `Simulator.cancel` is a pure delegation
+            # and this is the hottest cancellation site (client retransmit
+            # timers cancel on every completed request).
+            self.simulator.queue.cancel(handle)
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -15,6 +15,8 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from ..crypto import KeyStore, MacGenerator, mix64, stable_digest
 from ..pbft.config import PbftConfig, replica_name
 from ..pbft.messages import (
+    _COMMIT_DOMAIN,
+    _PREPARE_DOMAIN,
     CheckpointMsg,
     Commit,
     NewView,
@@ -23,7 +25,7 @@ from ..pbft.messages import (
     Request,
     ViewChange,
 )
-from ..pbft.replica import Replica, _COMMIT_DOMAIN, _PREPARE_DOMAIN
+from ..pbft.replica import Replica
 from ..sim import FixedLatency, Network, Node, Simulator
 from .grammar import MessageOp, SequenceProgram
 

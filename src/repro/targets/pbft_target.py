@@ -11,8 +11,10 @@ window *tail* so that end states (a crashed system) count fully.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import perf
 from ..injection import FaultPlan
 from ..pbft import (
     ClientBehavior,
@@ -49,10 +51,20 @@ class PbftScenarioSpec:
     injection_plans: Dict[str, List[FaultPlan]] = field(default_factory=dict)
 
     def build(self, seed: int) -> PbftDeployment:
-        malicious = [
-            ClientBehavior(mac_mask=self.mac_mask, broadcast_always=self.malicious_broadcast)
-            for _ in range(self.n_malicious_clients)
-        ]
+        if perf.enabled():
+            # Template fast path: every malicious client in a scenario gets
+            # the same (frozen, immutable) behaviour, so one shared instance
+            # serves all of them; endpoint names and pairwise session keys
+            # are likewise memoized at module level (config.py / keys.py).
+            # The seed-dependent parts — simulator, network, node state —
+            # are always built fresh.
+            behavior = _malicious_behavior(self.mac_mask, self.malicious_broadcast)
+            malicious: List[ClientBehavior] = [behavior] * self.n_malicious_clients
+        else:
+            malicious = [
+                ClientBehavior(mac_mask=self.mac_mask, broadcast_always=self.malicious_broadcast)
+                for _ in range(self.n_malicious_clients)
+            ]
         deployment = PbftDeployment(
             self.config,
             self.n_correct_clients,
@@ -91,6 +103,9 @@ class PbftTarget:
         self.hyperspace = hyperspace
         #: Benign run result by client count (lazy cache).
         self._baselines: Dict[int, PbftRunResult] = {}
+        #: Whether baselines may also be shared through the process-wide
+        #: cache (sampled from :mod:`repro.perf` at construction).
+        self._share_baselines = perf.enabled()
         self.tests_run = 0
 
     # ------------------------------------------------------------------
@@ -129,19 +144,76 @@ class PbftTarget:
     # baseline calibration
     # ------------------------------------------------------------------
     def baseline(self, n_correct_clients: int) -> PbftRunResult:
-        """The benign measurement at this client count (cached)."""
+        """The benign measurement at this client count (cached).
+
+        The result is cached on the instance and — in optimized mode —
+        also in a process-wide cache keyed by ``(config, client count)``:
+        every target with the same config would rerun the *identical*
+        benign deployment (the baseline seed is a fixed function of the
+        client count), and :class:`PbftRunResult` is frozen, so sharing the
+        measurement is safe.
+        """
         cached = self._baselines.get(n_correct_clients)
         if cached is None:
-            deployment = PbftDeployment(
-                self.config, n_correct_clients, seed=derive_baseline_seed(n_correct_clients)
-            )
-            cached = deployment.run()
+            if self._share_baselines:
+                key = (self.config, n_correct_clients)
+                cached = _BASELINE_CACHE.get(key)
+                if cached is None:
+                    cached = self._run_baseline(n_correct_clients)
+                    _BASELINE_CACHE[key] = cached
+            else:
+                cached = self._run_baseline(n_correct_clients)
             self._baselines[n_correct_clients] = cached
         return cached
+
+    def _run_baseline(self, n_correct_clients: int) -> PbftRunResult:
+        deployment = PbftDeployment(
+            self.config, n_correct_clients, seed=derive_baseline_seed(n_correct_clients)
+        )
+        return deployment.run()
 
     def baseline_throughput(self, n_correct_clients: int) -> float:
         """Benign average throughput at this client count (cached)."""
         return self.baseline(n_correct_clients).throughput_rps
+
+    def warm_caches(self) -> int:
+        """Precompute the benign baseline for every reachable client count.
+
+        Called by the parallel pool initializer (and usable directly before
+        a serial campaign): the hyperspace's ``n_correct_clients`` dimension
+        enumerates every client count a scenario can request, so warming
+        them up front means no worker ever pays for a benign calibration run
+        mid-campaign. Counts already cached (for example shipped inside the
+        pickled target) are skipped. Returns the number of baselines run.
+        No-op in reference (unoptimized) mode.
+        """
+        if not self._share_baselines:
+            return 0
+        dimension = self.hyperspace.by_name.get("n_correct_clients")
+        if dimension is None:
+            return 0
+        warmed = 0
+        for position in range(dimension.size):
+            count = dimension.value_at(position)
+            if not isinstance(count, int) or count < 1:
+                continue
+            if count not in self._baselines:
+                before = len(_BASELINE_CACHE)
+                self.baseline(count)
+                warmed += len(_BASELINE_CACHE) - before
+        return warmed
+
+
+#: Process-wide benign baseline cache: (config, client count) -> result.
+#: Safe to share because the baseline deployment is a pure function of the
+#: key (its seed is derived from the client count) and the result is frozen.
+_BASELINE_CACHE: Dict[Tuple[PbftConfig, int], PbftRunResult] = {}
+
+
+@lru_cache(maxsize=None)
+def _malicious_behavior(mac_mask: int, broadcast_always: bool) -> ClientBehavior:
+    """Shared frozen behaviour instance per (mask, broadcast) combination."""
+    return ClientBehavior(mac_mask=mac_mask, broadcast_always=broadcast_always)
 
 
 def derive_baseline_seed(n_correct_clients: int) -> int:

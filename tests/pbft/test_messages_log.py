@@ -8,7 +8,7 @@ from repro.pbft import (
     batch_digest_of,
     request_digest,
 )
-from repro.pbft.messages import NULL_DIGEST
+from repro.pbft.messages import NULL_DIGEST, fast_request_digest
 
 
 def make_request(client="client-0", ts=1, op=("op", 1)):
@@ -129,3 +129,16 @@ def test_garbage_collect_drops_old_slots():
         log.slot(seq, 0)
     log.garbage_collect(3)
     assert sorted(log.slots) == [4, 5]
+
+
+def test_fast_request_digest_matches_canonical_fold():
+    # The hot-path digest must replay stable_digest bit for bit for the
+    # standard ("op", client, timestamp) operation shape.
+    clients = ["client-0", "client-17", "mclient-3", "x", "client-255"]
+    timestamps = [1, 2, 7, 255, 1000, 123_456_789]
+    for client in clients:
+        for timestamp in timestamps:
+            operation = ("op", client, timestamp)
+            assert fast_request_digest(client, timestamp) == request_digest(
+                client, timestamp, operation
+            )

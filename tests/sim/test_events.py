@@ -110,3 +110,28 @@ def test_cancelling_any_subset_preserves_order_of_rest(times, data):
         handle = queue.pop()
         popped.append((handle.time, handle.seq))
     assert popped == expected
+
+
+def test_clear_marks_outstanding_handles_cancelled():
+    queue = EventQueue()
+    handles = [queue.push(time, lambda: None) for time in (1, 2, 3)]
+    queue.clear()
+    assert len(queue) == 0
+    assert not queue
+    assert all(handle.cancelled for handle in handles)
+
+
+def test_cancel_after_clear_does_not_corrupt_live_count():
+    # Regression: clear() used to leave handles uncancelled, so a later
+    # cancel(handle) drove the live count negative and __bool__ lied.
+    queue = EventQueue()
+    stale = [queue.push(time, lambda: None) for time in (1, 2, 3)]
+    queue.clear()
+    for handle in stale:
+        queue.cancel(handle)  # must be a no-op on every stale handle
+    assert len(queue) == 0
+    replacement = queue.push(5, lambda: None)
+    assert len(queue) == 1
+    assert queue
+    assert queue.pop() is replacement
+    assert len(queue) == 0

@@ -104,3 +104,16 @@ def test_percentile_monotone_in_fraction(samples):
     values = [sampler.percentile(f) for f in fractions]
     assert values == sorted(values)
     assert values[-1] == sampler.maximum()
+
+
+def test_percentile_memo_invalidated_by_new_samples():
+    # Regression guard for the sorted-sample memo: a record() between two
+    # percentile reads must invalidate the cached ordering.
+    sampler = LatencySampler("l")
+    for value in (1000, 3000, 2000):
+        sampler.record(value)
+    assert sampler.percentile(1.0) == 3000 / SECOND
+    assert sampler.percentile(0.5) == 2000 / SECOND
+    sampler.record(10_000)
+    assert sampler.percentile(1.0) == 10_000 / SECOND
+    assert sampler.maximum() == 10_000 / SECOND

@@ -124,3 +124,19 @@ def test_same_seed_same_delivery_times():
         return [time for time, _, _ in b.received]
 
     assert run_once() == run_once()
+
+
+def test_register_after_unregister_preserves_delivery_count():
+    # Regression: re-registering a churned endpoint used to reset its
+    # delivered_per_endpoint count, losing victim-load history mid-run.
+    sim, net, a, b = build()
+    a.send("b", 1)
+    a.send("b", 2)
+    sim.run()
+    assert net.delivered_per_endpoint["b"] == 2
+    net.unregister("b")
+    reborn = Recorder("b", sim, net)
+    a.send("b", 3)
+    sim.run()
+    assert net.delivered_per_endpoint["b"] == 3
+    assert reborn.received[-1][1] == 3

@@ -10,7 +10,8 @@ from repro.cli import build_parser, main
 def test_parser_knows_all_commands():
     parser = build_parser()
     for command in (
-        "campaign", "bigmac", "slow-primary", "dht-attack", "explore", "power", "lint"
+        "campaign", "bigmac", "slow-primary", "dht-attack", "explore", "power", "lint",
+        "bench",
     ):
         args = parser.parse_args([command] if command != "campaign" else ["campaign"])
         assert callable(args.func)
@@ -144,3 +145,29 @@ def test_resume_of_a_complete_campaign_is_a_noop(tmp_path, capsys):
     capsys.readouterr()
     assert main(["resume", str(ckpt)]) == 0
     assert "nothing to resume" in capsys.readouterr().out
+
+
+def test_parser_knows_bench():
+    parser = build_parser()
+    args = parser.parse_args(["bench", "--quick", "--skip-parallel", "--out-dir", "x"])
+    assert callable(args.func)
+    assert args.quick and args.skip_parallel and args.out_dir == "x"
+
+
+def test_bench_measure_gates_on_mode_identity(tmp_path):
+    from repro import perf
+    from repro.bench import measure
+
+    def stable_workload():
+        return 0.01, 100, "same outcome in both modes"
+
+    record = measure(stable_workload, "units/sec", repeats=1)
+    assert record["determinism_ok"]
+    assert record["optimized"]["rate"] > 0
+    assert record["speedup"] > 0
+
+    def mode_dependent_workload():
+        return 0.01, 100, f"optimized={perf.enabled()}"
+
+    record = measure(mode_dependent_workload, "units/sec", repeats=1)
+    assert not record["determinism_ok"]
