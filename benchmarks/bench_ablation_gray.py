@@ -12,7 +12,7 @@ and hill-climbing loses its locality. The bench compares both encodings.
 
 import statistics
 
-from repro.core import AvdExploration, format_table, run_campaign
+from repro.core import AvdExploration, CampaignSpec, format_table, run_campaign
 from repro.plugins import ClientCountPlugin, MacCorruptionPlugin
 from repro.targets import PbftTarget
 
@@ -29,7 +29,7 @@ def run_ablation():
         for seed in SEEDS:
             plugins = [MacCorruptionPlugin(gray=gray), ClientCountPlugin(10, 60, 10)]
             target = PbftTarget(plugins, config=campaign_config())
-            campaign = run_campaign(AvdExploration(target, plugins, seed=seed), budget)
+            campaign = run_campaign(AvdExploration(target, plugins, seed=seed), CampaignSpec(budget=budget))
             impacts = campaign.impacts()
             late = impacts[-max(1, len(impacts) // 4):]
             late_means.append(sum(late) / len(late))

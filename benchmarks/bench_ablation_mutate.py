@@ -8,7 +8,13 @@ compares the adaptive schedule against fixed weak (0.05) and fixed strong
 
 import statistics
 
-from repro.core import AvdExploration, ControllerConfig, format_table, run_campaign
+from repro.core import (
+    AvdExploration,
+    CampaignSpec,
+    ControllerConfig,
+    format_table,
+    run_campaign,
+)
 from repro.plugins import ClientCountPlugin, MacCorruptionPlugin
 from repro.targets import PbftTarget
 
@@ -33,7 +39,8 @@ def run_ablation():
             target = PbftTarget(plugins, config=campaign_config())
             config = ControllerConfig(fixed_mutate_distance=fixed)
             campaign = run_campaign(
-                AvdExploration(target, plugins, seed=seed, config=config), budget
+                AvdExploration(target, plugins, seed=seed, config=config),
+                CampaignSpec(budget=budget),
             )
             impacts = campaign.impacts()
             late = impacts[-max(1, len(impacts) // 4):]

@@ -8,7 +8,13 @@ sampling should route most mutations through the useful tool.
 
 import statistics
 
-from repro.core import AvdExploration, ControllerConfig, format_table, run_campaign
+from repro.core import (
+    AvdExploration,
+    CampaignSpec,
+    ControllerConfig,
+    format_table,
+    run_campaign,
+)
 from repro.plugins import (
     ClientCountPlugin,
     MacCorruptionPlugin,
@@ -41,7 +47,7 @@ def run_ablation():
             target = PbftTarget(plugins, config=campaign_config())
             config = ControllerConfig(uniform_plugin_choice=uniform)
             strategy = AvdExploration(target, plugins, seed=seed, config=config)
-            campaign = run_campaign(strategy, budget)
+            campaign = run_campaign(strategy, CampaignSpec(budget=budget))
             impacts = campaign.impacts()
             late = impacts[-max(1, len(impacts) // 4):]
             late_means.append(sum(late) / len(late))

@@ -20,7 +20,13 @@ from typing import Optional
 
 import pytest
 
-from repro.core import AvdExploration, RandomExploration, format_table, run_campaign
+from repro.core import (
+    AvdExploration,
+    CampaignSpec,
+    RandomExploration,
+    format_table,
+    run_campaign,
+)
 from repro.plugins import ClientCountPlugin, MacCorruptionPlugin
 from repro.targets import PbftTarget
 
@@ -48,8 +54,8 @@ def run_discovery():
     for seed in SEEDS:
         plugins = [MacCorruptionPlugin(), ClientCountPlugin(10, 60, 10)]
         target = PbftTarget(plugins, config=campaign_config())
-        avd = run_campaign(AvdExploration(target, plugins, seed=seed), BUDGET)
-        rnd = run_campaign(RandomExploration(target, seed=seed + 1000), BUDGET)
+        avd = run_campaign(AvdExploration(target, plugins, seed=seed), CampaignSpec(budget=BUDGET))
+        rnd = run_campaign(RandomExploration(target, seed=seed + 1000), CampaignSpec(budget=BUDGET))
         avd_tests = tests_to_collapse(target, avd)
         rnd_tests = tests_to_collapse(target, rnd)
         finds["avd"].append(avd_tests)
@@ -112,9 +118,11 @@ def _timed_campaign(workers: int):
     start = perf_counter()
     campaign = run_campaign(
         strategy,
-        SPEEDUP_BUDGET,
-        workers=workers,
-        batch_size=2 * SPEEDUP_WORKERS,
+        CampaignSpec(
+            budget=SPEEDUP_BUDGET,
+            workers=workers,
+            batch_size=2 * SPEEDUP_WORKERS,
+        ),
     )
     return perf_counter() - start, campaign
 

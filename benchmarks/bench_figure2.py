@@ -12,7 +12,13 @@ random stays near the benign operating point with occasional lucky hits.
 """
 
 from repro.analysis import discovery_speedup, summarize
-from repro.core import AvdExploration, RandomExploration, run_campaign, sparkline
+from repro.core import (
+    AvdExploration,
+    CampaignSpec,
+    RandomExploration,
+    run_campaign,
+    sparkline,
+)
 from repro.plugins import ClientCountPlugin, MacCorruptionPlugin
 from repro.targets import PbftTarget
 
@@ -28,8 +34,8 @@ def build_target():
 def run_figure2(seed: int = 2011):
     target, plugins = build_target()
     budget = fig2_budget()
-    avd = run_campaign(AvdExploration(target, plugins, seed=seed), budget)
-    random_baseline = run_campaign(RandomExploration(target, seed=seed + 1), budget)
+    avd = run_campaign(AvdExploration(target, plugins, seed=seed), CampaignSpec(budget=budget))
+    random_baseline = run_campaign(RandomExploration(target, seed=seed + 1), CampaignSpec(budget=budget))
     return target, avd, random_baseline
 
 

@@ -10,6 +10,7 @@ admits; the bench reports tests-to-find per rung.
 """
 
 from repro.core import (
+    CampaignSpec,
     AvdExploration,
     POWER_LADDER,
     available_plugins,
@@ -55,7 +56,7 @@ def run_power():
             outcomes.append((power, None, len(plugins), None))
             continue
         target = PbftTarget(plugins, config=campaign_config())
-        campaign = run_campaign(AvdExploration(target, plugins, seed=13), budget)
+        campaign = run_campaign(AvdExploration(target, plugins, seed=13), CampaignSpec(budget=budget))
         estimate = estimate_difficulty(campaign.results, power, THRESHOLD)
         outcomes.append((power, estimate, len(plugins), campaign.best))
     return outcomes

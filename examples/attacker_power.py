@@ -14,6 +14,7 @@ import argparse
 
 from repro import (
     AvdExploration,
+    CampaignSpec,
     POWER_LADDER,
     PbftConfig,
     PbftTarget,
@@ -59,7 +60,7 @@ def main() -> None:
             continue
         target = PbftTarget(plugins, config=PbftConfig.campaign_scale())
         campaign = run_campaign(
-            AvdExploration(target, plugins, seed=13), budget=args.budget
+            AvdExploration(target, plugins, seed=13), CampaignSpec(budget=args.budget)
         )
         estimate = estimate_difficulty(campaign.results, power, impact_threshold=0.8)
         rows.append(

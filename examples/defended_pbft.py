@@ -14,6 +14,7 @@ import argparse
 
 from repro import (
     AvdExploration,
+    CampaignSpec,
     DefenseConfig,
     MacCorruptionPlugin,
     PbftConfig,
@@ -43,7 +44,7 @@ def main() -> None:
         plugins = [MacCorruptionPlugin(), ClientCountPlugin(10, 40, 10)]
         target = PbftTarget(plugins, config=config)
         campaign = run_campaign(
-            AvdExploration(target, plugins, seed=args.seed), args.budget
+            AvdExploration(target, plugins, seed=args.seed), CampaignSpec(budget=args.budget)
         )
         best = campaign.best
         rows.append(

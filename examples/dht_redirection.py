@@ -13,7 +13,7 @@ AVD find the most damaging poisoning parameters on its own.
     python examples/dht_redirection.py
 """
 
-from repro import run_dht_deployment, run_campaign, AvdExploration
+from repro import AvdExploration, CampaignSpec, run_campaign, run_dht_deployment
 from repro.core import format_table
 from repro.targets import DhtTarget, RoutingPoisonPlugin
 
@@ -44,7 +44,7 @@ def sweep_swarm_sizes() -> None:
 def let_avd_find_it() -> None:
     plugin = RoutingPoisonPlugin()
     target = DhtTarget([plugin], n_correct=40)
-    campaign = run_campaign(AvdExploration(target, [plugin], seed=5), budget=15)
+    campaign = run_campaign(AvdExploration(target, [plugin], seed=5), CampaignSpec(budget=15))
     best = campaign.best
     print(
         f"\nAVD's strongest scenario after {len(campaign.results)} tests: "

@@ -12,6 +12,7 @@ import argparse
 
 from repro import (
     AvdExploration,
+    CampaignSpec,
     MacCorruptionPlugin,
     PbftConfig,
     PbftTarget,
@@ -41,10 +42,14 @@ def main() -> None:
           f"({len(target.hyperspace.dimensions)} dimensions)")
 
     print(f"\nrunning AVD (fitness-guided), budget={args.budget} ...")
-    avd = run_campaign(AvdExploration(target, plugins, seed=args.seed), args.budget)
+    avd = run_campaign(
+        AvdExploration(target, plugins, seed=args.seed), CampaignSpec(budget=args.budget)
+    )
 
     print(f"running random baseline, budget={args.budget} ...")
-    random_baseline = run_campaign(RandomExploration(target, seed=args.seed + 1), args.budget)
+    random_baseline = run_campaign(
+        RandomExploration(target, seed=args.seed + 1), CampaignSpec(budget=args.budget)
+    )
 
     print("\n" + describe_best(compare_campaigns([avd, random_baseline])))
 

@@ -23,10 +23,12 @@ Packages
 
 Quickstart
 ----------
->>> from repro import AvdExploration, PbftTarget, MacCorruptionPlugin, run_campaign
+>>> from repro import (
+...     AvdExploration, CampaignSpec, MacCorruptionPlugin, PbftTarget, run_campaign,
+... )
 >>> plugin = MacCorruptionPlugin()
 >>> target = PbftTarget([plugin])
->>> campaign = run_campaign(AvdExploration(target, [plugin], seed=1), budget=25)
+>>> campaign = run_campaign(AvdExploration(target, [plugin], seed=1), CampaignSpec(budget=25))
 >>> campaign.best.impact > 0  # the strongest attack found
 True
 """
@@ -36,6 +38,7 @@ from .core import (
     AttackerPower,
     AvdExploration,
     CampaignResult,
+    CampaignSpec,
     ControlLevel,
     ControllerConfig,
     ExhaustiveExploration,
@@ -90,6 +93,7 @@ __all__ = [
     "AttackerPower",
     "AvdExploration",
     "CampaignResult",
+    "CampaignSpec",
     "ClientBehavior",
     "ClientCountPlugin",
     "ControlLevel",

@@ -43,12 +43,14 @@ import time
 from typing import Callable, Dict, Optional, Tuple
 
 from . import perf
-from .core import AvdExploration, run_campaign
+from .core import AvdExploration, CampaignSpec, run_campaign
 from .core.parallel import resolve_workers
 from .pbft import PbftConfig, PbftDeployment
 from .plugins import ClientCountPlugin, MacCorruptionPlugin
 from .sim import Simulator
+from .sim.trace import Tracer
 from .targets import PbftTarget
+from .telemetry import RingBufferSink, TelemetryBus
 
 SCHEMA_VERSION = 1
 
@@ -59,6 +61,10 @@ CAMPAIGN_FILE = "BENCH_campaign.json"
 #: pool size so the recorded trajectory checksum is machine-independent.
 CAMPAIGN_BATCH = 8
 
+#: Maximum wall-clock overhead the attached telemetry bus may add to the
+#: serial campaign workload (percent).
+TELEMETRY_OVERHEAD_PCT = 5.0
+
 #: A workload returns (wall seconds, work units done, outcome fingerprint).
 Workload = Callable[[], Tuple[float, int, str]]
 
@@ -67,8 +73,14 @@ Workload = Callable[[], Tuple[float, int, str]]
 # workloads
 # ---------------------------------------------------------------------------
 def _kernel_workload(n_events: int) -> Tuple[float, int, str]:
-    """Event-cascade microbenchmark: schedule/defer/cancel, no protocol."""
-    simulator = Simulator(seed=0xBE7C)
+    """Event-cascade microbenchmark: schedule/defer/cancel, no protocol.
+
+    Tracing runs in ring-buffer mode (:class:`~repro.sim.trace.Tracer` with
+    ``max_records``) so the benchmark also covers the bounded-trace path
+    without the trace store's growth distorting the measurement.
+    """
+    tracer = Tracer(enabled=True, max_records=256)
+    simulator = Simulator(seed=0xBE7C, tracer=tracer)
     rng = simulator.rng("bench-kernel")
     remaining = [n_events]
 
@@ -78,14 +90,19 @@ def _kernel_workload(n_events: int) -> Tuple[float, int, str]:
             simulator.defer(rng.randrange(1, 128), tick)
             if remaining[0] % 8 == 0:
                 # Exercise the cancellable-timer path too: arm far in the
-                # future, cancel immediately (it must never fire).
+                # future, cancel immediately (it must never fire) — and the
+                # ring-buffer trace path alongside it.
                 simulator.cancel(simulator.schedule(1 << 20, tick))
+                tracer.record(simulator.now, "bench", "cancelled-timer")
 
     simulator.schedule(0, tick)
     start = time.perf_counter()
     executed = simulator.run()
     wall = time.perf_counter() - start
-    return wall, executed, f"kernel:{simulator.now}:{simulator.events_executed}:{remaining[0]}"
+    return wall, executed, (
+        f"kernel:{simulator.now}:{simulator.events_executed}:{remaining[0]}:"
+        f"trace:{len(tracer.records)}:{tracer.recorded}"
+    )
 
 
 def _data_plane_workload(n_clients: int) -> Tuple[float, int, str]:
@@ -98,19 +115,38 @@ def _data_plane_workload(n_clients: int) -> Tuple[float, int, str]:
 
 
 def _campaign_workload(
-    budget: int, workers: int, batch_size: Optional[int] = None
+    budget: int,
+    workers: int,
+    batch_size: Optional[int] = None,
+    telemetry: bool = False,
 ) -> Tuple[float, int, str]:
-    """A full AVD campaign (the paper's MAC x client-count experiment)."""
+    """A full AVD campaign (the paper's MAC x client-count experiment).
+
+    With ``telemetry=True`` the campaign runs with the event bus attached
+    to an in-memory ring sink, and the canonical event stream is folded
+    into the outcome fingerprint — so the telemetry overhead gate also
+    doubles as an event-stream determinism check across perf modes.
+    """
     plugins = [MacCorruptionPlugin(), ClientCountPlugin(10, 100, 10)]
     target = PbftTarget(plugins, config=PbftConfig.campaign_scale())
     strategy = AvdExploration(target, plugins, seed=0)
+    bus = None
+    if telemetry:
+        bus = TelemetryBus(sinks=(RingBufferSink(),))
+    spec = CampaignSpec(
+        budget=budget, workers=workers, batch_size=batch_size, telemetry=bus
+    )
     start = time.perf_counter()
-    campaign = run_campaign(strategy, budget, workers=workers, batch_size=batch_size)
+    campaign = run_campaign(strategy, spec)
     wall = time.perf_counter() - start
     trajectory = [
         (r.test_index, r.key, r.impact, r.scenario.origin) for r in campaign.results
     ]
-    return wall, budget, f"campaign:{trajectory!r}"
+    outcome = f"campaign:{trajectory!r}"
+    if bus is not None:
+        stream = "\n".join(bus.sinks[0].to_lines())
+        outcome += f":events:{hashlib.sha256(stream.encode('utf-8')).hexdigest()}"
+    return wall, budget, outcome
 
 
 # ---------------------------------------------------------------------------
@@ -207,6 +243,19 @@ def run_bench(
             lambda: _campaign_workload(budget, workers=1), "tests/sec", repeats
         ),
     }
+    # Telemetry overhead gate: the same serial campaign with the event bus
+    # attached must stay within TELEMETRY_OVERHEAD_PCT of the bare run.
+    with_telemetry = measure(
+        lambda: _campaign_workload(budget, workers=1, telemetry=True),
+        "tests/sec",
+        repeats,
+    )
+    bare_wall = campaign_workloads["campaign_serial"]["optimized"]["seconds"]
+    telemetry_wall = with_telemetry["optimized"]["seconds"]
+    overhead_pct = max(0.0, 100.0 * (telemetry_wall - bare_wall) / max(bare_wall, 1e-9))
+    with_telemetry["overhead_pct"] = round(overhead_pct, 2)
+    with_telemetry["overhead_ok"] = overhead_pct <= TELEMETRY_OVERHEAD_PCT
+    campaign_workloads["campaign_telemetry"] = with_telemetry
     if not skip_parallel:
         parallel = measure(
             lambda: _campaign_workload(budget, workers=pool_size, batch_size=CAMPAIGN_BATCH),
@@ -229,12 +278,19 @@ def run_bench(
     ok = True
     for name, record in {**kernel_workloads, **campaign_workloads}.items():
         flag = "" if record["determinism_ok"] else "  << MODES DIVERGED"
+        if record.get("overhead_ok") is False:
+            flag += "  << TELEMETRY OVERHEAD"
         print(
             f"  {name:18s} {_rate(record['optimized']['rate']):>12s} {record['unit']:9s} "
             f"(reference {_rate(record['reference']['rate'])}, "
             f"speedup {record['speedup']:.2f}x){flag}"
         )
-        ok = ok and bool(record["determinism_ok"])
+        if "overhead_pct" in record:
+            print(
+                f"  {'':18s} telemetry overhead {record['overhead_pct']:.2f}% "
+                f"(gate <= {TELEMETRY_OVERHEAD_PCT:.0f}%)"
+            )
+        ok = ok and bool(record["determinism_ok"]) and record.get("overhead_ok", True)
 
     os.makedirs(out_dir, exist_ok=True)
     for file_name, workloads in (
@@ -256,7 +312,7 @@ def run_bench(
             handle.write("\n")
         print(f"  wrote {path}")
     if not ok:
-        print("repro bench: determinism gate FAILED (optimized != reference)")
+        print("repro bench: gate FAILED (mode divergence or telemetry overhead)")
         return 1
     return 0
 
@@ -268,4 +324,5 @@ __all__ = [
     "CAMPAIGN_FILE",
     "CAMPAIGN_BATCH",
     "SCHEMA_VERSION",
+    "TELEMETRY_OVERHEAD_PCT",
 ]

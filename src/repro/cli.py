@@ -4,6 +4,7 @@ Commands
 --------
 campaign    run an AVD (or baseline) campaign against a target
 resume      continue a killed campaign from its checkpoint file
+explain     attribute a recorded campaign (telemetry JSONL) to its plugins
 bigmac      sweep the Big MAC mask family against PBFT
 slow-primary demonstrate the shared-timer bug and its fixes
 dht-attack  measure the DHT redirection DoS
@@ -22,6 +23,7 @@ from typing import List, Optional
 from .core import (
     AvdExploration,
     CampaignResult,
+    CampaignSpec,
     ControllerConfig,
     GeneticExploration,
     POWER_LADDER,
@@ -108,6 +110,30 @@ def _build_target(target_name: str, tool_names: List[str], fixed_timers: bool, a
     return target, plugins
 
 
+def _build_telemetry(
+    path: Optional[str],
+    progress: bool,
+    append: bool = False,
+    resume_seq: Optional[int] = None,
+):
+    """Assemble the campaign event bus from CLI flags (None if unused)."""
+    if not path and not progress:
+        return None
+    from .telemetry import JsonlSink, TelemetryBus, TtyProgressSink
+
+    bus = TelemetryBus()
+    if path:
+        bus.attach(JsonlSink(path, append=append, resume_seq=resume_seq))
+    if progress:
+        bus.attach(TtyProgressSink())
+    return bus
+
+
+def _close_telemetry(bus) -> None:
+    if bus is not None:
+        bus.close()
+
+
 def _print_campaign_summary(campaign) -> None:
     print(describe_best(compare_campaigns([campaign])))
     print("impact per test:", sparkline(campaign.impacts()))
@@ -140,6 +166,11 @@ def cmd_campaign(args) -> int:
         strategy = GeneticExploration(target, plugins, seed=args.seed)
     if args.checkpoint and args.strategy != "avd":
         raise SystemExit("--checkpoint requires --strategy avd (only AVD is resumable)")
+    if (args.telemetry or args.progress) and args.strategy != "avd":
+        raise SystemExit(
+            "--telemetry/--progress require --strategy avd "
+            "(only AVD publishes campaign events)"
+        )
     if args.checkpoint:
         # Everything `repro resume` needs to rebuild this campaign.
         strategy.controller.checkpoint_context = {
@@ -148,6 +179,7 @@ def cmd_campaign(args) -> int:
             "fixed_timers": bool(args.fixed_timers),
             "aardvark": bool(args.aardvark),
             "out": args.out,
+            "telemetry": args.telemetry,
         }
     workers = resolve_workers(args.workers)
     note = f" on {workers} workers" if workers > 1 else ""
@@ -155,14 +187,23 @@ def cmd_campaign(args) -> int:
         f"exploring {target.hyperspace.size:,} scenarios with "
         f"'{args.strategy}' for {args.budget} tests{note} ..."
     )
-    campaign = run_campaign(
-        strategy,
-        args.budget,
-        workers=workers,
-        batch_size=args.batch_size,
-        checkpoint_path=args.checkpoint,
-        checkpoint_every=args.checkpoint_every,
-    )
+    telemetry = _build_telemetry(args.telemetry, args.progress)
+    try:
+        campaign = run_campaign(
+            strategy,
+            CampaignSpec(
+                budget=args.budget,
+                workers=workers,
+                batch_size=args.batch_size,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                telemetry=telemetry,
+            ),
+        )
+    finally:
+        _close_telemetry(telemetry)
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry}")
     _print_campaign_summary(campaign)
     if args.out:
         save_campaign(campaign, args.out)
@@ -180,31 +221,75 @@ def cmd_resume(args) -> int:
         bool(context.get("fixed_timers")),
         bool(context.get("aardvark")),
     )
-    controller = restore_controller(data, target, plugins)
+    # Telemetry continues on the stream the campaign started (append mode,
+    # with the sequence cursor restored from the checkpoint), or on a new
+    # path given here.
+    telemetry_path = args.telemetry or context.get("telemetry")
+    continuing = telemetry_path == context.get("telemetry")
+    telemetry = _build_telemetry(
+        telemetry_path,
+        args.progress,
+        append=continuing,
+        # Orphan events past the checkpoint's cursor (from a killed run)
+        # are truncated: the resumed controller republishes those seqs.
+        resume_seq=(
+            int(data.get("telemetry", {}).get("seq", 0)) if continuing else None
+        ),
+    )
+    controller = restore_controller(data, target, plugins, telemetry=telemetry)
     budget = args.budget if args.budget is not None else int(run_params.get("budget", 0))
     if budget < 1:
         raise SystemExit("checkpoint carries no budget; pass --budget explicitly")
     done = len(controller.results)
     if done >= budget:
+        _close_telemetry(telemetry)
         print(f"campaign already complete ({done}/{budget} tests); nothing to resume")
     else:
         # batch_size comes from the checkpoint: the trajectory depends on
         # it. The worker count is override-safe (wall-clock only).
         workers = args.workers if args.workers is not None else run_params.get("workers", 1)
         print(f"resuming campaign at test {done}/{budget} from {args.checkpoint} ...")
-        controller.run(
-            budget,
-            workers=workers,
-            batch_size=run_params.get("batch_size"),
-            checkpoint_path=args.checkpoint,
-            checkpoint_every=int(run_params.get("checkpoint_every", 25)),
-        )
+        try:
+            controller.run(
+                CampaignSpec(
+                    budget=budget,
+                    workers=workers,
+                    batch_size=run_params.get("batch_size"),
+                    checkpoint_path=args.checkpoint,
+                    checkpoint_every=int(run_params.get("checkpoint_every", 25)),
+                )
+            )
+        finally:
+            _close_telemetry(telemetry)
+        if telemetry_path:
+            print(f"telemetry written to {telemetry_path}")
     campaign = CampaignResult(strategy="avd", results=list(controller.results))
     _print_campaign_summary(campaign)
     out = args.out or context.get("out")
     if out:
         save_campaign(campaign, out)
         print(f"campaign saved to {out}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from .telemetry.explain import (
+        attribution_to_dict,
+        explain_path,
+        render_attribution,
+    )
+    from .telemetry.schema import SchemaError
+
+    try:
+        attribution = explain_path(args.stream)
+    except OSError as exc:
+        raise SystemExit(f"cannot read telemetry stream: {exc}")
+    except SchemaError as exc:
+        raise SystemExit(f"invalid telemetry stream: {exc}")
+    if args.json:
+        print(json.dumps(attribution_to_dict(attribution), indent=2, sort_keys=True))
+    else:
+        print(render_attribution(attribution))
     return 0
 
 
@@ -395,6 +480,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-every", type=int, default=25, metavar="K",
         help="checkpoint at least every K executed scenarios (default: 25)",
     )
+    campaign.add_argument(
+        "--telemetry", metavar="PATH",
+        help="record the campaign event stream as JSONL to PATH (avd only); "
+             "inspect it afterwards with `repro explain PATH`",
+    )
+    campaign.add_argument(
+        "--progress", action="store_true",
+        help="live one-line campaign progress on stderr (avd only)",
+    )
     campaign.set_defaults(func=cmd_campaign)
 
     resume = sub.add_parser(
@@ -410,7 +504,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the worker count (safe: the trajectory does not depend on it)",
     )
     resume.add_argument("--out", help="save results to this JSON file (default: checkpointed --out)")
+    resume.add_argument(
+        "--telemetry", metavar="PATH",
+        help="telemetry JSONL path (default: continue the checkpointed stream)",
+    )
+    resume.add_argument(
+        "--progress", action="store_true",
+        help="live one-line campaign progress on stderr",
+    )
     resume.set_defaults(func=cmd_resume)
+
+    explain = sub.add_parser(
+        "explain", help="attribute a recorded campaign to its plugins"
+    )
+    explain.add_argument(
+        "stream", help="telemetry JSONL written by campaign --telemetry"
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="machine-readable attribution instead of the rendered report",
+    )
+    explain.set_defaults(func=cmd_explain)
 
     bigmac = sub.add_parser("bigmac", help="sweep the Big MAC mask family")
     bigmac.add_argument("--clients", type=int, default=20)

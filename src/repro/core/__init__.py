@@ -8,7 +8,7 @@ Baseline strategies and the attacker power model live alongside.
 
 from .campaign import CampaignResult, compare_campaigns, run_campaign
 from .controller import ControllerConfig, TestController
-from .executor import ScenarioExecutor, TargetSystem
+from .executor import ScenarioExecutor, TargetSystem, publish_executed
 from .failures import (
     Quarantine,
     RetryPolicy,
@@ -54,6 +54,8 @@ from .power import (
 from .report import describe_best, format_table, heatmap, sparkline
 from .sampling import PluginSampler, PluginStats, TopSet, weighted_choice
 from .scenario import ScenarioResult, TestScenario
+from .spec import CampaignSpec
+from .target import Target, verify_target
 
 __all__ = [
     "AccessLevel",
@@ -61,6 +63,7 @@ __all__ = [
     "AttackerPower",
     "AvdExploration",
     "CampaignResult",
+    "CampaignSpec",
     "ChoiceDimension",
     "ControlLevel",
     "ControllerConfig",
@@ -85,6 +88,7 @@ __all__ = [
     "ScenarioFailure",
     "ScenarioResult",
     "ScenarioTimeout",
+    "Target",
     "TargetSystem",
     "TestController",
     "TestScenario",
@@ -99,10 +103,12 @@ __all__ = [
     "heatmap",
     "load_campaign",
     "load_checkpoint",
+    "publish_executed",
     "resolve_workers",
     "restore_controller",
     "save_campaign",
     "save_checkpoint",
     "sparkline",
+    "verify_target",
     "weighted_choice",
 ]

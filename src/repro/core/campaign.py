@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from .exploration import ExplorationStrategy
 from .scenario import ScenarioResult
+from .spec import CampaignSpec
 
 
 @dataclass
@@ -78,34 +79,45 @@ class CampaignResult:
 
 def run_campaign(
     strategy: ExplorationStrategy,
-    budget: int,
-    workers: Optional[int] = 1,
-    batch_size: Optional[int] = None,
-    checkpoint_path: Optional[str] = None,
-    checkpoint_every: int = 25,
+    spec: Optional[CampaignSpec] = None,
+    **legacy,
 ) -> CampaignResult:
-    """Run a strategy to its budget and wrap the results.
+    """Run a strategy to its spec'd budget and wrap the results.
+
+    Pass a :class:`~repro.core.spec.CampaignSpec`; the legacy calling
+    convention ``run_campaign(strategy, budget, workers=..., ...)`` still
+    works through a shim that raises ``DeprecationWarning``.
 
     ``workers``/``batch_size`` enable concurrent scenario execution for the
     strategies that support it (AVD, random, exhaustive); the result
     trajectory depends only on ``(seed, batch_size)``, never on ``workers``.
 
     ``checkpoint_path`` periodically persists the campaign state so a
-    killed run can be resumed bit-identically; only strategies that carry
-    resumable state support it (currently AVD).
+    killed run can be resumed bit-identically, and ``telemetry`` attaches
+    a campaign event bus; only strategies that carry the corresponding
+    state support them (currently AVD).
     """
-    if checkpoint_path is not None and not getattr(strategy, "supports_checkpoints", False):
+    spec = CampaignSpec.from_legacy("run_campaign", spec, legacy)
+    if spec.checkpoint_path is not None and not getattr(
+        strategy, "supports_checkpoints", False
+    ):
         raise ValueError(
             f"strategy {strategy.name!r} does not support checkpointing "
             "(only 'avd' campaigns are resumable)"
         )
-    kwargs = {}
-    if checkpoint_path is not None:
-        kwargs = {"checkpoint_path": checkpoint_path, "checkpoint_every": checkpoint_every}
-    if workers == 1 and batch_size is None and not kwargs:
-        results = strategy.run(budget)
+    if spec.telemetry is not None and not getattr(strategy, "supports_telemetry", False):
+        raise ValueError(
+            f"strategy {strategy.name!r} does not publish telemetry "
+            "(only 'avd' campaigns carry the event bus)"
+        )
+    if getattr(strategy, "supports_spec", False):
+        results = strategy.run(spec)
+    elif spec.workers == 1 and spec.batch_size is None:
+        results = strategy.run(spec.budget)
     else:
-        results = strategy.run(budget, workers=workers, batch_size=batch_size, **kwargs)
+        results = strategy.run(
+            spec.budget, workers=spec.workers, batch_size=spec.batch_size
+        )
     return CampaignResult(strategy=strategy.name, results=list(results))
 
 

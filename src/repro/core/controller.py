@@ -21,13 +21,25 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Set
 
-from .executor import ScenarioExecutor, TargetSystem
+from ..telemetry.bus import TelemetryBus
+from ..telemetry.events import (
+    CheckpointWritten,
+    FailureClassified,
+    ImpactAbsorbed,
+    MutationApplied,
+    ParentSelected,
+    PluginSampled,
+    ScenarioGenerated,
+    key_dict,
+)
+from .executor import ScenarioExecutor, Target
 from .failures import Quarantine, RetryPolicy, ScenarioFailure
 from .hyperspace import CoordsKey
 from .parallel import ParallelScenarioExecutor, resolve_workers
 from .plugin import ToolPlugin
 from .sampling import PluginSampler, TopSet
 from .scenario import ScenarioResult, TestScenario
+from .spec import CampaignSpec
 
 
 @dataclass(frozen=True)
@@ -79,10 +91,11 @@ class TestController:
 
     def __init__(
         self,
-        target: TargetSystem,
+        target: Target,
         plugins: Sequence[ToolPlugin],
         seed: int = 0,
         config: ControllerConfig = ControllerConfig(),
+        telemetry: Optional[TelemetryBus] = None,
     ) -> None:
         if not plugins:
             raise ValueError("the controller needs at least one tool plugin")
@@ -93,11 +106,18 @@ class TestController:
         self.config = config
         self.campaign_seed = seed
         self.rng = random.Random(seed)
+        #: The campaign event bus (inert until a sink is attached; a
+        #: CampaignSpec's bus replaces it at run time).
+        self.telemetry = telemetry if telemetry is not None else TelemetryBus()
+        #: Sequence cursor restored from a checkpoint: the bus is
+        #: fast-forwarded past it so a resumed stream never reuses numbers.
+        self._telemetry_seq_floor = 0
         self.executor = ScenarioExecutor(
             target,
             campaign_seed=seed,
             timeout=config.scenario_timeout,
             retry=config.retry,
+            telemetry=self.telemetry,
         )
         #: Scenario keys banned after terminal failures, with reasons.
         self.quarantine = Quarantine()
@@ -149,6 +169,21 @@ class TestController:
     def _enqueue(self, scenario: TestScenario) -> None:
         self.pending.append(scenario)
         self._pending_keys.add(scenario.key)
+        if self.telemetry.active:
+            self.telemetry.publish(
+                ScenarioGenerated(
+                    key=key_dict(scenario.key),
+                    origin=scenario.origin,
+                    coords=dict(scenario.coords),
+                    plugin=scenario.plugin,
+                    parent_key=(
+                        key_dict(scenario.parent_key)
+                        if scenario.parent_key is not None
+                        else None
+                    ),
+                    mutate_distance=scenario.mutate_distance,
+                )
+            )
 
     def _dequeue(self) -> TestScenario:
         scenario = self.pending.popleft()
@@ -180,8 +215,48 @@ class TestController:
             )
             if self._is_new(scenario.key):  # line 5
                 self._parent_impact[scenario.key] = parent.impact
+                if self.telemetry.active:
+                    # Only the accepted attempt is published (dedup retries
+                    # would otherwise flood the stream with dead ends).
+                    self._publish_mutation(parent, plugin_name, scenario)
                 return scenario
         return None
+
+    def _publish_mutation(
+        self, parent: ScenarioResult, plugin_name: str, scenario: TestScenario
+    ) -> None:
+        stats = self.plugin_sampler.stats[plugin_name]
+        parent_coords = parent.scenario.coords
+        changed = sorted(
+            name
+            for name, position in scenario.coords.items()
+            if parent_coords.get(name) != position
+        )
+        self.telemetry.publish(
+            ParentSelected(
+                parent_key=key_dict(parent.key),
+                parent_impact=parent.impact,
+                mu=self.max_impact,
+                top_set_size=len(self.top_set),
+            )
+        )
+        self.telemetry.publish(
+            PluginSampled(
+                plugin=plugin_name,
+                weight=stats.weight,
+                selections=stats.selections,
+                total_gain=stats.total_gain,
+            )
+        )
+        self.telemetry.publish(
+            MutationApplied(
+                plugin=plugin_name,
+                parent_key=key_dict(parent.key),
+                child_key=key_dict(scenario.key),
+                mutate_distance=scenario.mutate_distance,
+                changed=changed,
+            )
+        )
 
     def _generate_random(self) -> Optional[TestScenario]:
         for _ in range(self.config.dedup_retries * 4):
@@ -219,68 +294,93 @@ class TestController:
             self.quarantine.record(
                 result.key, kind=result.kind, error=result.error, attempts=result.attempts
             )
+            if self.telemetry.active:
+                self.telemetry.publish(
+                    FailureClassified(
+                        test_index=result.test_index,
+                        key=key_dict(result.key),
+                        kind=result.kind,
+                        error=result.error,
+                        attempts=result.attempts,
+                    )
+                )
         else:
             self.top_set.offer(result)
             if result.impact > self.max_impact:
                 self.max_impact = result.impact
+            if self.telemetry.active:
+                best = self.top_set.best
+                self.telemetry.publish(
+                    ImpactAbsorbed(
+                        test_index=result.test_index,
+                        key=key_dict(result.key),
+                        impact=result.impact,
+                        mu=self.max_impact,
+                        best_key=key_dict(best.key) if best is not None else None,
+                    )
+                )
         if result.scenario.plugin is not None:
             parent_impact = self._parent_impact.pop(result.key, 0.0)
             self.plugin_sampler.record(result.scenario.plugin, parent_impact, result.impact)
 
-    def run(
-        self,
-        budget: int,
-        workers: Optional[int] = 1,
-        batch_size: Optional[int] = None,
-        checkpoint_path: Optional[str] = None,
-        checkpoint_every: int = 25,
-    ) -> List[ScenarioResult]:
-        """Run ``budget`` tests end to end; returns results in order.
+    def run(self, spec: Optional[CampaignSpec] = None, **legacy) -> List[ScenarioResult]:
+        """Run a campaign described by a :class:`CampaignSpec`.
 
-        ``workers`` sets how many scenarios execute concurrently (on a
-        process pool; ``0``/``None`` means one per CPU). ``batch_size``
-        controls speculative generation: each round, up to that many
-        unexplored scenarios are generated from the *current* Pi/mu
-        snapshot, executed concurrently, and absorbed in submission order.
-        It defaults to ``1`` serially and ``2 * workers`` otherwise.
+        The legacy calling convention — ``run(budget, workers=...,
+        batch_size=..., checkpoint_path=..., checkpoint_every=...)`` —
+        still works through a shim that raises ``DeprecationWarning``.
 
-        ``checkpoint_path`` makes the run crash-safe across process death:
-        a versioned campaign checkpoint (results, Pi, RNG state, plugin
-        fitness stats, pending queue, quarantine) is written atomically to
-        that path at least every ``checkpoint_every`` executed scenarios,
-        and once more when the budget completes. A controller restored
-        from the checkpoint (``repro.core.persistence.restore_controller``
-        or ``repro resume``) continues the campaign bit-identically to an
-        uninterrupted run (see ``tests/core/test_checkpoint.py``).
+        Spec semantics (see :class:`repro.core.spec.CampaignSpec`):
 
-        ``budget`` is the campaign total: a restored controller that has
-        already executed ``n`` scenarios runs ``budget - n`` more.
+        - ``workers`` sets how many scenarios execute concurrently (on a
+          process pool; ``0``/``None`` means one per CPU); ``batch_size``
+          controls speculative generation per round and defaults to ``1``
+          serially, ``2 * workers`` otherwise.
+        - ``checkpoint_path`` makes the run crash-safe across process
+          death: a versioned checkpoint is written atomically at least
+          every ``checkpoint_every`` executed scenarios, and once more
+          when the budget completes; a controller restored from it
+          (``restore_controller`` / ``repro resume``) continues the
+          campaign bit-identically to an uninterrupted run.
+        - ``telemetry`` attaches a :class:`~repro.telemetry.TelemetryBus`:
+          every generation/execution/absorption step is published as a
+          typed event, from the parent process only, so the stream for a
+          fixed ``(seed, batch_size)`` is byte-identical regardless of
+          worker count.
+        - ``budget`` is the campaign total: a restored controller that has
+          already executed ``n`` scenarios runs ``budget - n`` more.
 
         Determinism: the exploration trajectory is a pure function of
         ``(seed, batch_size)`` — the worker count only changes wall-clock
         time, never the results (see ``tests/core/test_parallel.py``).
         """
-        if budget < 1:
-            raise ValueError("budget must be >= 1")
-        if checkpoint_every < 1:
-            raise ValueError("checkpoint_every must be >= 1")
-        workers = resolve_workers(workers)
+        spec = CampaignSpec.from_legacy("TestController.run", spec, legacy)
+        return self._run(spec)
+
+    def _run(self, spec: CampaignSpec) -> List[ScenarioResult]:
+        if spec.telemetry is not None:
+            self.telemetry = spec.telemetry
+            self.executor.telemetry = spec.telemetry
+        if self.telemetry.seq < self._telemetry_seq_floor:
+            # Resume: never reuse sequence numbers the checkpointed stream
+            # already assigned (the JSONL sink appends past them).
+            self.telemetry.seq = self._telemetry_seq_floor
+        workers = resolve_workers(spec.workers)
+        batch_size = spec.batch_size
         if batch_size is None:
             batch_size = 1 if workers == 1 else 2 * workers
-        if batch_size < 1:
-            raise ValueError("batch_size must be >= 1")
-        self._checkpoint_path = checkpoint_path
-        self._checkpoint_every = checkpoint_every
+        self._checkpoint_path = spec.checkpoint_path
+        self._checkpoint_every = spec.checkpoint_every
         self._last_checkpoint_at = len(self.results)
         self._run_params = {
-            "budget": budget,
+            "budget": spec.budget,
             "workers": workers,
             "batch_size": batch_size,
-            "checkpoint_every": checkpoint_every,
+            "checkpoint_every": spec.checkpoint_every,
         }
         try:
             if workers == 1 and batch_size == 1:
-                results = self._run_serial(budget)
+                results = self._run_serial(spec.budget)
             else:
                 with ParallelScenarioExecutor(
                     self.target,
@@ -288,12 +388,13 @@ class TestController:
                     workers=workers,
                     timeout=self.config.scenario_timeout,
                     retry=self.config.retry,
+                    telemetry=self.telemetry,
                 ) as pool:
-                    results = self._run_batched(budget, batch_size, pool)
+                    results = self._run_batched(spec.budget, batch_size, pool)
         finally:
             self._checkpoint_path = None
-        if checkpoint_path is not None:
-            self._write_checkpoint(checkpoint_path)  # final state, resume-safe
+        if spec.checkpoint_path is not None:
+            self._write_checkpoint(spec.checkpoint_path)  # final state, resume-safe
         return results
 
     def _run_serial(self, budget: int) -> List[ScenarioResult]:
@@ -347,6 +448,17 @@ class TestController:
     def _write_checkpoint(self, path: str) -> None:
         from .persistence import save_checkpoint  # lazy: avoids import cycle
 
+        if self.telemetry.active:
+            # Published *before* saving so the checkpointed telemetry
+            # cursor covers this event too: a resumed stream continues at
+            # the exact sequence number after it.
+            self.telemetry.publish(
+                CheckpointWritten(
+                    path=str(path),
+                    results=len(self.results),
+                    pending=len(self.pending),
+                )
+            )
         save_checkpoint(self, path)
         self._last_checkpoint_at = len(self.results)
 

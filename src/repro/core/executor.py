@@ -22,9 +22,11 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Callable, Dict, Optional, Protocol
+from typing import Callable, Dict, Optional
 
 from ..sim.rng import derive_seed
+from ..telemetry.bus import TelemetryBus
+from ..telemetry.events import ScenarioExecuted, key_dict
 from .failures import (
     HARNESS_BUG,
     FailureSignal,
@@ -37,23 +39,12 @@ from .failures import (
     describe_exception,
     scenario_deadline,
 )
-from .hyperspace import Hyperspace
 from .scenario import ScenarioResult, TestScenario
+from .target import Target, verify_target
 
-
-class TargetSystem(Protocol):
-    """What the controller needs from a system under test."""
-
-    #: The composed hyperspace of every tool plugin's dimensions.
-    hyperspace: Hyperspace
-
-    def execute(self, params: Dict[str, object], seed: int) -> object:
-        """Instantiate and run one test; return the raw measurement."""
-        ...
-
-    def impact_of(self, measurement: object, params: Dict[str, object]) -> float:
-        """Normalized damage in [0, 1] for a measurement."""
-        ...
+#: Backwards-compatible alias: the implicit protocol the executors always
+#: duck-typed is now the explicit :class:`repro.core.target.Target`.
+TargetSystem = Target
 
 
 class ScenarioExecutor:
@@ -67,14 +58,16 @@ class ScenarioExecutor:
 
     def __init__(
         self,
-        target: TargetSystem,
+        target: Target,
         campaign_seed: int = 0,
         timeout: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
         sleep: Callable[[float], None] = time.sleep,
+        telemetry: Optional[TelemetryBus] = None,
     ) -> None:
         if timeout is not None and not timeout > 0:
             raise ValueError("timeout must be positive (or None to disable)")
+        verify_target(target)  # fail fast, naming the missing members
         self.target = target
         self.campaign_seed = campaign_seed
         self.timeout = timeout
@@ -83,12 +76,18 @@ class ScenarioExecutor:
         #: Terminal scenario failures produced through the isolated path.
         self.failures = 0
         self._sleep = sleep
+        #: Campaign telemetry bus; ``ScenarioExecuted`` is published here
+        #: for every terminal result. Reassignable (the controller points
+        #: it at the spec's bus per run).
+        self.telemetry = telemetry if telemetry is not None else TelemetryBus()
 
     def execute(self, scenario: TestScenario, test_index: int) -> ScenarioResult:
         params = self.target.hyperspace.params(scenario.coords)
         seed = derive_seed(self.campaign_seed, f"scenario:{scenario.key}")
         measurement = self.target.execute(params, seed)
-        return self._finish(scenario, test_index, params, measurement)
+        result = self._finish(scenario, test_index, params, measurement)
+        publish_executed(self.telemetry, self.target, result)
+        return result
 
     def _finish(
         self,
@@ -152,7 +151,9 @@ class ScenarioExecutor:
         while True:
             attempts += 1
             try:
-                return self._attempt(scenario, test_index)
+                result = self._attempt(scenario, test_index)
+                publish_executed(self.telemetry, self.target, result)
+                return result
             except FailureSignal as failure:
                 kind, error = failure.kind, failure.error
             if kind in TRANSIENT_KINDS and attempts < self.retry.max_attempts:
@@ -161,7 +162,7 @@ class ScenarioExecutor:
                     self._sleep(delay)
                 continue
             self.failures += 1
-            return ScenarioFailure(
+            failure_result = ScenarioFailure(
                 scenario=scenario,
                 impact=0.0,
                 test_index=test_index,
@@ -171,6 +172,41 @@ class ScenarioExecutor:
                 error=error,
                 attempts=attempts,
             )
+            publish_executed(self.telemetry, self.target, failure_result)
+            return failure_result
 
 
-__all__ = ["ScenarioExecutor", "TargetSystem"]
+def publish_executed(
+    telemetry: Optional[TelemetryBus], target: Target, result: ScenarioResult
+) -> None:
+    """Publish one terminal result as a ``ScenarioExecuted`` event.
+
+    Shared by the serial executor and the parallel pool (which publishes
+    whole batches here in submission order, from the parent process — the
+    re-sequencing that keeps the event stream worker-count-independent).
+    The target's optional ``telemetry_summary(measurement)`` hook supplies
+    the event's headline figures; a misbehaving hook is dropped rather
+    than allowed to fail the campaign.
+    """
+    if telemetry is None or not telemetry.active:
+        return
+    summary = None
+    if not result.failed:
+        summarize = getattr(target, "telemetry_summary", None)
+        if callable(summarize):
+            try:
+                summary = summarize(result.measurement)
+            except Exception:
+                summary = None
+    telemetry.publish(
+        ScenarioExecuted(
+            test_index=result.test_index,
+            key=key_dict(result.key),
+            impact=result.impact,
+            failed=result.failed,
+            summary=summary,
+        )
+    )
+
+
+__all__ = ["ScenarioExecutor", "Target", "TargetSystem", "publish_executed"]

@@ -18,6 +18,7 @@ from .hyperspace import Hyperspace, coords_key
 from .parallel import ParallelScenarioExecutor, resolve_workers
 from .plugin import ToolPlugin
 from .scenario import ScenarioResult, TestScenario
+from .spec import CampaignSpec
 
 
 class ExplorationStrategy:
@@ -34,6 +35,10 @@ class ExplorationStrategy:
     name = "strategy"
     #: Strategies with resumable state override this (see AVD).
     supports_checkpoints = False
+    #: Strategies whose ``run`` accepts a :class:`CampaignSpec` directly.
+    supports_spec = False
+    #: Strategies that publish campaign telemetry events (see AVD).
+    supports_telemetry = False
 
     def run(
         self,
@@ -50,6 +55,9 @@ class AvdExploration(ExplorationStrategy):
     name = "avd"
     #: The controller's state is checkpointable and resumable.
     supports_checkpoints = True
+    supports_spec = True
+    #: The controller publishes the full telemetry event stream.
+    supports_telemetry = True
 
     def __init__(
         self,
@@ -62,19 +70,11 @@ class AvdExploration(ExplorationStrategy):
 
     def run(
         self,
-        budget: int,
-        workers: Optional[int] = 1,
-        batch_size: Optional[int] = None,
-        checkpoint_path: Optional[str] = None,
-        checkpoint_every: int = 25,
+        spec: Optional[CampaignSpec] = None,
+        **legacy,
     ) -> List[ScenarioResult]:
-        return self.controller.run(
-            budget,
-            workers=workers,
-            batch_size=batch_size,
-            checkpoint_path=checkpoint_path,
-            checkpoint_every=checkpoint_every,
-        )
+        spec = CampaignSpec.from_legacy("AvdExploration.run", spec, legacy)
+        return self.controller.run(spec)
 
 
 class RandomExploration(ExplorationStrategy):

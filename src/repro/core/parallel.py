@@ -51,7 +51,8 @@ from typing import Callable, List, Optional, Sequence
 
 import time
 
-from .executor import ScenarioExecutor, TargetSystem
+from ..telemetry.bus import TelemetryBus
+from .executor import ScenarioExecutor, Target, publish_executed
 from .failures import (
     RetryPolicy,
     ScenarioFailure,
@@ -126,14 +127,22 @@ class ParallelScenarioExecutor:
 
     def __init__(
         self,
-        target: TargetSystem,
+        target: Target,
         campaign_seed: int = 0,
         workers: Optional[int] = 1,
         timeout: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
         sleep: Callable[[float], None] = time.sleep,
+        telemetry: Optional[TelemetryBus] = None,
     ) -> None:
         self.target = target
+        #: Campaign telemetry bus. ``ScenarioExecuted`` events are
+        #: published *here*, in the parent process, after each batch's
+        #: results are collected in submission order — never inside the
+        #: workers — so the stream is identical for every worker count.
+        #: (The internal ``_local`` executor gets no bus for the same
+        #: reason: results it produces are published at batch end too.)
+        self.telemetry = telemetry if telemetry is not None else TelemetryBus()
         self.campaign_seed = campaign_seed
         self.workers = resolve_workers(workers)
         self.timeout = timeout
@@ -239,7 +248,7 @@ class ParallelScenarioExecutor:
             return []
         pool = self._ensure_pool() if len(scenarios) > 1 else None
         if pool is None:
-            return self._execute_local(scenarios, start_index)
+            return self._publish_batch(self._execute_local(scenarios, start_index))
         try:
             futures = [
                 pool.submit(_execute_in_worker, scenario, start_index + offset)
@@ -252,9 +261,9 @@ class ParallelScenarioExecutor:
             # per-scenario seeds make the redo identical, minus the crash).
             self.fallback_serial = True
             self.close()
-            return self._execute_local(scenarios, start_index)
+            return self._publish_batch(self._execute_local(scenarios, start_index))
         self.executed += len(results)
-        return results
+        return self._publish_batch(results)
 
     def execute_batch_isolated(
         self, scenarios: Sequence[TestScenario], start_index: int
@@ -275,7 +284,7 @@ class ParallelScenarioExecutor:
                 for offset, scenario in enumerate(scenarios)
             ]
             self.executed += len(results)
-            return results
+            return self._publish_batch(results)
         slots: List[Optional[ScenarioResult]] = [None] * len(scenarios)
         futures = [
             pool.submit(_execute_in_worker_isolated, scenario, start_index + offset)
@@ -297,6 +306,21 @@ class ParallelScenarioExecutor:
                     )
         results = [slot for slot in slots if slot is not None]
         self.executed += len(results)
+        return self._publish_batch(results)
+
+    def _publish_batch(self, results: List[ScenarioResult]) -> List[ScenarioResult]:
+        """Publish ``ScenarioExecuted`` for a batch, in submission order.
+
+        This is the telemetry re-sequencing point: workers may *complete*
+        in any order, but results are collected in submission order above,
+        and only then — in the parent process — do their events hit the
+        bus. Worker-side executors carry no bus at all (a bus could also
+        make the pickled target blob unpicklable), so no event is ever
+        published twice or out of order.
+        """
+        if self.telemetry.active:
+            for result in results:
+                publish_executed(self.telemetry, self.target, result)
         return results
 
     def _execute_single_isolated(

@@ -257,6 +257,11 @@ def checkpoint_to_dict(controller) -> Dict[str, Any]:
         "results": [_result_to_dict(result) for result in controller.results],
         "run": dict(controller._run_params),
         "context": dict(controller.checkpoint_context),
+        # The telemetry cursor: how many events the bus has sequenced so
+        # far. A resumed campaign fast-forwards its bus past this so an
+        # appended JSONL stream never reuses sequence numbers. (Old v2
+        # checkpoints without the key restore with a cursor of 0.)
+        "telemetry": {"seq": int(controller.telemetry.seq)},
     }
 
 
@@ -277,7 +282,7 @@ def load_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
     return data
 
 
-def restore_controller(data: Dict[str, Any], target, plugins):
+def restore_controller(data: Dict[str, Any], target, plugins, telemetry=None):
     """Rebuild a Test Controller from :func:`load_checkpoint` output.
 
     ``target`` and ``plugins`` must be reconstructed by the caller exactly
@@ -285,6 +290,13 @@ def restore_controller(data: Dict[str, Any], target, plugins):
     set) — the scenario seeds derive from the campaign seed, so identical
     inputs reproduce identical measurements. Plugin names are validated
     against the checkpoint; a mismatch raises ``ValueError``.
+
+    ``telemetry`` optionally attaches a
+    :class:`~repro.telemetry.TelemetryBus` to the restored controller;
+    whether passed here or later via a ``CampaignSpec``, the bus is
+    fast-forwarded past the checkpointed sequence cursor so a resumed
+    stream (e.g. a JSONL sink in append mode) continues without reusing
+    sequence numbers.
 
     The returned controller continues exactly where the checkpoint was
     taken: calling ``run(total_budget, ...)`` with the checkpoint's
@@ -299,8 +311,12 @@ def restore_controller(data: Dict[str, Any], target, plugins):
     retry = RetryPolicy.from_dict(config_data.pop("retry", {}))
     config = ControllerConfig(retry=retry, **config_data)
     controller = TestController(
-        target, plugins, seed=int(data["campaign_seed"]), config=config
+        target, plugins, seed=int(data["campaign_seed"]), config=config,
+        telemetry=telemetry,
     )
+    controller._telemetry_seq_floor = int(data.get("telemetry", {}).get("seq", 0))
+    if controller.telemetry.seq < controller._telemetry_seq_floor:
+        controller.telemetry.seq = controller._telemetry_seq_floor
     saved_plugins = set(data["plugin_stats"])
     live_plugins = set(controller.plugins)
     if saved_plugins != live_plugins:

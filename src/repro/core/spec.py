@@ -1,0 +1,112 @@
+"""CampaignSpec: one value describing how a campaign should run.
+
+``TestController.run`` and ``run_campaign`` historically grew a kwargs
+sprawl (``budget, workers, batch_size, checkpoint_path,
+checkpoint_every, ...``) that every layer — CLI, bench, exploration
+strategies, tests — had to thread through verbatim. ``CampaignSpec``
+consolidates them into a single validated dataclass; the old keyword
+call-sites keep working through a shim that raises
+``DeprecationWarning`` (see :meth:`CampaignSpec.from_legacy`).
+
+The spec is declarative: ``workers=0``/``None`` still means "one per
+CPU" and ``batch_size=None`` still means "1 serial, 2x workers
+parallel" — resolution happens inside the controller, exactly as
+before, so a spec hashes/compares the same way regardless of the
+machine it later runs on.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from ..telemetry import TelemetryBus
+
+#: Keyword names the legacy ``run(budget, ...)`` signatures accepted.
+LEGACY_RUN_KWARGS = (
+    "budget",
+    "workers",
+    "batch_size",
+    "checkpoint_path",
+    "checkpoint_every",
+    "telemetry",
+)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything a campaign run needs besides the strategy itself."""
+
+    #: Total tests to execute (a resumed controller runs the remainder).
+    budget: int
+    #: Concurrent scenario executions; 0/None = one per CPU. The
+    #: exploration trajectory never depends on this.
+    workers: Optional[int] = 1
+    #: Scenarios generated speculatively per round; None = 1 serially,
+    #: ``2 * workers`` on a pool. The trajectory is a pure function of
+    #: ``(seed, batch_size)``.
+    batch_size: Optional[int] = None
+    #: Resumable checkpoint file (AVD only); None disables checkpointing.
+    checkpoint_path: Optional[str] = None
+    #: Checkpoint at least every this many executed scenarios.
+    checkpoint_every: int = 25
+    #: Telemetry bus receiving the campaign's event stream (optional).
+    telemetry: Optional["TelemetryBus"] = None
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ValueError("budget must be >= 1")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.workers is not None and self.workers < 0:
+            raise ValueError(f"workers must be >= 0 (0 = auto), got {self.workers}")
+
+    def with_overrides(self, **changes) -> "CampaignSpec":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def from_legacy(
+        cls,
+        caller: str,
+        spec_or_budget,
+        legacy: Dict[str, object],
+        stacklevel: int = 3,
+    ) -> "CampaignSpec":
+        """The deprecation shim behind every ``run(...)`` entry point.
+
+        Accepts either a ready :class:`CampaignSpec` (returned as-is,
+        provided no stray keywords ride along) or the legacy
+        ``(budget, **kwargs)`` calling convention, which builds a spec
+        and raises a ``DeprecationWarning`` pointing at the caller.
+        """
+        if isinstance(spec_or_budget, CampaignSpec):
+            if legacy:
+                raise TypeError(
+                    f"{caller}: pass either a CampaignSpec or legacy keywords, "
+                    f"not both (got extra {sorted(legacy)})"
+                )
+            return spec_or_budget
+        if spec_or_budget is not None:
+            if "budget" in legacy:
+                raise TypeError(f"{caller}: budget passed twice")
+            legacy = dict(legacy, budget=spec_or_budget)
+        unknown = sorted(set(legacy) - set(LEGACY_RUN_KWARGS))
+        if unknown:
+            raise TypeError(f"{caller}: unexpected keyword arguments {unknown}")
+        if "budget" not in legacy:
+            raise TypeError(f"{caller}: missing required argument 'budget'")
+        warnings.warn(
+            f"{caller}(budget, ...) keyword calls are deprecated; "
+            f"pass a repro.core.CampaignSpec instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        return cls(**legacy)  # type: ignore[arg-type]
+
+
+__all__ = ["CampaignSpec", "LEGACY_RUN_KWARGS"]

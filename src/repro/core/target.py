@@ -1,0 +1,87 @@
+"""The Target protocol: the explicit contract between AVD and a system under test.
+
+Historically the contract was implicit — executors duck-typed whatever the
+PBFT target happened to expose. This module makes it explicit, in two
+tiers:
+
+- the **core** contract (:data:`CORE_MEMBERS`) is what the executors
+  actually call: a composed ``hyperspace``, ``execute(params, seed)``, and
+  ``impact_of(measurement, params)``. Test doubles only need this much.
+- the **full** contract (:data:`FULL_MEMBERS`) adds what shipped targets
+  must provide so tooling composes: ``dimensions()`` (the target's own
+  view of its dimension list), ``baseline(...)`` (the benign calibration
+  measurement impacts are scored against), and the optional
+  ``telemetry_summary(measurement)`` hook the telemetry bus embeds into
+  ``ScenarioExecuted`` events.
+
+:func:`verify_target` is the runtime check — executors call it with the
+core tier at construction so a malformed target fails fast with a message
+naming the missing members, instead of deep inside a campaign. The lint
+rule API004 enforces the full tier statically on shipped target classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Sequence, runtime_checkable
+
+from .hyperspace import Dimension, Hyperspace
+
+#: What the executors call on every target.
+CORE_MEMBERS = ("hyperspace", "execute", "impact_of")
+#: What shipped targets must additionally provide (lint rule API004).
+FULL_MEMBERS = CORE_MEMBERS + ("baseline", "dimensions")
+
+
+@runtime_checkable
+class Target(Protocol):
+    """A system under test, as the controller and executors see it."""
+
+    #: The composed hyperspace of every tool plugin's dimensions.
+    hyperspace: Hyperspace
+
+    def execute(self, params: Dict[str, object], seed: int) -> object:
+        """Instantiate and run one test; return the raw measurement."""
+        ...
+
+    def impact_of(self, measurement: object, params: Dict[str, object]) -> float:
+        """Normalized damage in [0, 1] for a measurement."""
+        ...
+
+    def baseline(self, *key: object) -> object:
+        """The benign calibration measurement impacts are scored against."""
+        ...
+
+    def dimensions(self) -> Sequence[Dimension]:
+        """The dimension list this target composed its hyperspace from."""
+        ...
+
+    def telemetry_summary(self, measurement: object) -> Optional[Dict[str, object]]:
+        """Headline figures for ``ScenarioExecuted`` events (optional hook)."""
+        ...
+
+
+def verify_target(target: object, full: bool = False) -> None:
+    """Raise ``TypeError`` naming every protocol member ``target`` lacks.
+
+    ``full=False`` (the executors' check) requires only the core trio;
+    ``full=True`` is the shipped-target contract, minus
+    ``telemetry_summary``, which stays optional even there.
+    """
+    required = FULL_MEMBERS if full else CORE_MEMBERS
+    missing = []
+    for name in required:
+        member = getattr(target, name, None)
+        if name == "hyperspace":
+            if not isinstance(member, Hyperspace):
+                missing.append("hyperspace (a Hyperspace attribute)")
+        elif not callable(member):
+            missing.append(f"{name}()")
+    if missing:
+        raise TypeError(
+            f"{type(target).__name__} does not satisfy the Target protocol "
+            f"({'full' if full else 'core'} tier): missing {', '.join(missing)} "
+            "— see repro.core.target"
+        )
+
+
+__all__ = ["CORE_MEMBERS", "FULL_MEMBERS", "Target", "verify_target"]

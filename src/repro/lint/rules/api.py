@@ -14,6 +14,10 @@ practice, and each gets a rule:
 - API003 — ``mutate`` touching a hyperspace dimension the plugin never
   declares: the mutation lands on another tool's dimension (or nothing),
   corrupting the per-plugin credit assignment.
+- API004 — a target class (``*Target``) that does not satisfy the full
+  :class:`repro.core.target.Target` tier: executors duck-type the core
+  trio, but shipped targets must also expose ``baseline``/``dimensions``
+  so calibration and tooling compose.
 """
 
 from __future__ import annotations
@@ -180,8 +184,74 @@ class UndeclaredDimensionRule(Rule):
                 )
 
 
+#: The full Target tier's callable members (mirrors
+#: ``repro.core.target.FULL_MEMBERS`` minus the ``hyperspace`` attribute).
+_TARGET_METHODS = ("execute", "impact_of", "baseline", "dimensions")
+
+
+def _is_target_class(node: ast.ClassDef) -> bool:
+    """A shipped target implementation (not the protocol/ABC itself)."""
+    if not node.name.endswith("Target") or node.name == "Target":
+        return False
+    for base in node.bases:
+        text = ast.unparse(base).rsplit(".", 1)[-1]
+        if text in {"Protocol", "ABC"}:
+            return False
+    return True
+
+
+def _assigns_hyperspace(node: ast.ClassDef) -> bool:
+    """True if the class binds ``hyperspace`` (class-level or ``self.``)."""
+    for inner in ast.walk(node):
+        targets = []
+        if isinstance(inner, ast.Assign):
+            targets = inner.targets
+        elif isinstance(inner, (ast.AnnAssign, ast.AugAssign)):
+            targets = [inner.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "hyperspace":
+                return True
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "hyperspace"
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                return True
+    return False
+
+
+@register
+class TargetProtocolRule(Rule):
+    rule_id = "API004"
+    family = "API"
+    description = "target class missing full Target-protocol members"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_target_class(node):
+                continue
+            defined = {
+                statement.name
+                for statement in node.body
+                if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            missing = [name for name in _TARGET_METHODS if name not in defined]
+            if not _assigns_hyperspace(node):
+                missing.insert(0, "hyperspace")
+            if missing:
+                yield self.finding(
+                    module,
+                    node,
+                    f"target class {node.name!r} is missing "
+                    f"{', '.join(missing)} from the full Target protocol "
+                    "(repro.core.target) — executors and tooling rely on it",
+                )
+
+
 __all__ = [
     "MutateForeignRngRule",
     "MutateSignatureRule",
+    "TargetProtocolRule",
     "UndeclaredDimensionRule",
 ]

@@ -6,6 +6,7 @@ records ``TraceRecord`` tuples that tests and debugging sessions can inspect.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
@@ -24,13 +25,26 @@ class TraceRecord:
 class Tracer:
     """Collects :class:`TraceRecord` objects when enabled.
 
-    ``predicate`` (if set) filters records by kind before storage, which keeps
-    long simulations from accumulating unbounded trace memory.
+    ``predicate`` (if set) filters records by kind before storage, and
+    ``max_records`` (if set) turns the store into a ring buffer keeping only
+    the newest records — either keeps long simulations from accumulating
+    unbounded trace memory. The default (``max_records=None``) preserves the
+    historical behaviour: a plain, unbounded list.
     """
 
     enabled: bool = False
     predicate: Optional[Callable[[str], bool]] = None
     records: List[TraceRecord] = field(default_factory=list)
+    #: Ring-buffer capacity; ``None`` keeps every record (a plain list).
+    max_records: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_records is not None:
+            if self.max_records < 1:
+                raise ValueError("max_records must be >= 1 (or None for unbounded)")
+            self.records = deque(self.records, maxlen=self.max_records)
+        #: Total records accepted, including any the ring has evicted.
+        self.recorded = len(self.records)
 
     def record(self, time: int, source: str, kind: str, detail: Any = None) -> None:
         """Record one occurrence (no-op unless tracing is enabled)."""
@@ -39,6 +53,7 @@ class Tracer:
         if self.predicate is not None and not self.predicate(kind):
             return
         self.records.append(TraceRecord(time, source, kind, detail))
+        self.recorded += 1
 
     def of_kind(self, kind: str) -> List[TraceRecord]:
         """All records whose kind equals ``kind``."""
@@ -46,6 +61,7 @@ class Tracer:
 
     def clear(self) -> None:
         self.records.clear()
+        self.recorded = 0
 
 
 __all__ = ["TraceRecord", "Tracer"]

@@ -19,6 +19,9 @@ POISON_RATE_DIMENSION = "poison_rate_pct"
 POISON_FANOUT_DIMENSION = "poison_fanout"
 DHT_MALICIOUS_DIMENSION = "n_malicious_nodes"
 
+#: Fixed seed for the benign (attacker-free) calibration run.
+DHT_BASELINE_SEED = 0xD47BA5E
+
 
 class RoutingPoisonPlugin(ToolPlugin):
     """Controls the routing-poisoning behaviour of malicious DHT nodes."""
@@ -89,6 +92,36 @@ class DhtTarget:
         for plugin in self.plugins:
             dimensions.extend(plugin.dimensions())
         self.hyperspace = Hyperspace(dimensions)
+        self._baseline: Optional[DhtRunResult] = None
+
+    def dimensions(self) -> Sequence:
+        """The dimension list composed from every plugin, in plugin order."""
+        dimensions = []
+        for plugin in self.plugins:
+            dimensions.extend(plugin.dimensions())
+        return dimensions
+
+    def baseline(self) -> DhtRunResult:
+        """The benign measurement: the swarm with no attackers (cached).
+
+        The impact metric is absolute (a saturating transform of victim
+        load), so the baseline only calibrates *reporting* — it is what the
+        victim's background load looks like when nobody is poisoning.
+        """
+        if self._baseline is None:
+            deployment = DhtDeployment(
+                self.config, self.n_correct, n_malicious=0, seed=DHT_BASELINE_SEED
+            )
+            self._baseline = deployment.run()
+        return self._baseline
+
+    def telemetry_summary(self, measurement: DhtRunResult) -> Dict[str, object]:
+        """Headline figures embedded into ``ScenarioExecuted`` events."""
+        return {
+            "victim_load_mps": measurement.victim_load_mps,
+            "amplification": measurement.amplification,
+            "lookups_completed": measurement.lookups_completed,
+        }
 
     def execute(self, params: Dict[str, object], seed: int) -> DhtRunResult:
         spec = DhtScenarioSpec(self.config, self.n_correct)
@@ -102,6 +135,7 @@ class DhtTarget:
 
 
 __all__ = [
+    "DHT_BASELINE_SEED",
     "DHT_MALICIOUS_DIMENSION",
     "DhtScenarioSpec",
     "DhtTarget",

@@ -109,8 +109,25 @@ class PbftTarget:
         self.tests_run = 0
 
     # ------------------------------------------------------------------
-    # TargetSystem interface
+    # Target interface (full tier — see repro.core.target)
     # ------------------------------------------------------------------
+    def dimensions(self) -> List:
+        """The dimension list composed from every plugin, in plugin order."""
+        dimensions = []
+        for plugin in self.plugins:
+            dimensions.extend(plugin.dimensions())
+        return dimensions
+
+    def telemetry_summary(self, measurement: PbftRunResult) -> Dict[str, object]:
+        """Headline figures embedded into ``ScenarioExecuted`` events."""
+        return {
+            "throughput_rps": measurement.throughput_rps,
+            "tail_throughput_rps": measurement.tail_throughput_rps,
+            "view_changes": measurement.view_changes,
+            "crashed_replicas": measurement.crashed_replicas,
+            "bad_mac_rejections": measurement.bad_mac_rejections,
+        }
+
     def execute(self, params: Dict[str, object], seed: int) -> PbftRunResult:
         spec = PbftScenarioSpec(config=self.config)
         for plugin in self.plugins:

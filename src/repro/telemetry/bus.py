@@ -1,0 +1,78 @@
+"""The telemetry bus: a sequencing fan-out point for campaign events.
+
+One bus per campaign. Publishers hand it events; the bus stamps each with
+a monotonically increasing sequence number and fans it out to every
+attached sink. A bus with no sinks is inert — publishers guard their
+event-construction work behind :attr:`TelemetryBus.active`, so campaigns
+that never asked for telemetry pay a single attribute read per would-be
+event.
+
+Sequencing guarantees (enforced by ``tests/telemetry/``):
+
+- ``seq`` starts at 0 (or at the checkpoint cursor after a resume) and
+  increases by exactly 1 per published event;
+- all events are published from the *parent* process — worker-side
+  executions are re-sequenced into submission order by
+  :class:`~repro.core.parallel.ParallelScenarioExecutor` before their
+  ``ScenarioExecuted`` events are published — so the stream is identical
+  for every worker count at a fixed ``(seed, batch_size)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence, runtime_checkable
+
+from .events import TelemetryEvent
+
+
+@runtime_checkable
+class TelemetrySink(Protocol):
+    """Where published events go. Implementations must not reorder."""
+
+    def emit(self, seq: int, event: TelemetryEvent) -> None:
+        """Consume one sequenced event."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+        ...
+
+
+class TelemetryBus:
+    """Stamps events with sequence numbers and fans them out to sinks."""
+
+    def __init__(self, sinks: Sequence[TelemetrySink] = (), seq: int = 0) -> None:
+        if seq < 0:
+            raise ValueError("seq must be >= 0")
+        self._sinks: List[TelemetrySink] = list(sinks)
+        #: Next sequence number to assign. Restored from the checkpoint
+        #: cursor on resume so appended streams never reuse numbers.
+        self.seq = seq
+
+    @property
+    def active(self) -> bool:
+        """True when at least one sink is attached (publishers check this)."""
+        return bool(self._sinks)
+
+    @property
+    def sinks(self) -> List[TelemetrySink]:
+        return list(self._sinks)
+
+    def attach(self, sink: TelemetrySink) -> None:
+        self._sinks.append(sink)
+
+    def publish(self, event: TelemetryEvent) -> int:
+        """Assign the next sequence number and emit to every sink."""
+        seq = self.seq
+        self.seq = seq + 1
+        for sink in self._sinks:
+            sink.emit(seq, event)
+        return seq
+
+    def close(self) -> None:
+        """Close every sink (idempotent)."""
+        for sink in self._sinks:
+            sink.close()
+
+
+__all__ = ["TelemetryBus", "TelemetrySink"]

@@ -1,0 +1,378 @@
+"""``repro explain``: turn a telemetry stream back into an explanation.
+
+Given the JSONL stream a campaign recorded (``repro campaign --telemetry
+out.jsonl``), reconstruct *why* the campaign found what it found:
+
+- a per-plugin attribution table — how many scenarios each tool
+  generated, how they scored, and the fitness gain that earned the
+  plugin its sampling weight;
+- the best scenario's lineage — the full mutation chain from the random
+  seed scenario that started it down to the best point (the paper's
+  battleships story, replayed from the record);
+- exploration heatmaps over the two widest hyperspace dimensions,
+  rendered with :func:`repro.core.report.heatmap`;
+- a machine-readable attribution document (``--json``).
+
+Everything here is a pure function of the stream: no target, no
+simulator, no re-execution.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..core.report import format_table, heatmap, sparkline
+from .schema import SchemaError, validate_event
+
+#: Hashable form of a wire-format key dict.
+Key = Tuple[Tuple[str, int], ...]
+
+
+def _freeze_key(data: Optional[Dict[str, int]]) -> Optional[Key]:
+    if data is None:
+        return None
+    return tuple(sorted((str(name), int(pos)) for name, pos in data.items()))
+
+
+@dataclass
+class PluginAttribution:
+    """What one tool plugin contributed to the campaign."""
+
+    plugin: str
+    generated: int = 0
+    executed: int = 0
+    failures: int = 0
+    best_impact: float = 0.0
+    impact_sum: float = 0.0
+    #: Fitness gain actually banked: sum of max(0, child - parent).
+    total_gain: float = 0.0
+    improvements: int = 0
+    #: Final sampling weight observed on the stream (None if never sampled).
+    weight: Optional[float] = None
+
+    @property
+    def mean_impact(self) -> float:
+        return self.impact_sum / self.executed if self.executed else 0.0
+
+
+@dataclass
+class LineageStep:
+    """One link in the best scenario's mutation chain (root first)."""
+
+    key: Key
+    origin: str
+    plugin: Optional[str]
+    mutate_distance: float
+    test_index: Optional[int]
+    impact: Optional[float]
+    changed: List[str] = field(default_factory=list)
+    coords: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class CampaignAttribution:
+    """Everything :func:`analyze_stream` reconstructs from one stream."""
+
+    events: int = 0
+    tests: int = 0
+    failures: int = 0
+    checkpoints: int = 0
+    best_key: Optional[Key] = None
+    best_impact: float = 0.0
+    best_test_index: Optional[int] = None
+    plugins: Dict[str, PluginAttribution] = field(default_factory=dict)
+    random_generated: int = 0
+    lineage: List[LineageStep] = field(default_factory=list)
+    impact_curve: List[float] = field(default_factory=list)
+    #: (dimension name, positions seen) per dimension, insertion-ordered.
+    dimension_positions: Dict[str, List[int]] = field(default_factory=dict)
+    #: key -> coords for every generated scenario (feeds the heatmap).
+    coords_by_key: Dict[Key, Dict[str, int]] = field(default_factory=dict)
+    impact_by_key: Dict[Key, float] = field(default_factory=dict)
+    test_index_by_key: Dict[Key, int] = field(default_factory=dict)
+
+
+def analyze_stream(lines: Iterable[str]) -> CampaignAttribution:
+    """Validate and fold a JSONL stream into a :class:`CampaignAttribution`."""
+    out = CampaignAttribution()
+    generated: Dict[Key, Dict[str, Any]] = {}
+    parent_impact: Dict[Key, float] = {}
+    changed_by_child: Dict[Key, List[str]] = {}
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            type_name = validate_event(record)
+        except (SchemaError, json.JSONDecodeError) as exc:
+            raise SchemaError(f"line {line_number}: {exc}") from exc
+        out.events += 1
+        if type_name == "ScenarioGenerated":
+            key = _freeze_key(record["key"])
+            generated[key] = record
+            coords = {str(k): int(v) for k, v in record["coords"].items()}
+            out.coords_by_key[key] = coords
+            for name, pos in coords.items():
+                positions = out.dimension_positions.setdefault(name, [])
+                if pos not in positions:
+                    positions.append(pos)
+            plugin = record["plugin"]
+            if plugin is None:
+                out.random_generated += 1
+            else:
+                out.plugins.setdefault(plugin, PluginAttribution(plugin)).generated += 1
+        elif type_name == "PluginSampled":
+            stats = out.plugins.setdefault(
+                record["plugin"], PluginAttribution(record["plugin"])
+            )
+            stats.weight = float(record["weight"])
+        elif type_name == "ParentSelected":
+            parent_impact[None] = float(record["parent_impact"])  # staged
+        elif type_name == "MutationApplied":
+            child = _freeze_key(record["child_key"])
+            changed_by_child[child] = list(record["changed"])
+            staged = parent_impact.pop(None, None)
+            if staged is not None:
+                parent_impact[child] = staged
+        elif type_name == "ScenarioExecuted":
+            key = _freeze_key(record["key"])
+            impact = float(record["impact"])
+            out.tests += 1
+            out.impact_curve.append(impact)
+            out.impact_by_key[key] = impact
+            out.test_index_by_key[key] = int(record["test_index"])
+            meta = generated.get(key)
+            plugin = meta["plugin"] if meta else None
+            if plugin is not None:
+                stats = out.plugins.setdefault(plugin, PluginAttribution(plugin))
+                stats.executed += 1
+                stats.impact_sum += impact
+                stats.best_impact = max(stats.best_impact, impact)
+                if record["failed"]:
+                    stats.failures += 1
+                gain = impact - parent_impact.pop(key, 0.0)
+                if gain > 0:
+                    stats.total_gain += gain
+                    stats.improvements += 1
+            if record["failed"]:
+                out.failures += 1
+            elif impact > out.best_impact or out.best_key is None:
+                out.best_impact = impact
+                out.best_key = key
+                out.best_test_index = int(record["test_index"])
+        elif type_name == "CheckpointWritten":
+            out.checkpoints += 1
+
+    # Best-scenario lineage: walk parents back to the founding random shot.
+    key = out.best_key
+    seen: set = set()
+    chain: List[LineageStep] = []
+    while key is not None and key not in seen:
+        seen.add(key)
+        meta = generated.get(key)
+        if meta is None:
+            break  # pre-resume ancestry not in this stream
+        chain.append(
+            LineageStep(
+                key=key,
+                origin=str(meta["origin"]),
+                plugin=meta["plugin"],
+                mutate_distance=float(meta["mutate_distance"]),
+                test_index=out.test_index_by_key.get(key),
+                impact=out.impact_by_key.get(key),
+                changed=changed_by_child.get(key, []),
+                coords=out.coords_by_key.get(key, {}),
+            )
+        )
+        key = _freeze_key(meta["parent_key"])
+    out.lineage = list(reversed(chain))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+def _key_text(key: Optional[Key]) -> str:
+    if key is None:
+        return "(none)"
+    return "{" + ", ".join(f"{name}={pos}" for name, pos in key) + "}"
+
+
+def _heatmap_dimensions(attribution: CampaignAttribution) -> Optional[Tuple[str, str]]:
+    """The two widest dimensions actually explored (stable order)."""
+    widths = [
+        (len(positions), name)
+        for name, positions in attribution.dimension_positions.items()
+        if len(positions) > 1
+    ]
+    if len(widths) < 2:
+        return None
+    widths.sort(key=lambda item: (-item[0], item[1]))
+    x_name, y_name = widths[0][1], widths[1][1]
+    return x_name, y_name
+
+
+def exploration_heatmap(
+    attribution: CampaignAttribution,
+    x_name: Optional[str] = None,
+    y_name: Optional[str] = None,
+) -> Optional[str]:
+    """Max impact observed per (x, y) grid cell, rendered as ASCII."""
+    if x_name is None or y_name is None:
+        chosen = _heatmap_dimensions(attribution)
+        if chosen is None:
+            return None
+        x_name, y_name = chosen
+    x_positions = sorted(attribution.dimension_positions.get(x_name, []))
+    y_positions = sorted(attribution.dimension_positions.get(y_name, []))
+    if not x_positions or not y_positions:
+        return None
+    x_index = {pos: i for i, pos in enumerate(x_positions)}
+    y_index = {pos: i for i, pos in enumerate(y_positions)}
+    grid = [[0.0] * len(x_positions) for _ in y_positions]
+    for key, impact in attribution.impact_by_key.items():
+        coords = attribution.coords_by_key.get(key, {})
+        if x_name not in coords or y_name not in coords:
+            continue
+        row, col = y_index[coords[y_name]], x_index[coords[x_name]]
+        grid[row][col] = max(grid[row][col], impact)
+    labels = [f"{y_name}={pos}" for pos in y_positions]
+    body = heatmap(grid, row_labels=labels)
+    return f"max impact, {y_name} (rows) x {x_name} (cols, positions {x_positions[0]}..{x_positions[-1]}):\n{body}"
+
+
+def render_attribution(attribution: CampaignAttribution) -> str:
+    """The full human-readable ``repro explain`` report."""
+    lines: List[str] = []
+    lines.append(
+        f"campaign: {attribution.tests} tests, {attribution.events} events, "
+        f"{attribution.failures} failures, {attribution.checkpoints} checkpoints"
+    )
+    lines.append(
+        f"best impact {attribution.best_impact:.3f} at test "
+        f"{attribution.best_test_index} — scenario {_key_text(attribution.best_key)}"
+    )
+    if attribution.impact_curve:
+        lines.append("impact per test: " + sparkline(attribution.impact_curve))
+
+    lines.append("")
+    lines.append("plugin attribution (fitness gain is what earns sampling weight):")
+    rows: List[List[object]] = []
+    for name in sorted(attribution.plugins):
+        stats = attribution.plugins[name]
+        rows.append(
+            [
+                name,
+                stats.generated,
+                stats.executed,
+                f"{stats.best_impact:.3f}",
+                f"{stats.mean_impact:.3f}",
+                f"{stats.total_gain:.3f}",
+                stats.improvements,
+                f"{stats.weight:.3f}" if stats.weight is not None else "-",
+            ]
+        )
+    rows.append([
+        "(random shots)", attribution.random_generated, "-", "-", "-", "-", "-", "-",
+    ])
+    lines.append(
+        format_table(
+            ["plugin", "gen", "exec", "best", "mean", "gain", "improved", "weight"],
+            rows,
+        )
+    )
+
+    lines.append("")
+    if attribution.lineage:
+        lines.append(
+            f"best-scenario lineage ({len(attribution.lineage)} steps, root first):"
+        )
+        for step_number, step in enumerate(attribution.lineage):
+            impact_text = f"{step.impact:.3f}" if step.impact is not None else "?"
+            if step.origin == "random" or step.plugin is None:
+                how = "random shot"
+            else:
+                changed = ", ".join(step.changed) if step.changed else "nothing"
+                how = (
+                    f"{step.plugin} @ distance {step.mutate_distance:.2f} "
+                    f"(changed {changed})"
+                )
+            lines.append(
+                f"  {step_number:>2d}. impact {impact_text}  {how}  "
+                f"-> {_key_text(step.key)}"
+            )
+    else:
+        lines.append("best-scenario lineage: (no lineage recorded)")
+
+    rendered_heatmap = exploration_heatmap(attribution)
+    if rendered_heatmap is not None:
+        lines.append("")
+        lines.append(rendered_heatmap)
+    return "\n".join(lines)
+
+
+def attribution_to_dict(attribution: CampaignAttribution) -> Dict[str, Any]:
+    """Machine-readable attribution document (``repro explain --json``)."""
+    return {
+        "schema_version": 1,
+        "campaign": {
+            "tests": attribution.tests,
+            "events": attribution.events,
+            "failures": attribution.failures,
+            "checkpoints": attribution.checkpoints,
+        },
+        "best": {
+            "impact": attribution.best_impact,
+            "test_index": attribution.best_test_index,
+            "key": dict(attribution.best_key) if attribution.best_key else None,
+            "plugin": attribution.lineage[-1].plugin if attribution.lineage else None,
+        },
+        "plugins": {
+            name: {
+                "generated": stats.generated,
+                "executed": stats.executed,
+                "failures": stats.failures,
+                "best_impact": stats.best_impact,
+                "mean_impact": stats.mean_impact,
+                "total_gain": stats.total_gain,
+                "improvements": stats.improvements,
+                "weight": stats.weight,
+            }
+            for name, stats in sorted(attribution.plugins.items())
+        },
+        "random_generated": attribution.random_generated,
+        "lineage": [
+            {
+                "key": dict(step.key),
+                "origin": step.origin,
+                "plugin": step.plugin,
+                "mutate_distance": step.mutate_distance,
+                "test_index": step.test_index,
+                "impact": step.impact,
+                "changed": list(step.changed),
+                "coords": dict(step.coords),
+            }
+            for step in attribution.lineage
+        ],
+    }
+
+
+def explain_path(path: str) -> CampaignAttribution:
+    """Analyze a telemetry JSONL file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return analyze_stream(handle)
+
+
+__all__ = [
+    "CampaignAttribution",
+    "LineageStep",
+    "PluginAttribution",
+    "analyze_stream",
+    "attribution_to_dict",
+    "explain_path",
+    "exploration_heatmap",
+    "render_attribution",
+]

@@ -16,6 +16,7 @@ import os
 import pytest
 
 from repro.core import (
+    CampaignSpec,
     ControllerConfig,
     TestController,
     load_checkpoint,
@@ -86,19 +87,23 @@ def run_interrupted_then_resume(tmp_path, seed=13, checkpoint_every=10, **run_kw
     interrupted = make_controller(target, plugins, seed=seed)
     with pytest.raises(KeyboardInterrupt):
         interrupted.run(
-            BUDGET,
-            checkpoint_path=str(path),
-            checkpoint_every=checkpoint_every,
-            **run_kwargs,
+            CampaignSpec(
+                budget=BUDGET,
+                checkpoint_path=str(path),
+                checkpoint_every=checkpoint_every,
+                **run_kwargs,
+            )
         )
     data = load_checkpoint(path)
     resumed_target, resumed_plugins = fresh()
     resumed = restore_controller(data, resumed_target, resumed_plugins)
     resumed.run(
-        data["run"]["budget"],
-        batch_size=data["run"]["batch_size"],
-        checkpoint_path=str(path),
-        checkpoint_every=data["run"]["checkpoint_every"],
+        CampaignSpec(
+            budget=data["run"]["budget"],
+            batch_size=data["run"]["batch_size"],
+            checkpoint_path=str(path),
+            checkpoint_every=data["run"]["checkpoint_every"],
+        )
     )
     return data, resumed, resumed_target
 
@@ -109,7 +114,7 @@ def run_interrupted_then_resume(tmp_path, seed=13, checkpoint_every=10, **run_kw
 def test_serial_resume_is_bit_identical_to_uninterrupted(tmp_path):
     target, plugins = fresh()
     reference = make_controller(target, plugins)
-    reference.run(BUDGET)
+    reference.run(CampaignSpec(budget=BUDGET))
     data, resumed, resumed_target = run_interrupted_then_resume(tmp_path)
     assert len(data["results"]) == 50  # the kill landed between checkpoints
     assert controller_state(resumed) == controller_state(reference)
@@ -120,7 +125,7 @@ def test_serial_resume_is_bit_identical_to_uninterrupted(tmp_path):
 def test_batched_resume_is_bit_identical_to_uninterrupted(tmp_path):
     target, plugins = fresh()
     reference = make_controller(target, plugins)
-    reference.run(BUDGET, workers=1, batch_size=4)
+    reference.run(CampaignSpec(budget=BUDGET, workers=1, batch_size=4))
     data, resumed, _ = run_interrupted_then_resume(
         tmp_path, checkpoint_every=8, workers=1, batch_size=4
     )
@@ -132,20 +137,20 @@ def test_resume_twice_converges_to_the_same_state(tmp_path):
     """A checkpoint chain (kill, resume, kill, resume) still matches."""
     target, plugins = fresh()
     reference = make_controller(target, plugins)
-    reference.run(BUDGET)
+    reference.run(CampaignSpec(budget=BUDGET))
     path = tmp_path / "chain.ckpt.json"
     first_target, first_plugins = fresh(die_at=KILL_AT)
     first = make_controller(first_target, first_plugins)
     with pytest.raises(KeyboardInterrupt):
-        first.run(BUDGET, checkpoint_path=str(path), checkpoint_every=10)
+        first.run(CampaignSpec(budget=BUDGET, checkpoint_path=str(path), checkpoint_every=10))
     # Second leg dies again 30 executions in (campaign execution ~80).
     second_target, second_plugins = fresh(die_at=31)
     second = restore_controller(load_checkpoint(path), second_target, second_plugins)
     with pytest.raises(KeyboardInterrupt):
-        second.run(BUDGET, checkpoint_path=str(path), checkpoint_every=10)
+        second.run(CampaignSpec(budget=BUDGET, checkpoint_path=str(path), checkpoint_every=10))
     final_target, final_plugins = fresh()
     final = restore_controller(load_checkpoint(path), final_target, final_plugins)
-    final.run(BUDGET, checkpoint_path=str(path), checkpoint_every=10)
+    final.run(CampaignSpec(budget=BUDGET, checkpoint_path=str(path), checkpoint_every=10))
     assert controller_state(final) == controller_state(reference)
 
 
@@ -156,7 +161,9 @@ def test_completed_run_writes_a_final_checkpoint(tmp_path):
     path = tmp_path / "final.ckpt.json"
     target, plugins = fresh()
     controller = make_controller(target, plugins)
-    controller.run(30, checkpoint_path=str(path), checkpoint_every=1000)
+    controller.run(
+        CampaignSpec(budget=30, checkpoint_path=str(path), checkpoint_every=1000)
+    )
     data = load_checkpoint(path)
     assert data["format_version"] == FORMAT_VERSION
     assert data["kind"] == CHECKPOINT_KIND
@@ -170,7 +177,7 @@ def test_completed_run_writes_a_final_checkpoint(tmp_path):
     restored = restore_controller(data, *fresh())
     assert controller_state(restored) == controller_state(controller)
     # Nothing left to do: running to the same budget is a no-op.
-    restored.run(30)
+    restored.run(CampaignSpec(budget=30))
     assert len(restored.results) == 30
 
 
@@ -179,7 +186,7 @@ def test_checkpoint_context_round_trips(tmp_path):
     target, plugins = fresh()
     controller = make_controller(target, plugins)
     controller.checkpoint_context = {"target": "pbft", "tools": ["bigmac"], "out": None}
-    controller.run(10, checkpoint_path=str(path))
+    controller.run(CampaignSpec(budget=10, checkpoint_path=str(path)))
     restored = restore_controller(load_checkpoint(path), *fresh())
     assert restored.checkpoint_context == {
         "target": "pbft",
@@ -196,7 +203,7 @@ def test_quarantine_survives_the_checkpoint(tmp_path):
     target = PoisonedTarget(plugins, poison=POISON)
     config = ControllerConfig(retry=FAST_RETRY)
     controller = TestController(target, plugins, seed=5, config=config)
-    controller.run(40, checkpoint_path=str(path))
+    controller.run(CampaignSpec(budget=40, checkpoint_path=str(path)))
     assert len(controller.quarantine) > 0
     restored = restore_controller(load_checkpoint(path), target, plugins)
     assert set(restored.quarantine) == set(controller.quarantine)
@@ -207,7 +214,7 @@ def test_atomic_write_never_tears_an_existing_checkpoint(tmp_path, monkeypatch):
     path = tmp_path / "atomic.ckpt.json"
     target, plugins = fresh()
     controller = make_controller(target, plugins)
-    controller.run(10, checkpoint_path=str(path))
+    controller.run(CampaignSpec(budget=10, checkpoint_path=str(path)))
     before = path.read_text()
     controller.generate()
 
@@ -226,7 +233,7 @@ def test_checkpoint_files_are_plain_json(tmp_path):
     path = tmp_path / "plain.ckpt.json"
     target, plugins = fresh()
     controller = make_controller(target, plugins)
-    controller.run(10, checkpoint_path=str(path))
+    controller.run(CampaignSpec(budget=10, checkpoint_path=str(path)))
     data = json.loads(path.read_text())
     assert data["campaign_seed"] == 13
     assert isinstance(data["rng_state"], list)
@@ -240,7 +247,7 @@ def test_load_checkpoint_rejects_campaign_documents(tmp_path):
     from repro.core import save_campaign
 
     target, plugins = fresh()
-    campaign = run_campaign(AvdExploration(target, plugins, seed=1), budget=5)
+    campaign = run_campaign(AvdExploration(target, plugins, seed=1), CampaignSpec(budget=5))
     path = tmp_path / "campaign.json"
     save_campaign(campaign, path)
     with pytest.raises(ValueError, match="not a campaign checkpoint"):
@@ -251,7 +258,7 @@ def test_load_checkpoint_rejects_unknown_versions(tmp_path):
     path = tmp_path / "future.ckpt.json"
     target, plugins = fresh()
     controller = make_controller(target, plugins)
-    controller.run(5, checkpoint_path=str(path))
+    controller.run(CampaignSpec(budget=5, checkpoint_path=str(path)))
     data = json.loads(path.read_text())
     data["format_version"] = 99
     path.write_text(json.dumps(data))
@@ -263,7 +270,7 @@ def test_restore_rejects_mismatched_plugins(tmp_path):
     path = tmp_path / "plugins.ckpt.json"
     target, plugins = fresh()
     controller = make_controller(target, plugins)
-    controller.run(5, checkpoint_path=str(path))
+    controller.run(CampaignSpec(budget=5, checkpoint_path=str(path)))
     data = load_checkpoint(path)
     other_target, other_plugins = make_hill_target()  # mask only, no load
     with pytest.raises(ValueError, match="plugin set"):
@@ -274,11 +281,13 @@ def test_run_rejects_bad_checkpoint_cadence():
     target, plugins = fresh()
     controller = make_controller(target, plugins)
     with pytest.raises(ValueError):
-        controller.run(10, checkpoint_every=0)
+        controller.run(CampaignSpec(budget=10, checkpoint_every=0))
 
 
 def test_run_campaign_rejects_checkpoints_for_unsupported_strategies(tmp_path):
     target, _ = fresh()
     strategy = RandomExploration(target, seed=1)
     with pytest.raises(ValueError, match="checkpoint"):
-        run_campaign(strategy, budget=5, checkpoint_path=str(tmp_path / "x.json"))
+        run_campaign(
+            strategy, CampaignSpec(budget=5, checkpoint_path=str(tmp_path / "x.json"))
+        )

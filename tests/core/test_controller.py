@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ControllerConfig, TestController
+from repro.core import CampaignSpec, ControllerConfig, TestController
 from tests.core.fake_target import LoadPlugin, NoisePlugin, make_hill_target
 
 
@@ -26,28 +26,28 @@ def test_duplicate_plugin_names_rejected():
 
 def test_run_executes_exactly_budget_tests():
     controller, target = make_controller()
-    results = controller.run(30)
+    results = controller.run(CampaignSpec(budget=30))
     assert len(results) == 30
     assert target.executions == 30
 
 
 def test_omega_prevents_reexecution():
     controller, _ = make_controller()
-    controller.run(60)
+    controller.run(CampaignSpec(budget=60))
     keys = [result.key for result in controller.results]
     assert len(keys) == len(set(keys))
 
 
 def test_mu_tracks_maximum_impact():
     controller, _ = make_controller()
-    controller.run(40)
+    controller.run(CampaignSpec(budget=40))
     assert controller.max_impact == max(r.impact for r in controller.results)
     assert controller.best.impact == controller.max_impact
 
 
 def test_top_set_is_bounded_and_sorted():
     controller, _ = make_controller(top_set_size=5)
-    controller.run(40)
+    controller.run(CampaignSpec(budget=40))
     entries = controller.top_set.entries
     assert len(entries) <= 5
     impacts = [entry.impact for entry in entries]
@@ -56,7 +56,7 @@ def test_top_set_is_bounded_and_sorted():
 
 def test_seed_phase_is_random_then_mutations_appear():
     controller, _ = make_controller(seed_tests=5, random_restart_rate=0.0)
-    controller.run(40)
+    controller.run(CampaignSpec(budget=40))
     origins = [result.scenario.origin for result in controller.results]
     assert all(origin == "random" for origin in origins[:5])
     assert "mutation" in origins[5:]
@@ -64,7 +64,7 @@ def test_seed_phase_is_random_then_mutations_appear():
 
 def test_mutations_carry_provenance():
     controller, _ = make_controller()
-    controller.run(40)
+    controller.run(CampaignSpec(budget=40))
     mutated = [r for r in controller.results if r.scenario.origin == "mutation"]
     assert mutated
     executed_keys = {r.key for r in controller.results}
@@ -76,7 +76,7 @@ def test_mutations_carry_provenance():
 
 def test_adaptive_mutate_distance_shrinks_for_good_parents():
     controller, _ = make_controller(seed=3)
-    controller.run(80)
+    controller.run(CampaignSpec(budget=80))
     strong_parents = {
         r.key: r.impact for r in controller.results if r.impact > 0.8
     }
@@ -91,7 +91,7 @@ def test_adaptive_mutate_distance_shrinks_for_good_parents():
 
 def test_fixed_mutate_distance_ablation():
     controller, _ = make_controller(fixed_mutate_distance=0.5, seed_tests=3)
-    controller.run(30)
+    controller.run(CampaignSpec(budget=30))
     distances = {
         r.scenario.mutate_distance
         for r in controller.results
@@ -105,14 +105,14 @@ def test_plugin_gain_sampling_prefers_useful_plugin():
     controller, _ = make_controller(
         seed=5, extra_plugins=(NoisePlugin(),), random_restart_rate=0.05
     )
-    controller.run(150)
+    controller.run(CampaignSpec(budget=150))
     stats = controller.plugin_sampler.stats
     assert stats["mask"].weight > stats["noise"].weight
 
 
 def test_uniform_plugin_ablation_flag():
     controller, _ = make_controller(uniform_plugin_choice=True, extra_plugins=(NoisePlugin(),))
-    controller.run(30)
+    controller.run(CampaignSpec(budget=30))
     assert controller.plugin_sampler.uniform
 
 
@@ -121,7 +121,7 @@ def test_guided_beats_random_on_structured_landscape():
     random_hits = 0
     for seed in range(5):
         controller, _ = make_controller(seed=seed, extra_plugins=(LoadPlugin(),))
-        controller.run(60)
+        controller.run(CampaignSpec(budget=60))
         guided_hits += sum(1 for r in controller.results if r.impact > 0.5)
 
         from repro.core import RandomExploration
@@ -135,7 +135,7 @@ def test_guided_beats_random_on_structured_landscape():
 
 def test_best_so_far_curve_is_monotone():
     controller, _ = make_controller()
-    controller.run(25)
+    controller.run(CampaignSpec(budget=25))
     curve = controller.best_so_far_curve()
     assert len(curve) == 25
     assert all(b >= a for a, b in zip(curve, curve[1:]))
@@ -144,7 +144,7 @@ def test_best_so_far_curve_is_monotone():
 def test_budget_validation():
     controller, _ = make_controller()
     with pytest.raises(ValueError):
-        controller.run(0)
+        controller.run(CampaignSpec(budget=0))
 
 
 def test_controller_config_validation():
@@ -161,7 +161,7 @@ def test_controller_config_validation():
 def test_deterministic_given_seed():
     first, _ = make_controller(seed=9)
     second, _ = make_controller(seed=9)
-    first.run(30)
-    second.run(30)
+    first.run(CampaignSpec(budget=30))
+    second.run(CampaignSpec(budget=30))
     assert [r.key for r in first.results] == [r.key for r in second.results]
     assert [r.impact for r in first.results] == [r.impact for r in second.results]

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import (
     AvdExploration,
+    CampaignSpec,
     ChoiceDimension,
     ExhaustiveExploration,
     GeneticExploration,
@@ -65,7 +66,7 @@ def test_genetic_parameter_validation():
 def test_avd_wrapper_exposes_controller():
     target, plugins = make_hill_target()
     strategy = AvdExploration(target, plugins, seed=5)
-    results = strategy.run(15)
+    results = strategy.run(CampaignSpec(budget=15))
     assert strategy.controller.results is results
     assert strategy.name == "avd"
 

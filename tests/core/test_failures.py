@@ -16,6 +16,7 @@ import time
 import pytest
 
 from repro.core import (
+    CampaignSpec,
     AvdExploration,
     ControllerConfig,
     RetryPolicy,
@@ -318,7 +319,7 @@ def poisoned_controller(seed=5, poison=POISON, **config_kwargs):
 
 def test_campaign_survives_crashing_scenarios():
     controller = poisoned_controller()
-    results = controller.run(40)
+    results = controller.run(CampaignSpec(budget=40))
     assert len(results) == 40
     failures = [r for r in results if r.failed]
     successes = [r for r in results if not r.failed]
@@ -339,7 +340,7 @@ def test_campaign_survives_crashing_scenarios():
 def test_fault_isolation_off_restores_fail_fast():
     controller = poisoned_controller(fault_isolation=False, poison=range(256))
     with pytest.raises(RuntimeError):
-        controller.run(10)
+        controller.run(CampaignSpec(budget=10))
 
 
 def test_campaign_result_surfaces_failures():
@@ -348,7 +349,7 @@ def test_campaign_result_surfaces_failures():
     strategy = AvdExploration(
         target, plugins, seed=5, config=ControllerConfig(retry=FAST_RETRY)
     )
-    campaign = run_campaign(strategy, budget=30)
+    campaign = run_campaign(strategy, CampaignSpec(budget=30))
     failures = campaign.failures()
     assert failures == [r for r in campaign.results if r.failed]
     assert failures, "expected the poison set to be hit"
@@ -357,8 +358,8 @@ def test_campaign_result_surfaces_failures():
 def test_failure_trajectory_is_deterministic_across_workers():
     serial = poisoned_controller(seed=7)
     batched = poisoned_controller(seed=7)
-    serial.run(24, workers=1, batch_size=4)
-    batched.run(24, workers=2, batch_size=4)
+    serial.run(CampaignSpec(budget=24, workers=1, batch_size=4))
+    batched.run(CampaignSpec(budget=24, workers=2, batch_size=4))
     assert trajectory(serial.results) == trajectory(batched.results)
     assert set(serial.quarantine) == set(batched.quarantine)
 

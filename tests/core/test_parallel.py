@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import RandomExploration, TestController, TestScenario
+from repro.core import CampaignSpec, RandomExploration, TestController, TestScenario
 from repro.core.parallel import ParallelScenarioExecutor, resolve_workers
 from tests._strategies import campaign_seeds, trajectory
 from tests.core.fake_target import LoadPlugin, make_hill_target
@@ -30,7 +30,7 @@ PARALLEL_BUDGET = 16
 def run_controller(seed, budget=BUDGET, **run_kwargs):
     target, plugins = make_hill_target((LoadPlugin(),))
     controller = TestController(target, plugins, seed=seed)
-    controller.run(budget, **run_kwargs)
+    controller.run(CampaignSpec(budget=budget, **run_kwargs))
     return controller
 
 
@@ -170,4 +170,4 @@ def test_run_rejects_bad_batch_size():
     target, plugins = make_hill_target()
     controller = TestController(target, plugins, seed=0)
     with pytest.raises(ValueError):
-        controller.run(10, batch_size=0)
+        controller.run(CampaignSpec(budget=10, batch_size=0))

@@ -4,7 +4,14 @@ import json
 
 import pytest
 
-from repro.core import AvdExploration, ScenarioFailure, ScenarioResult, TestScenario, run_campaign
+from repro.core import (
+    AvdExploration,
+    CampaignSpec,
+    ScenarioFailure,
+    ScenarioResult,
+    TestScenario,
+    run_campaign,
+)
 from repro.core.campaign import CampaignResult
 from repro.core.persistence import (
     FORMAT_VERSION,
@@ -19,7 +26,7 @@ from tests.core.fake_target import make_hill_target
 @pytest.fixture(scope="module")
 def campaign():
     target, plugins = make_hill_target()
-    return run_campaign(AvdExploration(target, plugins, seed=9), budget=20)
+    return run_campaign(AvdExploration(target, plugins, seed=9), CampaignSpec(budget=20))
 
 
 def test_round_trip_preserves_results(campaign, tmp_path):
@@ -140,7 +147,7 @@ def test_pbft_measurements_serialize(tmp_path):
 
     plugins = [MacCorruptionPlugin(), ClientCountPlugin(4, 8, 4)]
     target = PbftTarget(plugins, config=tiny_pbft_config())
-    campaign = run_campaign(RandomExploration(target, seed=1), budget=3)
+    campaign = run_campaign(RandomExploration(target, seed=1), CampaignSpec(budget=3))
     path = tmp_path / "pbft.json"
     save_campaign(campaign, path)
     loaded = load_campaign(path)

@@ -1,0 +1,128 @@
+"""CampaignSpec: validation, overrides, and the legacy-kwargs shim."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import (
+    AvdExploration,
+    CampaignSpec,
+    RandomExploration,
+    TestController,
+    run_campaign,
+)
+from repro.telemetry import RingBufferSink, TelemetryBus
+
+from tests.core.fake_target import make_hill_target
+
+
+class TestValidation:
+    def test_defaults(self):
+        spec = CampaignSpec(budget=10)
+        assert spec.workers == 1
+        assert spec.batch_size is None
+        assert spec.checkpoint_path is None
+        assert spec.checkpoint_every == 25
+        assert spec.telemetry is None
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            ({"budget": 0}, "budget must be >= 1"),
+            ({"budget": 5, "batch_size": 0}, "batch_size must be >= 1"),
+            ({"budget": 5, "checkpoint_every": 0}, "checkpoint_every must be >= 1"),
+            ({"budget": 5, "workers": -1}, "workers must be >= 0"),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            CampaignSpec(**kwargs)
+
+    def test_with_overrides_revalidates(self):
+        spec = CampaignSpec(budget=10)
+        assert spec.with_overrides(budget=20).budget == 20
+        assert spec.budget == 10  # frozen original untouched
+        with pytest.raises(ValueError):
+            spec.with_overrides(budget=0)
+
+
+class TestLegacyShim:
+    def test_spec_passthrough_never_warns(self):
+        spec = CampaignSpec(budget=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert CampaignSpec.from_legacy("caller", spec, {}) is spec
+
+    def test_legacy_kwargs_warn_and_build_a_spec(self):
+        with pytest.warns(DeprecationWarning, match="caller"):
+            spec = CampaignSpec.from_legacy(
+                "caller", 12, {"workers": 2, "batch_size": 3}
+            )
+        assert (spec.budget, spec.workers, spec.batch_size) == (12, 2, 3)
+
+    def test_spec_plus_legacy_kwargs_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            CampaignSpec.from_legacy("caller", CampaignSpec(budget=4), {"workers": 2})
+
+    def test_budget_twice_rejected(self):
+        with pytest.raises(TypeError, match="budget passed twice"):
+            CampaignSpec.from_legacy("caller", 4, {"budget": 5})
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(TypeError, match="wrokers"):
+            CampaignSpec.from_legacy("caller", 4, {"wrokers": 2})
+
+    def test_missing_budget_rejected(self):
+        with pytest.raises(TypeError, match="budget"):
+            CampaignSpec.from_legacy("caller", None, {"workers": 2})
+
+
+class TestRunEntryPoints:
+    """Every run() entry point accepts both calling conventions."""
+
+    def test_controller_run_accepts_a_spec(self):
+        target, plugins = make_hill_target()
+        controller = TestController(target, plugins, seed=5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            results = controller.run(CampaignSpec(budget=6))
+        assert len(results) == 6
+
+    def test_controller_run_legacy_kwargs_warn_but_work(self):
+        target, plugins = make_hill_target()
+        controller = TestController(target, plugins, seed=5)
+        with pytest.warns(DeprecationWarning, match="TestController.run"):
+            results = controller.run(6)
+        assert len(results) == 6
+
+    def test_legacy_and_spec_trajectories_match(self):
+        target_a, plugins_a = make_hill_target()
+        target_b, plugins_b = make_hill_target()
+        spec_run = TestController(target_a, plugins_a, seed=9).run(
+            CampaignSpec(budget=10)
+        )
+        with pytest.warns(DeprecationWarning):
+            legacy_run = TestController(target_b, plugins_b, seed=9).run(budget=10)
+        assert [r.key for r in spec_run] == [r.key for r in legacy_run]
+        assert [r.impact for r in spec_run] == [r.impact for r in legacy_run]
+
+    def test_run_campaign_accepts_a_spec(self):
+        target, plugins = make_hill_target()
+        strategy = AvdExploration(target, plugins, seed=2)
+        campaign = run_campaign(strategy, CampaignSpec(budget=5))
+        assert len(campaign.results) == 5
+
+    def test_run_campaign_telemetry_requires_a_supporting_strategy(self):
+        target, _ = make_hill_target()
+        strategy = RandomExploration(target, seed=0)
+        spec = CampaignSpec(budget=4, telemetry=TelemetryBus(sinks=(RingBufferSink(),)))
+        with pytest.raises(ValueError, match="telemetry"):
+            run_campaign(strategy, spec)
+
+    def test_run_campaign_non_spec_strategy_still_runs(self):
+        target, _ = make_hill_target()
+        strategy = RandomExploration(target, seed=0)
+        campaign = run_campaign(strategy, CampaignSpec(budget=5))
+        assert len(campaign.results) == 5

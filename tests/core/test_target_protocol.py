@@ -1,0 +1,121 @@
+"""The Target protocol: runtime verification and shipped-target conformance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Hyperspace, IntRangeDimension, ScenarioExecutor
+from repro.core.target import CORE_MEMBERS, FULL_MEMBERS, Target, verify_target
+
+from tests.core.fake_target import make_hill_target
+
+
+def _space() -> Hyperspace:
+    return Hyperspace([IntRangeDimension("knob", 0, 3)])
+
+
+class CoreOnlyTarget:
+    def __init__(self):
+        self.hyperspace = _space()
+
+    def execute(self, params, seed):
+        return params
+
+    def impact_of(self, measurement, params):
+        return 0.0
+
+
+class TestVerifyTarget:
+    def test_core_tier_accepts_a_minimal_target(self):
+        verify_target(CoreOnlyTarget())
+
+    def test_core_tier_names_missing_members(self):
+        class Husk:
+            hyperspace = _space()
+
+        with pytest.raises(TypeError, match="execute.*impact_of"):
+            verify_target(Husk())
+
+    def test_hyperspace_must_be_a_hyperspace(self):
+        target = CoreOnlyTarget()
+        target.hyperspace = object()
+        with pytest.raises(TypeError, match="hyperspace"):
+            verify_target(target)
+
+    def test_full_tier_requires_baseline_and_dimensions(self):
+        with pytest.raises(TypeError, match="baseline.*dimensions"):
+            verify_target(CoreOnlyTarget(), full=True)
+
+    def test_full_tier_does_not_require_telemetry_summary(self):
+        target = CoreOnlyTarget()
+        target.baseline = lambda: None
+        target.dimensions = lambda: []
+        verify_target(target, full=True)
+
+    def test_runtime_checkable_protocol(self):
+        # isinstance() against the Protocol checks every declared member,
+        # telemetry_summary included (verify_target is the tiered check).
+        target = CoreOnlyTarget()
+        assert not isinstance(target, Target)
+        target.baseline = lambda: None
+        target.dimensions = lambda: []
+        target.telemetry_summary = lambda measurement: None
+        assert isinstance(target, Target)
+
+    def test_member_tiers_nest(self):
+        assert set(CORE_MEMBERS) < set(FULL_MEMBERS)
+
+
+class TestExecutorEnforcement:
+    def test_executor_rejects_a_non_target(self):
+        with pytest.raises(TypeError, match="Target protocol"):
+            ScenarioExecutor(object())
+
+    def test_executor_accepts_core_tier(self):
+        ScenarioExecutor(CoreOnlyTarget())
+
+    def test_hill_target_satisfies_the_core_tier(self):
+        target, _ = make_hill_target()
+        verify_target(target)
+
+
+class TestShippedTargetConformance:
+    """PbftTarget and DhtTarget must carry the full tier (lint: API004)."""
+
+    def test_pbft_target_full_tier(self):
+        from repro.plugins import ClientCountPlugin, MacCorruptionPlugin
+        from repro.targets import PbftTarget
+
+        target = PbftTarget([MacCorruptionPlugin(), ClientCountPlugin(10, 30, 10)])
+        verify_target(target, full=True)
+        names = [dimension.name for dimension in target.dimensions()]
+        assert names == [dimension.name for dimension in target.hyperspace.dimensions]
+
+    def test_dht_target_full_tier(self):
+        from repro.targets import DhtTarget, RoutingPoisonPlugin
+
+        target = DhtTarget([RoutingPoisonPlugin()])
+        verify_target(target, full=True)
+        names = [dimension.name for dimension in target.dimensions()]
+        assert names == [dimension.name for dimension in target.hyperspace.dimensions]
+
+    def test_dht_baseline_is_benign_and_cached(self):
+        from repro.dht import DhtConfig
+        from repro.targets import DhtTarget, RoutingPoisonPlugin
+
+        target = DhtTarget([RoutingPoisonPlugin()], config=DhtConfig(), n_correct=12)
+        baseline = target.baseline()
+        assert target.baseline() is baseline  # cached
+        assert baseline.attacker_messages == 0
+
+    def test_telemetry_summaries_are_json_friendly(self):
+        import json
+
+        from repro.targets import DhtTarget, RoutingPoisonPlugin
+
+        target = DhtTarget([RoutingPoisonPlugin()], n_correct=12)
+        summary = target.telemetry_summary(target.baseline())
+        assert set(summary) == {
+            "victim_load_mps", "amplification", "lookups_completed",
+        }
+        json.dumps(summary)

@@ -41,3 +41,13 @@ class PoachingPlugin:
         child = dict(coords)
         child[FOREIGN_KNOB] = rng.randint(1, 8)  # expect: API003
         return child
+
+
+class HollowTarget:  # expect: API004
+    """Claims to be a target but only implements the execute half."""
+
+    def __init__(self):
+        self.tests_run = 0
+
+    def execute(self, params, seed):
+        return None

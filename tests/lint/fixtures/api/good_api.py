@@ -40,3 +40,29 @@ class NotAPluginHelper:
 
     def mutate(self, values, factor):
         return [value * factor for value in values]
+
+
+class CompleteTarget:
+    """Full Target-protocol tier: API004 must stay quiet."""
+
+    def __init__(self):
+        self.hyperspace = object()
+
+    def dimensions(self):
+        return []
+
+    def execute(self, params, seed):
+        return None
+
+    def impact_of(self, measurement, params):
+        return 0.0
+
+    def baseline(self):
+        return None
+
+
+class Target:
+    """The protocol class itself (same name): not a shipped target."""
+
+    def execute(self, params, seed):
+        return None

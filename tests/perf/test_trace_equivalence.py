@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro import perf
-from repro.core import AvdExploration, run_campaign
+from repro.core import AvdExploration, CampaignSpec, run_campaign
 from repro.pbft import PbftConfig
 from repro.plugins import ClientCountPlugin, MacCorruptionPlugin
 from repro.sim import Simulator
@@ -84,7 +84,7 @@ def test_campaign_trajectories_identical_across_modes():
             plugins = [MacCorruptionPlugin(), ClientCountPlugin(4, 8, 2)]
             target = PbftTarget(plugins, config=config)
             strategy = AvdExploration(target, plugins, seed=seed)
-            return trajectory(run_campaign(strategy, budget=6).results)
+            return trajectory(run_campaign(strategy, CampaignSpec(budget=6)).results)
 
         assert in_mode(True, run) == in_mode(False, run), (
             f"campaign trajectory diverged at campaign seed {seed}"

@@ -1,0 +1,40 @@
+"""Shared helpers: run an AVD campaign and capture its telemetry stream."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Tuple
+
+from repro.core import AvdExploration, CampaignSpec
+from repro.telemetry import RingBufferSink, TelemetryBus
+
+from tests.core.fake_target import LoadPlugin, make_hill_target
+
+
+def run_recorded_campaign(
+    seed: int,
+    budget: int = 30,
+    workers: int = 1,
+    batch_size: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 25,
+) -> Tuple[List[str], AvdExploration]:
+    """One hill-target AVD campaign; returns its canonical JSONL lines."""
+    target, plugins = make_hill_target(extra_plugins=[LoadPlugin()])
+    strategy = AvdExploration(target, plugins, seed=seed)
+    sink = RingBufferSink()
+    strategy.run(
+        CampaignSpec(
+            budget=budget,
+            workers=workers,
+            batch_size=batch_size,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            telemetry=TelemetryBus(sinks=(sink,)),
+        )
+    )
+    return sink.to_lines(), strategy
+
+
+def stream_sha(lines: List[str]) -> str:
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()

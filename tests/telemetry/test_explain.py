@@ -1,0 +1,126 @@
+"""``repro explain``: attribution reconstructed purely from the stream."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.explain import (
+    analyze_stream,
+    attribution_to_dict,
+    explain_path,
+    exploration_heatmap,
+    render_attribution,
+)
+from repro.telemetry.schema import SchemaError
+
+from tests.telemetry._harness import run_recorded_campaign
+
+#: Seed 47 climbs the hill through a chain of mask mutations (probed once;
+#: pinned so the lineage assertions stay meaningful).
+SEED = 47
+BUDGET = 30
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    lines, strategy = run_recorded_campaign(seed=SEED, budget=BUDGET)
+    return lines, strategy
+
+
+@pytest.fixture(scope="module")
+def attribution(recorded):
+    lines, _ = recorded
+    return analyze_stream(lines)
+
+
+class TestAnalyzeStream:
+    def test_totals_match_the_campaign(self, recorded, attribution):
+        lines, strategy = recorded
+        assert attribution.tests == BUDGET
+        assert attribution.events == len(lines)
+        assert attribution.failures == 0
+
+    def test_best_matches_the_controller(self, recorded, attribution):
+        _, strategy = recorded
+        best = strategy.controller.best
+        assert attribution.best_impact == pytest.approx(best.impact)
+        assert dict(attribution.best_key) == dict(best.key)
+        assert attribution.best_test_index == best.test_index
+
+    def test_attribution_counts_sum_to_the_budget(self, attribution):
+        generated = attribution.random_generated + sum(
+            stats.generated for stats in attribution.plugins.values()
+        )
+        assert generated == BUDGET
+
+    def test_best_scenario_attributed_to_the_mutating_plugin(
+        self, recorded, attribution
+    ):
+        _, strategy = recorded
+        best = strategy.controller.best
+        assert best.scenario.origin == "mutation"
+        final_step = attribution.lineage[-1]
+        assert final_step.plugin == best.scenario.plugin == "mask"
+        assert final_step.impact == pytest.approx(best.impact)
+
+    def test_lineage_walks_root_first_to_the_best_key(self, attribution):
+        lineage = attribution.lineage
+        assert len(lineage) > 1
+        assert lineage[0].origin == "random"  # the founding random shot
+        assert all(step.origin == "mutation" for step in lineage[1:])
+        assert lineage[-1].key == attribution.best_key
+
+    def test_plugin_gain_reflects_improvements(self, attribution):
+        mask = attribution.plugins["mask"]
+        assert mask.executed > 0
+        assert mask.total_gain > 0
+        assert mask.improvements > 0
+        assert mask.weight is not None
+
+    def test_invalid_stream_rejected(self):
+        with pytest.raises(SchemaError, match="line 1"):
+            analyze_stream(['{"v":1,"seq":0,"type":"Nope"}'])
+
+
+class TestRendering:
+    def test_report_contains_every_section(self, attribution):
+        report = render_attribution(attribution)
+        assert "plugin attribution" in report
+        assert "mask" in report and "load" in report
+        assert "(random shots)" in report
+        assert "best-scenario lineage" in report
+        assert "max impact" in report  # the heatmap
+
+    def test_heatmap_over_explicit_dimensions(self, attribution):
+        rendered = exploration_heatmap(attribution, x_name="mask", y_name="load")
+        assert rendered is not None
+        assert "mask" in rendered and "load=" in rendered
+
+    def test_heatmap_missing_dimension_returns_none(self, attribution):
+        assert exploration_heatmap(attribution, x_name="mask", y_name="ghost") is None
+
+
+class TestJsonDocument:
+    def test_document_round_trips_and_names_the_best_plugin(self, attribution):
+        document = json.loads(json.dumps(attribution_to_dict(attribution)))
+        assert document["schema_version"] == 1
+        assert document["campaign"]["tests"] == BUDGET
+        assert document["best"]["plugin"] == "mask"
+        assert document["best"]["impact"] == pytest.approx(attribution.best_impact)
+        assert document["lineage"][0]["origin"] == "random"
+        assert document["lineage"][-1]["key"] == dict(attribution.best_key)
+        for stats in document["plugins"].values():
+            assert set(stats) == {
+                "generated", "executed", "failures", "best_impact",
+                "mean_impact", "total_gain", "improvements", "weight",
+            }
+
+
+def test_explain_path_reads_jsonl_from_disk(tmp_path, recorded):
+    lines, _ = recorded
+    path = tmp_path / "campaign.jsonl"
+    path.write_text("\n".join(lines) + "\n")
+    attribution = explain_path(str(path))
+    assert attribution.tests == BUDGET

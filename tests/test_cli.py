@@ -171,3 +171,109 @@ def test_bench_measure_gates_on_mode_identity(tmp_path):
 
     record = measure(mode_dependent_workload, "units/sec", repeats=1)
     assert not record["determinism_ok"]
+
+
+def test_parser_knows_explain():
+    args = build_parser().parse_args(["explain", "campaign.jsonl", "--json"])
+    assert callable(args.func)
+    assert args.stream == "campaign.jsonl"
+    assert args.json
+
+
+def test_telemetry_requires_the_avd_strategy(tmp_path):
+    with pytest.raises(SystemExit, match="avd"):
+        main(
+            [
+                "campaign",
+                "--strategy", "random",
+                "--budget", "2",
+                "--telemetry", str(tmp_path / "campaign.jsonl"),
+            ]
+        )
+
+
+def test_campaign_telemetry_then_explain(tmp_path, capsys):
+    """campaign --telemetry writes a valid stream that `repro explain` reads."""
+    from repro.telemetry import validate_jsonl
+
+    stream = tmp_path / "campaign.jsonl"
+    assert main(
+        ["campaign", "--tools", "mac,clients", "--budget", "4", "--seed", "1",
+         "--telemetry", str(stream)]
+    ) == 0
+    assert "telemetry written to" in capsys.readouterr().out
+    validated = validate_jsonl(stream.read_text().splitlines())
+    types = [type_name for _, type_name in validated]
+    assert types.count("ScenarioExecuted") == 4
+
+    assert main(["explain", str(stream)]) == 0
+    out = capsys.readouterr().out
+    assert "plugin attribution" in out
+    assert "best-scenario lineage" in out
+
+    assert main(["explain", str(stream), "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["schema_version"] == 1
+    assert document["campaign"]["tests"] == 4
+
+
+def test_explain_rejects_missing_and_invalid_streams(tmp_path):
+    with pytest.raises(SystemExit, match="cannot read"):
+        main(["explain", str(tmp_path / "nope.jsonl")])
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"v":1,"seq":0,"type":"Nope"}\n')
+    with pytest.raises(SystemExit, match="invalid telemetry"):
+        main(["explain", str(bad)])
+
+
+def test_resume_continues_the_telemetry_stream(tmp_path):
+    """resume appends to the checkpointed stream without reusing seq numbers."""
+    from repro.telemetry import validate_jsonl
+
+    ckpt = tmp_path / "ckpt.json"
+    stream = tmp_path / "campaign.jsonl"
+    assert main(
+        ["campaign", "--tools", "mac", "--seed", "9",
+         "--budget", "4",
+         "--checkpoint", str(ckpt),
+         "--checkpoint-every", "2",
+         "--telemetry", str(stream)]
+    ) == 0
+    assert main(["resume", str(ckpt), "--budget", "6"]) == 0
+    validated = validate_jsonl(stream.read_text().splitlines())
+    types = [type_name for _, type_name in validated]
+    assert types.count("ScenarioExecuted") == 6
+
+
+def test_resume_truncates_orphan_telemetry_from_a_killed_run(tmp_path):
+    """Events past the checkpoint cursor (a killed run's tail) are dropped
+    before the resumed controller republishes those sequence numbers."""
+    from repro.telemetry import validate_jsonl
+
+    ckpt = tmp_path / "ckpt.json"
+    stream = tmp_path / "campaign.jsonl"
+    assert main(
+        ["campaign", "--tools", "mac", "--seed", "9",
+         "--budget", "4",
+         "--checkpoint", str(ckpt),
+         "--telemetry", str(stream)]
+    ) == 0
+    cursor = json.loads(ckpt.read_text())["telemetry"]["seq"]
+    with open(stream, "a", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps({"v": 1, "seq": cursor, "type": "ParentSelected",
+                        "parent_key": {"mac_mask_gray": 1}, "parent_impact": 0.5})
+            + "\n"
+        )
+        handle.write('{"v": 1, "seq": %d, "ty' % (cursor + 1))  # torn line
+    assert main(["resume", str(ckpt), "--budget", "6"]) == 0
+    validated = validate_jsonl(stream.read_text().splitlines())
+    types = [type_name for _, type_name in validated]
+    assert types.count("ScenarioExecuted") == 6
+
+
+def test_campaign_progress_smoke(capsys):
+    assert main(
+        ["campaign", "--tools", "mac", "--budget", "3", "--seed", "2", "--progress"]
+    ) == 0
+    assert "best impact" in capsys.readouterr().err

@@ -8,7 +8,7 @@ from repro import (
     compare_campaigns,
     run_campaign,
 )
-from repro.core import ControllerConfig
+from repro.core import CampaignSpec, ControllerConfig
 from repro.plugins import ClientCountPlugin, MacCorruptionPlugin, PrimaryBehaviorPlugin
 from repro.targets import DhtTarget, PbftTarget, RoutingPoisonPlugin
 from repro.dht import DhtConfig
@@ -24,8 +24,8 @@ def mac_campaigns():
     """One AVD and one random campaign on the paper's evaluation setup."""
     plugins = [MacCorruptionPlugin(), ClientCountPlugin(min_correct=4, max_correct=8, step=4)]
     target = PbftTarget(plugins, config=attack_scale_config())
-    avd = run_campaign(AvdExploration(target, plugins, seed=21), budget=35)
-    rnd = run_campaign(RandomExploration(target, seed=77), budget=35)
+    avd = run_campaign(AvdExploration(target, plugins, seed=21), CampaignSpec(budget=35))
+    rnd = run_campaign(RandomExploration(target, seed=77), CampaignSpec(budget=35))
     return avd, rnd
 
 
@@ -68,7 +68,7 @@ def test_avd_discovers_slow_primary_with_server_control():
         AvdExploration(
             target, plugins, seed=5, config=ControllerConfig(seed_tests=6)
         ),
-        budget=25,
+        CampaignSpec(budget=25),
     )
     assert campaign.best.impact > 0.8
     assert campaign.best.params["primary_mode"] in ("slow", "slow_colluding")
@@ -78,6 +78,57 @@ def test_avd_generalizes_to_the_dht_target():
     plugin = RoutingPoisonPlugin()
     config = DhtConfig(warmup_us=150_000, measurement_us=500_000, lookup_interval_us=50_000)
     target = DhtTarget([plugin], config=config, n_correct=15)
-    campaign = run_campaign(AvdExploration(target, [plugin], seed=6), budget=15)
+    campaign = run_campaign(AvdExploration(target, [plugin], seed=6), CampaignSpec(budget=15))
     assert campaign.best.impact > 0.2
     assert campaign.best.params["poison_rate_pct"] > 0
+
+
+@pytest.fixture(scope="module")
+def bigmac_telemetry():
+    """The paper's Big-MAC campaign, recorded on the telemetry bus.
+
+    Seed 1 is pinned: AVD's founding random shot lands in the penumbra and
+    a chain of mac_corruption mutations climbs to the near-collapse attack,
+    so the recorded stream carries a genuine multi-step lineage.
+    """
+    from repro.pbft import PbftConfig
+    from repro.telemetry import RingBufferSink, TelemetryBus
+
+    plugins = [MacCorruptionPlugin(), ClientCountPlugin(10, 100, 10)]
+    target = PbftTarget(
+        plugins, config=PbftConfig.campaign_scale(measurement_us=700_000)
+    )
+    strategy = AvdExploration(target, plugins, seed=1)
+    sink = RingBufferSink()
+    run_campaign(
+        strategy,
+        CampaignSpec(budget=20, telemetry=TelemetryBus(sinks=(sink,))),
+    )
+    return sink.to_lines(), strategy
+
+
+def test_explain_attributes_bigmac_to_the_mac_plugin(bigmac_telemetry):
+    """`repro explain` names mac_corruption and walks the full lineage."""
+    from repro.telemetry.explain import analyze_stream, attribution_to_dict
+
+    lines, strategy = bigmac_telemetry
+    attribution = analyze_stream(lines)
+    document = attribution_to_dict(attribution)
+    assert attribution.best_impact > 0.9
+    assert document["best"]["plugin"] == "mac_corruption"
+    lineage = document["lineage"]
+    assert len(lineage) > 2
+    assert lineage[0]["origin"] == "random"
+    assert all(step["origin"] == "mutation" for step in lineage[1:])
+    assert lineage[-1]["plugin"] == "mac_corruption"
+    assert lineage[-1]["key"] == dict(strategy.controller.best.key)
+
+
+def test_explain_report_renders_the_bigmac_attack(bigmac_telemetry):
+    from repro.telemetry.explain import analyze_stream, render_attribution
+
+    lines, _ = bigmac_telemetry
+    report = render_attribution(analyze_stream(lines))
+    assert "mac_corruption" in report
+    assert "client_count" in report
+    assert "best-scenario lineage" in report

@@ -14,13 +14,19 @@ def test_all_names_resolve():
 
 def test_quickstart_flow_from_docstring():
     # The README/docstring quickstart, miniaturized.
-    from repro import AvdExploration, MacCorruptionPlugin, PbftTarget, run_campaign
+    from repro import (
+        AvdExploration,
+        CampaignSpec,
+        MacCorruptionPlugin,
+        PbftTarget,
+        run_campaign,
+    )
     from repro.plugins import ClientCountPlugin
     from tests.conftest import tiny_pbft_config
 
     plugins = [MacCorruptionPlugin(), ClientCountPlugin(4, 8, 4)]
     target = PbftTarget(plugins, config=tiny_pbft_config())
-    campaign = run_campaign(AvdExploration(target, plugins, seed=1), budget=6)
+    campaign = run_campaign(AvdExploration(target, plugins, seed=1), CampaignSpec(budget=6))
     assert len(campaign.results) == 6
     assert campaign.best is not None
 
@@ -60,6 +66,6 @@ def test_lint_surface_is_importable():
     assert {rule.rule_id for rule in all_rules()} == {
         "DET001", "DET002", "DET003", "DET004",
         "PKL001", "PKL002",
-        "API001", "API002", "API003",
+        "API001", "API002", "API003", "API004",
     }
     assert Finding and LintConfig and LintEngine
