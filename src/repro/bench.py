@@ -16,6 +16,12 @@ against the unoptimized reference implementation on the same machine:
   batch_size)``, so it differs from the serial one by design; the gate
   instead re-derives it at ``workers=1`` with the same batch size and
   requires a bit-identical trajectory — worker-count invariance).
+- ``campaign_snapshot``: a timed-attack campaign (the attack-timing
+  dimension added) exercising snapshot-and-fork execution. Besides the
+  usual optimized/reference pair it runs a third configuration —
+  optimized with forking disabled — and records ``fork_speedup`` (the
+  snapshot machinery's own contribution) only after that run's outcome
+  checksum matches the forked one.
 
 Modes alternate (optimized, reference, optimized, ...) so slow machine
 drift hits both equally; the first iteration per mode is discarded as
@@ -43,10 +49,10 @@ import time
 from typing import Callable, Dict, Optional, Tuple
 
 from . import perf
-from .core import AvdExploration, CampaignSpec, run_campaign
+from .core import AvdExploration, CampaignSpec, run_campaign, snapshot
 from .core.parallel import resolve_workers
 from .pbft import PbftConfig, PbftDeployment
-from .plugins import ClientCountPlugin, MacCorruptionPlugin
+from .plugins import AttackTimingPlugin, ClientCountPlugin, MacCorruptionPlugin
 from .sim import Simulator
 from .sim.trace import Tracer
 from .targets import PbftTarget
@@ -147,6 +153,38 @@ def _campaign_workload(
         stream = "\n".join(bus.sinks[0].to_lines())
         outcome += f":events:{hashlib.sha256(stream.encode('utf-8')).hexdigest()}"
     return wall, budget, outcome
+
+
+def _snapshot_campaign_workload(
+    budget: int, use_snapshots: bool = True
+) -> Tuple[float, int, str]:
+    """A timed-attack campaign: every scenario activates its attack late.
+
+    The attack-timing plugin makes every scenario snapshot-eligible, so in
+    optimized mode the benign prefixes are captured once (the warmup
+    iteration pays for it) and every test forks. ``use_snapshots=False``
+    pins forking off while leaving every other optimization on — the pair
+    isolates the snapshot machinery's own speedup.
+    """
+    plugins = [
+        MacCorruptionPlugin(),
+        ClientCountPlugin(10, 30, 10),
+        AttackTimingPlugin((60, 80)),
+    ]
+    target = PbftTarget(plugins, config=PbftConfig.campaign_scale())
+    strategy = AvdExploration(target, plugins, seed=0)
+    spec = CampaignSpec(budget=budget, workers=1)
+    previous = snapshot.set_enabled(use_snapshots)
+    try:
+        start = time.perf_counter()
+        campaign = run_campaign(strategy, spec)
+        wall = time.perf_counter() - start
+    finally:
+        snapshot.set_enabled(previous)
+    trajectory = [
+        (r.test_index, r.key, r.impact, r.scenario.origin) for r in campaign.results
+    ]
+    return wall, budget, f"snapshot-campaign:{trajectory!r}"
 
 
 # ---------------------------------------------------------------------------
@@ -256,6 +294,25 @@ def run_bench(
     with_telemetry["overhead_pct"] = round(overhead_pct, 2)
     with_telemetry["overhead_ok"] = overhead_pct <= TELEMETRY_OVERHEAD_PCT
     campaign_workloads["campaign_telemetry"] = with_telemetry
+    # Snapshot-and-fork workload: the usual cross-mode gate, plus a third
+    # run (optimized, forking pinned off) that isolates the snapshot
+    # machinery's own contribution. ``fork_speedup`` is recorded only once
+    # the no-fork outcome checksum matches the forked one — an unverified
+    # speedup never lands in BENCH_campaign.json.
+    snapshot_record = measure(
+        lambda: _snapshot_campaign_workload(budget), "tests/sec", repeats
+    )
+    if snapshot_record["determinism_ok"]:
+        nofork_wall, _, nofork_outcome = _run_mode(
+            lambda: _snapshot_campaign_workload(budget, use_snapshots=False), True
+        )
+        if _fingerprint(nofork_outcome) == snapshot_record["checksum"]:
+            snapshot_record["fork_speedup"] = round(
+                nofork_wall / snapshot_record["optimized"]["seconds"], 3
+            )
+        else:
+            snapshot_record["determinism_ok"] = False
+    campaign_workloads["campaign_snapshot"] = snapshot_record
     if not skip_parallel:
         parallel = measure(
             lambda: _campaign_workload(budget, workers=pool_size, batch_size=CAMPAIGN_BATCH),
@@ -289,6 +346,11 @@ def run_bench(
             print(
                 f"  {'':18s} telemetry overhead {record['overhead_pct']:.2f}% "
                 f"(gate <= {TELEMETRY_OVERHEAD_PCT:.0f}%)"
+            )
+        if "fork_speedup" in record:
+            print(
+                f"  {'':18s} snapshot fork speedup {record['fork_speedup']:.2f}x "
+                "(vs optimized, no forking; checksum-gated)"
             )
         ok = ok and bool(record["determinism_ok"]) and record.get("overhead_ok", True)
 

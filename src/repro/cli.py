@@ -53,6 +53,7 @@ from .pbft import (
     run_deployment,
 )
 from .plugins import (
+    AttackTimingPlugin,
     ClientCountPlugin,
     LibraryFaultPlugin,
     MacCorruptionPlugin,
@@ -72,6 +73,7 @@ _TOOL_FACTORIES = {
     "lfi": LibraryFaultPlugin,
     "primary": PrimaryBehaviorPlugin,
     "synth": MessageSynthesisPlugin,
+    "timing": AttackTimingPlugin,
 }
 
 

@@ -54,6 +54,13 @@ from .power import (
 from .report import describe_best, format_table, heatmap, sparkline
 from .sampling import PluginSampler, PluginStats, TopSet, weighted_choice
 from .scenario import ScenarioResult, TestScenario
+from .snapshot import (
+    SimSnapshot,
+    SnapshotCache,
+    SnapshotError,
+    SnapshotRestoreError,
+)
+from . import snapshot
 from .spec import CampaignSpec
 from .target import Target, verify_target
 
@@ -88,6 +95,11 @@ __all__ = [
     "ScenarioFailure",
     "ScenarioResult",
     "ScenarioTimeout",
+    "SimSnapshot",
+    "SnapshotCache",
+    "SnapshotError",
+    "SnapshotRestoreError",
+    "snapshot",
     "Target",
     "TargetSystem",
     "TestController",

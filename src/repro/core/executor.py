@@ -26,7 +26,8 @@ from typing import Callable, Dict, Optional
 
 from ..sim.rng import derive_seed
 from ..telemetry.bus import TelemetryBus
-from ..telemetry.events import ScenarioExecuted, key_dict
+from ..telemetry.events import FailureClassified, ScenarioExecuted, key_dict
+from . import snapshot as snapshot_mod
 from .failures import (
     HARNESS_BUG,
     FailureSignal,
@@ -81,9 +82,28 @@ class ScenarioExecutor:
         #: it at the spec's bus per run).
         self.telemetry = telemetry if telemetry is not None else TelemetryBus()
 
+    def scenario_seed(self, scenario: TestScenario, params: Dict[str, object]) -> int:
+        """The simulation seed for one scenario.
+
+        By default every scenario gets a private seed derived from its
+        coordinates. A target may expose ``seed_scope(params)`` to place a
+        scenario in a *seed-equivalence class* (a string that is a pure
+        function of a subset of the parameters): all scenarios in a class
+        share one seed, which is what lets snapshot-and-fork execution
+        serve them from a single captured benign prefix. Returning ``None``
+        keeps the per-scenario default. Either way the seed is a pure
+        function of ``(campaign_seed, scenario)`` — determinism holds.
+        """
+        seed_scope = getattr(self.target, "seed_scope", None)
+        if callable(seed_scope):
+            scope = seed_scope(params)
+            if scope is not None:
+                return derive_seed(self.campaign_seed, f"scenario-scope:{scope}")
+        return derive_seed(self.campaign_seed, f"scenario:{scenario.key}")
+
     def execute(self, scenario: TestScenario, test_index: int) -> ScenarioResult:
         params = self.target.hyperspace.params(scenario.coords)
-        seed = derive_seed(self.campaign_seed, f"scenario:{scenario.key}")
+        seed = self.scenario_seed(scenario, params)
         measurement = self.target.execute(params, seed)
         result = self._finish(scenario, test_index, params, measurement)
         publish_executed(self.telemetry, self.target, result)
@@ -124,7 +144,7 @@ class ScenarioExecutor:
         stays interruptible.
         """
         params = self.target.hyperspace.params(scenario.coords)
-        seed = derive_seed(self.campaign_seed, f"scenario:{scenario.key}")
+        seed = self.scenario_seed(scenario, params)
         try:
             with scenario_deadline(self.timeout):
                 measurement = self.target.execute(params, seed)
@@ -132,12 +152,54 @@ class ScenarioExecutor:
             raise FailureSignal(TIMEOUT, str(exc)) from exc
         except FailureSignal:
             raise
+        except snapshot_mod.SnapshotRestoreError as exc:
+            # A snapshot that captured fine but will not restore is a
+            # harness defect, never the target's fault: record it as such
+            # and fall back to from-scratch execution, which is defined to
+            # produce the identical measurement. Failures of the fallback
+            # itself are classified like any first attempt.
+            try:
+                measurement = self._snapshot_fallback(scenario, test_index, params, seed, exc)
+            except ScenarioTimeout as fallback_exc:
+                raise FailureSignal(TIMEOUT, str(fallback_exc)) from fallback_exc
+            except Exception as fallback_exc:
+                raise FailureSignal(TARGET_FAULT, describe_exception(fallback_exc)) from fallback_exc
         except Exception as exc:
             raise FailureSignal(TARGET_FAULT, describe_exception(exc)) from exc
         try:
             return self._finish(scenario, test_index, params, measurement)
         except Exception as exc:
             raise FailureSignal(HARNESS_BUG, describe_exception(exc)) from exc
+
+    def _snapshot_fallback(
+        self,
+        scenario: TestScenario,
+        test_index: int,
+        params: Dict[str, object],
+        seed: int,
+        exc: Exception,
+    ) -> object:
+        """Classify a restore failure and re-execute from scratch.
+
+        Publishes a ``FailureClassified`` event (kind ``harness-bug``) so
+        campaign telemetry records that the fork path failed, then reruns
+        the scenario with snapshot forking disabled. Fork-equivalence
+        (proved by tests/snapshot/) guarantees the fallback measurement is
+        the one the fork would have produced.
+        """
+        if self.telemetry is not None and self.telemetry.active:
+            self.telemetry.publish(
+                FailureClassified(
+                    test_index=test_index,
+                    key=key_dict(scenario.key),
+                    kind=HARNESS_BUG,
+                    error=f"snapshot restore failed: {describe_exception(exc)}",
+                    attempts=1,
+                )
+            )
+        with snapshot_mod.disabled():
+            with scenario_deadline(self.timeout):
+                return self.target.execute(params, seed)
 
     def execute_isolated(self, scenario: TestScenario, test_index: int) -> ScenarioResult:
         """Execute with fault isolation: never raises on a failing scenario.

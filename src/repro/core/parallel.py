@@ -74,16 +74,35 @@ def _init_worker(
     global _WORKER_EXECUTOR
     target = pickle.loads(target_blob)
     # Targets may expose a warm_caches() hook (the PBFT target precomputes
-    # its benign baselines there). Running it in the initializer means the
+    # its benign baselines and — given the campaign seed — the benign
+    # prefix snapshots there). Running it in the initializer means the
     # cost is paid once per worker at startup instead of lazily inside the
     # first scenarios — and not at all when the parent's pickled target
     # already carried warm caches.
-    warm = getattr(target, "warm_caches", None)
-    if callable(warm):
-        warm()
+    _warm_target(target, campaign_seed)
     _WORKER_EXECUTOR = ScenarioExecutor(
         target, campaign_seed=campaign_seed, timeout=timeout, retry=retry
     )
+
+
+def _warm_target(target: object, campaign_seed: Optional[int]) -> None:
+    """Run a target's ``warm_caches`` hook, old- or new-style.
+
+    Newer targets accept ``warm_caches(campaign_seed=...)`` (the snapshot
+    cache needs the seed to precompute prefixes); older ones take no
+    arguments. Warming is an optimization, so a hook that raises is
+    ignored rather than allowed to break worker startup.
+    """
+    warm = getattr(target, "warm_caches", None)
+    if not callable(warm):
+        return
+    try:
+        try:
+            warm(campaign_seed=campaign_seed)
+        except TypeError:
+            warm()
+    except Exception:
+        pass
 
 
 def _execute_in_worker(scenario: TestScenario, test_index: int) -> ScenarioResult:
@@ -198,13 +217,10 @@ class ParallelScenarioExecutor:
         if self._pool is None:
             # Warm shareable caches once in the parent so the pickled blob
             # carries them into every worker (the worker-side warm hook then
-            # finds nothing left to do).
-            warm = getattr(self.target, "warm_caches", None)
-            if callable(warm):
-                try:
-                    warm()
-                except Exception:
-                    pass  # warming is an optimization; never block the pool
+            # finds nothing left to do). The process-wide snapshot cache
+            # does NOT travel in the blob — each worker rebuilds it in its
+            # initializer, off the hot path.
+            _warm_target(self.target, self.campaign_seed)
             try:
                 target_blob = pickle.dumps(self.target)
             except Exception:

@@ -1,0 +1,232 @@
+"""Snapshot-and-fork scenario execution.
+
+Scenarios that share a benign prefix — same deployment shape, same seed,
+same attack activation time, different attack parameters — re-simulate that
+prefix from scratch on every test. At campaign scale the prefix (warmup plus
+the pre-activation slice of the measurement window) dominates wall-clock
+time. This module captures the full simulation state *once* at the first
+injection point and forks it for every scenario in the equivalence class:
+
+1. A target builds the deployment **benign** (attack designates run as
+   correct nodes) with the activation time set, runs it to just before the
+   activation point, and captures a :class:`SimSnapshot` — a deterministic
+   pickle of the whole object graph (simulator, queue, RNG streams, nodes,
+   network).
+2. Each scenario calls :meth:`SimSnapshot.fork` to get a private deep copy,
+   installs its attack via the deployment's ``install_attack``, and runs the
+   suffix normally.
+
+Correctness rests on two properties, both enforced by tests/snapshot/:
+
+* The benign prefix is a pure function of the snapshot key — independent of
+  every attack parameter (dormant attackers still draw RNG, activation is a
+  *priority* event that never consumes the ordinary event sequence).
+* ``pickle.loads(pickle.dumps(x))`` is a faithful deep copy — classes with
+  derived, cycle-bearing state (the network's fused send paths) implement
+  ``__getstate__``/``__setstate__`` and are covered by lint rule PKL003.
+
+Forking is a pure optimization: ``REPRO_NO_SNAPSHOT=1`` (or
+``REPRO_UNOPTIMIZED=1``) disables it and every scenario runs from scratch,
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+from .. import perf
+
+
+class SnapshotError(Exception):
+    """A snapshot could not be captured."""
+
+
+class SnapshotRestoreError(SnapshotError):
+    """A captured snapshot could not be restored (forked).
+
+    This is a *harness* defect by definition — the prefix ran fine when it
+    was captured — so the executor classifies it as ``HARNESS_BUG`` and
+    falls back to from-scratch execution, never blaming the target.
+    """
+
+
+#: Module state: snapshot forking on unless ``REPRO_NO_SNAPSHOT`` is set at
+#: import. :func:`enabled` additionally follows :func:`repro.perf.enabled`
+#: *dynamically*, so ``REPRO_UNOPTIMIZED`` (and ``repro bench``'s runtime
+#: mode pinning) turns forking off together with every other fast path.
+_ENABLED = os.environ.get("REPRO_NO_SNAPSHOT", "") in ("", "0")
+
+
+def enabled() -> bool:
+    """Whether new scenario executions may use snapshot forking."""
+    return _ENABLED and perf.enabled()
+
+
+def set_enabled(value: bool) -> bool:
+    """Flip the toggle (tests / bench only); returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(value)
+    return previous
+
+
+class disabled:
+    """Context manager forcing from-scratch execution for a block.
+
+    The executor uses this for the fallback run after a restore failure;
+    the differential tests use it to produce the reference trajectory.
+    """
+
+    def __init__(self) -> None:
+        self._previous: Optional[bool] = None
+
+    def __enter__(self) -> "disabled":
+        self._previous = set_enabled(False)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        set_enabled(self._previous)
+
+
+class SimSnapshot:
+    """Frozen simulation state at an injection point.
+
+    The payload is the pickle of the deployment object graph; every fork
+    unpickles it into a fully private copy (no state shared with the cached
+    bytes or with other forks).
+    """
+
+    __slots__ = ("key", "taken_at_us", "payload")
+
+    def __init__(self, key: Hashable, taken_at_us: int, payload: bytes) -> None:
+        self.key = key
+        self.taken_at_us = taken_at_us
+        self.payload = payload
+
+    @classmethod
+    def capture(cls, key: Hashable, deployment: Any) -> "SimSnapshot":
+        """Pickle ``deployment`` (already run to the injection point)."""
+        try:
+            payload = pickle.dumps(deployment, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:  # pickling failures name the offending attr
+            raise SnapshotError(f"cannot capture snapshot for {key!r}: {exc}") from exc
+        return cls(key, deployment.simulator.now, payload)
+
+    def fork(self) -> Any:
+        """Restore a private copy of the captured deployment."""
+        try:
+            return pickle.loads(self.payload)
+        except Exception as exc:
+            raise SnapshotRestoreError(
+                f"cannot restore snapshot for {self.key!r}: {exc}"
+            ) from exc
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+
+def _default_max_entries() -> int:
+    raw = os.environ.get("REPRO_SNAPSHOT_CACHE", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return 32
+    return max(1, value) if raw else 32
+
+
+class SnapshotCache:
+    """An LRU cache of :class:`SimSnapshot` keyed by benign-prefix signature.
+
+    The key must encode *everything* the prefix depends on — deployment
+    shape, protocol config, seed, and the activation time — and nothing the
+    attack varies. Keys are produced by the targets (see
+    ``PbftTarget._snapshot_key``); a wrong key here is a correctness bug,
+    which is why the differential harness compares forked runs against
+    from-scratch runs byte-for-byte.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self.max_entries = max_entries if max_entries is not None else _default_max_entries()
+        if self.max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._entries: "OrderedDict[Hashable, SimSnapshot]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[SimSnapshot]:
+        snapshot = self._entries.get(key)
+        if snapshot is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return snapshot
+
+    def put(self, snapshot: SimSnapshot) -> SimSnapshot:
+        self._entries[snapshot.key] = snapshot
+        self._entries.move_to_end(snapshot.key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return snapshot
+
+    def get_or_capture(
+        self, key: Hashable, build_prefix: Callable[[], Any]
+    ) -> SimSnapshot:
+        """Return the cached snapshot for ``key``, capturing it on a miss.
+
+        ``build_prefix`` must construct the benign deployment and run it to
+        the injection point; it is only invoked on a miss.
+        """
+        snapshot = self.get(key)
+        if snapshot is None:
+            snapshot = self.put(SimSnapshot.capture(key, build_prefix()))
+        return snapshot
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> Tuple[int, int, int, int]:
+        """(entries, hits, misses, evictions) — for telemetry and tests."""
+        return (len(self._entries), self.hits, self.misses, self.evictions)
+
+
+#: Process-wide cache. Worker processes each get their own (it is populated
+#: by ``warm_caches`` in the pool initializer); tests that need isolation
+#: swap it with :func:`reset_cache`.
+_CACHE = SnapshotCache()
+
+
+def cache() -> SnapshotCache:
+    return _CACHE
+
+
+def reset_cache(max_entries: Optional[int] = None) -> SnapshotCache:
+    """Replace the process-wide cache (tests / bench)."""
+    global _CACHE
+    _CACHE = SnapshotCache(max_entries)
+    return _CACHE
+
+
+__all__ = [
+    "SimSnapshot",
+    "SnapshotCache",
+    "SnapshotError",
+    "SnapshotRestoreError",
+    "cache",
+    "disabled",
+    "enabled",
+    "reset_cache",
+    "set_enabled",
+]

@@ -5,7 +5,7 @@ node co-opts correct nodes into a distributed DoS against a victim of its
 choosing, by answering FIND_NODE with fabricated contacts.
 """
 
-from .cluster import DhtDeployment, DhtRunResult, run_dht_deployment
+from .cluster import DhtAttack, DhtDeployment, DhtRunResult, run_dht_deployment
 from .ids import ID_BITS, ID_SPACE, bucket_index, closest, key_id, node_id, xor_distance
 from .messages import Announce, FindNode, FindNodeReply
 from .node import DhtConfig, DhtNode, MaliciousDhtNode, VictimEndpoint
@@ -13,6 +13,7 @@ from .routing import KBucket, RoutingTable
 
 __all__ = [
     "Announce",
+    "DhtAttack",
     "DhtConfig",
     "DhtDeployment",
     "DhtNode",

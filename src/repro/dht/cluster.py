@@ -3,12 +3,23 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..sim import LanLatency, Network, Simulator
 from ..sim.clock import SECOND
 from .ids import node_id
 from .node import DhtConfig, DhtNode, MaliciousDhtNode, VictimEndpoint
+
+
+@dataclass(frozen=True)
+class DhtAttack:
+    """The poisoning parameters a timed DHT scenario installs at activation."""
+
+    poison_rate: float = 1.0
+    fanout: int = 8
+
+    def is_benign(self) -> bool:
+        return self.poison_rate == 0.0
 
 
 @dataclass(frozen=True)
@@ -29,7 +40,16 @@ class DhtRunResult:
 
 
 class DhtDeployment:
-    """N correct nodes, M routing-poisoning attackers, one victim."""
+    """N correct nodes, M routing-poisoning attackers, one victim.
+
+    With ``attack_start_us`` set, the attackers are constructed *dormant*
+    (``poison_rate=0``, ``fanout=1`` — they answer FIND_NODE like correct
+    nodes while still drawing from their poison RNG stream) and ``attack``
+    is installed by a single priority event at ``attack_start_us``. The
+    benign prefix is then a pure function of (config, populations, seed),
+    which is what the snapshot-and-fork executor captures. With the default
+    ``attack_start_us=None`` the legacy from-construction path is taken.
+    """
 
     def __init__(
         self,
@@ -40,6 +60,8 @@ class DhtDeployment:
         fanout: int = 8,
         seed: int = 0,
         bootstrap_degree: int = 4,
+        attack: Optional[DhtAttack] = None,
+        attack_start_us: Optional[int] = None,
     ) -> None:
         if n_correct < 2:
             raise ValueError("need at least two correct nodes")
@@ -48,6 +70,8 @@ class DhtDeployment:
         self.network = Network(self.simulator, LanLatency(base_us=2_000, jitter_mean_us=1_000))
         self.victim = VictimEndpoint("victim", self.simulator, self.network)
 
+        timed = attack_start_us is not None
+        build_rate, build_fanout = (0.0, 1) if timed else (poison_rate, fanout)
         self.correct_nodes: List[DhtNode] = [
             DhtNode(f"dht-{i}", config, self.simulator, self.network)
             for i in range(n_correct)
@@ -59,8 +83,8 @@ class DhtDeployment:
                 self.simulator,
                 self.network,
                 victim="victim",
-                poison_rate=poison_rate,
-                fanout=fanout,
+                poison_rate=build_rate,
+                fanout=build_fanout,
             )
             for i in range(n_malicious)
         ]
@@ -78,12 +102,51 @@ class DhtDeployment:
         for index, node in enumerate(self.correct_nodes):
             node.start_workload(initial_delay_us=index * stagger)
 
-    def run(self) -> DhtRunResult:
-        config = self.config
-        window_from = config.warmup_us
-        window_to = config.warmup_us + config.measurement_us
+        self._attack = attack
+        self._attack_start_us = attack_start_us
+        if attack_start_us is not None and attack_start_us < 1:
+            raise ValueError("attack_start_us must be >= 1")
+        if timed and attack is not None:
+            self.simulator.schedule_priority(attack_start_us, self._activate_attack)
+
+    # ------------------------------------------------------------------
+    # pickling (snapshot capture / fork)
+    # ------------------------------------------------------------------
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.network.rebind_fast_paths()
+
+    # ------------------------------------------------------------------
+    # timed attack activation
+    # ------------------------------------------------------------------
+    def install_attack(self, attack: DhtAttack) -> None:
+        """Arm ``attack`` on a forked (snapshot-restored) deployment."""
+        if self._attack_start_us is None:
+            raise ValueError("deployment was not built with an attack_start_us")
+        if self._attack is not None:
+            raise ValueError("an attack is already installed")
+        self._attack = attack
+        self.simulator.schedule_priority(self._attack_start_us, self._activate_attack)
+
+    def _activate_attack(self) -> None:
+        attack = self._attack
+        for node in self.malicious_nodes:
+            node.activate(attack.poison_rate, attack.fanout)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def prepare_window(self) -> Tuple[int, int]:
+        """Set the victim's measurement window (idempotent)."""
+        window_from = self.config.warmup_us
+        window_to = self.config.warmup_us + self.config.measurement_us
         self.victim.window_from = window_from
         self.victim.window_to = window_to
+        return window_from, window_to
+
+    def run(self) -> DhtRunResult:
+        config = self.config
+        _, window_to = self.prepare_window()
         self.simulator.run(until=window_to)
 
         window_s = config.measurement_us / SECOND
@@ -97,6 +160,11 @@ class DhtDeployment:
             amplification=(victim_messages / attacker_messages) if attacker_messages else 0.0,
             window_s=window_s,
         )
+
+    def run_prefix(self, until: int) -> None:
+        """Run the benign prefix up to time ``until`` (snapshot capture)."""
+        self.prepare_window()
+        self.simulator.run(until=until)
 
 
 def run_dht_deployment(
@@ -119,4 +187,4 @@ def run_dht_deployment(
     return deployment.run()
 
 
-__all__ = ["DhtDeployment", "DhtRunResult", "run_dht_deployment"]
+__all__ = ["DhtAttack", "DhtDeployment", "DhtRunResult", "run_dht_deployment"]

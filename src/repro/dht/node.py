@@ -197,6 +197,20 @@ class MaliciousDhtNode(DhtNode):
         self.poisoned_replies = 0
         self.messages_spent = 0
 
+    def activate(self, poison_rate: float, fanout: int) -> None:
+        """Switch poisoning parameters mid-run (timed attack activation).
+
+        A dormant attacker (``poison_rate=0``) still draws from its poison
+        RNG stream on every FIND_NODE, so the benign prefix is trace-
+        identical regardless of the parameters installed here.
+        """
+        if not 0.0 <= poison_rate <= 1.0:
+            raise ValueError("poison_rate must be in [0, 1]")
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        self.poison_rate = poison_rate
+        self.fanout = fanout
+
     def handle_message(self, payload: object, src: str) -> None:
         if type(payload) is FindNode:
             rng = self.simulator.rng(f"dht-poison:{self.name}")

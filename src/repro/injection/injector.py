@@ -47,6 +47,20 @@ class LibraryRuntime:
             validate_plan(plan)
         self._plans.setdefault(plan.function, []).append(plan)
 
+    def install_relative(self, plan: FaultPlan, validate: bool = True) -> None:
+        """Install a plan whose call numbers count from *now*, not from zero.
+
+        Used by timed attack activation (snapshot-and-fork scenarios): the
+        node has already made library calls during the benign prefix, so the
+        plan's 1-based ``call_number`` is shifted by the calls made so far.
+        Installing at activation therefore triggers on the same post-
+        activation call in a forked run and a from-scratch run.
+        """
+        base = self._counts.get(plan.function, 0)
+        if base:
+            plan = FaultPlan(plan.function, plan.error, plan.call_number + base, plan.repeat)
+        self.install(plan, validate=validate)
+
     def clear(self) -> None:
         """Remove all plans and reset call counters."""
         self._plans.clear()

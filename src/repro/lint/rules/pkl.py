@@ -12,6 +12,12 @@ and these rules turn that prose into diagnostics:
 - PKL002 — a lambda stored on a pool-crossing class (a ``ToolPlugin`` or
   target subclass): as an attribute assignment, a class attribute, or an
   ``__init__`` default.
+- PKL003 — a lambda or locally-defined closure stored on a
+  *snapshot-captured* class (simulators, networks, nodes, deployments:
+  everything reachable from ``SimSnapshot.capture``'s pickle). Unlike the
+  pool case there is no serial fallback — the capture raises — so the
+  rule fires unless the class opts into custom pickling by defining
+  ``__getstate__`` (the network's fused-send closures are the exemplar).
 """
 
 from __future__ import annotations
@@ -166,4 +172,84 @@ class PickledAttributeRule(Rule):
                         )
 
 
-__all__ = ["PickledAttributeRule", "PoolArgumentRule"]
+#: Name-suffix markers for classes whose instances are reachable from a
+#: deployment pickle (``SimSnapshot.capture``). Matched against the class
+#: name and its base names.
+_SNAPSHOT_CLASS_MARKERS = (
+    "Deployment",
+    "Simulator",
+    "Network",
+    "Node",
+    "Client",
+    "Replica",
+    "Endpoint",
+)
+
+
+def _is_snapshot_class(node: ast.ClassDef) -> bool:
+    names = [node.name]
+    for base in node.bases:
+        if hasattr(ast, "unparse"):
+            names.append(ast.unparse(base).rsplit(".", 1)[-1])
+    return any(
+        name.endswith(marker) for name in names for marker in _SNAPSHOT_CLASS_MARKERS
+    )
+
+
+def _defines_getstate(node: ast.ClassDef) -> bool:
+    return any(
+        isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and statement.name == "__getstate__"
+        for statement in node.body
+    )
+
+
+@register
+class SnapshotAttributeRule(Rule):
+    rule_id = "PKL003"
+    family = "PKL"
+    description = "unpicklable callable stored on a snapshot-captured class"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_snapshot_class(node):
+                continue
+            if _defines_getstate(node):
+                continue  # custom pickling: derived state is the class's business
+            for method in node.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                local_names = _local_callables(method)
+                for inner in ast.walk(method):
+                    if not isinstance(inner, ast.Assign):
+                        continue
+                    if not any(
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        for target in inner.targets
+                    ):
+                        continue
+                    value = inner.value
+                    if isinstance(value, ast.Lambda):
+                        yield self.finding(
+                            module,
+                            value,
+                            f"lambda stored on snapshot-captured class "
+                            f"`{node.name}` breaks SimSnapshot capture "
+                            "(pickle); use a bound method, or define "
+                            "__getstate__/__setstate__ that drop and rebuild it",
+                        )
+                    elif isinstance(value, ast.Name) and value.id in local_names:
+                        yield self.finding(
+                            module,
+                            value,
+                            f"locally-defined closure `{value.id}` stored on "
+                            f"snapshot-captured class `{node.name}` breaks "
+                            "SimSnapshot capture (pickle); use a bound method, "
+                            "or define __getstate__/__setstate__ that drop and "
+                            "rebuild it",
+                        )
+
+
+__all__ = ["PickledAttributeRule", "PoolArgumentRule", "SnapshotAttributeRule"]

@@ -6,6 +6,7 @@ bug the paper discovered (Sec. 6), which :class:`PbftConfig` exposes via
 ``per_request_timers`` (False = faithful/buggy, True = fixed).
 """
 
+from .attack import PbftAttack
 from .behaviors import (
     CORRECT_CLIENT,
     CORRECT_REPLICA,
@@ -53,6 +54,7 @@ __all__ = [
     "ForwardedRequest",
     "MAC_MASK_WIDTH",
     "NewView",
+    "PbftAttack",
     "PbftConfig",
     "PbftDeployment",
     "PbftRunResult",

@@ -81,6 +81,21 @@ class Client(CrashAwareNode):
         self.set_timer(start_delay_us, self._issue_next)
 
     # ------------------------------------------------------------------
+    # timed attack activation
+    # ------------------------------------------------------------------
+    def apply_behavior(self, behavior: ClientBehavior) -> None:
+        """Switch to ``behavior`` mid-run (timed attack activation).
+
+        The MAC corruption policy takes effect on the next ``generateMAC``
+        call; ``broadcast_always`` on the next issued request. An
+        outstanding request keeps its already-generated authenticator until
+        the client re-MACs it — identical in forked and from-scratch runs,
+        since both apply the behaviour in the same activation event.
+        """
+        self.behavior = behavior
+        self.mac.corruption_policy = mask_corruption_policy(behavior.mac_mask)
+
+    # ------------------------------------------------------------------
     # request issue / retransmission
     # ------------------------------------------------------------------
     @property

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..sim.rng import derive_seed
 from ..sim import LanLatency, LatencyModel, Network, NetworkFault, SECOND, Simulator
+from .attack import PbftAttack
 from .behaviors import CORRECT_CLIENT, ClientBehavior, ReplicaBehavior
 from .client import Client
 from .config import PbftConfig, client_name, malicious_client_name
@@ -78,6 +79,13 @@ class PbftDeployment:
         Root seed; every run with the same parameters and seed is identical.
     latency_model / network_faults:
         Network substrate configuration (faults model attacker network power).
+    attack / attack_start_us:
+        Timed attack activation (snapshot-and-fork scenarios): the
+        deployment is built exactly as given — typically fully benign, with
+        malicious designates running ``CORRECT_CLIENT`` — and ``attack`` is
+        applied by a single priority event at ``attack_start_us``. With
+        ``attack_start_us=None`` (the default) the legacy from-construction
+        path is taken and nothing about existing behaviour changes.
     """
 
     def __init__(
@@ -89,6 +97,8 @@ class PbftDeployment:
         seed: int = 0,
         latency_model: Optional[LatencyModel] = None,
         network_faults: Iterable[NetworkFault] = (),
+        attack: Optional[PbftAttack] = None,
+        attack_start_us: Optional[int] = None,
     ) -> None:
         if n_correct_clients < 1:
             raise ValueError("need at least one correct client to measure impact")
@@ -150,11 +160,66 @@ class PbftDeployment:
                 )
             )
 
+        #: Timed attack state. The activation event is a *priority* event
+        #: (it never consumes the shared event sequence counter), so a
+        #: deployment built without it — the snapshot-capture prefix — runs
+        #: a bit-identical benign prefix.
+        self._attack = attack
+        self._attack_start_us = attack_start_us
+        if attack_start_us is not None and attack_start_us < 1:
+            raise ValueError("attack_start_us must be >= 1")
+        if attack is not None:
+            if attack_start_us is None:
+                raise ValueError("a timed attack needs attack_start_us")
+            self.simulator.schedule_priority(attack_start_us, self._activate_attack)
+
+    # ------------------------------------------------------------------
+    # pickling (snapshot capture / fork)
+    # ------------------------------------------------------------------
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # The network's fused send paths capture the event queue's heap by
+        # reference; rebuild them now that the whole graph is restored.
+        self.network.rebind_fast_paths()
+
+    # ------------------------------------------------------------------
+    # timed attack activation
+    # ------------------------------------------------------------------
+    def install_attack(self, attack: PbftAttack) -> None:
+        """Arm ``attack`` on a forked (snapshot-restored) deployment.
+
+        Schedules the same priority activation event the constructor would
+        have scheduled, at the ``attack_start_us`` the prefix was captured
+        for — the forked run and a from-scratch run execute identically.
+        """
+        if self._attack_start_us is None:
+            raise ValueError("deployment was not built with an attack_start_us")
+        if self._attack is not None:
+            raise ValueError("an attack is already installed")
+        self._attack = attack
+        self.simulator.schedule_priority(self._attack_start_us, self._activate_attack)
+
+    def _activate_attack(self) -> None:
+        """Apply the attack bundle (runs as the priority activation event)."""
+        attack = self._attack
+        for client in self.malicious_clients:
+            client.apply_behavior(attack.client_behavior)
+        for index in sorted(attack.replica_behaviors):
+            self.replicas[index].apply_behavior(attack.replica_behaviors[index])
+        for fault in attack.network_faults:
+            self.network.add_fault(fault)
+        for node_name, plans in attack.injection_plans.items():
+            node = self.network.endpoints.get(node_name)
+            if node is None:
+                continue
+            for plan in plans:
+                node.lib.install_relative(plan)
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self) -> PbftRunResult:
-        """Run warmup + measurement and summarize the correct-client view."""
+    def prepare_measurement(self) -> Tuple[int, int]:
+        """Set every client's measurement window (idempotent)."""
         config = self.config
         measure_from = config.warmup_us
         measure_to = config.warmup_us + config.measurement_us
@@ -167,9 +232,28 @@ class PbftDeployment:
             # Malicious clients never contribute to the impact metric.
             client.measure_from = measure_to
             client.measure_to = measure_to
+        return measure_from, measure_to
 
+    def run(self) -> PbftRunResult:
+        """Run warmup + measurement and summarize the correct-client view.
+
+        Safe to call on a forked deployment: the windows are re-derived from
+        the config (idempotent) and the simulator simply continues from the
+        restored clock.
+        """
+        measure_from, measure_to = self.prepare_measurement()
         self.simulator.run(until=measure_to)
         return self._collect(measure_from, measure_to)
+
+    def run_prefix(self, until: int) -> None:
+        """Run the benign prefix up to (and including) time ``until``.
+
+        The snapshot-capture path: windows are prepared exactly as
+        :meth:`run` would, and the simulation stops just before the attack
+        activation point so the captured state is attack-independent.
+        """
+        self.prepare_measurement()
+        self.simulator.run(until=until)
 
     def _collect(self, measure_from: int, measure_to: int) -> PbftRunResult:
         completed = sum(client.completed_measured for client in self.correct_clients)

@@ -161,6 +161,30 @@ class Replica(CrashAwareNode):
             )
 
     # ------------------------------------------------------------------
+    # timed attack activation
+    # ------------------------------------------------------------------
+    def apply_behavior(self, behavior: ReplicaBehavior) -> None:
+        """Switch to ``behavior`` mid-run (timed attack activation).
+
+        Mirrors what construction with the behaviour would have set up from
+        this point on: the MAC corruption policy is swapped, a synthesis
+        timer is armed, and a slow primary stops batching on demand and
+        starts ticking. Runs inside a priority activation event, so a forked
+        run and a from-scratch run apply it at the identical point.
+        """
+        self.behavior = behavior
+        self.mac.corruption_policy = mask_corruption_policy(behavior.mac_mask)
+        if behavior.synthesize_interval_us is not None and self._synth_timer is None:
+            self._synth_timer = self.set_timer(
+                behavior.synthesize_interval_us, self._synthesize_message
+            )
+        if behavior.slow_primary is not None and self.is_primary and not self.in_view_change:
+            self.cancel_timer(self._batch_timer)
+            self._batch_timer = None
+            if self._slow_tick_timer is None:
+                self._schedule_slow_tick()
+
+    # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
     @property

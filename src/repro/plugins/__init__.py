@@ -5,6 +5,11 @@ tool-aware mutation semantics, and how its parameters configure a concrete
 deployment.
 """
 
+from .attack_timing import (
+    ATTACK_START_DIMENSION,
+    AttackTimingPlugin,
+    DEFAULT_START_CHOICES,
+)
 from .client_count import (
     CORRECT_CLIENTS_DIMENSION,
     ClientCountPlugin,
@@ -39,7 +44,10 @@ from .primary_behavior import (
 )
 
 __all__ = [
+    "ATTACK_START_DIMENSION",
+    "AttackTimingPlugin",
     "CORRECT_CLIENTS_DIMENSION",
+    "DEFAULT_START_CHOICES",
     "ClientCountPlugin",
     "LFI_CALL_DIMENSION",
     "LFI_ERROR_DIMENSION",

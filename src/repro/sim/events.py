@@ -16,6 +16,14 @@ Two scheduling paths:
   majority (message deliveries never cancel; only timers do). Both paths
   share one sequence counter, so interleaving them cannot change the
   execution order relative to an all-``push`` run.
+
+A third lane, :meth:`EventQueue.push_priority`, exists for simulation
+*control* events (snapshot-and-fork attack activation): priority events use
+negative sequence numbers from their own counter, so they sort before every
+same-time ordinary event and — crucially — do **not** consume the shared
+``seq`` counter. A run that schedules a priority event at construction and a
+run that schedules the identical event after restoring a snapshot therefore
+execute every ordinary event with identical ``(time, seq)`` keys.
 """
 
 from __future__ import annotations
@@ -74,9 +82,15 @@ class EventHandle:
 class EventQueue:
     """A time-ordered queue of scheduled callbacks."""
 
+    #: First sequence number of the priority lane; far enough below zero
+    #: that priority events always sort before ordinary ones (whose seq
+    #: counts up from 0) while staying FIFO among themselves.
+    _PRIORITY_BASE = -(1 << 60)
+
     def __init__(self) -> None:
         self._heap: List[list] = []
         self._seq = 0
+        self._priority_seq = self._PRIORITY_BASE
         self._live = 0
 
     def __len__(self) -> int:
@@ -108,6 +122,22 @@ class EventQueue:
             raise ValueError(f"cannot schedule event at negative time {time}")
         heapq.heappush(self._heap, [time, self._seq, callback, args, None])
         self._seq += 1
+        self._live += 1
+
+    def push_priority(self, time: int, callback: Callable[..., None], args: tuple = ()) -> None:
+        """Schedule a control event that runs before same-time ordinary events.
+
+        Draws from the dedicated negative-sequence counter, leaving the
+        shared ``seq`` counter untouched: ordinary events keep identical
+        keys whether or not a priority event was ever scheduled. Used for
+        snapshot-and-fork attack activation, where the activation must be
+        schedulable either at construction time or after a restore without
+        perturbing the benign prefix.
+        """
+        if time < 0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        heapq.heappush(self._heap, [time, self._priority_seq, callback, args, None])
+        self._priority_seq += 1
         self._live += 1
 
     def cancel(self, handle: EventHandle) -> None:

@@ -168,6 +168,44 @@ class Network:
         self._fast_send = self._make_fast_send() if self._optimized else None
 
     # ------------------------------------------------------------------
+    # pickling (snapshot capture / fork)
+    # ------------------------------------------------------------------
+    #: Construction-derived attributes that must never be pickled: bound
+    #: builtin methods (``rng.random``), bound methods of other snapshot
+    #: participants, and the fused-send closure (which captures the event
+    #: queue's *current* heap list — a stale capture would let forked runs
+    #: mutate the cached snapshot's heap).
+    _DERIVED_ATTRS = ("_rng_random", "_queue_defer", "_fast_send", "_handlers")
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        for attr in self._DERIVED_ATTRS:
+            state.pop(attr, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # `endpoints` and `rng` are restored atomically with this state, so
+        # their derived views can be rebuilt immediately; the queue-dependent
+        # fast paths wait for `rebind_fast_paths` (the simulator may still be
+        # mid-restore when a cyclic reference lands us here first).
+        self._handlers = {
+            name: endpoint.on_message for name, endpoint in self.endpoints.items()
+        }
+        self._rng_random = self.rng.random
+        self._queue_defer = None
+        self._fast_send = None
+
+    def rebind_fast_paths(self) -> None:
+        """Rebuild the queue-capturing fast paths after an unpickle.
+
+        Called by the owning deployment's ``__setstate__`` once the whole
+        object graph (simulator, queue, heap) is restored.
+        """
+        self._queue_defer = self.simulator.queue.defer
+        self._fast_send = self._make_fast_send() if self._optimized else None
+
+    # ------------------------------------------------------------------
     # topology
     # ------------------------------------------------------------------
     def register(self, endpoint: Endpoint) -> None:

@@ -88,6 +88,19 @@ class Simulator:
             raise SimulationError(f"cannot schedule with negative delay {delay}")
         self.queue.defer(self.now + delay, callback, args)
 
+    def schedule_priority(self, time: int, callback: Callable[..., None], *args) -> None:
+        """Schedule a control event at absolute ``time``, ahead of same-time events.
+
+        The snapshot-and-fork hook: the event sorts before every ordinary
+        event at the same timestamp and does not consume the shared event
+        sequence counter, so scheduling it at construction (from-scratch
+        run) or right after restoring a snapshot (forked run) yields
+        bit-identical execution of all ordinary events. Not cancellable.
+        """
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self.now}")
+        self.queue.push_priority(time, callback, args)
+
     def cancel(self, handle: EventHandle) -> None:
         """Cancel a scheduled event (idempotent)."""
         self.queue.cancel(handle)

@@ -8,12 +8,13 @@ transform so it lands in [0, 1].
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core import snapshot
 from ..core.hyperspace import ChoiceDimension, Dimension, Hyperspace, IntRangeDimension
 from ..core.plugin import ToolPlugin
 from ..core.power import AccessLevel, ControlLevel
-from ..dht import DhtConfig, DhtDeployment, DhtRunResult
+from ..dht import DhtAttack, DhtConfig, DhtDeployment, DhtRunResult
 
 POISON_RATE_DIMENSION = "poison_rate_pct"
 POISON_FANOUT_DIMENSION = "poison_fanout"
@@ -58,8 +59,14 @@ class DhtScenarioSpec:
         self.n_malicious = 1
         self.poison_rate = 0.0
         self.fanout = 1
+        #: Timed activation point (percentage of the measurement window
+        #: elapsed before poisoning switches on); ``None`` = legacy
+        #: from-construction poisoning. See :class:`PbftScenarioSpec`.
+        self.attack_start_pct: Optional[int] = None
 
     def build(self, seed: int) -> DhtDeployment:
+        if self.attack_start_pct is not None:
+            return self._build_timed(seed)
         return DhtDeployment(
             self.config,
             self.n_correct,
@@ -68,6 +75,54 @@ class DhtScenarioSpec:
             self.fanout,
             seed,
         )
+
+    # ------------------------------------------------------------------
+    # timed (snapshot-and-fork) scenarios
+    # ------------------------------------------------------------------
+    def attack_start_us(self) -> int:
+        config = self.config
+        return max(1, config.warmup_us + config.measurement_us * self.attack_start_pct // 100)
+
+    def attack(self) -> DhtAttack:
+        return DhtAttack(poison_rate=self.poison_rate, fanout=self.fanout)
+
+    def snapshot_key(self, seed: int) -> Tuple:
+        """Everything the benign prefix depends on — and nothing else."""
+        return (
+            "dht",
+            self.config,
+            self.n_correct,
+            self.n_malicious,
+            self.attack_start_pct,
+            seed,
+        )
+
+    def build_prefix(self, seed: int) -> DhtDeployment:
+        """Build the dormant-attacker deployment, run to the injection point."""
+        deployment = self._dormant_deployment(seed)
+        deployment.run_prefix(self.attack_start_us() - 1)
+        return deployment
+
+    def _dormant_deployment(self, seed: int) -> DhtDeployment:
+        return DhtDeployment(
+            self.config,
+            self.n_correct,
+            self.n_malicious,
+            seed=seed,
+            attack_start_us=self.attack_start_us(),
+        )
+
+    def _build_timed(self, seed: int) -> DhtDeployment:
+        if snapshot.enabled():
+            snap = snapshot.cache().get_or_capture(
+                self.snapshot_key(seed), lambda: self.build_prefix(seed)
+            )
+            deployment = snap.fork()
+            deployment.install_attack(self.attack())
+            return deployment
+        deployment = self._dormant_deployment(seed)
+        deployment.install_attack(self.attack())
+        return deployment
 
 
 class DhtTarget:
@@ -123,11 +178,60 @@ class DhtTarget:
             "lookups_completed": measurement.lookups_completed,
         }
 
-    def execute(self, params: Dict[str, object], seed: int) -> DhtRunResult:
+    def _spec(self, params: Dict[str, object]) -> DhtScenarioSpec:
         spec = DhtScenarioSpec(self.config, self.n_correct)
         for plugin in self.plugins:
             plugin.configure(params, spec)
-        return spec.build(seed).run()
+        return spec
+
+    def execute(self, params: Dict[str, object], seed: int) -> DhtRunResult:
+        return self._spec(params).build(seed).run()
+
+    def seed_scope(self, params: Dict[str, object]) -> Optional[str]:
+        """Seed-equivalence class for timed scenarios (see the executor)."""
+        spec = self._spec(params)
+        if spec.attack_start_pct is None:
+            return None
+        return f"dht-prefix:{spec.n_correct}:{spec.n_malicious}:{spec.attack_start_pct}"
+
+    def warm_caches(self, campaign_seed: Optional[int] = None) -> int:
+        """Capture every reachable benign prefix into the snapshot cache."""
+        if campaign_seed is None or not snapshot.enabled():
+            return 0
+        from ..sim.rng import derive_seed
+
+        def _values(name: str, default: int) -> List[int]:
+            dimension = self.hyperspace.by_name.get(name)
+            if dimension is None:
+                return [default]
+            return [
+                value
+                for value in (
+                    dimension.value_at(position) for position in range(dimension.size)
+                )
+                if isinstance(value, int)
+            ]
+
+        pcts = _values("attack_start_pct", -1)
+        if pcts == [-1]:
+            return 0
+        cache = snapshot.cache()
+        budget = cache.max_entries - len(cache)
+        warmed = 0
+        for pct in pcts:
+            for n_malicious in _values(DHT_MALICIOUS_DIMENSION, 1):
+                if warmed >= budget:
+                    return warmed
+                spec = DhtScenarioSpec(self.config, self.n_correct)
+                spec.n_malicious = n_malicious
+                spec.attack_start_pct = pct
+                scope = f"dht-prefix:{self.n_correct}:{n_malicious}:{pct}"
+                seed = derive_seed(campaign_seed, f"scenario-scope:{scope}")
+                key = spec.snapshot_key(seed)
+                if key not in cache:
+                    cache.get_or_capture(key, lambda: spec.build_prefix(seed))
+                    warmed += 1
+        return warmed
 
     def impact_of(self, measurement: DhtRunResult, params: Dict[str, object]) -> float:
         load = measurement.victim_load_mps

@@ -17,13 +17,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .. import perf
 from ..injection import FaultPlan
 from ..pbft import (
+    CORRECT_CLIENT,
     ClientBehavior,
+    PbftAttack,
     PbftConfig,
     PbftDeployment,
     PbftRunResult,
     ReplicaBehavior,
 )
 from ..sim import NetworkFault
+from ..core import snapshot
 from ..core.hyperspace import Hyperspace
 from ..core.plugin import ToolPlugin
 
@@ -49,8 +52,16 @@ class PbftScenarioSpec:
     network_faults: List[NetworkFault] = field(default_factory=list)
     #: Library fault plans by node name.
     injection_plans: Dict[str, List[FaultPlan]] = field(default_factory=dict)
+    #: Timed attack activation point, as a percentage of the measurement
+    #: window elapsed before the attack switches on (``None`` = the legacy
+    #: from-construction scenario). Timed scenarios share a benign prefix
+    #: across attack parameters, which the snapshot cache exploits; fault
+    #: plans are installed *relative* to the activation point.
+    attack_start_pct: Optional[int] = None
 
     def build(self, seed: int) -> PbftDeployment:
+        if self.attack_start_pct is not None:
+            return self._build_timed(seed)
         if perf.enabled():
             # Template fast path: every malicious client in a scenario gets
             # the same (frozen, immutable) behaviour, so one shared instance
@@ -79,6 +90,65 @@ class PbftScenarioSpec:
                 continue
             for plan in plans:
                 node.lib.install(plan)
+        return deployment
+
+    # ------------------------------------------------------------------
+    # timed (snapshot-and-fork) scenarios
+    # ------------------------------------------------------------------
+    def attack_start_us(self) -> int:
+        """Absolute activation time for a timed scenario."""
+        config = self.config
+        return max(1, config.warmup_us + config.measurement_us * self.attack_start_pct // 100)
+
+    def attack(self) -> PbftAttack:
+        """The activation bundle a timed scenario installs at its start time."""
+        return PbftAttack(
+            client_behavior=_malicious_behavior(self.mac_mask, self.malicious_broadcast),
+            replica_behaviors=dict(self.replica_behaviors),
+            network_faults=tuple(self.network_faults),
+            injection_plans={
+                name: tuple(plans) for name, plans in self.injection_plans.items()
+            },
+        )
+
+    def snapshot_key(self, seed: int) -> Tuple:
+        """Everything the benign prefix depends on — and nothing else."""
+        return (
+            "pbft",
+            self.config,
+            self.n_correct_clients,
+            self.n_malicious_clients,
+            self.attack_start_pct,
+            seed,
+        )
+
+    def build_prefix(self, seed: int) -> PbftDeployment:
+        """Build the benign deployment and run it to the injection point."""
+        deployment = self._benign_deployment(seed)
+        deployment.run_prefix(self.attack_start_us() - 1)
+        return deployment
+
+    def _benign_deployment(self, seed: int) -> PbftDeployment:
+        # Malicious designates run as correct clients until activation, so
+        # the prefix is independent of every attack parameter.
+        return PbftDeployment(
+            self.config,
+            self.n_correct_clients,
+            malicious_clients=[CORRECT_CLIENT] * self.n_malicious_clients,
+            seed=seed,
+            attack_start_us=self.attack_start_us(),
+        )
+
+    def _build_timed(self, seed: int) -> PbftDeployment:
+        if snapshot.enabled():
+            snap = snapshot.cache().get_or_capture(
+                self.snapshot_key(seed), lambda: self.build_prefix(seed)
+            )
+            deployment = snap.fork()
+            deployment.install_attack(self.attack())
+            return deployment
+        deployment = self._benign_deployment(seed)
+        deployment.install_attack(self.attack())
         return deployment
 
 
@@ -128,13 +198,33 @@ class PbftTarget:
             "bad_mac_rejections": measurement.bad_mac_rejections,
         }
 
-    def execute(self, params: Dict[str, object], seed: int) -> PbftRunResult:
+    def _spec(self, params: Dict[str, object]) -> PbftScenarioSpec:
         spec = PbftScenarioSpec(config=self.config)
         for plugin in self.plugins:
             plugin.configure(params, spec)
-        deployment = spec.build(seed)
+        return spec
+
+    def execute(self, params: Dict[str, object], seed: int) -> PbftRunResult:
+        deployment = self._spec(params).build(seed)
         self.tests_run += 1
         return deployment.run()
+
+    def seed_scope(self, params: Dict[str, object]) -> Optional[str]:
+        """Seed-equivalence class for timed scenarios (see the executor).
+
+        Scenarios that differ only in attack parameters share one benign
+        prefix; giving them one seed (a pure function of the prefix shape)
+        is what lets the snapshot cache serve them all from a single
+        capture. Legacy scenarios return ``None`` and keep their private
+        per-scenario seeds.
+        """
+        spec = self._spec(params)
+        if spec.attack_start_pct is None:
+            return None
+        return (
+            f"pbft-prefix:{spec.n_correct_clients}"
+            f":{spec.n_malicious_clients}:{spec.attack_start_pct}"
+        )
 
     def impact_of(self, measurement: PbftRunResult, params: Dict[str, object]) -> float:
         """Damage to the correct clients' throughput, in [0, 1].
@@ -193,31 +283,78 @@ class PbftTarget:
         """Benign average throughput at this client count (cached)."""
         return self.baseline(n_correct_clients).throughput_rps
 
-    def warm_caches(self) -> int:
-        """Precompute the benign baseline for every reachable client count.
+    def warm_caches(self, campaign_seed: Optional[int] = None) -> int:
+        """Precompute benign baselines — and, per campaign, prefix snapshots.
 
         Called by the parallel pool initializer (and usable directly before
         a serial campaign): the hyperspace's ``n_correct_clients`` dimension
         enumerates every client count a scenario can request, so warming
         them up front means no worker ever pays for a benign calibration run
         mid-campaign. Counts already cached (for example shipped inside the
-        pickled target) are skipped. Returns the number of baselines run.
-        No-op in reference (unoptimized) mode.
+        pickled target) are skipped.
+
+        With ``campaign_seed`` given, every benign prefix a timed scenario
+        of this campaign can request (the cross product of the reachable
+        client counts and activation percentages) is also captured into the
+        snapshot cache, up to its capacity. Returns the number of baselines
+        plus snapshots computed. No-op in reference (unoptimized) mode.
         """
-        if not self._share_baselines:
-            return 0
-        dimension = self.hyperspace.by_name.get("n_correct_clients")
-        if dimension is None:
-            return 0
         warmed = 0
-        for position in range(dimension.size):
-            count = dimension.value_at(position)
-            if not isinstance(count, int) or count < 1:
-                continue
-            if count not in self._baselines:
-                before = len(_BASELINE_CACHE)
-                self.baseline(count)
-                warmed += len(_BASELINE_CACHE) - before
+        if self._share_baselines:
+            dimension = self.hyperspace.by_name.get("n_correct_clients")
+            if dimension is not None:
+                for position in range(dimension.size):
+                    count = dimension.value_at(position)
+                    if not isinstance(count, int) or count < 1:
+                        continue
+                    if count not in self._baselines:
+                        before = len(_BASELINE_CACHE)
+                        self.baseline(count)
+                        warmed += len(_BASELINE_CACHE) - before
+        if campaign_seed is not None and snapshot.enabled():
+            warmed += self._warm_snapshots(campaign_seed)
+        return warmed
+
+    def _warm_snapshots(self, campaign_seed: int) -> int:
+        from ..sim.rng import derive_seed
+
+        def _values(name: str, default: int) -> List[int]:
+            dimension = self.hyperspace.by_name.get(name)
+            if dimension is None:
+                return [default]
+            return [
+                value
+                for value in (
+                    dimension.value_at(position) for position in range(dimension.size)
+                )
+                if isinstance(value, int)
+            ]
+
+        pcts = _values("attack_start_pct", -1)
+        if pcts == [-1]:
+            return 0  # no timing dimension: no timed scenarios this campaign
+        cache = snapshot.cache()
+        budget = cache.max_entries - len(cache)
+        warmed = 0
+        for pct in pcts:
+            for n_correct in _values("n_correct_clients", 10):
+                for n_malicious in _values("n_malicious_clients", 1):
+                    if warmed >= budget:
+                        return warmed
+                    spec = PbftScenarioSpec(
+                        config=self.config,
+                        n_correct_clients=n_correct,
+                        n_malicious_clients=n_malicious,
+                        attack_start_pct=pct,
+                    )
+                    scope = (
+                        f"pbft-prefix:{n_correct}:{n_malicious}:{pct}"
+                    )
+                    seed = derive_seed(campaign_seed, f"scenario-scope:{scope}")
+                    key = spec.snapshot_key(seed)
+                    if key not in cache:
+                        cache.get_or_capture(key, lambda: spec.build_prefix(seed))
+                        warmed += 1
         return warmed
 
 

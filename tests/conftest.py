@@ -9,6 +9,26 @@ from repro.sim import FixedLatency, Network, Simulator
 from repro.sim.clock import MS
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink property-test sweeps for fast CI smoke jobs "
+        "(tests/snapshot/ honours this; full sweeps run by default)",
+    )
+
+
+@pytest.fixture
+def sweep_size(request):
+    """Pick a sweep size: ``sweep_size(full, quick)``."""
+
+    def pick(full: int, quick: int) -> int:
+        return quick if request.config.getoption("--quick") else full
+
+    return pick
+
+
 def tiny_pbft_config(**overrides) -> PbftConfig:
     """A PBFT config small enough for sub-second unit/integration tests.
 

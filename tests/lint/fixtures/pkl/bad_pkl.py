@@ -27,3 +27,16 @@ class BadTarget:
 
 class BadPlugin(ToolPlugin):
     scorer = lambda self, value: value  # noqa: E731  # expect: PKL002
+
+
+class BadFastNetwork:
+    """Snapshot-captured (name ends in Network) without __getstate__."""
+
+    def __init__(self, queue):
+        self.fast_send = lambda msg: queue.push(msg)  # noqa: E731  # expect: PKL003
+
+    def rebind(self, queue):
+        def defer(event):
+            return queue.defer(event)
+
+        self.queue_defer = defer  # expect: PKL003

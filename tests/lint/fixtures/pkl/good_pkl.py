@@ -26,3 +26,26 @@ class LocalHelperNotShipped:
 
     def __init__(self):
         self.formatter = lambda value: f"{value:.2f}"  # noqa: E731
+
+
+class FineFastNetwork:
+    """Defines __getstate__: derived closure state is its own business."""
+
+    def __init__(self, queue):
+        self.fast_send = lambda msg: queue.push(msg)  # noqa: E731
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("fast_send", None)
+        return state
+
+
+class FineNode:
+    """Module-level callables pickle by reference: allowed on nodes."""
+
+    def __init__(self):
+        self.metric = module_metric
+        self.handler = self.describe
+
+    def describe(self):
+        return "node"

@@ -1,0 +1,119 @@
+"""Campaign-level equivalence: forking is invisible above the executor.
+
+The snapshot layer sits entirely below the exploration loop, so every
+campaign-level invariant the engine already guarantees — worker-count
+independence, checkpoint/resume bit-identity, deterministic telemetry —
+must keep holding with forking on, *and* the trajectories must match a
+snapshot-free run exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CampaignSpec,
+    TestController,
+    load_checkpoint,
+    restore_controller,
+    run_campaign,
+    snapshot,
+)
+from repro.core.exploration import AvdExploration
+from repro.plugins import AttackTimingPlugin, MacCorruptionPlugin
+from repro.targets import PbftTarget
+from repro.telemetry import RingBufferSink, TelemetryBus
+from tests._strategies import trajectory
+from tests.snapshot.conftest import micro_pbft_config
+
+SEED = 21
+BUDGET = 12
+
+
+def make_target(target_cls=PbftTarget):
+    plugins = [MacCorruptionPlugin(), AttackTimingPlugin((50, 70))]
+    return target_cls(plugins, config=micro_pbft_config()), plugins
+
+
+def run_avd(seed=SEED, budget=BUDGET, telemetry=None, **spec_kwargs):
+    target, plugins = make_target()
+    strategy = AvdExploration(target, plugins, seed=seed)
+    spec = CampaignSpec(budget=budget, telemetry=telemetry, **spec_kwargs)
+    return trajectory(run_campaign(strategy, spec).results)
+
+
+def test_campaign_trajectory_fork_matches_scratch():
+    forked = run_avd()
+    assert snapshot.cache().hits > 0, "the campaign never actually forked"
+    with snapshot.disabled():
+        scratch = run_avd()
+    assert forked == scratch
+
+
+def test_worker_count_invariance_holds_with_forking():
+    """Workers change wall-clock only — still true with snapshots on."""
+    one = run_avd(workers=1, batch_size=4)
+    snapshot.reset_cache()
+    many = run_avd(workers=2, batch_size=4)
+    assert one == many
+
+
+def test_telemetry_stream_is_byte_identical_across_fork_modes():
+    sink_forked, sink_scratch = RingBufferSink(), RingBufferSink()
+    run_avd(telemetry=TelemetryBus(sinks=(sink_forked,)))
+    with snapshot.disabled():
+        run_avd(telemetry=TelemetryBus(sinks=(sink_scratch,)))
+    assert sink_forked.to_lines() == sink_scratch.to_lines()
+
+
+# ---------------------------------------------------------------------------
+# checkpoint/resume with snapshots on
+# ---------------------------------------------------------------------------
+class DieAtPbftTarget(PbftTarget):
+    """PbftTarget that raises KeyboardInterrupt on its die_at-th execute."""
+
+    die_at = None  # set on the instance after construction
+
+    def __init__(self, plugins, config=None):
+        super().__init__(plugins, config=config)
+        self.executions = 0
+
+    def execute(self, params, seed):
+        self.executions += 1
+        if self.die_at is not None and self.executions == self.die_at:
+            raise KeyboardInterrupt
+        return super().execute(params, seed)
+
+
+def controller_trajectory(target, plugins, seed=SEED, **spec_kwargs):
+    controller = TestController(target, plugins, seed=seed)
+    controller.run(CampaignSpec(budget=BUDGET, **spec_kwargs))
+    return trajectory(controller.results)
+
+
+def test_checkpoint_resume_is_bit_identical_with_forking(tmp_path):
+    path = tmp_path / "campaign.ckpt.json"
+    target, plugins = make_target(DieAtPbftTarget)
+    target.die_at = 9
+    interrupted = TestController(target, plugins, seed=SEED)
+    with pytest.raises(KeyboardInterrupt):
+        interrupted.run(
+            CampaignSpec(budget=BUDGET, checkpoint_path=str(path), checkpoint_every=4)
+        )
+    data = load_checkpoint(path)
+    resumed_target, resumed_plugins = make_target()
+    resumed = restore_controller(data, resumed_target, resumed_plugins)
+    resumed.run(CampaignSpec(budget=BUDGET, checkpoint_path=str(path)))
+    resumed_trajectory = trajectory(resumed.results)
+
+    # Reference 1: the same campaign uninterrupted, snapshots on.
+    snapshot.reset_cache()
+    uninterrupted_target, uninterrupted_plugins = make_target()
+    assert resumed_trajectory == controller_trajectory(
+        uninterrupted_target, uninterrupted_plugins
+    )
+    # Reference 2: uninterrupted with forking off — resume crossed process
+    # "boundaries" (fresh target, fresh cache) without changing results.
+    with snapshot.disabled():
+        scratch_target, scratch_plugins = make_target()
+        assert resumed_trajectory == controller_trajectory(scratch_target, scratch_plugins)

@@ -1,0 +1,112 @@
+"""The differential-equivalence harness: fork ≡ from-scratch, bit for bit.
+
+The snapshot optimization is only sound if a forked run is observationally
+identical to running the same timed scenario from scratch. This harness
+compares *execution checksums* — a SHA-256 over the run result, the
+delivered-message count, the final clock, the executed-event count, and
+every named metrics counter — across three configurations:
+
+- forked (snapshot capture + fork, the optimized campaign path),
+- from-scratch with forking disabled (same perf mode),
+- from-scratch in full reference mode (``REPRO_UNOPTIMIZED`` analogue).
+
+All three must be byte-identical, for both shipped targets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro import perf
+from repro.core import snapshot
+from tests.snapshot.conftest import dht_spec, pbft_spec
+
+SEEDS = (0, 7, 0xC0FFEE)
+
+
+def execution_checksum(deployment, result) -> str:
+    simulator = deployment.simulator
+    counters = sorted(
+        (name, counter.value) for name, counter in simulator.metrics.counters.items()
+    )
+    blob = repr(
+        (
+            result,
+            deployment.network.messages_delivered,
+            simulator.now,
+            simulator.events_executed,
+            counters,
+        )
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_forked(spec, seed) -> str:
+    assert snapshot.enabled(), "fork path requires snapshots on"
+    deployment = spec.build(seed)
+    return execution_checksum(deployment, deployment.run())
+
+
+def run_scratch(spec, seed) -> str:
+    with snapshot.disabled():
+        deployment = spec.build(seed)
+    return execution_checksum(deployment, deployment.run())
+
+
+def run_reference(spec, seed) -> str:
+    with perf.use_optimizations(False):
+        deployment = spec.build(seed)
+        return execution_checksum(deployment, deployment.run())
+
+
+@pytest.mark.parametrize("make_spec", [pbft_spec, dht_spec], ids=["pbft", "dht"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fork_matches_scratch_and_reference(make_spec, seed):
+    spec = make_spec()
+    forked = run_forked(spec, seed)
+    assert forked == run_scratch(spec, seed), f"fork diverged from scratch at seed {seed}"
+    assert forked == run_reference(spec, seed), (
+        f"fork diverged from the unoptimized reference at seed {seed}"
+    )
+
+
+@pytest.mark.parametrize("make_spec", [pbft_spec, dht_spec], ids=["pbft", "dht"])
+def test_cache_hit_fork_is_identical_to_cache_miss_fork(make_spec):
+    """The second fork (cache hit) replays exactly like the first (capture)."""
+    spec = make_spec()
+    first = run_forked(spec, seed=42)
+    assert snapshot.cache().stats()[2] >= 1  # the capture was a miss
+    second = run_forked(spec, seed=42)
+    assert snapshot.cache().hits >= 1
+    assert first == second
+
+
+@pytest.mark.parametrize("make_spec", [pbft_spec, dht_spec], ids=["pbft", "dht"])
+def test_differing_attack_params_share_one_snapshot(make_spec):
+    """Scenarios that differ only in attack parameters fork the same prefix."""
+    if make_spec is pbft_spec:
+        variants = [make_spec(), make_spec()]
+        variants[1].mac_mask = 0b1111
+        variants[1].malicious_broadcast = True
+    else:
+        variants = [make_spec(), make_spec()]
+        variants[1].poison_rate = 0.3
+        variants[1].fanout = 8
+    for variant in variants:
+        deployment = variant.build(123)
+        deployment.run()
+    entries, _, misses, _ = snapshot.cache().stats()
+    assert entries == 1, "attack parameters leaked into the snapshot key"
+    assert misses == 1
+
+
+def test_attack_timing_changes_the_snapshot_key():
+    """The activation time is prefix-relevant: different pct, different key."""
+    early, late = pbft_spec(attack_start_pct=50), pbft_spec(attack_start_pct=80)
+    assert early.snapshot_key(1) != late.snapshot_key(1)
+    d_early, d_late = early.build(1), late.build(1)
+    assert snapshot.cache().stats()[0] == 2
+    # Later activation means a longer benign prefix.
+    assert d_late.simulator.now > d_early.simulator.now

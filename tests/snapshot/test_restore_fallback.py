@@ -1,0 +1,104 @@
+"""Restore-failure classification: harness bug, never a target fault.
+
+A snapshot that captured cleanly but cannot be restored is by definition a
+defect in the harness (the prefix simulated fine). ``execute_isolated``
+must therefore (a) classify it ``harness-bug`` on the telemetry bus,
+(b) fall back to from-scratch execution, and (c) return a result identical
+to what a snapshot-free run would have produced — the campaign neither
+stops nor records a spurious vulnerability.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ScenarioExecutor, TestScenario, snapshot
+from repro.core.failures import HARNESS_BUG
+from repro.core.snapshot import SimSnapshot, SnapshotRestoreError
+from repro.plugins import AttackTimingPlugin, MacCorruptionPlugin
+from repro.targets import PbftTarget
+from repro.telemetry import FailureClassified, RingBufferSink, TelemetryBus
+from tests.snapshot.conftest import micro_pbft_config
+
+CAMPAIGN_SEED = 11
+
+
+def make_target() -> PbftTarget:
+    plugins = [MacCorruptionPlugin(), AttackTimingPlugin((60, 80))]
+    return PbftTarget(plugins, config=micro_pbft_config())
+
+
+def make_scenario(target) -> TestScenario:
+    return TestScenario(coords=target.hyperspace.random_coords(random.Random(5)))
+
+
+@pytest.fixture
+def broken_fork(monkeypatch):
+    """Make every fork attempt fail the way a corrupt payload would."""
+
+    def explode(self):
+        raise SnapshotRestoreError(f"cannot restore snapshot for {self.key!r}: boom")
+
+    monkeypatch.setattr(SimSnapshot, "fork", explode)
+
+
+def test_restore_failure_falls_back_and_matches_scratch(broken_fork):
+    target = make_target()
+    scenario = make_scenario(target)
+    sink = RingBufferSink()
+    executor = ScenarioExecutor(
+        target, campaign_seed=CAMPAIGN_SEED, telemetry=TelemetryBus(sinks=(sink,))
+    )
+    result = executor.execute_isolated(scenario, test_index=0)
+    assert not result.failed, "a restore failure must not fail the scenario"
+
+    # The from-scratch reference for the same scenario, snapshots off.
+    with snapshot.disabled():
+        reference = ScenarioExecutor(target, campaign_seed=CAMPAIGN_SEED).execute(
+            scenario, test_index=0
+        )
+    assert result.impact == reference.impact
+    assert result.measurement == reference.measurement
+
+    classified = [e for _, e in sink.events() if isinstance(e, FailureClassified)]
+    assert len(classified) == 1
+    event = classified[0]
+    assert event.kind == HARNESS_BUG
+    assert "snapshot restore failed" in event.error
+    assert event.test_index == 0
+    assert event.attempts == 1
+
+
+def test_fallback_without_telemetry_bus(broken_fork):
+    """No bus configured: the fallback still runs, silently."""
+    target = make_target()
+    scenario = make_scenario(target)
+    executor = ScenarioExecutor(target, campaign_seed=CAMPAIGN_SEED)
+    result = executor.execute_isolated(scenario, test_index=3)
+    assert not result.failed
+    assert result.test_index == 3
+
+
+def test_raw_execute_propagates_restore_errors(broken_fork):
+    """The unguarded ``execute`` path surfaces the defect to the caller —
+    only ``execute_isolated`` absorbs it."""
+    target = make_target()
+    scenario = make_scenario(target)
+    executor = ScenarioExecutor(target, campaign_seed=CAMPAIGN_SEED)
+    with pytest.raises(SnapshotRestoreError):
+        executor.execute(scenario, test_index=0)
+
+
+def test_healthy_fork_publishes_no_failure_events():
+    """Control: with forking intact the bus sees no FailureClassified."""
+    target = make_target()
+    scenario = make_scenario(target)
+    sink = RingBufferSink()
+    executor = ScenarioExecutor(
+        target, campaign_seed=CAMPAIGN_SEED, telemetry=TelemetryBus(sinks=(sink,))
+    )
+    result = executor.execute_isolated(scenario, test_index=0)
+    assert not result.failed
+    assert not [e for _, e in sink.events() if isinstance(e, FailureClassified)]

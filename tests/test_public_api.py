@@ -65,7 +65,7 @@ def test_lint_surface_is_importable():
     assert callable(lint_paths)
     assert {rule.rule_id for rule in all_rules()} == {
         "DET001", "DET002", "DET003", "DET004",
-        "PKL001", "PKL002",
+        "PKL001", "PKL002", "PKL003",
         "API001", "API002", "API003", "API004",
     }
     assert Finding and LintConfig and LintEngine
