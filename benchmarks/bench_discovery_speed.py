@@ -23,11 +23,28 @@ import pytest
 from repro.core import (
     AvdExploration,
     CampaignSpec,
+    HybridExploration,
     RandomExploration,
     format_table,
     run_campaign,
 )
-from repro.plugins import ClientCountPlugin, MacCorruptionPlugin
+# The discovery-race configuration and "found" criteria live in repro.bench
+# (the CI-gated ``campaign_discovery`` workload); importing them keeps this
+# experiment and the gate measuring the same thing.
+from repro.bench import (
+    DISCOVERY_BUDGET,
+    DISCOVERY_SEEDS,
+    DISCOVERY_WEIGHT,
+    _discovery_config,
+    _found_bigmac,
+    _found_quiet_slow_primary,
+    _tests_to,
+)
+from repro.plugins import (
+    ClientCountPlugin,
+    MacCorruptionPlugin,
+    PrimaryBehaviorPlugin,
+)
 from repro.targets import PbftTarget
 
 from _helpers import banner, campaign_config
@@ -97,6 +114,75 @@ def test_avd_finds_bigmac_in_tens_of_iterations(benchmark):
     assert all(t is not None for t in finds["random"]) or max(
         t for t in found
     ) <= BUDGET  # sanity: the space is findable at this budget
+
+
+# ---------------------------------------------------------------------------
+# Experiment S1c — coverage-guided (hybrid) vs impact-only discovery
+# ---------------------------------------------------------------------------
+def _race_campaign(seed: int, novelty_weight: Optional[float]):
+    plugins = [
+        MacCorruptionPlugin(),
+        PrimaryBehaviorPlugin(),
+        ClientCountPlugin(4, 8, 2),
+    ]
+    target = PbftTarget(plugins, config=_discovery_config())
+    if novelty_weight is None:
+        strategy = AvdExploration(target, plugins, seed=seed)
+    else:
+        strategy = HybridExploration(
+            target, plugins, seed=seed, novelty_weight=novelty_weight
+        )
+    return strategy.run(CampaignSpec(budget=DISCOVERY_BUDGET))
+
+
+def run_hybrid_discovery():
+    """Tests-to-find for two behaviour-gated attacks, per strategy/seed."""
+    rows = []
+    totals = {"avd": 0, "hybrid": 0}
+    for seed in DISCOVERY_SEEDS:
+        found = {}
+        for label, weight in (("avd", None), ("hybrid", DISCOVERY_WEIGHT)):
+            results = _race_campaign(seed, weight)
+            bigmac = _tests_to(results, _found_bigmac)
+            quiet = _tests_to(results, _found_quiet_slow_primary)
+            found[label] = (bigmac, quiet)
+            totals[label] += (bigmac or DISCOVERY_BUDGET) + (quiet or DISCOVERY_BUDGET)
+        rows.append(
+            [seed]
+            + [
+                t if t else f">{DISCOVERY_BUDGET}"
+                for t in (*found["avd"], *found["hybrid"])
+            ]
+        )
+    return rows, totals
+
+
+def report_hybrid(rows, totals) -> None:
+    banner(
+        "Coverage-guided discovery — impact-only vs hybrid (impact+novelty)",
+        "tests until Big-MAC-with-fallout and quiet-slow-primary are found",
+    )
+    print(format_table(
+        ["seed", "AVD BigMAC", "AVD quiet", "hybrid BigMAC", "hybrid quiet"],
+        rows,
+    ))
+    print(
+        f"\nsummed tests-to-find (miss = {DISCOVERY_BUDGET}): "
+        f"impact-only {totals['avd']}, hybrid {totals['hybrid']} "
+        f"(novelty weight {DISCOVERY_WEIGHT})"
+    )
+
+
+def test_hybrid_beats_impact_only_discovery(benchmark):
+    """The coverage-feedback claim, at the same pinned seeds the
+    ``campaign_discovery`` bench workload gates on."""
+    rows, totals = benchmark.pedantic(run_hybrid_discovery, rounds=1, iterations=1)
+    benchmark.extra_info.update(totals)
+    report_hybrid(rows, totals)
+    assert totals["hybrid"] < totals["avd"], (
+        f"hybrid must find both attacks in fewer summed tests "
+        f"(hybrid {totals['hybrid']} vs impact-only {totals['avd']})"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -186,4 +272,5 @@ def test_parallel_campaign_speedup(benchmark):
 
 if __name__ == "__main__":
     report(*run_discovery())
+    report_hybrid(*run_hybrid_discovery())
     report_speedup(run_speedup())

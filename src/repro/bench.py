@@ -1,6 +1,6 @@
 """The ``repro bench`` perf-regression harness.
 
-Four workloads, each run in *both* perf modes (see :mod:`repro.perf`) in
+The workloads below each run in *both* perf modes (see :mod:`repro.perf`) in
 the same process so every report measures the hot-path optimizations
 against the unoptimized reference implementation on the same machine:
 
@@ -22,6 +22,12 @@ against the unoptimized reference implementation on the same machine:
   optimized with forking disabled — and records ``fork_speedup`` (the
   snapshot machinery's own contribution) only after that run's outcome
   checksum matches the forked one.
+- ``campaign_discovery``: the discovery-speed race — impact-only AVD vs
+  the hybrid (impact + coverage-novelty) strategy hunting two
+  behaviour-gated attacks (Big-MAC with view-change fallout, quiet
+  slow-primary collapse) at pinned seeds. Besides the cross-mode
+  checksum gate it asserts ``discovery_ok``: the hybrid's summed
+  tests-to-find must beat impact-only's.
 
 Modes alternate (optimized, reference, optimized, ...) so slow machine
 drift hits both equally; the first iteration per mode is discarded as
@@ -49,10 +55,15 @@ import time
 from typing import Callable, Dict, Optional, Tuple
 
 from . import perf
-from .core import AvdExploration, CampaignSpec, run_campaign, snapshot
+from .core import AvdExploration, CampaignSpec, HybridExploration, run_campaign, snapshot
 from .core.parallel import resolve_workers
 from .pbft import PbftConfig, PbftDeployment
-from .plugins import AttackTimingPlugin, ClientCountPlugin, MacCorruptionPlugin
+from .plugins import (
+    AttackTimingPlugin,
+    ClientCountPlugin,
+    MacCorruptionPlugin,
+    PrimaryBehaviorPlugin,
+)
 from .sim import Simulator
 from .sim.trace import Tracer
 from .targets import PbftTarget
@@ -70,6 +81,14 @@ CAMPAIGN_BATCH = 8
 #: Maximum wall-clock overhead the attached telemetry bus may add to the
 #: serial campaign workload (percent).
 TELEMETRY_OVERHEAD_PCT = 5.0
+
+#: Pinned seeds for the discovery-speed race. At both, the hybrid
+#: (impact + coverage-novelty) strategy reaches the Big-MAC and the quiet
+#: slow-primary criteria in fewer tests than impact-only AVD.
+DISCOVERY_SEEDS = (17, 123)
+DISCOVERY_QUICK_SEEDS = (17,)
+DISCOVERY_BUDGET = 120
+DISCOVERY_WEIGHT = 0.4
 
 #: A workload returns (wall seconds, work units done, outcome fingerprint).
 Workload = Callable[[], Tuple[float, int, str]]
@@ -185,6 +204,108 @@ def _snapshot_campaign_workload(
         (r.test_index, r.key, r.impact, r.scenario.origin) for r in campaign.results
     ]
     return wall, budget, f"snapshot-campaign:{trajectory!r}"
+
+
+# ---------------------------------------------------------------------------
+# discovery-speed workload (coverage-guided vs impact-only)
+# ---------------------------------------------------------------------------
+def _discovery_config() -> PbftConfig:
+    """The sub-second PBFT scale the discovery race runs at.
+
+    Same structural ratios as ``campaign_scale`` (view-change timer = 10x
+    the client retransmission timeout) shrunk so a 120-test campaign runs
+    in seconds, not minutes.
+    """
+    return PbftConfig(
+        view_change_timer_us=80_000,
+        client_retransmit_us=8_000,
+        client_retransmit_max_us=64_000,
+        batch_interval_us=1_000,
+        checkpoint_interval=16,
+        watermark_window=64,
+        warmup_us=50_000,
+        measurement_us=300_000,
+    )
+
+
+def _found_bigmac(result) -> bool:
+    """Big-MAC-with-fallout: near-total collapse *via* the MAC path."""
+    m = result.measurement
+    return result.impact >= 0.9 and m.view_changes >= 1 and m.bad_mac_rejections >= 64
+
+
+def _found_quiet_slow_primary(result) -> bool:
+    """The stealthy variant: collapse with no view change, no crash, and
+    (almost) no MAC rejections — the slow-primary signature."""
+    m = result.measurement
+    return (
+        result.impact >= 0.95
+        and m.view_changes == 0
+        and m.crashed_replicas == 0
+        and m.bad_mac_rejections <= 8
+    )
+
+
+def _tests_to(results, predicate) -> Optional[int]:
+    for index, result in enumerate(results, 1):
+        if predicate(result):
+            return index
+    return None
+
+
+def _discovery_workload(
+    seeds: Tuple[int, ...], budget: int, costs_out: Dict[str, Dict[str, object]]
+) -> Tuple[float, int, str]:
+    """The discovery race: impact-only AVD vs the hybrid strategy.
+
+    Both strategies search the same MAC x primary-behaviour x client-count
+    space for two behaviour-gated targets (Big-MAC with view-change
+    fallout, and the quiet slow-primary collapse) at the same pinned
+    seeds. Tests-to-find per strategy/criterion/seed land in
+    ``costs_out`` (a miss costs ``budget``); the outcome fingerprint
+    folds the full trajectories, so the cross-mode checksum gate also
+    proves the coverage feedback path is perf-mode-invariant.
+    """
+    outcome_parts = []
+    total_tests = 0
+    costs_out.clear()
+    start = time.perf_counter()
+    for label, weight in (("avd", None), ("hybrid", DISCOVERY_WEIGHT)):
+        per_seed: Dict[str, object] = {}
+        for seed in seeds:
+            plugins = [
+                MacCorruptionPlugin(),
+                PrimaryBehaviorPlugin(),
+                ClientCountPlugin(4, 8, 2),
+            ]
+            target = PbftTarget(plugins, config=_discovery_config())
+            if weight is None:
+                strategy = AvdExploration(target, plugins, seed=seed)
+            else:
+                strategy = HybridExploration(
+                    target, plugins, seed=seed, novelty_weight=weight
+                )
+            results = strategy.run(CampaignSpec(budget=budget))
+            total_tests += len(results)
+            bigmac = _tests_to(results, _found_bigmac)
+            quiet = _tests_to(results, _found_quiet_slow_primary)
+            per_seed[str(seed)] = {"bigmac": bigmac, "quiet": quiet}
+            trajectory = [
+                (r.test_index, r.key, r.impact, r.scenario.origin) for r in results
+            ]
+            outcome_parts.append(f"{label}:{seed}:{bigmac}:{quiet}:{trajectory!r}")
+        costs_out[label] = per_seed
+    wall = time.perf_counter() - start
+    return wall, total_tests, "discovery:" + "|".join(outcome_parts)
+
+
+def _discovery_cost(per_seed: Dict[str, object], budget: int) -> int:
+    """Summed tests-to-find over both criteria and all seeds (miss = budget)."""
+    total = 0
+    for found in per_seed.values():
+        total += found["bigmac"] or budget
+        total += found["quiet"] or budget
+    return total
 
 
 # ---------------------------------------------------------------------------
@@ -313,6 +434,32 @@ def run_bench(
         else:
             snapshot_record["determinism_ok"] = False
     campaign_workloads["campaign_snapshot"] = snapshot_record
+    # Discovery-speed race: coverage-guided hybrid search must reach the
+    # behaviour-gated targets (Big-MAC, quiet slow-primary) in fewer
+    # total tests than impact-only AVD at the pinned seeds. The race runs
+    # under the usual cross-mode checksum gate, so the tests-to-find
+    # numbers (folded into the outcome) are also perf-mode-invariant.
+    discovery_seeds = DISCOVERY_QUICK_SEEDS if quick else DISCOVERY_SEEDS
+    discovery_costs: Dict[str, Dict[str, object]] = {}
+    discovery_record = measure(
+        lambda: _discovery_workload(discovery_seeds, DISCOVERY_BUDGET, discovery_costs),
+        "tests/sec",
+        repeats,
+    )
+    avd_cost = _discovery_cost(discovery_costs["avd"], DISCOVERY_BUDGET)
+    hybrid_cost = _discovery_cost(discovery_costs["hybrid"], DISCOVERY_BUDGET)
+    discovery_record.update(
+        {
+            "novelty_weight": DISCOVERY_WEIGHT,
+            "budget": DISCOVERY_BUDGET,
+            "seeds": list(discovery_seeds),
+            "tests_to": {label: dict(found) for label, found in discovery_costs.items()},
+            "avd_cost": avd_cost,
+            "hybrid_cost": hybrid_cost,
+            "discovery_ok": hybrid_cost < avd_cost,
+        }
+    )
+    campaign_workloads["campaign_discovery"] = discovery_record
     if not skip_parallel:
         parallel = measure(
             lambda: _campaign_workload(budget, workers=pool_size, batch_size=CAMPAIGN_BATCH),
@@ -337,6 +484,8 @@ def run_bench(
         flag = "" if record["determinism_ok"] else "  << MODES DIVERGED"
         if record.get("overhead_ok") is False:
             flag += "  << TELEMETRY OVERHEAD"
+        if record.get("discovery_ok") is False:
+            flag += "  << DISCOVERY REGRESSION"
         print(
             f"  {name:18s} {_rate(record['optimized']['rate']):>12s} {record['unit']:9s} "
             f"(reference {_rate(record['reference']['rate'])}, "
@@ -352,7 +501,18 @@ def run_bench(
                 f"  {'':18s} snapshot fork speedup {record['fork_speedup']:.2f}x "
                 "(vs optimized, no forking; checksum-gated)"
             )
-        ok = ok and bool(record["determinism_ok"]) and record.get("overhead_ok", True)
+        if "hybrid_cost" in record:
+            print(
+                f"  {'':18s} discovery cost (tests, lower wins): "
+                f"hybrid {record['hybrid_cost']} vs impact-only {record['avd_cost']} "
+                f"over seeds {record['seeds']}"
+            )
+        ok = (
+            ok
+            and bool(record["determinism_ok"])
+            and record.get("overhead_ok", True)
+            and record.get("discovery_ok", True)
+        )
 
     os.makedirs(out_dir, exist_ok=True)
     for file_name, workloads in (
@@ -374,7 +534,10 @@ def run_bench(
             handle.write("\n")
         print(f"  wrote {path}")
     if not ok:
-        print("repro bench: gate FAILED (mode divergence or telemetry overhead)")
+        print(
+            "repro bench: gate FAILED (mode divergence, telemetry overhead, "
+            "or discovery regression)"
+        )
         return 1
     return 0
 
@@ -382,6 +545,9 @@ def run_bench(
 __all__ = [
     "measure",
     "run_bench",
+    "DISCOVERY_BUDGET",
+    "DISCOVERY_SEEDS",
+    "DISCOVERY_WEIGHT",
     "KERNEL_FILE",
     "CAMPAIGN_FILE",
     "CAMPAIGN_BATCH",

@@ -26,6 +26,7 @@ from .core import (
     CampaignSpec,
     ControllerConfig,
     GeneticExploration,
+    HybridExploration,
     POWER_LADDER,
     RandomExploration,
     RetryPolicy,
@@ -155,23 +156,33 @@ def cmd_campaign(args) -> int:
     target, plugins = _build_target(
         args.target, args.tools.split(","), args.fixed_timers, args.aardvark
     )
+    if args.novelty_weight is not None and args.strategy not in ("avd", "hybrid"):
+        raise SystemExit("--novelty-weight requires --strategy avd or hybrid")
     config = ControllerConfig(
         fault_isolation=not args.no_fault_isolation,
         scenario_timeout=args.scenario_timeout,
         retry=RetryPolicy(max_attempts=args.retries),
+        novelty_weight=args.novelty_weight if args.novelty_weight is not None else 0.0,
     )
     if args.strategy == "avd":
         strategy = AvdExploration(target, plugins, seed=args.seed, config=config)
+    elif args.strategy == "hybrid":
+        # An explicit --novelty-weight already sits in the config; otherwise
+        # the strategy applies its own default blend.
+        strategy = HybridExploration(target, plugins, seed=args.seed, config=config)
     elif args.strategy == "random":
         strategy = RandomExploration(target, seed=args.seed)
     else:
         strategy = GeneticExploration(target, plugins, seed=args.seed)
-    if args.checkpoint and args.strategy != "avd":
-        raise SystemExit("--checkpoint requires --strategy avd (only AVD is resumable)")
-    if (args.telemetry or args.progress) and args.strategy != "avd":
+    resumable = args.strategy in ("avd", "hybrid")
+    if args.checkpoint and not resumable:
         raise SystemExit(
-            "--telemetry/--progress require --strategy avd "
-            "(only AVD publishes campaign events)"
+            "--checkpoint requires --strategy avd or hybrid (only they are resumable)"
+        )
+    if (args.telemetry or args.progress) and not resumable:
+        raise SystemExit(
+            "--telemetry/--progress require --strategy avd or hybrid "
+            "(only they publish campaign events)"
         )
     if args.checkpoint:
         # Everything `repro resume` needs to rebuild this campaign.
@@ -442,7 +453,15 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--target", choices=("pbft", "dht"), default="pbft")
     campaign.add_argument("--tools", default="mac,clients",
                           help=f"comma list of {', '.join(sorted(_TOOL_FACTORIES))}")
-    campaign.add_argument("--strategy", choices=("avd", "random", "genetic"), default="avd")
+    campaign.add_argument(
+        "--strategy", choices=("avd", "hybrid", "random", "genetic"), default="avd"
+    )
+    campaign.add_argument(
+        "--novelty-weight", type=float, default=None, metavar="W",
+        help="blend coverage novelty into parent selection (0 = pure impact, "
+             "1 = pure novelty; default: 0 for avd, "
+             f"{HybridExploration.DEFAULT_NOVELTY_WEIGHT} for hybrid)",
+    )
     campaign.add_argument("--budget", type=int, default=40)
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument(

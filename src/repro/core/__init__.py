@@ -8,6 +8,7 @@ Baseline strategies and the attacker power model live alongside.
 
 from .campaign import CampaignResult, compare_campaigns, run_campaign
 from .controller import ControllerConfig, TestController
+from .coverage import CoverageMap, extract_features, signature_of
 from .executor import ScenarioExecutor, TargetSystem, publish_executed
 from .failures import (
     Quarantine,
@@ -21,6 +22,7 @@ from .exploration import (
     ExhaustiveExploration,
     ExplorationStrategy,
     GeneticExploration,
+    HybridExploration,
     RandomExploration,
 )
 from .hyperspace import (
@@ -76,12 +78,14 @@ __all__ = [
     "ControllerConfig",
     "Coords",
     "CoordsKey",
+    "CoverageMap",
     "DifficultyEstimate",
     "Dimension",
     "ExhaustiveExploration",
     "ExplorationStrategy",
     "GeneticExploration",
     "GrayBitmaskDimension",
+    "HybridExploration",
     "Hyperspace",
     "IntRangeDimension",
     "POWER_LADDER",
@@ -111,6 +115,7 @@ __all__ = [
     "coords_key",
     "describe_best",
     "estimate_difficulty",
+    "extract_features",
     "format_table",
     "heatmap",
     "load_campaign",
@@ -120,6 +125,7 @@ __all__ = [
     "restore_controller",
     "save_campaign",
     "save_checkpoint",
+    "signature_of",
     "sparkline",
     "verify_target",
     "weighted_choice",

@@ -19,11 +19,13 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Set
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..sim.trace import set_kind_capture
 from ..telemetry.bus import TelemetryBus
 from ..telemetry.events import (
     CheckpointWritten,
+    CoverageObserved,
     FailureClassified,
     ImpactAbsorbed,
     MutationApplied,
@@ -32,14 +34,21 @@ from ..telemetry.events import (
     ScenarioGenerated,
     key_dict,
 )
+from . import coverage as coverage_mod
+from .coverage import CoverageMap
 from .executor import ScenarioExecutor, Target
 from .failures import Quarantine, RetryPolicy, ScenarioFailure
 from .hyperspace import CoordsKey
 from .parallel import ParallelScenarioExecutor, resolve_workers
 from .plugin import ToolPlugin
-from .sampling import PluginSampler, TopSet
+from .sampling import PluginSampler, TopSet, weighted_choice
 from .scenario import ScenarioResult, TestScenario
 from .spec import CampaignSpec
+
+#: Cap on the novelty corpus: scenarios that exhibited a never-seen
+#: behaviour are kept as extra parent candidates (beyond Pi) up to this
+#: many, oldest evicted first.
+NOVEL_CORPUS_CAP = 16
 
 
 @dataclass(frozen=True)
@@ -70,6 +79,11 @@ class ControllerConfig:
     #: Retry budget + backoff for transient failures (timeouts, worker
     #: crashes).
     retry: RetryPolicy = RetryPolicy()
+    #: Coverage-novelty blend for parent selection: 0 = the paper's pure
+    #: impact-weighted sampling (legacy RNG behaviour, bit-for-bit), 1 =
+    #: pure novelty. Any positive value turns on coverage capture and
+    #: signature tracking (see :mod:`repro.core.coverage`).
+    novelty_weight: float = 0.0
 
     def __post_init__(self) -> None:
         if self.top_set_size < 1:
@@ -84,6 +98,8 @@ class ControllerConfig:
             raise ValueError("fixed_mutate_distance must be in [0, 1]")
         if self.scenario_timeout is not None and not self.scenario_timeout > 0:
             raise ValueError("scenario_timeout must be positive (or None)")
+        if not 0.0 <= self.novelty_weight <= 1.0:
+            raise ValueError("novelty_weight must be in [0, 1]")
 
 
 class TestController:
@@ -142,6 +158,22 @@ class TestController:
         #: parent impact by child key, for fitness-gain accounting.
         self._parent_impact: Dict[CoordsKey, float] = {}
 
+        #: Effective novelty blend for this campaign (a CampaignSpec may
+        #: override the config value per run; checkpoints persist it).
+        self.novelty_weight: float = config.novelty_weight
+        #: The campaign-global seen-behaviour map (coverage signatures).
+        self.coverage = CoverageMap()
+        #: Coverage signature per executed scenario key.
+        self._signatures: Dict[CoordsKey, str] = {}
+        #: Feature tuple per executed scenario key (for live novelty
+        #: re-scoring during parent selection).
+        self._features: Dict[CoordsKey, Tuple[str, ...]] = {}
+        #: Novelty score each scenario earned when absorbed.
+        self._novelty: Dict[CoordsKey, float] = {}
+        #: Bounded corpus of scenarios that exhibited never-seen behaviour
+        #: (extra parent candidates beyond Pi; insertion-ordered).
+        self._novel_corpus: Dict[CoordsKey, ScenarioResult] = {}
+
     # ------------------------------------------------------------------
     # scenario generation (Algorithm 1)
     # ------------------------------------------------------------------
@@ -190,9 +222,47 @@ class TestController:
         self._pending_keys.discard(scenario.key)
         return scenario
 
+    def _sample_parent(self) -> Optional[ScenarioResult]:
+        """Line 1 of Algorithm 1, optionally blended with coverage novelty.
+
+        With ``novelty_weight == 0`` this is *exactly* the paper's
+        impact-weighted sampling over Pi — same code path, same RNG draws,
+        so legacy trajectories stay bit-identical. With a positive weight
+        the candidate pool is Pi plus the novelty corpus, and each
+        candidate's weight blends its impact (floored, as before) with the
+        *current* novelty of its behaviour class — scenarios whose
+        behaviour has since become common fade as parents even if their
+        impact ranks them high.
+        """
+        weight = self.novelty_weight
+        if weight <= 0.0:
+            return self.top_set.sample_by_impact(self.rng)
+        candidates = list(self.top_set.entries)
+        pi_keys = {entry.key for entry in candidates}
+        candidates.extend(
+            result for key, result in self._novel_corpus.items() if key not in pi_keys
+        )
+        if not candidates:
+            return None
+        weights = []
+        for entry in candidates:
+            features = self._features.get(entry.key)
+            if features is not None:
+                novelty = self.coverage.feature_novelty(features)
+            else:
+                # Scenarios absorbed before feature tracking (old
+                # checkpoints): fall back to signature counting, or a
+                # neutral score when even that is missing.
+                signature = self._signatures.get(entry.key)
+                novelty = (
+                    self.coverage.novelty(signature) if signature is not None else 0.5
+                )
+            weights.append((1.0 - weight) * (entry.impact + 0.02) + weight * novelty)
+        return weighted_choice(candidates, weights, self.rng)
+
     def _generate_mutation(self) -> Optional[TestScenario]:
         for _ in range(self.config.dedup_retries):
-            parent = self.top_set.sample_by_impact(self.rng)  # line 1
+            parent = self._sample_parent()  # line 1
             if parent is None:
                 return None
             plugin_name = self.plugin_sampler.sample(self.rng)  # line 2
@@ -319,9 +389,43 @@ class TestController:
                         best_key=key_dict(best.key) if best is not None else None,
                     )
                 )
+            if self.novelty_weight > 0.0:
+                self._observe_coverage(result)
         if result.scenario.plugin is not None:
             parent_impact = self._parent_impact.pop(result.key, 0.0)
             self.plugin_sampler.record(result.scenario.plugin, parent_impact, result.impact)
+
+    def _observe_coverage(self, result: ScenarioResult) -> None:
+        """Fold one measurement into the seen-behaviour map.
+
+        Runs in the parent process only (results cross the pool boundary
+        as measurements), in absorption order — so the map's first-seen
+        ordering, the novelty scores, and the published ``CoverageObserved``
+        events are identical for every worker count.
+        """
+        features = coverage_mod.extract_features(
+            self.target, result.measurement, result.params
+        )
+        signature = coverage_mod.signature_of(features)
+        novel, novelty = self.coverage.observe(signature, features)
+        self._signatures[result.key] = signature
+        self._features[result.key] = features
+        self._novelty[result.key] = novelty
+        if novel:
+            self._novel_corpus[result.key] = result
+            while len(self._novel_corpus) > NOVEL_CORPUS_CAP:
+                self._novel_corpus.pop(next(iter(self._novel_corpus)))
+        if self.telemetry.active:
+            self.telemetry.publish(
+                CoverageObserved(
+                    test_index=result.test_index,
+                    key=key_dict(result.key),
+                    signature=signature,
+                    novel=novel,
+                    seen_total=len(self.coverage),
+                    novelty=novelty,
+                )
+            )
 
     def run(self, spec: Optional[CampaignSpec] = None, **legacy) -> List[ScenarioResult]:
         """Run a campaign described by a :class:`CampaignSpec`.
@@ -361,6 +465,8 @@ class TestController:
         if spec.telemetry is not None:
             self.telemetry = spec.telemetry
             self.executor.telemetry = spec.telemetry
+        if spec.novelty_weight is not None:
+            self.novelty_weight = spec.novelty_weight
         if self.telemetry.seq < self._telemetry_seq_floor:
             # Resume: never reuse sequence numbers the checkpointed stream
             # already assigned (the JSONL sink appends past them).
@@ -378,6 +484,11 @@ class TestController:
             "batch_size": batch_size,
             "checkpoint_every": spec.checkpoint_every,
         }
+        coverage_on = self.novelty_weight > 0.0
+        # Coverage capture is sampled at deployment construction, so the
+        # toggle only needs to cover this run; the previous override is
+        # restored on the way out so co-resident campaigns are unaffected.
+        capture_before = set_kind_capture(True) if coverage_on else None
         try:
             if workers == 1 and batch_size == 1:
                 results = self._run_serial(spec.budget)
@@ -389,9 +500,12 @@ class TestController:
                     timeout=self.config.scenario_timeout,
                     retry=self.config.retry,
                     telemetry=self.telemetry,
+                    coverage_capture=coverage_on,
                 ) as pool:
                     results = self._run_batched(spec.budget, batch_size, pool)
         finally:
+            if coverage_on:
+                set_kind_capture(capture_before)
             self._checkpoint_path = None
         if spec.checkpoint_path is not None:
             self._write_checkpoint(spec.checkpoint_path)  # final state, resume-safe

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import itertools
 import random
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from .controller import ControllerConfig, TestController
@@ -75,6 +76,40 @@ class AvdExploration(ExplorationStrategy):
     ) -> List[ScenarioResult]:
         spec = CampaignSpec.from_legacy("AvdExploration.run", spec, legacy)
         return self.controller.run(spec)
+
+
+class HybridExploration(AvdExploration):
+    """Impact + coverage-novelty exploration (greybox-style feedback).
+
+    The same controller as :class:`AvdExploration`, but parent selection
+    blends the paper's impact fitness with the novelty of each scenario's
+    coverage signature (see :mod:`repro.core.coverage`): scenarios that
+    exhibited behaviours nobody else has — rare message interleavings,
+    unusual quorum shapes — stay eligible as mutation parents even while
+    their impact is still low. ``novelty_weight=0`` degenerates to plain
+    AVD, bit-for-bit.
+    """
+
+    name = "hybrid"
+
+    #: Default impact/novelty blend when neither the constructor nor the
+    #: spec overrides it. Impact-dominant: novelty widens the parent pool,
+    #: it does not replace the paper's fitness signal.
+    DEFAULT_NOVELTY_WEIGHT = 0.4
+
+    def __init__(
+        self,
+        target: TargetSystem,
+        plugins: Sequence[ToolPlugin],
+        seed: int = 0,
+        config: ControllerConfig = ControllerConfig(),
+        novelty_weight: Optional[float] = None,
+    ) -> None:
+        if novelty_weight is None and config.novelty_weight == 0.0:
+            novelty_weight = self.DEFAULT_NOVELTY_WEIGHT
+        if novelty_weight is not None:
+            config = replace(config, novelty_weight=novelty_weight)
+        super().__init__(target, plugins, seed=seed, config=config)
 
 
 class RandomExploration(ExplorationStrategy):
@@ -364,5 +399,6 @@ __all__ = [
     "ExhaustiveExploration",
     "ExplorationStrategy",
     "GeneticExploration",
+    "HybridExploration",
     "RandomExploration",
 ]

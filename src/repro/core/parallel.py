@@ -51,6 +51,7 @@ from typing import Callable, List, Optional, Sequence
 
 import time
 
+from ..sim.trace import set_kind_capture
 from ..telemetry.bus import TelemetryBus
 from .executor import ScenarioExecutor, Target, publish_executed
 from .failures import (
@@ -70,8 +71,14 @@ def _init_worker(
     campaign_seed: int,
     timeout: Optional[float] = None,
     retry: Optional[RetryPolicy] = None,
+    coverage_capture: bool = False,
 ) -> None:
     global _WORKER_EXECUTOR
+    if coverage_capture:
+        # Must happen before the target is unpickled/warmed: deployments
+        # (and snapshot-cache prefixes) sample the capture toggle at
+        # construction, and their snapshot keys include it.
+        set_kind_capture(True)
     target = pickle.loads(target_blob)
     # Targets may expose a warm_caches() hook (the PBFT target precomputes
     # its benign baselines and — given the campaign seed — the benign
@@ -153,8 +160,13 @@ class ParallelScenarioExecutor:
         retry: Optional[RetryPolicy] = None,
         sleep: Callable[[float], None] = time.sleep,
         telemetry: Optional[TelemetryBus] = None,
+        coverage_capture: bool = False,
     ) -> None:
         self.target = target
+        #: Propagated to every worker's initializer (and assumed already
+        #: set in *this* process by the caller) so deployments on both
+        #: sides of the pool boundary capture identically.
+        self.coverage_capture = coverage_capture
         #: Campaign telemetry bus. ``ScenarioExecuted`` events are
         #: published *here*, in the parent process, after each batch's
         #: results are collected in submission order — never inside the
@@ -231,7 +243,13 @@ class ParallelScenarioExecutor:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_worker,
-                initargs=(target_blob, self.campaign_seed, self.timeout, self.retry),
+                initargs=(
+                    target_blob,
+                    self.campaign_seed,
+                    self.timeout,
+                    self.retry,
+                    self.coverage_capture,
+                ),
             )
         return self._pool
 

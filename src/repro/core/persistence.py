@@ -227,6 +227,10 @@ def checkpoint_to_dict(controller) -> Dict[str, Any]:
             "uniform_plugin_choice": config.uniform_plugin_choice,
             "fault_isolation": config.fault_isolation,
             "scenario_timeout": config.scenario_timeout,
+            # The *effective* weight (spec overrides included), so a
+            # resume without an explicit --novelty-weight keeps sampling
+            # the way the original campaign did.
+            "novelty_weight": controller.novelty_weight,
             "retry": config.retry.to_dict(),
         },
         "rng_state": [rng_version, list(rng_internal), rng_gauss],
@@ -254,6 +258,26 @@ def checkpoint_to_dict(controller) -> Dict[str, Any]:
             for key, impact in controller._parent_impact.items()
         ],
         "quarantine": controller.quarantine.to_list(),
+        # The seen-behaviour map and its per-scenario signatures. Stored
+        # verbatim (not recomputed on restore): loaded measurements are
+        # attribute views, and replaying extraction over them must never
+        # be able to drift from what the live run observed.
+        "coverage": {
+            "seen": controller.coverage.to_state(),
+            "signatures": [
+                [_key_to_jsonable(key), signature]
+                for key, signature in controller._signatures.items()
+            ],
+            "features": [
+                [_key_to_jsonable(key), list(features)]
+                for key, features in controller._features.items()
+            ],
+            "novelty": [
+                [_key_to_jsonable(key), score]
+                for key, score in controller._novelty.items()
+            ],
+            "corpus": [_key_to_jsonable(key) for key in controller._novel_corpus],
+        },
         "results": [_result_to_dict(result) for result in controller.results],
         "run": dict(controller._run_params),
         "context": dict(controller.checkpoint_context),
@@ -375,6 +399,33 @@ def restore_controller(data: Dict[str, Any], target, plugins, telemetry=None):
                 error=item.get("error", ""),
                 attempts=int(item.get("attempts", 1)),
             )
+
+    # Coverage state is restored verbatim (old checkpoints without the
+    # block come back with an empty map — matching their novelty_weight
+    # of 0). Corpus entries are rebuilt by key lookup over the replayed
+    # results; a key that no longer resolves is simply dropped.
+    from .coverage import CoverageMap
+
+    coverage_data = data.get("coverage", {})
+    controller.coverage = CoverageMap.from_state(coverage_data.get("seen"))
+    controller._signatures = {
+        _key_from_jsonable(key): str(signature)
+        for key, signature in coverage_data.get("signatures", [])
+    }
+    controller._features = {
+        _key_from_jsonable(key): tuple(str(feature) for feature in features)
+        for key, features in coverage_data.get("features", [])
+    }
+    controller._novelty = {
+        _key_from_jsonable(key): float(score)
+        for key, score in coverage_data.get("novelty", [])
+    }
+    by_key = {result.key: result for result in controller.results}
+    controller._novel_corpus = {
+        key: by_key[key]
+        for key in map(_key_from_jsonable, coverage_data.get("corpus", []))
+        if key in by_key
+    }
 
     rng_version, rng_internal, rng_gauss = data["rng_state"]
     controller.rng.setstate((rng_version, tuple(rng_internal), rng_gauss))

@@ -51,8 +51,16 @@ def sparkline(series: Sequence[float], width: int = 60) -> str:
     top = max(series)
     if top <= 0:
         return "_" * len(series)
+    if top == min(series):
+        # Flat non-zero series: zero range carries no shape information,
+        # so render a uniform mid band instead of full intensity.
+        return _BLOCKS[len(_BLOCKS) // 2] * len(series)
     steps = len(_BLOCKS) - 1
-    return "".join(_BLOCKS[min(steps, int(round(value / top * steps)))] for value in series)
+    # Clamp below as well as above: negative points (top is positive
+    # here) must floor to the lightest block, not index from the end.
+    return "".join(
+        _BLOCKS[max(0, min(steps, int(round(value / top * steps))))] for value in series
+    )
 
 
 def heatmap(
@@ -67,19 +75,29 @@ def heatmap(
     cells print ``#`` (value below/above the threshold per ``dark_below``);
     without a threshold, a 10-level gradient is used.
     """
+    flat = [value for row in grid for value in row]
+    if not flat:
+        # No cells at all (no rows, or only empty rows): nothing to draw.
+        return "(empty)"
     lines: List[str] = []
     label_width = max((len(label) for label in row_labels or []), default=0)
-    flat = [value for row in grid for value in row]
-    top = max(flat) if flat else 1.0
+    top = max(flat)
+    low = min(flat)
+    steps = len(_BLOCKS) - 1
     for index, row in enumerate(grid):
         if threshold is not None:
             cells = "".join(
                 "#" if ((value < threshold) == dark_below) else "." for value in row
             )
+        elif top <= 0:
+            cells = "_" * len(row)
+        elif top == low:
+            # Zero range (all cells equal): a uniform mid band, matching
+            # sparkline's treatment of flat series.
+            cells = _BLOCKS[len(_BLOCKS) // 2] * len(row)
         else:
-            steps = len(_BLOCKS) - 1
             cells = "".join(
-                _BLOCKS[min(steps, int(round(value / top * steps)))] if top > 0 else " "
+                _BLOCKS[max(0, min(steps, int(round(value / top * steps))))]
                 for value in row
             )
         label = (row_labels[index] if row_labels else "").rjust(label_width)

@@ -32,6 +32,7 @@ LEGACY_RUN_KWARGS = (
     "checkpoint_path",
     "checkpoint_every",
     "telemetry",
+    "novelty_weight",
 )
 
 
@@ -54,6 +55,10 @@ class CampaignSpec:
     checkpoint_every: int = 25
     #: Telemetry bus receiving the campaign's event stream (optional).
     telemetry: Optional["TelemetryBus"] = None
+    #: Coverage-novelty blend for parent selection (AVD only). ``None``
+    #: keeps the strategy's configured weight; ``0.0`` forces the paper's
+    #: pure impact sampling; ``1.0`` selects purely by behaviour novelty.
+    novelty_weight: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.budget < 1:
@@ -64,6 +69,10 @@ class CampaignSpec:
             raise ValueError("checkpoint_every must be >= 1")
         if self.workers is not None and self.workers < 0:
             raise ValueError(f"workers must be >= 0 (0 = auto), got {self.workers}")
+        if self.novelty_weight is not None and not 0.0 <= self.novelty_weight <= 1.0:
+            raise ValueError(
+                f"novelty_weight must be in [0, 1], got {self.novelty_weight}"
+            )
 
     def with_overrides(self, **changes) -> "CampaignSpec":
         """A copy with the given fields replaced (re-validated)."""

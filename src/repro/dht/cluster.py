@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from ..sim import LanLatency, Network, Simulator
 from ..sim.clock import SECOND
@@ -37,6 +37,9 @@ class DhtRunResult:
     #: Amplification: victim messages per attacker message (0 if no attack).
     amplification: float
     window_s: float = 0.0
+    #: Raw named counters; coverage mode folds in the network's delivered
+    #: message-kind trail under ``net.msg.*``/``net.seq.*`` keys.
+    counters: Dict[str, int] = field(default_factory=dict)
 
 
 class DhtDeployment:
@@ -152,6 +155,8 @@ class DhtDeployment:
         window_s = config.measurement_us / SECOND
         attacker_messages = sum(node.messages_spent for node in self.malicious_nodes)
         victim_messages = self.victim.received_in_window
+        trail = self.network.kind_trail
+        counters: Dict[str, int] = trail.merged() if trail is not None else {}
         return DhtRunResult(
             victim_messages=victim_messages,
             victim_load_mps=victim_messages / window_s if window_s else 0.0,
@@ -159,6 +164,7 @@ class DhtDeployment:
             lookups_completed=sum(n.lookups_completed for n in self.correct_nodes),
             amplification=(victim_messages / attacker_messages) if attacker_messages else 0.0,
             window_s=window_s,
+            counters=counters,
         )
 
     def run_prefix(self, until: int) -> None:

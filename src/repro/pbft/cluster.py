@@ -295,8 +295,22 @@ class PbftDeployment:
             retransmissions=metrics.counter_value("pbft.client_retransmissions"),
             bad_mac_rejections=sum(r.requests_rejected_bad_mac for r in self.replicas),
             throughput_series=throughput_series,
-            counters={name: c.value for name, c in metrics.counters.items()},
+            counters=self._counters_with_trail(metrics),
         )
+
+    def _counters_with_trail(self, metrics) -> Dict[str, int]:
+        """Raw simulator counters, plus coverage-mode delivery counts.
+
+        When coverage capture is on (see :mod:`repro.sim.trace`) the
+        network's kind trail is folded in under ``net.msg.*``/``net.seq.*``
+        keys, in sorted order, so downstream signature extraction sees a
+        deterministic mapping.
+        """
+        counters = {name: c.value for name, c in metrics.counters.items()}
+        trail = self.network.kind_trail
+        if trail is not None:
+            counters.update(trail.merged())
+        return counters
 
 
 def run_deployment(

@@ -19,6 +19,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Protocol, Sequence
 from .. import perf
 from .clock import MS
 from .simulator import SimulationError, Simulator
+from .trace import KindTrail, kind_capture_enabled
 
 
 class Envelope:
@@ -148,6 +149,13 @@ class Network:
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.delivered_per_endpoint: Dict[str, int] = {}
+        # Coverage-mode capture (sampled at construction, see
+        # `repro.sim.trace`): records delivered payload kinds and their
+        # 2-gram transitions. Part of the pickled state on purpose — a
+        # snapshot-forked run must continue the benign prefix's trail.
+        self.kind_trail: Optional[KindTrail] = (
+            KindTrail() if kind_capture_enabled() else None
+        )
         # Fused fast path (sampled at construction, see `repro.perf`):
         # deliveries are scheduled straight onto the queue's handle-free
         # `defer`, and for the common LanLatency model the exponential draw
@@ -359,6 +367,9 @@ class Network:
         self.messages_delivered += 1
         counts = self.delivered_per_endpoint
         counts[dst] = counts.get(dst, 0) + 1
+        trail = self.kind_trail
+        if trail is not None:
+            trail.add(type(payload).__name__)
         handler(payload, src)
 
 

@@ -10,11 +10,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core import snapshot
+from ..core import coverage, snapshot
 from ..core.hyperspace import ChoiceDimension, Dimension, Hyperspace, IntRangeDimension
 from ..core.plugin import ToolPlugin
 from ..core.power import AccessLevel, ControlLevel
 from ..dht import DhtAttack, DhtConfig, DhtDeployment, DhtRunResult
+from ..sim.trace import kind_capture_enabled
 
 POISON_RATE_DIMENSION = "poison_rate_pct"
 POISON_FANOUT_DIMENSION = "poison_fanout"
@@ -87,7 +88,12 @@ class DhtScenarioSpec:
         return DhtAttack(poison_rate=self.poison_rate, fanout=self.fanout)
 
     def snapshot_key(self, seed: int) -> Tuple:
-        """Everything the benign prefix depends on — and nothing else."""
+        """Everything the benign prefix depends on — and nothing else.
+
+        The coverage-capture flag is included for the same reason as in
+        :meth:`PbftScenarioSpec.snapshot_key`: the prefix's kind trail only
+        exists when capture was on at construction time.
+        """
         return (
             "dht",
             self.config,
@@ -95,6 +101,7 @@ class DhtScenarioSpec:
             self.n_malicious,
             self.attack_start_pct,
             seed,
+            kind_capture_enabled(),
         )
 
     def build_prefix(self, seed: int) -> DhtDeployment:
@@ -177,6 +184,35 @@ class DhtTarget:
             "amplification": measurement.amplification,
             "lookups_completed": measurement.lookups_completed,
         }
+
+    def coverage_features(
+        self, measurement: DhtRunResult, params: Dict[str, object]
+    ) -> Tuple[str, ...]:
+        """Behaviour features for the DHT redirection scenario.
+
+        Amplification is bucketed at quarter-resolution (sub-1x regimes
+        matter: a scenario that merely *wastes* attacker messages behaves
+        differently from one that amplifies), loads and lookup completions
+        at power-of-two resolution, plus the delivery trail when coverage
+        capture is on.
+        """
+        m = measurement
+        features = [
+            f"amp:{coverage.log2_bucket(int(float(m.amplification) * 4))}",
+            f"victim:{coverage.log2_bucket(m.victim_messages)}",
+            f"spent:{coverage.log2_bucket(m.attacker_messages)}",
+            f"lookups:{coverage.log2_bucket(m.lookups_completed)}",
+        ]
+        for name, value in sorted((getattr(m, "counters", {}) or {}).items()):
+            if not isinstance(value, (int, float)):
+                continue
+            if name.startswith("net.seq.") or name.startswith("net.msg."):
+                # Presence of a delivery edge, not its tally (see the PBFT
+                # extractor): per-edge counts make every run look novel.
+                features.append(f"edge:{name[4:]}")
+            else:
+                features.append(f"ctr:{name}:{coverage.log2_bucket(value)}")
+        return tuple(features)
 
     def _spec(self, params: Dict[str, object]) -> DhtScenarioSpec:
         spec = DhtScenarioSpec(self.config, self.n_correct)

@@ -26,7 +26,8 @@ from ..pbft import (
     ReplicaBehavior,
 )
 from ..sim import NetworkFault
-from ..core import snapshot
+from ..sim.trace import kind_capture_enabled
+from ..core import coverage, snapshot
 from ..core.hyperspace import Hyperspace
 from ..core.plugin import ToolPlugin
 
@@ -112,7 +113,12 @@ class PbftScenarioSpec:
         )
 
     def snapshot_key(self, seed: int) -> Tuple:
-        """Everything the benign prefix depends on — and nothing else."""
+        """Everything the benign prefix depends on — and nothing else.
+
+        Coverage capture changes what the prefix *records* (the network's
+        kind trail), so the flag is part of the key: a prefix captured with
+        capture off must never be forked into a coverage-mode run.
+        """
         return (
             "pbft",
             self.config,
@@ -120,6 +126,7 @@ class PbftScenarioSpec:
             self.n_malicious_clients,
             self.attack_start_pct,
             seed,
+            kind_capture_enabled(),
         )
 
     def build_prefix(self, seed: int) -> PbftDeployment:
@@ -197,6 +204,48 @@ class PbftTarget:
             "crashed_replicas": measurement.crashed_replicas,
             "bad_mac_rejections": measurement.bad_mac_rejections,
         }
+
+    def coverage_features(
+        self, measurement: PbftRunResult, params: Dict[str, object]
+    ) -> Tuple[str, ...]:
+        """The behaviour features a coverage signature is derived from.
+
+        Pure function of the measurement (which is itself a pure function
+        of ``(seed, scenario)``): the view-change/quorum shape, bucketed
+        protocol counters (timer fires, rejections, crashes — plus the
+        ``net.msg.*``/``net.seq.*`` delivery trail when coverage capture
+        is on), and the 2-grams of the quantized throughput timeline.
+        Works on live :class:`PbftRunResult` objects and on persisted
+        measurement views alike.
+        """
+        m = measurement
+        # Quorum counts are bucketed like every other tally: raw counts
+        # would mint a fresh "novel" signature for every view-change total,
+        # rewarding the noisy view-change-storm basin with endless novelty
+        # instead of pushing exploration toward genuinely new behaviour.
+        features = [
+            "quorum:"
+            f"{coverage.log2_bucket(m.view_changes)}:"
+            f"{coverage.log2_bucket(m.new_views)}:"
+            f"{int(m.crashed_replicas)}",
+            f"badmac:{coverage.log2_bucket(m.bad_mac_rejections)}",
+            f"rtx:{coverage.log2_bucket(m.retransmissions)}",
+            f"done:{coverage.log2_bucket(m.completed_requests)}",
+        ]
+        for name, value in sorted(m.counters.items()):
+            if not isinstance(value, (int, float)):
+                continue
+            if name.startswith("net.seq.") or name.startswith("net.msg."):
+                # Delivery-trail coverage is *presence*, not tallies: which
+                # message kinds and kind->kind transitions occurred at all
+                # (AFL-style edge coverage). Bucketing ~70 per-edge counts
+                # instead makes every run's joint vector unique, novelty
+                # degenerates to a constant 1.0, and the signal vanishes.
+                features.append(f"edge:{name[4:]}")
+            else:
+                features.append(f"ctr:{name}:{coverage.log2_bucket(value)}")
+        features.extend(coverage.series_ngrams(m.throughput_series))
+        return tuple(features)
 
     def _spec(self, params: Dict[str, object]) -> PbftScenarioSpec:
         spec = PbftScenarioSpec(config=self.config)

@@ -27,6 +27,7 @@ from .bus import TelemetryBus, TelemetrySink
 from .events import (
     EVENT_TYPES,
     CheckpointWritten,
+    CoverageObserved,
     FailureClassified,
     ImpactAbsorbed,
     MutationApplied,
@@ -39,6 +40,7 @@ from .events import (
 )
 from .schema import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     SchemaError,
     event_to_json,
     validate_event,
@@ -48,6 +50,7 @@ from .sinks import JsonlSink, RingBufferSink, TtyProgressSink
 
 __all__ = [
     "CheckpointWritten",
+    "CoverageObserved",
     "EVENT_TYPES",
     "FailureClassified",
     "ImpactAbsorbed",
@@ -57,6 +60,7 @@ __all__ = [
     "PluginSampled",
     "RingBufferSink",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "ScenarioExecuted",
     "ScenarioGenerated",
     "SchemaError",

@@ -17,6 +17,8 @@ Publication points (see DESIGN.md, "Telemetry"):
 - ``MutationApplied``    — controller, when a mutation child is accepted;
 - ``ScenarioExecuted``   — executors, in submission order;
 - ``ImpactAbsorbed``     — controller, when a result enters Pi/Omega/mu;
+- ``CoverageObserved``   — controller, when a coverage signature is
+  recorded (hybrid exploration only);
 - ``FailureClassified``  — controller, when a failure is quarantined;
 - ``CheckpointWritten``  — controller, before each checkpoint lands.
 """
@@ -118,6 +120,26 @@ class ImpactAbsorbed(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class CoverageObserved(TelemetryEvent):
+    """A scenario's coverage signature entered the seen-behaviour map.
+
+    Published only when coverage-guided (hybrid) exploration is active.
+    ``signature`` is the stable SHA-256-derived behaviour digest, so the
+    event stream stays byte-identical across worker counts, perf modes,
+    and ``PYTHONHASHSEED`` values.
+    """
+
+    test_index: int
+    key: KeyDict
+    signature: str
+    novel: bool
+    #: Distinct signatures seen so far, including this one.
+    seen_total: int
+    #: 1/n for the n-th observation of this signature.
+    novelty: float
+
+
+@dataclass(frozen=True)
 class FailureClassified(TelemetryEvent):
     """A scenario failure was classified and quarantined (zero impact)."""
 
@@ -147,6 +169,7 @@ EVENT_TYPES = {
         MutationApplied,
         ScenarioExecuted,
         ImpactAbsorbed,
+        CoverageObserved,
         FailureClassified,
         CheckpointWritten,
     )
@@ -156,6 +179,7 @@ EVENT_TYPES = {
 __all__ = [
     "EVENT_TYPES",
     "CheckpointWritten",
+    "CoverageObserved",
     "FailureClassified",
     "ImpactAbsorbed",
     "KeyDict",

@@ -85,6 +85,17 @@ class CampaignAttribution:
     plugins: Dict[str, PluginAttribution] = field(default_factory=dict)
     random_generated: int = 0
     lineage: List[LineageStep] = field(default_factory=list)
+    #: False when the walk from the best scenario could not reach a
+    #: founding random shot (truncated or cyclic ``parent_key`` chain).
+    lineage_complete: bool = True
+    #: Why the lineage walk stopped early (None when complete).
+    lineage_break: Optional[str] = None
+    #: True when the stream ended in a torn (half-written) final line.
+    truncated_tail: bool = False
+    #: CoverageObserved roll-up (zeros for impact-only campaigns).
+    coverage_events: int = 0
+    distinct_signatures: int = 0
+    novel_signatures: int = 0
     impact_curve: List[float] = field(default_factory=list)
     #: (dimension name, positions seen) per dimension, insertion-ordered.
     dimension_positions: Dict[str, List[int]] = field(default_factory=dict)
@@ -100,14 +111,27 @@ def analyze_stream(lines: Iterable[str]) -> CampaignAttribution:
     generated: Dict[Key, Dict[str, Any]] = {}
     parent_impact: Dict[Key, float] = {}
     changed_by_child: Dict[Key, List[str]] = {}
-    for line_number, line in enumerate(lines, start=1):
-        line = line.strip()
-        if not line:
-            continue
+    entries = [
+        (line_number, stripped)
+        for line_number, stripped in (
+            (number, line.strip()) for number, line in enumerate(lines, start=1)
+        )
+        if stripped
+    ]
+    for position, (line_number, line) in enumerate(entries):
         try:
             record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if position == len(entries) - 1:
+                # A crash mid-write leaves a half-written final line; the
+                # complete prefix is still a valid stream. Fold what we
+                # have and flag the truncation instead of refusing.
+                out.truncated_tail = True
+                break
+            raise SchemaError(f"line {line_number}: {exc}") from exc
+        try:
             type_name = validate_event(record)
-        except (SchemaError, json.JSONDecodeError) as exc:
+        except SchemaError as exc:
             raise SchemaError(f"line {line_number}: {exc}") from exc
         out.events += 1
         if type_name == "ScenarioGenerated":
@@ -163,18 +187,36 @@ def analyze_stream(lines: Iterable[str]) -> CampaignAttribution:
                 out.best_impact = impact
                 out.best_key = key
                 out.best_test_index = int(record["test_index"])
+        elif type_name == "CoverageObserved":
+            out.coverage_events += 1
+            out.distinct_signatures = max(
+                out.distinct_signatures, int(record["seen_total"])
+            )
+            if record["novel"]:
+                out.novel_signatures += 1
         elif type_name == "CheckpointWritten":
             out.checkpoints += 1
 
     # Best-scenario lineage: walk parents back to the founding random shot.
+    # The walk is defensive: a resumed stream can be missing pre-resume
+    # ancestry (truncated chain), and a corrupted stream could even close a
+    # parent_key loop. Both terminate cleanly and mark the lineage
+    # incomplete rather than walking forever or silently pretending the
+    # partial chain is rooted.
     key = out.best_key
     seen: set = set()
     chain: List[LineageStep] = []
-    while key is not None and key not in seen:
+    while key is not None:
+        if key in seen:
+            out.lineage_complete = False
+            out.lineage_break = "parent_key chain forms a cycle"
+            break
         seen.add(key)
         meta = generated.get(key)
         if meta is None:
-            break  # pre-resume ancestry not in this stream
+            out.lineage_complete = False
+            out.lineage_break = "ancestry not in this stream (resumed campaign?)"
+            break
         chain.append(
             LineageStep(
                 key=key,
@@ -251,10 +293,21 @@ def render_attribution(attribution: CampaignAttribution) -> str:
         f"campaign: {attribution.tests} tests, {attribution.events} events, "
         f"{attribution.failures} failures, {attribution.checkpoints} checkpoints"
     )
+    if attribution.truncated_tail:
+        lines.append(
+            "note: stream ends in a torn (half-written) line; "
+            "the complete prefix above is what was analyzed"
+        )
     lines.append(
         f"best impact {attribution.best_impact:.3f} at test "
         f"{attribution.best_test_index} — scenario {_key_text(attribution.best_key)}"
     )
+    if attribution.coverage_events:
+        lines.append(
+            f"coverage: {attribution.distinct_signatures} distinct behaviour "
+            f"signatures over {attribution.coverage_events} observations "
+            f"({attribution.novel_signatures} novel)"
+        )
     if attribution.impact_curve:
         lines.append("impact per test: " + sparkline(attribution.impact_curve))
 
@@ -287,9 +340,13 @@ def render_attribution(attribution: CampaignAttribution) -> str:
 
     lines.append("")
     if attribution.lineage:
+        suffix = "" if attribution.lineage_complete else ", lineage incomplete"
         lines.append(
-            f"best-scenario lineage ({len(attribution.lineage)} steps, root first):"
+            f"best-scenario lineage ({len(attribution.lineage)} steps, "
+            f"root first{suffix}):"
         )
+        if not attribution.lineage_complete:
+            lines.append(f"  (lineage incomplete: {attribution.lineage_break})")
         for step_number, step in enumerate(attribution.lineage):
             impact_text = f"{step.impact:.3f}" if step.impact is not None else "?"
             if step.origin == "random" or step.plugin is None:
@@ -304,6 +361,10 @@ def render_attribution(attribution: CampaignAttribution) -> str:
                 f"  {step_number:>2d}. impact {impact_text}  {how}  "
                 f"-> {_key_text(step.key)}"
             )
+    elif not attribution.lineage_complete:
+        lines.append(
+            f"best-scenario lineage: (lineage incomplete: {attribution.lineage_break})"
+        )
     else:
         lines.append("best-scenario lineage: (no lineage recorded)")
 
@@ -323,6 +384,12 @@ def attribution_to_dict(attribution: CampaignAttribution) -> Dict[str, Any]:
             "events": attribution.events,
             "failures": attribution.failures,
             "checkpoints": attribution.checkpoints,
+            "truncated_tail": attribution.truncated_tail,
+        },
+        "coverage": {
+            "events": attribution.coverage_events,
+            "distinct_signatures": attribution.distinct_signatures,
+            "novel_signatures": attribution.novel_signatures,
         },
         "best": {
             "impact": attribution.best_impact,
@@ -344,6 +411,8 @@ def attribution_to_dict(attribution: CampaignAttribution) -> Dict[str, Any]:
             for name, stats in sorted(attribution.plugins.items())
         },
         "random_generated": attribution.random_generated,
+        "lineage_complete": attribution.lineage_complete,
+        "lineage_break": attribution.lineage_break,
         "lineage": [
             {
                 "key": dict(step.key),

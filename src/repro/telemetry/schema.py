@@ -26,7 +26,13 @@ from typing import Any, Dict, Iterable, List, Tuple, Union
 
 from .events import EVENT_TYPES, TelemetryEvent
 
-SCHEMA_VERSION = 1
+#: Current wire schema version. History:
+#: - **1** — the original eight event types.
+#: - **2** — adds ``CoverageObserved`` (coverage-guided exploration).
+#: New streams are written as the current version; v1 streams still
+#: validate (they cannot contain the newer event types).
+SCHEMA_VERSION = 2
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: Keys every wire record carries besides the event's own fields.
 ENVELOPE_KEYS = ("v", "seq", "type")
@@ -90,7 +96,7 @@ def validate_event(record: Dict[str, Any]) -> str:
     """
     if not isinstance(record, dict):
         raise SchemaError(f"event record must be an object, got {type(record).__name__}")
-    if record.get("v") != SCHEMA_VERSION:
+    if record.get("v") not in SUPPORTED_SCHEMA_VERSIONS:
         raise SchemaError(f"unsupported schema version: {record.get('v')!r}")
     seq = record.get("seq")
     if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
@@ -150,6 +156,7 @@ def validate_jsonl(lines: Iterable[str]) -> List[Tuple[int, str]]:
 __all__ = [
     "ENVELOPE_KEYS",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "SchemaError",
     "event_to_dict",
     "event_to_json",

@@ -289,6 +289,46 @@ def test_heatmap_gradient_mode():
     assert "|" in rendered
 
 
+class TestReportDegenerateInputs:
+    """Regression: empty/flat/negative inputs used to render garbage.
+
+    Snapshot-style assertions: the exact rendered text is the contract
+    (these strings end up verbatim in CI logs and ``repro explain``).
+    """
+
+    def test_heatmap_no_rows(self):
+        assert heatmap([]) == "(empty)"
+
+    def test_heatmap_only_empty_rows(self):
+        assert heatmap([[], []]) == "(empty)"
+        assert heatmap([[], []], row_labels=["a", "b"]) == "(empty)"
+
+    def test_heatmap_all_zero_grid(self):
+        assert heatmap([[0.0, 0.0], [0.0, 0.0]]) == " |__|\n |__|"
+
+    def test_heatmap_all_equal_zero_range(self):
+        # All-equal positive cells: zero range, uniform mid band — not
+        # full intensity (which would read as a saturated hot spot).
+        assert heatmap([[5.0, 5.0], [5.0, 5.0]]) == " |++|\n |++|"
+
+    def test_heatmap_negative_values_clamp_to_lightest(self):
+        # A negative cell used to index _BLOCKS from the end (Python
+        # negative indexing), rendering *darker* than the maximum.
+        assert heatmap([[-10.0, 0.0, 10.0]]) == " |  @|"
+
+    def test_heatmap_threshold_mode_empty_is_still_empty(self):
+        assert heatmap([], threshold=1.0) == "(empty)"
+
+    def test_sparkline_flat_nonzero_is_mid_band(self):
+        assert sparkline([3.0, 3.0, 3.0]) == "+++"
+
+    def test_sparkline_negative_values_clamp_to_lightest(self):
+        assert sparkline([-5.0, 0.0, 5.0]) == "  @"
+
+    def test_sparkline_all_negative_renders_floor(self):
+        assert sparkline([-2.0, -1.0]) == "__"
+
+
 def test_describe_best_renders_all_strategies():
     summary = compare_campaigns([make_campaign([0.5], "avd"), make_campaign([0.2], "random")])
     text = describe_best(summary)

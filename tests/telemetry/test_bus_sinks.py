@@ -8,6 +8,7 @@ import json
 import pytest
 
 from repro.telemetry import (
+    SCHEMA_VERSION,
     ImpactAbsorbed,
     JsonlSink,
     RingBufferSink,
@@ -84,7 +85,7 @@ class TestRingBufferSink:
         sink.emit(0, _executed(4, impact=0.25))
         (line,) = sink.to_lines()
         record = json.loads(line)
-        assert record["v"] == 1
+        assert record["v"] == SCHEMA_VERSION
         assert record["seq"] == 0
         assert record["type"] == "ScenarioExecuted"
         assert record["impact"] == 0.25

@@ -124,3 +124,133 @@ def test_explain_path_reads_jsonl_from_disk(tmp_path, recorded):
     path.write_text("\n".join(lines) + "\n")
     attribution = explain_path(str(path))
     assert attribution.tests == BUDGET
+
+
+# ---------------------------------------------------------------------------
+# defensive lineage walk + torn streams
+# ---------------------------------------------------------------------------
+def _synthetic_stream(parent_of):
+    """A minimal valid stream whose ``parent_key`` graph is ``parent_of``.
+
+    Every key in ``parent_of`` gets a ScenarioGenerated + ScenarioExecuted
+    pair; the last listed key executes with the highest impact (the best).
+    """
+    from repro.telemetry import ScenarioExecuted, ScenarioGenerated, event_to_json
+
+    lines = []
+    seq = 0
+    keys = list(parent_of)
+    for index, mask in enumerate(keys):
+        parent = parent_of[mask]
+        lines.append(
+            event_to_json(
+                seq,
+                ScenarioGenerated(
+                    key={"mask": mask},
+                    origin="random" if parent is None else "mutation",
+                    coords={"mask": mask},
+                    plugin=None if parent is None else "mask",
+                    parent_key=None if parent is None else {"mask": parent},
+                    mutate_distance=0.0 if parent is None else 0.5,
+                ),
+            )
+        )
+        seq += 1
+        lines.append(
+            event_to_json(
+                seq,
+                ScenarioExecuted(
+                    test_index=index,
+                    key={"mask": mask},
+                    impact=(index + 1) / len(keys),
+                ),
+            )
+        )
+        seq += 1
+    return lines
+
+
+class TestLineageGuards:
+    def test_complete_chain_stays_complete(self):
+        attribution = analyze_stream(_synthetic_stream({0: None, 1: 0, 2: 1}))
+        assert attribution.lineage_complete is True
+        assert attribution.lineage_break is None
+        assert [step.key for step in attribution.lineage] == [
+            (("mask", 0),), (("mask", 1),), (("mask", 2),),
+        ]
+
+    def test_missing_ancestry_is_flagged_not_fatal(self):
+        # The best key's parent (99) was generated before this stream
+        # started (a resumed campaign): the walk stops and says so.
+        attribution = analyze_stream(_synthetic_stream({1: 99, 2: 1}))
+        assert attribution.lineage_complete is False
+        assert "not in this stream" in attribution.lineage_break
+        # The partial chain (best -> its recorded ancestors) is preserved.
+        assert [step.key for step in attribution.lineage] == [
+            (("mask", 1),), (("mask", 2),),
+        ]
+        report = render_attribution(attribution)
+        assert "lineage incomplete" in report
+
+    def test_cyclic_parent_chain_terminates(self):
+        # A corrupted stream closing a parent_key loop must not hang.
+        attribution = analyze_stream(_synthetic_stream({1: 2, 2: 1}))
+        assert attribution.lineage_complete is False
+        assert "cycle" in attribution.lineage_break
+        report = render_attribution(attribution)
+        assert "lineage incomplete" in report
+
+    def test_lineage_flags_round_trip_to_json(self):
+        document = attribution_to_dict(analyze_stream(_synthetic_stream({1: 2, 2: 1})))
+        assert document["lineage_complete"] is False
+        assert "cycle" in document["lineage_break"]
+
+
+class TestTornTail:
+    def test_torn_final_line_is_tolerated_and_flagged(self, recorded):
+        lines, _ = recorded
+        torn = list(lines) + ['{"v":1,"seq":999,"type":"Scenario']
+        attribution = analyze_stream(torn)
+        assert attribution.truncated_tail is True
+        assert attribution.tests == BUDGET  # the complete prefix was folded
+        report = render_attribution(attribution)
+        assert "torn" in report
+        assert attribution_to_dict(attribution)["campaign"]["truncated_tail"] is True
+
+    def test_torn_middle_line_still_rejected(self, recorded):
+        lines, _ = recorded
+        corrupted = list(lines)
+        corrupted.insert(1, "{not json")
+        with pytest.raises(SchemaError, match="line 2"):
+            analyze_stream(corrupted)
+
+    def test_intact_stream_is_not_flagged(self, attribution):
+        assert attribution.truncated_tail is False
+
+
+class TestCoverageRollup:
+    @pytest.fixture(scope="class")
+    def hybrid_lines(self):
+        from repro.core import CampaignSpec, HybridExploration
+        from repro.telemetry import RingBufferSink, TelemetryBus
+        from tests.core.fake_target import LoadPlugin, make_hill_target
+
+        target, plugins = make_hill_target(extra_plugins=[LoadPlugin()])
+        strategy = HybridExploration(target, plugins, seed=SEED)
+        sink = RingBufferSink()
+        strategy.run(CampaignSpec(budget=20, telemetry=TelemetryBus(sinks=(sink,))))
+        return sink.to_lines()
+
+    def test_coverage_events_are_rolled_up(self, hybrid_lines):
+        attribution = analyze_stream(hybrid_lines)
+        assert attribution.coverage_events == 20
+        assert 1 <= attribution.distinct_signatures <= 20
+        assert 1 <= attribution.novel_signatures <= attribution.distinct_signatures
+        report = render_attribution(attribution)
+        assert "distinct behaviour signatures" in report
+        document = attribution_to_dict(attribution)
+        assert document["coverage"]["events"] == 20
+
+    def test_impact_only_streams_report_zero_coverage(self, attribution):
+        assert attribution.coverage_events == 0
+        assert "behaviour signatures" not in render_attribution(attribution)

@@ -63,6 +63,7 @@ class TestCanonicalSerialization:
             "MutationApplied",
             "ScenarioExecuted",
             "ImpactAbsorbed",
+            "CoverageObserved",
             "FailureClassified",
             "CheckpointWritten",
         }
