@@ -1,0 +1,66 @@
+"""``repro.audit``: static attack-surface analysis of target protocol code.
+
+Three layers (see DESIGN.md "Attack-surface mapping"):
+
+- :mod:`.callgraph` / :mod:`.sites` — parse the target, find handler
+  entry points and classify surface sites;
+- :mod:`.manifest` — fold the sites into the deterministic JSON manifest
+  committed as ``audit_manifest.json``;
+- :mod:`.surface` — cross-check the manifest against hyperspace
+  dimensions to report which surface no plugin can currently reach;
+- :mod:`.rules` — the SRF validation-order lint rules (registered into
+  :mod:`repro.lint` as a side effect of importing this package).
+"""
+
+from .callgraph import (
+    HANDLER_ENTRY_NAMES,
+    ModuleGraph,
+    build_module_graph,
+    module_identity,
+    parse_module,
+)
+from .manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    handler_messages,
+    load_manifest,
+    manifest_drift,
+    manifest_to_json,
+    module_graphs,
+    write_manifest,
+)
+from .sites import SITE_KINDS, SurfaceSite, classify_module
+from .surface import (
+    DIMENSION_REACH,
+    SurfaceCoverage,
+    TIMING_ONLY_DIMENSIONS,
+    render_surface,
+    surface_coverage,
+    surface_to_dict,
+)
+from . import rules  # noqa: F401  (imported for SRF rule registration)
+
+__all__ = [
+    "DIMENSION_REACH",
+    "HANDLER_ENTRY_NAMES",
+    "MANIFEST_SCHEMA_VERSION",
+    "ModuleGraph",
+    "SITE_KINDS",
+    "SurfaceCoverage",
+    "SurfaceSite",
+    "TIMING_ONLY_DIMENSIONS",
+    "build_manifest",
+    "build_module_graph",
+    "classify_module",
+    "handler_messages",
+    "load_manifest",
+    "manifest_drift",
+    "manifest_to_json",
+    "module_graphs",
+    "module_identity",
+    "parse_module",
+    "render_surface",
+    "surface_coverage",
+    "surface_to_dict",
+    "write_manifest",
+]

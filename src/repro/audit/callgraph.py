@@ -1,0 +1,261 @@
+"""Per-module call graphs over target protocol code.
+
+The audit pass (and the SRF lint rules built on it) needs three structural
+facts about a protocol module that a flat AST walk does not give directly:
+
+- which methods are **message-handler entry points** — ``handle_message``
+  / ``on_message`` plus the ``_on_*`` targets they dispatch to, keyed by
+  the message type each branch matches (``if kind is Request: ...``);
+- which methods a handler **reaches** through in-class ``self.m()`` calls
+  (a send buried two calls below ``_on_request`` is still attacker-
+  reachable surface);
+- stable, invocation-independent **identity** for every function, so two
+  runs of the analyzer from different directories emit byte-identical
+  manifests.
+
+Everything here is a pure function of the source text: no imports of the
+analyzed code, no execution.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Method names treated as message-handler entry points when defined.
+HANDLER_ENTRY_NAMES: Tuple[str, ...] = ("handle_message", "on_message")
+
+
+def module_identity(path: str) -> Tuple[str, str]:
+    """(dotted module, package-relative posix file) for a source path.
+
+    Identity is derived from the path *segments at and below the rightmost
+    ``repro`` directory*, so it does not depend on the checkout location or
+    the directory the analyzer was invoked from. Files outside a ``repro``
+    package (test fixtures, scratch files) fall back to their basename.
+    """
+    normalized = os.path.abspath(path).replace("\\", "/")
+    segments = [segment for segment in normalized.split("/") if segment]
+    anchor = None
+    for index, segment in enumerate(segments):
+        if segment == "repro":
+            anchor = index
+    if anchor is None:
+        stem = os.path.splitext(segments[-1])[0]
+        return stem, segments[-1]
+    tail = segments[anchor:]
+    file_rel = "/".join(tail)
+    parts = [os.path.splitext(part)[0] if part.endswith(".py") else part for part in tail]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts), file_rel
+
+
+def _attr_chain(func: ast.expr) -> Optional[List[str]]:
+    """``self.node.set_timer`` -> ``["self", "node", "set_timer"]``."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return list(reversed(parts))
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with its in-class call edges."""
+
+    name: str
+    qualname: str
+    line: int
+    #: Positional/keyword parameter names, ``self`` excluded.
+    params: Tuple[str, ...]
+    node: ast.FunctionDef
+    #: Names called as ``self.m(...)`` anywhere in the body, in first-call
+    #: order (deduplicated).
+    self_calls: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class DispatchEdge:
+    """One message-type branch inside a handler entry point."""
+
+    message: str
+    #: Method the branch hands the payload to; the entry itself when the
+    #: branch handles the message inline.
+    target: str
+    entry: str
+    line: int
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods in source order plus its dispatch table."""
+
+    name: str
+    line: int
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    dispatch: Tuple[DispatchEdge, ...] = ()
+
+    def handler_entries(self) -> Dict[str, Tuple[str, ...]]:
+        """handler method -> sorted message type names it receives.
+
+        Entry points (``handle_message``/``on_message``) come first, then
+        dispatch targets in first-branch order. An entry with no dispatch
+        table handles every message kind (empty tuple = wildcard).
+        """
+        entries: Dict[str, set] = {}
+        for entry_name in HANDLER_ENTRY_NAMES:
+            if entry_name in self.methods:
+                entries[entry_name] = set()
+        for edge in self.dispatch:
+            entries.setdefault(edge.target, set()).add(edge.message)
+        return {name: tuple(sorted(messages)) for name, messages in entries.items()}
+
+    def reachable_from(self, start: str) -> Tuple[str, ...]:
+        """Methods reachable from ``start`` via in-class self-calls (sorted,
+        ``start`` included)."""
+        if start not in self.methods:
+            return ()
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for callee in self.methods[current].self_calls:
+                if callee in self.methods and callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return tuple(sorted(seen))
+
+
+@dataclass
+class ModuleGraph:
+    """Classes and module-level functions of one parsed module."""
+
+    module: str
+    file: str
+    path: str
+    tree: ast.Module
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+def _function_info(node: ast.FunctionDef, qualname: str, in_class: bool) -> FunctionInfo:
+    args = node.args
+    params = [arg.arg for arg in args.posonlyargs + args.args + args.kwonlyargs]
+    if in_class and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    self_calls: List[str] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            chain = _attr_chain(sub.func)
+            if chain and len(chain) == 2 and chain[0] == "self":
+                if chain[1] not in self_calls:
+                    self_calls.append(chain[1])
+    return FunctionInfo(
+        name=node.name,
+        qualname=qualname,
+        line=node.lineno,
+        params=tuple(params),
+        node=node,
+        self_calls=tuple(self_calls),
+    )
+
+
+def _message_type_of(test: ast.expr) -> Optional[str]:
+    """Message type name a dispatch test matches on, or ``None``.
+
+    Recognizes ``kind is Request``, ``type(payload) is Request``,
+    ``type(payload) is not Reply`` (early-return guard: the handler
+    proceeds only for ``Reply``), and ``isinstance(payload, Request)``.
+    """
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        if isinstance(test.ops[0], (ast.Is, ast.IsNot, ast.Eq)):
+            comparator = test.comparators[0]
+            if isinstance(comparator, ast.Name) and comparator.id[:1].isupper():
+                return comparator.id
+    if isinstance(test, ast.Call) and isinstance(test.func, ast.Name):
+        if test.func.id == "isinstance" and len(test.args) == 2:
+            target = test.args[1]
+            if isinstance(target, ast.Name) and target.id[:1].isupper():
+                return target.id
+    return None
+
+
+def _dispatch_edges(cls: ClassInfo, entry: FunctionInfo) -> List[DispatchEdge]:
+    edges: List[DispatchEdge] = []
+    for node in ast.walk(entry.node):
+        if not isinstance(node, ast.If):
+            continue
+        message = _message_type_of(node.test)
+        if message is None:
+            continue
+        target = entry.name
+        negated = isinstance(node.test, ast.Compare) and isinstance(
+            node.test.ops[0], ast.IsNot
+        )
+        if not negated:
+            # The first in-branch self-call to a method defined on the
+            # class is the branch's handler; otherwise the branch handles
+            # the message inline and the entry point itself is the handler.
+            for stmt in node.body:
+                found = None
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Call):
+                        chain = _attr_chain(sub.func)
+                        if chain and len(chain) == 2 and chain[0] == "self":
+                            if chain[1] in cls.methods:
+                                found = chain[1]
+                                break
+                if found is not None:
+                    target = found
+                    break
+        edges.append(DispatchEdge(message, target, entry.name, node.lineno))
+    return edges
+
+
+def build_module_graph(path: str, tree: ast.Module) -> ModuleGraph:
+    """Parse one module's AST into a :class:`ModuleGraph`."""
+    module, file_rel = module_identity(path)
+    graph = ModuleGraph(module=module, file=file_rel, path=path, tree=tree)
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            graph.functions[node.name] = _function_info(node, node.name, in_class=False)
+        elif isinstance(node, ast.ClassDef):
+            cls = ClassInfo(name=node.name, line=node.lineno)
+            for member in node.body:
+                if isinstance(member, ast.FunctionDef):
+                    qualname = f"{node.name}.{member.name}"
+                    cls.methods[member.name] = _function_info(
+                        member, qualname, in_class=True
+                    )
+            edges: List[DispatchEdge] = []
+            for entry_name in HANDLER_ENTRY_NAMES:
+                entry = cls.methods.get(entry_name)
+                if entry is not None:
+                    edges.extend(_dispatch_edges(cls, entry))
+            cls.dispatch = tuple(edges)
+            graph.classes[node.name] = cls
+    return graph
+
+
+def parse_module(path: str, source: str) -> ModuleGraph:
+    """Parse source text (raises ``SyntaxError`` like :func:`ast.parse`)."""
+    return build_module_graph(path, ast.parse(source, filename=path))
+
+
+__all__ = [
+    "ClassInfo",
+    "DispatchEdge",
+    "FunctionInfo",
+    "HANDLER_ENTRY_NAMES",
+    "ModuleGraph",
+    "build_module_graph",
+    "module_identity",
+    "parse_module",
+]

@@ -1,0 +1,202 @@
+"""SRF rules: validation-order hazards in message handlers.
+
+The rule family the audit contributes to the lint registry. Where DET/PKL
+keep the *harness* honest, SRF flags the shapes of the *target* bugs the
+paper actually found:
+
+- ``SRF001`` — a handler mutates persistent replica state before the
+  message authenticates (the forward-before-auth behaviour Sec. 6
+  describes: the Big MAC attack works because backups act on requests
+  whose MACs never verify);
+- ``SRF002`` — a send/broadcast is reachable before the handler's
+  view/sequence-window check, so out-of-window traffic is amplified;
+- ``SRF003`` — a method handed a per-request key arms/reset a timer it
+  does not store per request: one shared timer serves all pending
+  requests, which is precisely the single-view-change-timer bug the
+  slow-primary attack exploits (Sec. 6).
+
+Rules register into :mod:`repro.lint.rules` under family ``SRF`` and are
+scoped by ``[tool.repro-lint] scopes.srf`` to the target protocol code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..lint.findings import Finding
+from ..lint.rules.base import ModuleContext, Rule, register
+from .callgraph import ClassInfo, FunctionInfo, ModuleGraph, _attr_chain, build_module_graph
+from .sites import call_events, persistent_mutations
+
+#: Substrings marking a call as message authentication/validation.
+_VERIFY_HINTS = ("verif", "authenticat", "check_mac", "check_digest")
+
+#: Attribute/variable names marking a comparison as a view or
+#: sequence-window check. Deliberately narrow: names like
+#: ``in_view_change`` (a mode flag, not a window) stay out.
+_WINDOW_NAMES = frozenset(
+    {"view", "stable_seq", "high_watermark", "low_watermark", "view_hint"}
+)
+
+#: Parameter names identifying a method as per-request context.
+_PER_REQUEST_PARAMS = frozenset({"key", "request", "request_key", "req"})
+
+
+def _graph_of(module: ModuleContext) -> ModuleGraph:
+    return build_module_graph(module.path, module.tree)
+
+
+def _first_verify_line(fn: FunctionInfo) -> Optional[int]:
+    best: Optional[int] = None
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if chain is None:
+            continue
+        last = chain[-1].lower()
+        if any(hint in last for hint in _VERIFY_HINTS):
+            if best is None or node.lineno < best:
+                best = node.lineno
+    return best
+
+
+def _first_window_guard_line(fn: FunctionInfo) -> Optional[int]:
+    best: Optional[int] = None
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.If):
+            continue
+        for sub in ast.walk(node.test):
+            if not isinstance(sub, ast.Compare):
+                continue
+            referenced = set()
+            for part in ast.walk(sub):
+                if isinstance(part, ast.Attribute):
+                    referenced.add(part.attr)
+                elif isinstance(part, ast.Name):
+                    referenced.add(part.id)
+            if referenced & _WINDOW_NAMES:
+                if best is None or node.lineno < best:
+                    best = node.lineno
+                break
+    return best
+
+
+def _handler_functions(cls: ClassInfo) -> Iterator[FunctionInfo]:
+    for method in cls.handler_entries():
+        fn = cls.methods.get(method)
+        if fn is not None:
+            yield fn
+
+
+@register
+class MutationBeforeVerification(Rule):
+    """SRF001: persistent state mutated before the message authenticates."""
+
+    rule_id = "SRF001"
+    family = "SRF"
+    description = "handler mutates replica state before MAC/digest verification"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        graph = _graph_of(module)
+        for cls in graph.classes.values():
+            for fn in _handler_functions(cls):
+                verify_line = _first_verify_line(fn)
+                if verify_line is None:
+                    continue
+                for node, detail in persistent_mutations(fn):
+                    if node.lineno < verify_line:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{fn.qualname} mutates self.{detail} at line "
+                            f"{node.lineno}, before the verification call at "
+                            f"line {verify_line}: unauthenticated input "
+                            f"already changed persistent state",
+                        )
+
+
+@register
+class SendBeforeWindowCheck(Rule):
+    """SRF002: send reachable before the view/sequence-window check."""
+
+    rule_id = "SRF002"
+    family = "SRF"
+    description = "send reachable before view/sequence-window check"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        graph = _graph_of(module)
+        for cls in graph.classes.values():
+            for fn in _handler_functions(cls):
+                guard_line = _first_window_guard_line(fn)
+                if guard_line is None:
+                    continue
+                for node, kind, detail in call_events(fn):
+                    if kind == "send" and node.lineno < guard_line:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{fn.qualname} sends ({detail}) at line "
+                            f"{node.lineno}, before the view/sequence-window "
+                            f"check at line {guard_line}: out-of-window input "
+                            f"is amplified into network traffic",
+                        )
+
+
+@register
+class SharedTimerFromPerRequestContext(Rule):
+    """SRF003: per-request context arming a timer it does not key."""
+
+    rule_id = "SRF003"
+    family = "SRF"
+    description = "shared timer armed/reset from a per-request handler"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        graph = _graph_of(module)
+        for cls in graph.classes.values():
+            for fn in cls.methods.values():
+                request_params = set(fn.params) & _PER_REQUEST_PARAMS
+                if not request_params:
+                    continue
+                keyed_calls = set()
+                for node in ast.walk(fn.node):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    stores_keyed = any(
+                        isinstance(target, ast.Subscript)
+                        and any(
+                            isinstance(part, ast.Name) and part.id in request_params
+                            for part in ast.walk(target.slice)
+                        )
+                        for target in node.targets
+                    )
+                    if stores_keyed:
+                        for sub in ast.walk(node.value):
+                            if self._is_set_timer(sub):
+                                keyed_calls.add(id(sub))
+                for node in ast.walk(fn.node):
+                    if self._is_set_timer(node) and id(node) not in keyed_calls:
+                        param = sorted(request_params)[0]
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{fn.qualname} arms a timer without keying it by "
+                            f"its per-request parameter {param!r}: one shared "
+                            f"timer serves every pending request (the paper's "
+                            f"single-view-change-timer bug shape)",
+                        )
+
+    @staticmethod
+    def _is_set_timer(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        chain = _attr_chain(node.func)
+        return bool(chain) and chain[-1] == "set_timer"
+
+
+__all__ = [
+    "MutationBeforeVerification",
+    "SendBeforeWindowCheck",
+    "SharedTimerFromPerRequestContext",
+]

@@ -1,0 +1,210 @@
+"""Surface-site classification: what an attacker's input can touch.
+
+A **surface site** is a program point whose behaviour an adversarially
+crafted message could influence: the handler entry points themselves,
+network send/broadcast calls, timer arm/cancel calls, RNG draws, and
+mutations of persistent (``self.*``) state. The manifest enumerates them;
+the SRF rules reason about their ordering relative to validation.
+
+Site IDs are ``{module}:{qualname}:{kind}:{ordinal}`` with the ordinal
+assigned in (line, column) order within one function — stable across
+interpreter hash seeds, checkout locations, and invocation directories
+(line numbers appear in the manifest for humans but not in the ID, so an
+unrelated edit above a function does not rename its sites).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from .callgraph import ClassInfo, FunctionInfo, ModuleGraph, _attr_chain
+
+#: Site kinds, in the order they appear in rendered summaries.
+SITE_KINDS: Tuple[str, ...] = (
+    "handler",
+    "send",
+    "timer_arm",
+    "timer_cancel",
+    "rng",
+    "state",
+)
+
+_SEND_NAMES = frozenset({"send", "broadcast"})
+_TIMER_ARM_NAMES = frozenset({"set_timer", "schedule", "schedule_priority"})
+_TIMER_CANCEL_NAMES = frozenset({"cancel_timer"})
+#: Methods that mutate a container in place when called on a self attribute.
+_MUTATOR_NAMES = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "insert",
+        "extend",
+        "discard",
+        "remove",
+    }
+)
+
+
+@dataclass(frozen=True, order=True)
+class SurfaceSite:
+    """One classified program point."""
+
+    site_id: str
+    kind: str
+    module: str
+    file: str
+    qualname: str
+    line: int
+    detail: str
+
+
+def _send_aliases(fn: FunctionInfo) -> frozenset:
+    """Local names bound from ``self.send`` / ``self.broadcast``."""
+    aliases = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Attribute):
+            chain = _attr_chain(node.value)
+            if chain and chain[0] == "self" and chain[-1] in _SEND_NAMES:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases.add(target.id)
+    return frozenset(aliases)
+
+
+def _self_attr_of(node: ast.expr) -> Optional[str]:
+    """``self.X`` / ``self.X[...]`` -> ``X`` (outermost attribute)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    chain = _attr_chain(node) if isinstance(node, ast.Attribute) else None
+    if chain and chain[0] == "self" and len(chain) >= 2:
+        return chain[1]
+    return None
+
+
+def call_events(fn: FunctionInfo) -> Iterator[Tuple[ast.Call, str, str]]:
+    """(call node, kind, detail) for send/timer/rng calls in ``fn``."""
+    aliases = _send_aliases(fn)
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if chain is None:
+            continue
+        last = chain[-1]
+        dotted = ".".join(chain)
+        if last in _SEND_NAMES and (chain[0] == "self" or chain[0] in aliases):
+            yield node, "send", last
+        elif last in _TIMER_ARM_NAMES:
+            yield node, "timer_arm", dotted
+        elif last in _TIMER_CANCEL_NAMES:
+            yield node, "timer_cancel", dotted
+        elif any(part == "rng" or part.endswith("_rng") for part in chain):
+            yield node, "rng", dotted
+
+
+def persistent_mutations(fn: FunctionInfo) -> Iterator[Tuple[ast.AST, str]]:
+    """(node, detail) for every persistent-state mutation in ``fn``.
+
+    Covers assignment and augmented assignment to ``self.X`` (including
+    subscripts), in-place container mutators called on a self attribute,
+    and ``del self.X[...]``. ``__init__`` establishes state rather than
+    mutating it and is skipped by callers that iterate handlers only.
+    """
+    for node in ast.walk(fn.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            if isinstance(node, ast.AnnAssign) and node.value is None:
+                continue  # a bare annotation declares, it does not mutate
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                attr = _self_attr_of(target)
+                if attr is not None:
+                    suffix = "[]" if isinstance(target, ast.Subscript) else ""
+                    yield node, f"{attr}{suffix}"
+                    break
+        elif isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if (
+                chain
+                and chain[0] == "self"
+                and len(chain) >= 3
+                and chain[-1] in _MUTATOR_NAMES
+            ):
+                yield node, ".".join(chain[1:])
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _self_attr_of(target)
+                if attr is not None:
+                    yield node, f"{attr}[] del"
+                    break
+
+
+def _function_sites(graph: ModuleGraph, fn: FunctionInfo) -> List[SurfaceSite]:
+    in_class = "." in fn.qualname
+    events: List[Tuple[int, int, str, str]] = []
+    for node, kind, detail in call_events(fn):
+        events.append((node.lineno, node.col_offset, kind, detail))
+    if in_class and fn.name != "__init__":
+        for node, detail in persistent_mutations(fn):
+            events.append((node.lineno, node.col_offset, "state", detail))
+    events.sort()
+    ordinals = {kind: 0 for kind in SITE_KINDS}
+    sites: List[SurfaceSite] = []
+    for line, _col, kind, detail in events:
+        ordinal = ordinals[kind]
+        ordinals[kind] = ordinal + 1
+        sites.append(
+            SurfaceSite(
+                site_id=f"{graph.module}:{fn.qualname}:{kind}:{ordinal}",
+                kind=kind,
+                module=graph.module,
+                file=graph.file,
+                qualname=fn.qualname,
+                line=line,
+                detail=detail,
+            )
+        )
+    return sites
+
+
+def _handler_site(graph: ModuleGraph, cls: ClassInfo, method: str) -> SurfaceSite:
+    fn = cls.methods[method]
+    return SurfaceSite(
+        site_id=f"{graph.module}:{fn.qualname}:handler:0",
+        kind="handler",
+        module=graph.module,
+        file=graph.file,
+        qualname=fn.qualname,
+        line=fn.line,
+        detail="message-handler entry point",
+    )
+
+
+def classify_module(graph: ModuleGraph) -> List[SurfaceSite]:
+    """Every surface site of one module, in site-id order."""
+    sites: List[SurfaceSite] = []
+    for name in graph.classes:
+        cls = graph.classes[name]
+        for method in cls.handler_entries():
+            if method in cls.methods:
+                sites.append(_handler_site(graph, cls, method))
+        for fn in cls.methods.values():
+            sites.extend(_function_sites(graph, fn))
+    for fn in graph.functions.values():
+        sites.extend(_function_sites(graph, fn))
+    return sorted(sites)
+
+
+__all__ = [
+    "SITE_KINDS",
+    "SurfaceSite",
+    "call_events",
+    "classify_module",
+    "persistent_mutations",
+]

@@ -1,0 +1,209 @@
+"""Surface coverage: manifest x hyperspace dimension cross-check.
+
+The manifest says what the target's attack surface *is*; the hyperspace
+dimensions say what the campaign's plugins can *drive*. Crossing the two
+answers the question ISSUE motivation asks: which handlers (and the
+sends/timers/state mutations behind them) can no plugin currently reach
+with adversarially shaped content?
+
+Reach is content-level: a dimension covers a handler when it can inject
+or reshape the *payload* of that handler's message kind. Transport-level
+dimensions (drop/delay/reorder, library fault injection, attack timing)
+perturb delivery of every message but craft none, so they are recorded as
+``timing_only`` and cover nothing by themselves — a checkpoint handler
+that only ever sees honestly produced checkpoints is still uncovered
+surface, which is exactly what a future equivocation/poisoning plugin
+(ROADMAP item 3) would claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .sites import SITE_KINDS
+
+#: dimension name -> message type names whose content it can shape.
+DIMENSION_REACH: Dict[str, Tuple[str, ...]] = {
+    # Corrupted client MACs ride on requests (direct and forwarded).
+    "mac_mask_gray": ("ForwardedRequest", "Request"),
+    # Client population shapes the request workload itself.
+    "n_correct_clients": ("ForwardedRequest", "Request"),
+    "n_malicious_clients": ("ForwardedRequest", "Request"),
+    # The synthesis plugin fabricates exactly these protocol messages.
+    "synth_kind": ("Commit", "Prepare", "ViewChange"),
+    "synth_replica": ("Commit", "Prepare", "ViewChange"),
+    "synth_interval_ms": ("Commit", "Prepare", "ViewChange"),
+    # A misbehaving primary controls what pre-prepares carry.
+    "primary_mode": ("PrePrepare",),
+    "primary_tick_pct": ("PrePrepare",),
+    # Routing poisoning forges FIND_NODE replies (and draws queries).
+    "poison_rate_pct": ("FindNode", "FindNodeReply"),
+    "poison_fanout": ("FindNode", "FindNodeReply"),
+    "n_malicious_nodes": ("FindNode", "FindNodeReply"),
+}
+
+#: Dimensions that perturb timing/delivery but craft no message content.
+TIMING_ONLY_DIMENSIONS: Tuple[str, ...] = (
+    "attack_start_pct",
+    "lfi_call",
+    "lfi_error",
+    "lfi_function",
+    "lfi_target",
+    "net_delay_ms",
+    "net_drop_pct",
+    "reorder_window",
+)
+
+
+@dataclass
+class SurfaceCoverage:
+    """What the given dimensions can and cannot reach in one manifest."""
+
+    #: Dimensions considered, partitioned by what the reach map knows.
+    content_dimensions: Tuple[str, ...]
+    timing_dimensions: Tuple[str, ...]
+    unknown_dimensions: Tuple[str, ...]
+    #: Message kinds some content dimension can shape.
+    reached_messages: Tuple[str, ...]
+    handlers_total: int
+    handlers_covered: int
+    #: Handler ids (module:Class.method) no content dimension reaches.
+    uncovered_handlers: Tuple[str, ...]
+    #: Message classes handled somewhere but reachable by no dimension —
+    #: the "currently-unreachable site classes" of the audit report.
+    uncovered_messages: Tuple[str, ...]
+    #: kind -> {"total", "adversary_reachable"} over non-handler sites.
+    sites_by_kind: Dict[str, Dict[str, int]]
+
+
+def surface_coverage(
+    manifest: Dict[str, object], dimension_names: Sequence[str]
+) -> SurfaceCoverage:
+    """Cross-check a manifest document against hyperspace dimensions."""
+    names = sorted(set(str(name) for name in dimension_names))
+    content = tuple(name for name in names if name in DIMENSION_REACH)
+    timing = tuple(name for name in names if name in TIMING_ONLY_DIMENSIONS)
+    unknown = tuple(
+        name for name in names if name not in DIMENSION_REACH and name not in TIMING_ONLY_DIMENSIONS
+    )
+    reached = set()
+    for name in content:
+        reached.update(DIMENSION_REACH[name])
+
+    handlers = list(manifest.get("handlers", []))
+    covered_ids = set()
+    uncovered_ids = []
+    handled_messages = set()
+    for handler in handlers:
+        messages = list(handler.get("messages", []))
+        handled_messages.update(messages)
+        # A handler with no dispatch table accepts every message kind;
+        # it is covered as soon as anything at all can be injected.
+        covered = bool(reached & set(messages)) if messages else bool(reached)
+        if covered:
+            covered_ids.add(str(handler["id"]))
+        else:
+            uncovered_ids.append(str(handler["id"]))
+
+    # A send/timer/rng/state site is adversary-reachable when some covered
+    # handler of the same class reaches its method through in-class calls.
+    reachable_methods = set()
+    for handler in handlers:
+        if str(handler["id"]) in covered_ids:
+            module = str(handler["module"])
+            class_name = str(handler["class"])
+            for method in handler.get("reaches", []):
+                reachable_methods.add(f"{module}:{class_name}.{method}")
+    sites_by_kind: Dict[str, Dict[str, int]] = {
+        kind: {"total": 0, "adversary_reachable": 0}
+        for kind in SITE_KINDS
+        if kind != "handler"
+    }
+    for site in manifest.get("sites", []):
+        kind = str(site["kind"])
+        if kind == "handler":
+            continue
+        row = sites_by_kind.setdefault(kind, {"total": 0, "adversary_reachable": 0})
+        row["total"] += 1
+        if f"{site['module']}:{site['qualname']}" in reachable_methods:
+            row["adversary_reachable"] += 1
+
+    return SurfaceCoverage(
+        content_dimensions=content,
+        timing_dimensions=timing,
+        unknown_dimensions=unknown,
+        reached_messages=tuple(sorted(reached)),
+        handlers_total=len(handlers),
+        handlers_covered=len(covered_ids),
+        uncovered_handlers=tuple(sorted(uncovered_ids)),
+        uncovered_messages=tuple(sorted(handled_messages - reached)),
+        sites_by_kind=sites_by_kind,
+    )
+
+
+def surface_to_dict(coverage: SurfaceCoverage) -> Dict[str, object]:
+    """Machine-readable form (embedded in ``repro audit``/``explain`` JSON)."""
+    return {
+        "dimensions": {
+            "content": list(coverage.content_dimensions),
+            "timing_only": list(coverage.timing_dimensions),
+            "unknown": list(coverage.unknown_dimensions),
+        },
+        "reached_messages": list(coverage.reached_messages),
+        "handlers": {
+            "total": coverage.handlers_total,
+            "covered": coverage.handlers_covered,
+            "uncovered": list(coverage.uncovered_handlers),
+        },
+        "uncovered_messages": list(coverage.uncovered_messages),
+        "sites_by_kind": {
+            kind: dict(row) for kind, row in sorted(coverage.sites_by_kind.items())
+        },
+    }
+
+
+def render_surface(coverage: SurfaceCoverage) -> str:
+    """The human-readable surface-coverage rollup."""
+    lines: List[str] = []
+    lines.append(
+        f"surface coverage: {coverage.handlers_covered}/{coverage.handlers_total} "
+        f"handlers reachable by the declared dimensions"
+    )
+    if coverage.content_dimensions:
+        lines.append("  content dimensions : " + ", ".join(coverage.content_dimensions))
+    if coverage.timing_dimensions:
+        lines.append(
+            "  timing-only        : "
+            + ", ".join(coverage.timing_dimensions)
+            + " (perturb delivery, craft no content)"
+        )
+    if coverage.unknown_dimensions:
+        lines.append("  unknown dimensions : " + ", ".join(coverage.unknown_dimensions))
+    if coverage.reached_messages:
+        lines.append("  reachable messages : " + ", ".join(coverage.reached_messages))
+    if coverage.uncovered_messages:
+        lines.append(
+            "  UNREACHABLE message classes (no plugin crafts these): "
+            + ", ".join(coverage.uncovered_messages)
+        )
+    for handler_id in coverage.uncovered_handlers:
+        lines.append(f"    uncovered handler: {handler_id}")
+    rows = []
+    for kind in SITE_KINDS:
+        if kind == "handler":
+            continue
+        row = coverage.sites_by_kind.get(kind, {"total": 0, "adversary_reachable": 0})
+        rows.append(f"{kind} {row['adversary_reachable']}/{row['total']}")
+    lines.append("  adversary-reachable sites: " + ", ".join(rows))
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DIMENSION_REACH",
+    "SurfaceCoverage",
+    "TIMING_ONLY_DIMENSIONS",
+    "render_surface",
+    "surface_coverage",
+    "surface_to_dict",
+]

@@ -11,12 +11,14 @@ dht-attack  measure the DHT redirection DoS
 explore     coverage-guided protocol-message sequence exploration
 power       tests-to-find along the attacker power ladder
 lint        determinism/picklability/plugin-API static analysis
+audit       attack-surface manifest + SRF validation-order audit
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -285,6 +287,22 @@ def cmd_resume(args) -> int:
     return 0
 
 
+def _surface_for_stream(attribution, manifest_path: Optional[str]):
+    """Surface coverage of the dimensions a stream explored (None if no
+    manifest is available)."""
+    if manifest_path is None and os.path.isfile("audit_manifest.json"):
+        manifest_path = "audit_manifest.json"
+    if not manifest_path:
+        return None
+    from .audit import load_manifest, surface_coverage
+
+    try:
+        manifest = load_manifest(manifest_path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read audit manifest: {exc}")
+    return surface_coverage(manifest, list(attribution.dimension_positions))
+
+
 def cmd_explain(args) -> int:
     from .telemetry.explain import (
         attribution_to_dict,
@@ -299,10 +317,21 @@ def cmd_explain(args) -> int:
         raise SystemExit(f"cannot read telemetry stream: {exc}")
     except SchemaError as exc:
         raise SystemExit(f"invalid telemetry stream: {exc}")
+    surface = _surface_for_stream(attribution, args.manifest)
     if args.json:
-        print(json.dumps(attribution_to_dict(attribution), indent=2, sort_keys=True))
+        document = attribution_to_dict(attribution)
+        if surface is not None:
+            from .audit import surface_to_dict
+
+            document["surface"] = surface_to_dict(surface)
+        print(json.dumps(document, indent=2, sort_keys=True))
     else:
         print(render_attribution(attribution))
+        if surface is not None:
+            from .audit import render_surface
+
+            print()
+            print(render_surface(surface))
     return 0
 
 
@@ -422,6 +451,8 @@ def cmd_lint(args) -> int:
     engine = LintEngine(config=config)
     findings = engine.lint_paths(args.paths)
     if args.format == "json":
+        # Findings arrive sorted by (path, line, col, rule) and key order is
+        # canonical, so the document is byte-stable for CI diffing.
         print(
             json.dumps(
                 {
@@ -430,6 +461,7 @@ def cmd_lint(args) -> int:
                     "total": len(findings),
                 },
                 indent=2,
+                sort_keys=True,
             )
         )
     else:
@@ -437,6 +469,61 @@ def cmd_lint(args) -> int:
             print(finding.render())
         noun = "finding" if len(findings) == 1 else "findings"
         print(f"repro lint: {len(findings)} {noun}")
+    return 1 if findings else 0
+
+
+def _all_dimension_names() -> List[str]:
+    """Every dimension any shipped plugin declares (both targets), sorted."""
+    plugins = [factory() for factory in _TOOL_FACTORIES.values()]
+    plugins.append(RoutingPoisonPlugin())
+    return sorted({d.name for plugin in plugins for d in plugin.dimensions()})
+
+
+def cmd_audit(args) -> int:
+    from .audit import (
+        build_manifest,
+        manifest_to_json,
+        render_surface,
+        surface_coverage,
+        surface_to_dict,
+        write_manifest,
+    )
+    from .lint import LintEngine, load_config
+    from .lint.rules import all_rules
+
+    config = load_config(args.config_root)
+    manifest = build_manifest(args.paths)
+    srf_rules = [rule for rule in all_rules() if rule.family == "SRF"]
+    findings = LintEngine(config=config, rules=srf_rules).lint_paths(args.paths)
+    coverage = surface_coverage(manifest, _all_dimension_names())
+    if args.manifest_out:
+        write_manifest(manifest, args.manifest_out)
+    if args.format == "json":
+        document = {
+            "findings": [finding.to_json() for finding in findings],
+            "manifest": manifest,
+            "surface": surface_to_dict(coverage),
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        summary = manifest["summary"]
+        by_kind = summary["sites_by_kind"]
+        kinds = ", ".join(f"{kind}: {count}" for kind, count in sorted(by_kind.items()))
+        print(
+            f"attack surface: {summary['modules']} modules, "
+            f"{summary['handlers']} handlers, {summary['sites']} sites ({kinds})"
+        )
+        for error in manifest["parse_errors"]:
+            print(f"  parse error: {error['file']}:{error['line']}: {error['message']}")
+        print()
+        print(render_surface(coverage))
+        print()
+        for finding in findings:
+            print(finding.render())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"repro audit: {len(findings)} SRF {noun}")
+        if args.manifest_out:
+            print(f"manifest written to {args.manifest_out}")
     return 1 if findings else 0
 
 
@@ -545,6 +632,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="machine-readable attribution instead of the rendered report",
     )
+    explain.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="attack-surface manifest for the surface-coverage rollup "
+             "(default: ./audit_manifest.json when present)",
+    )
     explain.set_defaults(func=cmd_explain)
 
     bigmac = sub.add_parser("bigmac", help="sweep the Big MAC mask family")
@@ -618,6 +710,30 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: the current directory)",
     )
     lint.set_defaults(func=cmd_lint)
+
+    audit = sub.add_parser(
+        "audit", help="attack-surface manifest + SRF validation-order audit"
+    )
+    audit.add_argument(
+        "paths", nargs="*", default=["src/repro/pbft", "src/repro/dht"],
+        help="target protocol code to audit (default: src/repro/pbft src/repro/dht)",
+    )
+    audit.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text = surface summary + coverage + findings; json = the "
+             "manifest, SRF findings, and surface coverage in one document",
+    )
+    audit.add_argument(
+        "--manifest-out", default=None, metavar="PATH",
+        help="also write the canonical manifest JSON to PATH "
+             "(CI diffs this against the committed audit_manifest.json)",
+    )
+    audit.add_argument(
+        "--config-root", default=None, metavar="DIR",
+        help="directory whose pyproject.toml supplies [tool.repro-lint] "
+             "(default: the current directory)",
+    )
+    audit.set_defaults(func=cmd_audit)
 
     return parser
 

@@ -43,6 +43,9 @@ DEFAULT_DET_PATHS = (
 #: and plugins are defined under several top-level directories.
 DEFAULT_PKL_PATHS = ("src/repro",)
 DEFAULT_API_PATHS = ("src/repro",)
+#: Validation-order rules (SRF) audit the *target* protocol code — the
+#: message handlers the attack-surface manifest enumerates.
+DEFAULT_SRF_PATHS = ("src/repro/pbft", "src/repro/dht")
 
 
 def _norm_prefix(prefix: str) -> str:
@@ -74,6 +77,7 @@ class LintConfig:
     det_paths: Tuple[str, ...] = DEFAULT_DET_PATHS
     pkl_paths: Tuple[str, ...] = DEFAULT_PKL_PATHS
     api_paths: Tuple[str, ...] = DEFAULT_API_PATHS
+    srf_paths: Tuple[str, ...] = DEFAULT_SRF_PATHS
     #: Path prefixes never linted at all (generated code, vendored files).
     exclude: Tuple[str, ...] = ()
     #: Rule ids disabled globally.
@@ -86,6 +90,7 @@ class LintConfig:
             "DET": self.det_paths,
             "PKL": self.pkl_paths,
             "API": self.api_paths,
+            "SRF": self.srf_paths,
         }[family]
 
     def is_excluded(self, path: str) -> bool:
@@ -141,6 +146,7 @@ def load_config(root: Optional[str] = None) -> LintConfig:
         det_paths=_as_tuple(scopes.get("det"), defaults.det_paths),
         pkl_paths=_as_tuple(scopes.get("pkl"), defaults.pkl_paths),
         api_paths=_as_tuple(scopes.get("api"), defaults.api_paths),
+        srf_paths=_as_tuple(scopes.get("srf"), defaults.srf_paths),
         exclude=_as_tuple(table.get("exclude"), ()),
         disable=_as_tuple(table.get("disable"), ()),
         per_path_disable=per_path,
@@ -151,6 +157,7 @@ __all__ = [
     "DEFAULT_API_PATHS",
     "DEFAULT_DET_PATHS",
     "DEFAULT_PKL_PATHS",
+    "DEFAULT_SRF_PATHS",
     "LintConfig",
     "load_config",
 ]

@@ -23,8 +23,14 @@ PARSE_RULE = "PARSE"
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
-    """Yield ``.py`` files under ``paths`` in a stable, sorted order."""
-    seen = set()
+    """Yield ``.py`` files under ``paths``, deduplicated and globally sorted.
+
+    Files are collected from every argument first, deduplicated on absolute
+    path, then yielded in absolute-path order — so overlapping arguments
+    (``lint src src/repro``) and argument order cannot change the report,
+    and findings order is stable across filesystems.
+    """
+    collected = {}
     for path in paths:
         if os.path.isfile(path):
             candidates = [path] if path.endswith(".py") else []
@@ -40,9 +46,10 @@ def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
                 )
         for candidate in candidates:
             marker = os.path.abspath(candidate)
-            if marker not in seen:
-                seen.add(marker)
-                yield candidate
+            if marker not in collected:
+                collected[marker] = candidate
+    for marker in sorted(collected):
+        yield collected[marker]
 
 
 class LintEngine:

@@ -7,5 +7,9 @@ README "Static analysis" for the recipe).
 
 from .base import ModuleContext, Rule, all_rules, register
 from . import api, det, pkl  # noqa: F401  (imported for registration side effect)
+# The SRF validation-order family lives with the attack-surface analyzer
+# (it shares the call-graph/site machinery) but registers here like any
+# other family. base is fully imported by now, so the cycle is benign.
+from ...audit import rules as srf  # noqa: F401, E402
 
 __all__ = ["ModuleContext", "Rule", "all_rules", "register"]

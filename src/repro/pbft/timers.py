@@ -76,7 +76,11 @@ class SharedViewChangeTimer(ViewChangeTimerBase):
     def request_pending(self, key: RequestKey) -> None:
         self.outstanding.add(key)
         if self._handle is None:
-            self._handle = self.node.set_timer(self.period_us, self._fire)
+            # SRF003 fires on both set_timer calls below by design: the
+            # single shared timer (instead of one per request key) IS the
+            # vulnerability the paper's Sec. 6 slow-primary attack exploits,
+            # reproduced faithfully. PerRequestViewChangeTimer is the fix.
+            self._handle = self.node.set_timer(self.period_us, self._fire)  # repro: lint-ignore[SRF003]
 
     def request_executed(self, key: RequestKey) -> None:
         if key not in self.outstanding:
@@ -89,7 +93,7 @@ class SharedViewChangeTimer(ViewChangeTimerBase):
         if self.outstanding:
             # The bug: executing ANY direct request grants every other
             # pending request a brand-new full period.
-            self._handle = self.node.set_timer(self.period_us, self._fire)
+            self._handle = self.node.set_timer(self.period_us, self._fire)  # repro: lint-ignore[SRF003]
 
     def stop_all(self) -> None:
         if self._handle is not None:

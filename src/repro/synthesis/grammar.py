@@ -16,8 +16,10 @@ wants to).
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 #: Message kinds the grammar can produce (one per protocol handler).
@@ -30,6 +32,45 @@ MESSAGE_KINDS: Tuple[str, ...] = (
     "viewchange",
     "newview",
 )
+
+#: Discovered handler message type -> grammar kind token. Message types the
+#: harness cannot concretize (state transfer, replies) have no entry.
+_HANDLER_KIND_MAP = {
+    "Request": "request",
+    "ForwardedRequest": "request",
+    "PrePrepare": "preprepare",
+    "Prepare": "prepare",
+    "Commit": "commit",
+    "CheckpointMsg": "checkpoint",
+    "ViewChange": "viewchange",
+    "NewView": "newview",
+}
+
+
+@lru_cache(maxsize=1)
+def seeded_message_kinds() -> Tuple[str, ...]:
+    """The grammar's target list, seeded from discovered handlers.
+
+    :func:`repro.audit.handler_messages` statically enumerates the message
+    types the PBFT replica actually dispatches on; the grammar synthesizes
+    the intersection with what the harness can concretize, in
+    ``MESSAGE_KINDS`` order (so RNG draws are unchanged whenever the
+    discovered set matches the static list, which it does on the shipped
+    tree — a test pins this). Falls back to the static list when the
+    target sources are not on disk (zipapp installs).
+    """
+    try:
+        from .. import pbft as _pbft
+        from ..audit import handler_messages
+
+        messages = handler_messages([os.path.dirname(_pbft.__file__)])
+    except Exception:
+        return MESSAGE_KINDS
+    discovered = {
+        _HANDLER_KIND_MAP[name] for name in messages if name in _HANDLER_KIND_MAP
+    }
+    kinds = tuple(kind for kind in MESSAGE_KINDS if kind in discovered)
+    return kinds or MESSAGE_KINDS
 
 #: How disparate the receiver-side code paths of two kinds are (used for the
 #: mutate-distance semantics): kinds in the same phase are close.
@@ -91,9 +132,9 @@ SequenceProgram = Tuple[MessageOp, ...]
 
 
 def random_op(rng: random.Random, n_senders: int = 2) -> MessageOp:
-    """A uniformly random message op."""
+    """A uniformly random message op (kinds seeded from discovered handlers)."""
     return MessageOp(
-        kind=rng.choice(MESSAGE_KINDS),
+        kind=rng.choice(seeded_message_kinds()),
         view_delta=rng.randint(-1, 2),
         seq_offset=rng.randint(1, 8),
         authentic=rng.random() < 0.5,
@@ -150,10 +191,11 @@ def mutate_program(
         else:
             # Strong: new kinds, authenticity flips, structural edits.
             if roll < 0.4:
+                pool = seeded_message_kinds()
                 far_kinds = [
-                    kind for kind in MESSAGE_KINDS if kind_disparity(kind, op.kind) == 2
+                    kind for kind in pool if kind_disparity(kind, op.kind) == 2
                 ]
-                ops[index] = replace(op, kind=rng.choice(far_kinds or list(MESSAGE_KINDS)))
+                ops[index] = replace(op, kind=rng.choice(far_kinds or list(pool)))
             elif roll < 0.6:
                 ops[index] = replace(op, authentic=not op.authentic)
             elif roll < 0.8 and len(ops) < max_length:
@@ -171,4 +213,5 @@ __all__ = [
     "mutate_program",
     "random_op",
     "random_program",
+    "seeded_message_kinds",
 ]

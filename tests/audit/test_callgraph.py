@@ -1,0 +1,120 @@
+"""Call-graph extraction: identity, dispatch tables, reachability."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.audit import parse_module
+
+
+def graph_of(source: str, path: str = "/tmp/elsewhere/mod.py"):
+    return parse_module(path, textwrap.dedent(source))
+
+
+# ---------------------------------------------------------------------------
+# module identity
+# ---------------------------------------------------------------------------
+def test_identity_anchors_on_the_repro_package():
+    from repro.audit import module_identity
+
+    module, file_rel = module_identity("/home/alice/checkout/src/repro/pbft/replica.py")
+    assert module == "repro.pbft.replica"
+    assert file_rel == "repro/pbft/replica.py"
+    # A different checkout root yields the same identity.
+    assert module_identity("/ci/build7/src/repro/pbft/replica.py") == (module, file_rel)
+
+
+def test_identity_of_a_package_init_is_the_package():
+    from repro.audit import module_identity
+
+    module, file_rel = module_identity("/x/src/repro/dht/__init__.py")
+    assert module == "repro.dht"
+    assert file_rel == "repro/dht/__init__.py"
+
+
+def test_identity_outside_repro_falls_back_to_basename():
+    from repro.audit import module_identity
+
+    assert module_identity("/tmp/scratch/fixture.py") == ("fixture", "fixture.py")
+
+
+# ---------------------------------------------------------------------------
+# dispatch extraction
+# ---------------------------------------------------------------------------
+DISPATCHER = """
+class Node:
+    def handle_message(self, payload, src):
+        kind = type(payload)
+        if kind is Request:
+            self._on_request(payload, src)
+        elif kind is Prepare:
+            self._on_prepare(payload)
+        elif isinstance(payload, Commit):
+            self.committed.append(payload)
+    def _on_request(self, message, src):
+        self.forward(message)
+    def _on_prepare(self, message):
+        pass
+    def forward(self, message):
+        self.send(message)
+"""
+
+
+def test_dispatch_maps_messages_to_their_branch_targets():
+    graph = graph_of(DISPATCHER)
+    entries = graph.classes["Node"].handler_entries()
+    # The entry point itself is a wildcard plus the inline Commit branch.
+    assert entries["handle_message"] == ("Commit",)
+    assert entries["_on_request"] == ("Request",)
+    assert entries["_on_prepare"] == ("Prepare",)
+
+
+def test_is_not_guard_is_an_inline_handler():
+    graph = graph_of(
+        """
+        class Client:
+            def on_message(self, payload, src):
+                if type(payload) is not Reply:
+                    return
+                self.replies.append(payload)
+        """
+    )
+    entries = graph.classes["Client"].handler_entries()
+    # ``is not Reply`` early-returns for everything else: the entry point
+    # itself handles Reply; no delegation edge is invented.
+    assert entries == {"on_message": ("Reply",)}
+
+
+def test_entry_with_no_dispatch_is_a_wildcard():
+    graph = graph_of(
+        """
+        class Sink:
+            def handle_message(self, payload, src):
+                self.inbox.append(payload)
+        """
+    )
+    assert graph.classes["Sink"].handler_entries() == {"handle_message": ()}
+
+
+def test_reachability_closes_over_self_calls():
+    graph = graph_of(DISPATCHER)
+    cls = graph.classes["Node"]
+    # _on_request -> forward (send is not a method of the class, so the
+    # closure stops there).
+    assert cls.reachable_from("_on_request") == ("_on_request", "forward")
+    assert cls.reachable_from("_on_prepare") == ("_on_prepare",)
+    assert cls.reachable_from("ghost") == ()
+
+
+def test_non_handler_methods_are_not_dispatch_entries():
+    graph = graph_of(
+        """
+        class Worker:
+            def process(self, payload):
+                if type(payload) is Request:
+                    self.handle(payload)
+            def handle(self, payload):
+                pass
+        """
+    )
+    assert graph.classes["Worker"].handler_entries() == {}

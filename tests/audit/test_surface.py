@@ -1,0 +1,100 @@
+"""Surface coverage: manifest x dimension cross-check semantics."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.audit import (
+    DIMENSION_REACH,
+    TIMING_ONLY_DIMENSIONS,
+    build_manifest,
+    render_surface,
+    surface_coverage,
+    surface_to_dict,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TARGETS = [str(REPO_ROOT / "src" / "repro" / "pbft"), str(REPO_ROOT / "src" / "repro" / "dht")]
+
+ALL_DIMENSIONS = sorted(DIMENSION_REACH) + list(TIMING_ONLY_DIMENSIONS)
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return build_manifest(TARGETS)
+
+
+def test_full_toolbox_still_leaves_surface_uncovered(manifest):
+    """Acceptance: even with every shipped dimension, some handled message
+    classes are unreachable — that is the gap the audit exists to expose."""
+    coverage = surface_coverage(manifest, ALL_DIMENSIONS)
+    assert coverage.handlers_covered < coverage.handlers_total
+    assert "CheckpointMsg" in coverage.uncovered_messages
+    assert "NewView" in coverage.uncovered_messages
+    # Reached messages are exactly the union of the content dimensions.
+    assert "Request" in coverage.reached_messages
+    assert coverage.unknown_dimensions == ()
+
+
+def test_subset_of_dimensions_narrows_coverage(manifest):
+    full = surface_coverage(manifest, ALL_DIMENSIONS)
+    only_mac = surface_coverage(manifest, ["mac_mask_gray"])
+    assert only_mac.handlers_covered < full.handlers_covered
+    assert set(only_mac.reached_messages) == {"ForwardedRequest", "Request"}
+    # Request-driven sends stay adversary-reachable; totals are unchanged.
+    assert only_mac.sites_by_kind["send"]["total"] == full.sites_by_kind["send"]["total"]
+    assert (
+        only_mac.sites_by_kind["send"]["adversary_reachable"]
+        <= full.sites_by_kind["send"]["adversary_reachable"]
+    )
+
+
+def test_timing_only_dimensions_cover_nothing(manifest):
+    coverage = surface_coverage(manifest, list(TIMING_ONLY_DIMENSIONS))
+    assert coverage.handlers_covered == 0
+    assert coverage.reached_messages == ()
+    assert coverage.content_dimensions == ()
+    assert set(coverage.timing_dimensions) == set(TIMING_ONLY_DIMENSIONS)
+    for row in coverage.sites_by_kind.values():
+        assert row["adversary_reachable"] == 0
+
+
+def test_unknown_dimensions_are_bucketed_not_fatal(manifest):
+    coverage = surface_coverage(manifest, ["mystery_knob", "mac_mask_gray"])
+    assert coverage.unknown_dimensions == ("mystery_knob",)
+    assert coverage.content_dimensions == ("mac_mask_gray",)
+
+
+def test_wildcard_handler_covered_once_anything_is_reachable():
+    manifest = {
+        "handlers": [
+            {
+                "id": "m:Sink.handle_message",
+                "module": "m",
+                "class": "Sink",
+                "method": "handle_message",
+                "messages": [],
+                "reaches": ["handle_message"],
+            }
+        ],
+        "sites": [],
+    }
+    covered = surface_coverage(manifest, ["mac_mask_gray"])
+    assert covered.handlers_covered == 1
+    uncovered = surface_coverage(manifest, ["net_delay_ms"])
+    assert uncovered.handlers_covered == 0
+
+
+def test_render_and_dict_forms_agree(manifest):
+    coverage = surface_coverage(manifest, ALL_DIMENSIONS)
+    rendered = render_surface(coverage)
+    assert "surface coverage:" in rendered
+    assert "UNREACHABLE message classes" in rendered
+    assert "adversary-reachable sites:" in rendered
+    document = surface_to_dict(coverage)
+    assert document["handlers"]["total"] == coverage.handlers_total
+    assert document["handlers"]["uncovered"] == list(coverage.uncovered_handlers)
+    assert document["uncovered_messages"] == list(coverage.uncovered_messages)
+    assert sorted(document["sites_by_kind"]) == list(document["sites_by_kind"])

@@ -1,5 +1,6 @@
 """Suppression fixture: only the line marked ``# expect:`` may be flagged."""
 
+import random
 import time
 
 
@@ -14,6 +15,10 @@ def waived_from_line_above():
 
 def waived_all_rules():
     return time.time()  # repro: lint-ignore
+
+
+def waived_comma_list():
+    return time.time() + random.random()  # repro: lint-ignore[DET001, DET002]
 
 
 def waived_wrong_rule():

@@ -1,0 +1,64 @@
+"""SRF fixtures: validation-order hazards in message handlers.
+
+Each marked line must fire; everything else must stay silent. The shapes
+mirror the paper's bugs: state mutated before authentication (SRF001),
+traffic amplified before the window check (SRF002), and the shared
+view-change timer (SRF003).
+"""
+
+
+class Prepare:
+    seq = 0
+
+
+class Commit:
+    seq = 0
+
+
+class LeakyReplica:
+    """Handlers that act on input before validating it."""
+
+    def __init__(self):
+        self.view = 0
+        self.log = {}
+        self.accepted = {}
+
+    def handle_message(self, payload, src):
+        kind = type(payload)
+        if kind is Prepare:
+            self._on_prepare(payload)
+        elif kind is Commit:
+            self._on_commit(payload, src)
+
+    def _on_prepare(self, message):
+        self.log[message.seq] = message  # expect: SRF001
+        if not self.verify_mac(message):
+            return
+        self.accepted[message.seq] = message
+
+    def _on_commit(self, message, src):
+        self.send(src, "ack")  # expect: SRF002
+        if message.seq <= self.view:
+            return
+        self.send(src, "commit-certificate")
+
+    def verify_mac(self, message):
+        return True
+
+    def send(self, dest, payload):
+        pass
+
+
+class SharedTimer:
+    """One timer for every pending request: the Sec. 6 bug shape."""
+
+    def __init__(self, node):
+        self.node = node
+        self._handle = None
+
+    def request_pending(self, key):
+        if self._handle is None:
+            self._handle = self.node.set_timer(10, self._fire)  # expect: SRF003
+
+    def _fire(self):
+        self._handle = None

@@ -1,0 +1,62 @@
+"""SRF near-misses: the same shapes done correctly — must come back clean."""
+
+
+class Prepare:
+    seq = 0
+
+
+class Commit:
+    seq = 0
+
+
+class CarefulReplica:
+    """Validate first, then mutate state and send."""
+
+    def __init__(self):
+        self.view = 0
+        self.log = {}
+        self.accepted = {}
+
+    def handle_message(self, payload, src):
+        kind = type(payload)
+        if kind is Prepare:
+            self._on_prepare(payload)
+        elif kind is Commit:
+            self._on_commit(payload, src)
+
+    def _on_prepare(self, message):
+        if not self.verify_mac(message):
+            return
+        self.log[message.seq] = message
+        self.accepted[message.seq] = message
+
+    def _on_commit(self, message, src):
+        if message.seq <= self.view:
+            return
+        self.send(src, "commit-certificate")
+
+    def verify_mac(self, message):
+        return True
+
+    def send(self, dest, payload):
+        pass
+
+
+class PerRequestTimer:
+    """What the protocol specifies: one timer per pending request key."""
+
+    def __init__(self, node):
+        self.node = node
+        self._handles = {}
+
+    def request_pending(self, key):
+        if key not in self._handles:
+            self._handles[key] = self.node.set_timer(10, self._fire, key)
+
+    def request_executed(self, key):
+        handle = self._handles.pop(key, None)
+        if handle is not None:
+            self.node.cancel_timer(handle)
+
+    def _fire(self, key):
+        self._handles.pop(key, None)

@@ -78,6 +78,22 @@ def test_bare_suppression_waives_every_rule():
     assert is_suppressed(suppressions, 1, "API003")
 
 
+def test_comma_list_suppression_waives_each_named_rule(tmp_path):
+    """One comment, two rules: both hazards on the line are waived."""
+    hazard = tmp_path / "det" / "mod.py"
+    hazard.parent.mkdir()
+    hazard.write_text(
+        "import random\n"
+        "import time\n"
+        "a = time.time() + random.random()  # repro: lint-ignore[DET001,DET002]\n"
+        "b = time.time() + random.random()  # repro: lint-ignore[DET001]\n"
+    )
+    engine = LintEngine(config=LintConfig(det_paths=(str(hazard.parent),)))
+    findings = engine.lint_file(str(hazard))
+    # Line 3 is fully waived; line 4's DET002 survives its partial waiver.
+    assert [(f.line, f.rule_id) for f in findings] == [(4, "DET002")]
+
+
 # ---------------------------------------------------------------------------
 # engine behaviour
 # ---------------------------------------------------------------------------
@@ -88,6 +104,39 @@ def test_syntax_error_becomes_a_parse_finding(tmp_path):
     engine = LintEngine(config=LintConfig(det_paths=(str(broken.parent),)))
     findings = engine.lint_file(str(broken))
     assert [f.rule_id for f in findings] == [PARSE_RULE]
+
+
+def test_parse_error_does_not_hide_sibling_findings(tmp_path):
+    """A broken file yields a PARSE finding; the run continues past it."""
+    scoped = tmp_path / "det"
+    scoped.mkdir()
+    (scoped / "broken.py").write_text("def unclosed(:\n")
+    (scoped / "hazard.py").write_text("import time\nstamp = time.time()\n")
+    findings = lint_paths([str(scoped)], config=LintConfig(det_paths=(str(scoped),)))
+    by_file = {(Path(f.file).name, f.rule_id) for f in findings}
+    assert by_file == {("broken.py", PARSE_RULE), ("hazard.py", "DET001")}
+
+
+def test_iter_python_files_dedupes_overlapping_paths(tmp_path):
+    """Overlapping and reordered path arguments yield one sorted file list."""
+    from repro.lint import iter_python_files
+
+    pkg = tmp_path / "pkg"
+    sub = pkg / "sub"
+    sub.mkdir(parents=True)
+    for name in ("b.py", "a.py"):
+        (pkg / name).write_text("x = 1\n")
+    (sub / "c.py").write_text("x = 1\n")
+
+    baseline = list(iter_python_files([str(pkg)]))
+    assert baseline == sorted(baseline)
+    assert [Path(p).name for p in baseline] == ["a.py", "b.py", "c.py"]
+    # A nested dir repeated after its parent adds nothing and reorders nothing.
+    overlapped = list(iter_python_files([str(pkg), str(sub), str(pkg)]))
+    assert overlapped == baseline
+    # A file listed explicitly alongside its directory is not doubled.
+    explicit = list(iter_python_files([str(sub), str(pkg / "b.py"), str(pkg)]))
+    assert explicit == baseline
 
 
 def test_excluded_paths_are_skipped(tmp_path):
@@ -210,6 +259,33 @@ def test_cli_lint_json_format_is_machine_readable(tmp_path, capsys):
     assert sum(payload["counts"].values()) == payload["total"]
     sample = payload["findings"][0]
     assert {"file", "line", "col", "rule", "message"} <= set(sample)
+
+
+@pytest.mark.skipif(not HAVE_TOML, reason="needs tomllib/tomli")
+def test_cli_lint_json_output_is_byte_stable(tmp_path, capsys):
+    """The JSON report is a snapshot: identical bytes across repeated and
+    reordered invocations, findings sorted by (file, line, rule)."""
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro-lint.scopes]\n"
+        f'det = ["{FIXTURES / "det"}"]\n'
+        f'pkl = ["{FIXTURES / "pkl"}"]\n'
+    )
+
+    def run(paths):
+        code = main(["lint", *paths, "--format", "json", "--config-root", str(tmp_path)])
+        assert code == 1
+        return capsys.readouterr().out
+
+    first = run([str(FIXTURES / "det"), str(FIXTURES / "pkl")])
+    second = run([str(FIXTURES / "det"), str(FIXTURES / "pkl")])
+    assert first == second
+    # Reordered and overlapping arguments produce the same bytes.
+    reordered = run([str(FIXTURES / "pkl"), str(FIXTURES / "det"), str(FIXTURES / "pkl")])
+    assert reordered == first
+    payload = json.loads(first)
+    keys = [(f["file"], f["line"], f["rule"]) for f in payload["findings"]]
+    assert keys == sorted(keys)
+    assert list(payload["counts"]) == sorted(payload["counts"])
 
 
 def test_cli_lint_json_clean_tree(capsys):

@@ -26,6 +26,7 @@ def fixture_config() -> LintConfig:
         det_paths=(str(FIXTURES / "det"),),
         pkl_paths=(str(FIXTURES / "pkl"),),
         api_paths=(str(FIXTURES / "api"),),
+        srf_paths=(str(FIXTURES / "srf"),),
     )
 
 
@@ -44,7 +45,13 @@ def found_pairs(path: Path):
 
 @pytest.mark.parametrize(
     "fixture",
-    ["det/bad_det.py", "pkl/bad_pkl.py", "api/bad_api.py", "det/suppressed.py"],
+    [
+        "det/bad_det.py",
+        "pkl/bad_pkl.py",
+        "api/bad_api.py",
+        "srf/bad_srf.py",
+        "det/suppressed.py",
+    ],
 )
 def test_bad_fixture_flags_exactly_the_marked_lines(fixture):
     path = FIXTURES / fixture
@@ -54,7 +61,8 @@ def test_bad_fixture_flags_exactly_the_marked_lines(fixture):
 
 
 @pytest.mark.parametrize(
-    "fixture", ["det/good_det.py", "pkl/good_pkl.py", "api/good_api.py"]
+    "fixture",
+    ["det/good_det.py", "pkl/good_pkl.py", "api/good_api.py", "srf/good_srf.py"],
 )
 def test_good_fixture_is_clean(fixture):
     assert found_pairs(FIXTURES / fixture) == set()
@@ -62,7 +70,7 @@ def test_good_fixture_is_clean(fixture):
 
 def test_each_rule_family_has_a_flagged_and_a_clean_fixture():
     """Acceptance: every family proves it fires and does not over-fire."""
-    families = {"DET": "det", "PKL": "pkl", "API": "api"}
+    families = {"DET": "det", "PKL": "pkl", "API": "api", "SRF": "srf"}
     for family, directory in families.items():
         bad = expected_markers(FIXTURES / directory / f"bad_{directory}.py")
         assert any(rule.startswith(family) for _, rule in bad), family
@@ -74,7 +82,12 @@ def test_every_registered_rule_fires_somewhere_in_the_fixtures():
     from repro.lint import all_rules
 
     covered = set()
-    for fixture in ["det/bad_det.py", "pkl/bad_pkl.py", "api/bad_api.py"]:
+    for fixture in [
+        "det/bad_det.py",
+        "pkl/bad_pkl.py",
+        "api/bad_api.py",
+        "srf/bad_srf.py",
+    ]:
         covered |= {rule for _, rule in expected_markers(FIXTURES / fixture)}
     assert covered == {rule.rule_id for rule in all_rules()}
 

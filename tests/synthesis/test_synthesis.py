@@ -33,6 +33,14 @@ def test_message_op_validation():
         MessageOp(kind="prepare", delay_steps=99)
 
 
+def test_seeded_kinds_match_the_static_list_on_the_shipped_tree():
+    """The audit-discovered handler set covers every grammar kind, so
+    seeding changes nothing on the shipped tree (RNG draw order pinned)."""
+    from repro.synthesis.grammar import seeded_message_kinds
+
+    assert seeded_message_kinds() == MESSAGE_KINDS
+
+
 def test_kind_disparity_ordering():
     assert kind_disparity("prepare", "prepare") == 0
     assert kind_disparity("prepare", "commit") == 1  # same phase

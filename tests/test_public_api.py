@@ -67,5 +67,6 @@ def test_lint_surface_is_importable():
         "DET001", "DET002", "DET003", "DET004",
         "PKL001", "PKL002", "PKL003",
         "API001", "API002", "API003", "API004",
+        "SRF001", "SRF002", "SRF003",
     }
     assert Finding and LintConfig and LintEngine
