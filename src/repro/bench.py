@@ -28,6 +28,15 @@ against the unoptimized reference implementation on the same machine:
   slow-primary collapse) at pinned seeds. Besides the cross-mode
   checksum gate it asserts ``discovery_ok``: the hybrid's summed
   tests-to-find must beat impact-only's.
+- ``campaign_sharded``: the distributed campaign fabric. A 2-shard
+  sharded campaign runs under the usual cross-mode gate with the
+  *canonical merged report* as its outcome fingerprint (the
+  merge-checksum determinism gate), and a scaling sweep records the
+  modeled N-host makespan at 1/2/4 shards — each shard's exchange round
+  timed individually, makespan = sum over rounds of the slowest shard
+  (the summary-file barrier) plus the merge. Every sweep point must
+  reproduce its merged bytes on a second run before its rate is
+  recorded (``scaling_ok``).
 
 Modes alternate (optimized, reference, optimized, ...) so slow machine
 drift hits both equally; the first iteration per mode is discarded as
@@ -51,11 +60,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 import time
 from typing import Callable, Dict, Optional, Tuple
 
 from . import perf
 from .core import AvdExploration, CampaignSpec, HybridExploration, run_campaign, snapshot
+from .core.merge import merge_directory, report_to_bytes
+from .core.shard import ShardPlan, ShardRunner, build_shard_controller
 from .core.parallel import resolve_workers
 from .pbft import PbftConfig, PbftDeployment
 from .plugins import (
@@ -204,6 +216,68 @@ def _snapshot_campaign_workload(
         (r.test_index, r.key, r.impact, r.scenario.origin) for r in campaign.results
     ]
     return wall, budget, f"snapshot-campaign:{trajectory!r}"
+
+
+# ---------------------------------------------------------------------------
+# sharded campaign workload (the distributed fabric, measured on one host)
+# ---------------------------------------------------------------------------
+#: Pinned campaign seed for the sharded workload (every shard derives its
+#: own seed from it — see ShardPlan.shard_seed).
+SHARDED_SEED = 0xD157
+#: The shard counts the scaling sweep records in BENCH_campaign.json.
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _shard_plan(budget: int, shards: int) -> ShardPlan:
+    """The pinned plan for a shard count: ~2 exchange rounds per shard."""
+    per_shard = -(-budget // shards)
+    return ShardPlan(
+        campaign_seed=SHARDED_SEED,
+        shards=shards,
+        budget=budget,
+        exchange_every=max(1, per_shard // 2),
+    )
+
+
+def _sharded_campaign_workload(budget: int, shards: int) -> Tuple[float, int, str]:
+    """One sharded campaign; the wall is the *modeled N-host makespan*.
+
+    All shards run in this process (the interleaved reference driver), but
+    each shard's round is timed individually and the reported wall is what
+    an N-host deployment would observe: per round, the slowest shard sets
+    the barrier (partners block on its summary file), so the makespan is
+    the sum over rounds of the per-round maximum, plus the final merge.
+    Measuring placement-free is sound because the merged bytes are
+    placement-invariant — the interleaved driver and N cooperating
+    processes produce identical artifacts (tests/core/test_shard.py and
+    the CI sharded-smoke job hold that equivalence), so only the barrier
+    structure, never the schedule, affects what a real deployment computes.
+
+    The outcome fingerprint is the canonical merged report itself — the
+    merge-checksum determinism gate: reruns and perf modes must reproduce
+    the merged bytes exactly.
+    """
+    plan = _shard_plan(budget, shards)
+    with tempfile.TemporaryDirectory() as tmp:
+        runners = []
+        for index in range(plan.shards):
+            plugins = [MacCorruptionPlugin(), ClientCountPlugin(10, 30, 10)]
+            target = PbftTarget(plugins, config=PbftConfig.campaign_scale())
+            controller = build_shard_controller(target, plugins, plan, index)
+            runners.append(ShardRunner(controller, plan, index, tmp))
+        makespan = 0.0
+        for round_no in range(plan.rounds):
+            walls = []
+            for runner in runners:
+                start = time.perf_counter()
+                runner.run_round(round_no, max_polls=1)
+                walls.append(time.perf_counter() - start)
+            makespan += max(walls)
+        start = time.perf_counter()
+        report, _ = merge_directory(tmp, shards=plan.shards)
+        makespan += time.perf_counter() - start
+        outcome = f"sharded:{shards}:" + report_to_bytes(report).decode("utf-8")
+        return makespan, budget, outcome
 
 
 # ---------------------------------------------------------------------------
@@ -460,6 +534,44 @@ def run_bench(
         }
     )
     campaign_workloads["campaign_discovery"] = discovery_record
+    # Sharded campaign fabric: the headline record is the 2-shard campaign
+    # under the usual cross-mode gate (its checksum IS the merged report —
+    # the merge-checksum determinism gate), then the scaling sweep records
+    # the modeled N-host makespan at 1/2/4 shards. Each sweep point is
+    # confirmed against a second run (merged bytes must reproduce) before
+    # its rate lands in BENCH_campaign.json; scaling_speedup compares the
+    # 4-shard rate to the single-shard baseline and is recorded, never
+    # gated (it is a wall-clock number).
+    sharded_record = measure(
+        lambda: _sharded_campaign_workload(budget, 2), "tests/sec", repeats
+    )
+    scaling: Dict[str, Dict[str, float]] = {}
+    scaling_ok = True
+    for shards in SHARD_COUNTS:
+        wall, units, outcome = _run_mode(
+            lambda s=shards: _sharded_campaign_workload(budget, s), True
+        )
+        if shards == 2:
+            confirm = sharded_record["checksum"]
+        else:
+            _, _, second = _run_mode(
+                lambda s=shards: _sharded_campaign_workload(budget, s), True
+            )
+            confirm = _fingerprint(second)
+        scaling_ok = scaling_ok and _fingerprint(outcome) == confirm
+        scaling[str(shards)] = {
+            "seconds": round(wall, 4),
+            "rate": round(units / wall, 2),
+        }
+    sharded_record["shard_scaling"] = scaling
+    sharded_record["scaling_speedup"] = round(
+        scaling[str(SHARD_COUNTS[-1])]["rate"] / scaling["1"]["rate"], 3
+    )
+    sharded_record["scaling_ok"] = scaling_ok
+    sharded_record["determinism_ok"] = (
+        bool(sharded_record["determinism_ok"]) and scaling_ok
+    )
+    campaign_workloads["campaign_sharded"] = sharded_record
     if not skip_parallel:
         parallel = measure(
             lambda: _campaign_workload(budget, workers=pool_size, batch_size=CAMPAIGN_BATCH),
@@ -507,6 +619,18 @@ def run_bench(
                 f"hybrid {record['hybrid_cost']} vs impact-only {record['avd_cost']} "
                 f"over seeds {record['seeds']}"
             )
+        if "shard_scaling" in record:
+            points = ", ".join(
+                f"{shards}x {_rate(values['rate'])}"
+                for shards, values in sorted(
+                    record["shard_scaling"].items(), key=lambda kv: int(kv[0])
+                )
+            )
+            print(
+                f"  {'':18s} shard scaling (modeled makespan, tests/sec): {points} "
+                f"-> {record['scaling_speedup']:.2f}x at {SHARD_COUNTS[-1]} shards "
+                "(merge checksum gated)"
+            )
         ok = (
             ok
             and bool(record["determinism_ok"])
@@ -551,6 +675,8 @@ __all__ = [
     "KERNEL_FILE",
     "CAMPAIGN_FILE",
     "CAMPAIGN_BATCH",
+    "SHARD_COUNTS",
+    "SHARDED_SEED",
     "SCHEMA_VERSION",
     "TELEMETRY_OVERHEAD_PCT",
 ]

@@ -4,6 +4,8 @@ Commands
 --------
 campaign    run an AVD (or baseline) campaign against a target
 resume      continue a killed campaign from its checkpoint file
+merge       fold a sharded campaign's artifacts into one canonical report
+worker      serve scenario executions to socket-backend campaigns
 explain     attribute a recorded campaign (telemetry JSONL) to its plugins
 bigmac      sweep the Big MAC mask family against PBFT
 slow-primary demonstrate the shared-timer bug and its fixes
@@ -23,6 +25,7 @@ import sys
 from typing import List, Optional
 
 from .core import (
+    BACKEND_NAMES,
     AvdExploration,
     CampaignResult,
     CampaignSpec,
@@ -67,6 +70,40 @@ from .plugins import (
 )
 from .synthesis import SequenceExplorer, behaviours_of_interest
 from .targets import DhtTarget, PbftTarget, RoutingPoisonPlugin
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1, rejected with a readable error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _workers_arg(text: str) -> int:
+    """argparse type for worker counts: >= 0, where 0 means one per CPU."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = one per CPU), got {value}"
+        )
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
 
 _TOOL_FACTORIES = {
     "mac": MacCorruptionPlugin,
@@ -154,10 +191,17 @@ def _print_campaign_summary(campaign) -> None:
 # ---------------------------------------------------------------------------
 # commands
 # ---------------------------------------------------------------------------
+def _parse_hosts(args) -> tuple:
+    """The socket-backend host list from --hosts (validated)."""
+    hosts = tuple(h.strip() for h in (args.hosts or "").split(",") if h.strip())
+    if args.backend == "socket" and not hosts:
+        raise SystemExit("--backend socket requires --hosts host:port[,host:port...]")
+    if args.backend != "socket" and hosts:
+        raise SystemExit("--hosts only applies to --backend socket")
+    return hosts
+
+
 def cmd_campaign(args) -> int:
-    target, plugins = _build_target(
-        args.target, args.tools.split(","), args.fixed_timers, args.aardvark
-    )
     if args.novelty_weight is not None and args.strategy not in ("avd", "hybrid"):
         raise SystemExit("--novelty-weight requires --strategy avd or hybrid")
     config = ControllerConfig(
@@ -165,6 +209,13 @@ def cmd_campaign(args) -> int:
         scenario_timeout=args.scenario_timeout,
         retry=RetryPolicy(max_attempts=args.retries),
         novelty_weight=args.novelty_weight if args.novelty_weight is not None else 0.0,
+    )
+    if args.shards > 1:
+        return _cmd_campaign_sharded(args, config)
+    if args.shard_index is not None:
+        raise SystemExit("--shard-index requires --shards > 1")
+    target, plugins = _build_target(
+        args.target, args.tools.split(","), args.fixed_timers, args.aardvark
     )
     if args.strategy == "avd":
         strategy = AvdExploration(target, plugins, seed=args.seed, config=config)
@@ -213,6 +264,8 @@ def cmd_campaign(args) -> int:
                 checkpoint_path=args.checkpoint,
                 checkpoint_every=args.checkpoint_every,
                 telemetry=telemetry,
+                backend=args.backend,
+                hosts=_parse_hosts(args),
             ),
         )
     finally:
@@ -284,6 +337,202 @@ def cmd_resume(args) -> int:
     if out:
         save_campaign(campaign, out)
         print(f"campaign saved to {out}")
+    return 0
+
+
+def _cmd_campaign_sharded(args, config) -> int:
+    """The ``--shards > 1`` path of ``repro campaign``.
+
+    Without ``--shard-index``: every shard runs in this process, rounds
+    interleaved (the reference driver — no concurrency needed). With it:
+    only that shard runs here, synchronizing with its partners through
+    the summary files in ``--shard-dir``, so N cooperating processes
+    (one per shard) produce byte-identical artifacts to the interleaved
+    driver. A shard whose checkpoint already exists resumes it.
+    """
+    from dataclasses import replace as dc_replace
+    from pathlib import Path
+
+    from .core.shard import (
+        ShardPlan,
+        ShardRunner,
+        build_shard_controller,
+        resume_shard_runner,
+        run_sharded_campaign,
+        shard_checkpoint_path,
+        shard_telemetry_path,
+    )
+
+    if args.strategy not in ("avd", "hybrid"):
+        raise SystemExit("--shards requires --strategy avd or hybrid")
+    for value, name in (
+        (args.checkpoint, "--checkpoint"),
+        (args.telemetry, "--telemetry"),
+        (args.out, "--out"),
+    ):
+        if value:
+            raise SystemExit(
+                f"{name} does not combine with --shards: per-shard checkpoints "
+                "and telemetry land in --shard-dir; fold them with `repro merge`"
+            )
+    if args.strategy == "hybrid" and args.novelty_weight is None:
+        config = dc_replace(
+            config, novelty_weight=HybridExploration.DEFAULT_NOVELTY_WEIGHT
+        )
+    plan = ShardPlan(
+        campaign_seed=args.seed,
+        shards=args.shards,
+        budget=args.budget,
+        exchange_every=args.exchange_every,
+    )
+    directory = Path(args.shard_dir)
+    spec_template = CampaignSpec(
+        budget=plan.budget,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        checkpoint_every=args.checkpoint_every,
+        backend=args.backend,
+        hosts=_parse_hosts(args),
+    )
+    context = {
+        "target": args.target,
+        "tools": args.tools,
+        "fixed_timers": bool(args.fixed_timers),
+        "aardvark": bool(args.aardvark),
+    }
+
+    def factory(plan, index, bus):
+        target, plugins = _build_target(
+            args.target, args.tools.split(","), args.fixed_timers, args.aardvark
+        )
+        controller = build_shard_controller(
+            target, plugins, plan, index, config=config, telemetry=bus
+        )
+        controller.checkpoint_context.update(context)
+        return controller
+
+    if args.shard_index is not None:
+        if args.shard_index >= plan.shards:
+            raise SystemExit(
+                f"--shard-index {args.shard_index} out of range for --shards {plan.shards}"
+            )
+        index = args.shard_index
+        directory.mkdir(parents=True, exist_ok=True)
+        checkpoint = shard_checkpoint_path(directory, index)
+        stream = shard_telemetry_path(directory, index)
+        if checkpoint.exists():
+            data = load_checkpoint(checkpoint)
+            telemetry = _build_telemetry(
+                str(stream),
+                args.progress,
+                append=True,
+                resume_seq=int(data.get("telemetry", {}).get("seq", 0)),
+            )
+            target, plugins = _build_target(
+                args.target, args.tools.split(","), args.fixed_timers, args.aardvark
+            )
+            runner = resume_shard_runner(
+                directory, index, target, plugins, spec=spec_template, telemetry=telemetry
+            )
+            print(f"resuming shard {index}/{plan.shards} from {checkpoint} ...")
+        else:
+            telemetry = _build_telemetry(str(stream), args.progress)
+            runner = ShardRunner(
+                factory(plan, index, telemetry), plan, index, directory,
+                spec=spec_template,
+            )
+            print(
+                f"running shard {index}/{plan.shards} "
+                f"({plan.shard_budget(index)} of {plan.budget} tests, "
+                f"{plan.rounds} exchange rounds) in {directory} ..."
+            )
+        try:
+            runner.run()
+        finally:
+            _close_telemetry(telemetry)
+        campaign = CampaignResult(strategy=args.strategy, results=list(runner.controller.results))
+        _print_campaign_summary(campaign)
+        print(f"merge all shards when done: repro merge {directory}")
+        return 0
+
+    if any(shard_checkpoint_path(directory, i).exists() for i in range(plan.shards)):
+        raise SystemExit(
+            f"{directory} already holds shard checkpoints; resume individual "
+            "shards with --shard-index, or merge/clear the directory first"
+        )
+    print(
+        f"exploring with {plan.shards} shards x "
+        f"{plan.rounds} rounds for {plan.budget} tests into {directory} ..."
+    )
+    runners = run_sharded_campaign(
+        plan,
+        directory,
+        factory,
+        spec=spec_template,
+        telemetry_paths=[shard_telemetry_path(directory, i) for i in range(plan.shards)],
+    )
+    for runner in runners:
+        best = runner.controller.best
+        best_note = f"best impact {best.impact:.3f}" if best else "no results"
+        print(
+            f"  shard {runner.index}: {len(runner.controller.results)} tests, {best_note}"
+        )
+    print(f"fold the shards into one report: repro merge {directory}")
+    return 0
+
+
+def cmd_merge(args) -> int:
+    from .core.merge import MergeError, merge_directory, report_to_bytes
+
+    try:
+        report, stream = merge_directory(args.shard_dir, shards=args.shards)
+    except (MergeError, OSError, ValueError) as exc:
+        raise SystemExit(f"cannot merge: {exc}")
+    payload = report_to_bytes(report)
+    if args.telemetry_out:
+        if stream is None:
+            raise SystemExit(
+                "cannot stitch telemetry: not every merged shard has a "
+                "telemetry stream in the shard directory"
+            )
+        with open(args.telemetry_out, "w", encoding="utf-8") as handle:
+            for line in stream:
+                handle.write(line)
+                handle.write("\n")
+        print(f"merged telemetry written to {args.telemetry_out}")
+    if args.out:
+        with open(args.out, "wb") as handle:
+            handle.write(payload)
+        best = report.get("best")
+        best_note = (
+            f"best impact {best['impact']:.3f} (shard {best['shard']}, "
+            f"test {best['test_index']})"
+            if best
+            else "no results"
+        )
+        print(
+            f"merged {len(report['shards'])} shards, {report['tests']} tests: "
+            f"{best_note}"
+        )
+        print(f"merged report written to {args.out}")
+    else:
+        sys.stdout.write(payload.decode("utf-8"))
+    return 0
+
+
+def cmd_worker(args) -> int:
+    from .core.worker import WorkerServer, parse_host
+
+    host, port = parse_host(args.listen)
+    server = WorkerServer(host=host, port=port)
+    print(f"repro worker listening on {server.endpoint}", flush=True)
+    try:
+        served = server.serve_forever(max_sessions=args.max_sessions)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        served = 0
+    finally:
+        server.shutdown()
+    print(f"worker served {served} session(s)")
     return 0
 
 
@@ -549,17 +798,49 @@ def build_parser() -> argparse.ArgumentParser:
              "1 = pure novelty; default: 0 for avd, "
              f"{HybridExploration.DEFAULT_NOVELTY_WEIGHT} for hybrid)",
     )
-    campaign.add_argument("--budget", type=int, default=40)
+    campaign.add_argument("--budget", type=_positive_int, default=40)
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=_workers_arg, default=1,
         help="concurrent test executions (0 = one per CPU); the exploration "
              "trajectory for a given seed does not depend on this",
     )
     campaign.add_argument(
-        "--batch-size", type=int, default=None,
+        "--batch-size", type=_positive_int, default=None,
         help="scenarios generated speculatively per round "
              "(default: 1 serial, 2x workers parallel)",
+    )
+    campaign.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="process",
+        help="executor backend for parallel runs: process (fork pool, "
+             "default), inprocess (no processes; debugging), socket "
+             "(remote repro workers via --hosts); the exploration "
+             "trajectory does not depend on this",
+    )
+    campaign.add_argument(
+        "--hosts", default=None, metavar="HOST:PORT[,...]",
+        help="socket-backend worker endpoints (see `repro worker`)",
+    )
+    campaign.add_argument(
+        "--shards", type=_positive_int, default=1, metavar="N",
+        help="split the campaign across N deterministic hyperspace shards "
+             "(avd/hybrid only); fold the artifacts with `repro merge`",
+    )
+    campaign.add_argument(
+        "--shard-index", type=_non_negative_int, default=None, metavar="I",
+        help="run (or resume) only shard I in this process; launch one "
+             "process per shard with the same seed/budget/--shards and "
+             "they synchronize through --shard-dir",
+    )
+    campaign.add_argument(
+        "--shard-dir", default="shards", metavar="DIR",
+        help="directory for per-shard checkpoints, telemetry, and "
+             "exchange summaries (default: shards)",
+    )
+    campaign.add_argument(
+        "--exchange-every", type=_positive_int, default=25, metavar="K",
+        help="local tests per shard between Pi/coverage/fitness exchanges "
+             "(default: 25); part of the campaign's deterministic identity",
     )
     campaign.add_argument("--fixed-timers", action="store_true")
     campaign.add_argument("--aardvark", action="store_true")
@@ -585,7 +866,7 @@ def build_parser() -> argparse.ArgumentParser:
              "continue a killed run with `repro resume PATH`",
     )
     campaign.add_argument(
-        "--checkpoint-every", type=int, default=25, metavar="K",
+        "--checkpoint-every", type=_positive_int, default=25, metavar="K",
         help="checkpoint at least every K executed scenarios (default: 25)",
     )
     campaign.add_argument(
@@ -604,11 +885,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resume.add_argument("checkpoint", help="checkpoint file written by campaign --checkpoint")
     resume.add_argument(
-        "--budget", type=int, default=None,
+        "--budget", type=_positive_int, default=None,
         help="total campaign budget (default: the checkpointed budget)",
     )
     resume.add_argument(
-        "--workers", type=int, default=None,
+        "--workers", type=_workers_arg, default=None,
         help="override the worker count (safe: the trajectory does not depend on it)",
     )
     resume.add_argument("--out", help="save results to this JSON file (default: checkpointed --out)")
@@ -621,6 +902,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="live one-line campaign progress on stderr",
     )
     resume.set_defaults(func=cmd_resume)
+
+    merge = sub.add_parser(
+        "merge", help="fold sharded-campaign artifacts into one canonical report"
+    )
+    merge.add_argument(
+        "shard_dir", help="directory holding shard-<i>.checkpoint.json files"
+    )
+    merge.add_argument(
+        "--shards", type=_positive_int, default=None, metavar="N",
+        help="require exactly shards 0..N-1 (default: every shard present)",
+    )
+    merge.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the canonical merged report to PATH (default: stdout); "
+             "the bytes are a pure function of (seed, shards, budget)",
+    )
+    merge.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="also stitch the per-shard telemetry streams into one JSONL",
+    )
+    merge.set_defaults(func=cmd_merge)
+
+    worker = sub.add_parser(
+        "worker", help="serve scenario executions to socket-backend campaigns"
+    )
+    worker.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="bind address (default: 127.0.0.1 on an ephemeral port, "
+             "printed at startup)",
+    )
+    worker.add_argument(
+        "--max-sessions", type=_positive_int, default=None, metavar="N",
+        help="exit after serving N campaign sessions (default: serve forever)",
+    )
+    worker.set_defaults(func=cmd_worker)
 
     explain = sub.add_parser(
         "explain", help="attribute a recorded campaign to its plugins"
@@ -679,7 +995,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="CI-sized workloads, one timed repeat per mode",
     )
     bench.add_argument(
-        "--workers", type=int, default=0,
+        "--workers", type=_workers_arg, default=0,
         help="pool size for the parallel campaign workload (0 = one per CPU)",
     )
     bench.add_argument(

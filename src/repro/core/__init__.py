@@ -6,6 +6,14 @@ of test scenarios (:mod:`repro.core.hyperspace`) through tool plugins
 Baseline strategies and the attacker power model live alongside.
 """
 
+from .backends import (
+    BACKEND_NAMES,
+    BackendBroken,
+    ExecutorBackend,
+    TransportFailure,
+    TransportTimeout,
+    WorkStealingScheduler,
+)
 from .campaign import CampaignResult, compare_campaigns, run_campaign
 from .controller import ControllerConfig, TestController
 from .coverage import CoverageMap, extract_features, signature_of
@@ -63,14 +71,25 @@ from .snapshot import (
     SnapshotRestoreError,
 )
 from . import snapshot
+from .merge import MergeError, merge_checkpoints, merge_directory, merge_streams, report_to_bytes
+from .shard import (
+    ShardPlan,
+    ShardRunner,
+    build_shard_controller,
+    resume_shard_runner,
+    run_sharded_campaign,
+)
 from .spec import CampaignSpec
 from .target import Target, verify_target
+from .worker import WorkerServer, parse_host
 
 __all__ = [
     "AccessLevel",
     "AnnealingExploration",
     "AttackerPower",
     "AvdExploration",
+    "BACKEND_NAMES",
+    "BackendBroken",
     "CampaignResult",
     "CampaignSpec",
     "ChoiceDimension",
@@ -81,6 +100,7 @@ __all__ = [
     "CoverageMap",
     "DifficultyEstimate",
     "Dimension",
+    "ExecutorBackend",
     "ExhaustiveExploration",
     "ExplorationStrategy",
     "GeneticExploration",
@@ -88,6 +108,7 @@ __all__ = [
     "HybridExploration",
     "Hyperspace",
     "IntRangeDimension",
+    "MergeError",
     "POWER_LADDER",
     "ParallelScenarioExecutor",
     "PluginSampler",
@@ -96,6 +117,8 @@ __all__ = [
     "RandomExploration",
     "RetryPolicy",
     "ScenarioExecutor",
+    "ShardPlan",
+    "ShardRunner",
     "ScenarioFailure",
     "ScenarioResult",
     "ScenarioTimeout",
@@ -110,7 +133,12 @@ __all__ = [
     "TestScenario",
     "ToolPlugin",
     "TopSet",
+    "TransportFailure",
+    "TransportTimeout",
+    "WorkStealingScheduler",
+    "WorkerServer",
     "available_plugins",
+    "build_shard_controller",
     "compare_campaigns",
     "coords_key",
     "describe_best",
@@ -120,9 +148,16 @@ __all__ = [
     "heatmap",
     "load_campaign",
     "load_checkpoint",
+    "merge_checkpoints",
+    "merge_directory",
+    "merge_streams",
+    "parse_host",
     "publish_executed",
+    "report_to_bytes",
     "resolve_workers",
     "restore_controller",
+    "resume_shard_runner",
+    "run_sharded_campaign",
     "save_campaign",
     "save_checkpoint",
     "signature_of",

@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..sim.trace import set_kind_capture
 from ..telemetry.bus import TelemetryBus
@@ -173,6 +173,17 @@ class TestController:
         #: Bounded corpus of scenarios that exhibited never-seen behaviour
         #: (extra parent candidates beyond Pi; insertion-ordered).
         self._novel_corpus: Dict[CoordsKey, ScenarioResult] = {}
+
+        #: Sharded campaigns: when set, scenario generation only accepts
+        #: keys this predicate owns (see :mod:`repro.core.shard`); keys
+        #: outside the region are treated as already explored.
+        self.region_filter: Optional[Callable[[CoordsKey], bool]] = None
+        #: Results absorbed from partner shards (key -> (absorbed-after
+        #: local result count, result)), insertion-ordered. They live in
+        #: Pi/Omega/mu but never in ``results`` — the checkpoint replays
+        #: them at the recorded position so Pi's tie-breaking (stable
+        #: sort) is identical to the live run.
+        self._foreign: Dict[CoordsKey, Tuple[int, ScenarioResult]] = {}
 
     # ------------------------------------------------------------------
     # scenario generation (Algorithm 1)
@@ -337,6 +348,8 @@ class TestController:
         return None
 
     def _is_new(self, key: CoordsKey) -> bool:
+        if self.region_filter is not None and not self.region_filter(key):
+            return False
         return key not in self.history and key not in self._pending_keys
 
     # ------------------------------------------------------------------
@@ -394,6 +407,25 @@ class TestController:
         if result.scenario.plugin is not None:
             parent_impact = self._parent_impact.pop(result.key, 0.0)
             self.plugin_sampler.record(result.scenario.plugin, parent_impact, result.impact)
+
+    def absorb_foreign(self, result: ScenarioResult) -> bool:
+        """Absorb a partner shard's executed result into Pi/Omega/mu.
+
+        The result was executed elsewhere; it becomes a parent candidate
+        and dedup knowledge here but is *not* appended to ``results``
+        (those are this shard's own executions) and earns no plugin
+        fitness credit. Failures are never exchanged, so no quarantine
+        path. Returns False when the key is already known (idempotent —
+        partner Pi snapshots are cumulative across exchange rounds).
+        """
+        if result.key in self.history:
+            return False
+        self.history.add(result.key)
+        self._foreign[result.key] = (len(self.results), result)
+        self.top_set.offer(result)
+        if result.impact > self.max_impact:
+            self.max_impact = result.impact
+        return True
 
     def _observe_coverage(self, result: ScenarioResult) -> None:
         """Fold one measurement into the seen-behaviour map.
@@ -490,7 +522,11 @@ class TestController:
         # restored on the way out so co-resident campaigns are unaffected.
         capture_before = set_kind_capture(True) if coverage_on else None
         try:
-            if workers == 1 and batch_size == 1:
+            # The socket backend always goes through the fabric (that is
+            # the point of it); the serial shortcut would run scenarios
+            # locally. Size-1 batches emit the same sched counters as the
+            # serial path, so the telemetry stream is unaffected.
+            if workers == 1 and batch_size == 1 and spec.backend != "socket":
                 results = self._run_serial(spec.budget)
             else:
                 with ParallelScenarioExecutor(
@@ -501,6 +537,8 @@ class TestController:
                     retry=self.config.retry,
                     telemetry=self.telemetry,
                     coverage_capture=coverage_on,
+                    backend=spec.backend,
+                    hosts=spec.hosts,
                 ) as pool:
                     results = self._run_batched(spec.budget, batch_size, pool)
         finally:

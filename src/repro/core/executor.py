@@ -106,7 +106,7 @@ class ScenarioExecutor:
         seed = self.scenario_seed(scenario, params)
         measurement = self.target.execute(params, seed)
         result = self._finish(scenario, test_index, params, measurement)
-        publish_executed(self.telemetry, self.target, result)
+        publish_executed(self.telemetry, self.target, result, sched=SERIAL_SCHED)
         return result
 
     def _finish(
@@ -214,7 +214,7 @@ class ScenarioExecutor:
             attempts += 1
             try:
                 result = self._attempt(scenario, test_index)
-                publish_executed(self.telemetry, self.target, result)
+                publish_executed(self.telemetry, self.target, result, sched=SERIAL_SCHED)
                 return result
             except FailureSignal as failure:
                 kind, error = failure.kind, failure.error
@@ -234,21 +234,69 @@ class ScenarioExecutor:
                 error=error,
                 attempts=attempts,
             )
-            publish_executed(self.telemetry, self.target, failure_result)
+            publish_executed(self.telemetry, self.target, failure_result, sched=SERIAL_SCHED)
             return failure_result
 
 
+def batch_sched(size: int, slot: int) -> Dict[str, int]:
+    """The scheduler counters attached to one ``ScenarioExecuted`` event.
+
+    A pure function of the batch *structure* — how many scenarios were
+    dispatched together (``size``) and where this one sat (``slot``) —
+    never of worker count, completion order, or clocks, so telemetry
+    streams stay byte-identical across worker counts and backends.
+    ``depth`` is how many submissions were still queued behind this one
+    when it was dispatched; a serial execution is a batch of one, so the
+    serial and batched paths emit identical counters for size-1 batches
+    (the byte-identity tests in ``tests/telemetry`` depend on it).
+    ``repro explain`` folds these into the scheduler-efficiency rollup.
+    """
+    return {"depth": size - 1 - slot, "size": size, "slot": slot}
+
+
+#: The counters every serial (non-batched) execution carries.
+SERIAL_SCHED = batch_sched(1, 0)
+
+
+def warm_target(target: object, campaign_seed: Optional[int]) -> None:
+    """Run a target's ``warm_caches`` hook, old- or new-style.
+
+    Newer targets accept ``warm_caches(campaign_seed=...)`` (the snapshot
+    cache needs the seed to precompute prefixes); older ones take no
+    arguments. Warming is an optimization, so a hook that raises is
+    ignored rather than allowed to break worker startup. Shared by the
+    process-pool initializer, the socket worker's session setup, and the
+    parent-side pickling path — every place a target lands before its
+    first scenario.
+    """
+    warm = getattr(target, "warm_caches", None)
+    if not callable(warm):
+        return
+    try:
+        try:
+            warm(campaign_seed=campaign_seed)
+        except TypeError:
+            warm()
+    except Exception:
+        pass
+
+
 def publish_executed(
-    telemetry: Optional[TelemetryBus], target: Target, result: ScenarioResult
+    telemetry: Optional[TelemetryBus],
+    target: Target,
+    result: ScenarioResult,
+    sched: Optional[Dict[str, int]] = None,
 ) -> None:
     """Publish one terminal result as a ``ScenarioExecuted`` event.
 
-    Shared by the serial executor and the parallel pool (which publishes
+    Shared by the serial executor and the parallel fabric (which publishes
     whole batches here in submission order, from the parent process — the
     re-sequencing that keeps the event stream worker-count-independent).
     The target's optional ``telemetry_summary(measurement)`` hook supplies
     the event's headline figures; a misbehaving hook is dropped rather
-    than allowed to fail the campaign.
+    than allowed to fail the campaign. ``sched`` carries the batch-shape
+    scheduler counters (:func:`batch_sched`); the serial executors pass
+    :data:`SERIAL_SCHED`, which equals a batch of one.
     """
     if telemetry is None or not telemetry.active:
         return
@@ -267,8 +315,17 @@ def publish_executed(
             impact=result.impact,
             failed=result.failed,
             summary=summary,
+            sched=dict(sched) if sched is not None else None,
         )
     )
 
 
-__all__ = ["ScenarioExecutor", "Target", "TargetSystem", "publish_executed"]
+__all__ = [
+    "SERIAL_SCHED",
+    "ScenarioExecutor",
+    "Target",
+    "TargetSystem",
+    "batch_sched",
+    "publish_executed",
+    "warm_target",
+]

@@ -6,36 +6,51 @@ configuration, executes the test and computes the impact". Tests are
 independent — the target re-initializes the distributed system for every
 test — so nothing in the algorithm requires them to run one at a time.
 
-:class:`ParallelScenarioExecutor` executes *batches* of scenarios, either
-in-process (``workers=1``) or on a ``concurrent.futures`` process pool.
-Two properties make concurrency safe for the meta-heuristic's measurements:
+:class:`ParallelScenarioExecutor` executes *batches* of scenarios. It is
+the policy layer of the execution fabric: batching, submission-order
+result reassembly, telemetry publication, local fallback, and per-suspect
+retry live here, while the mechanism — where a scenario actually runs —
+is a pluggable :class:`~repro.core.backends.ExecutorBackend`:
+
+- ``inprocess`` — everything runs on the local executor (the reference);
+- ``process``   — a same-host ``concurrent.futures`` process pool (the
+  default, byte-identical to the pre-backend behaviour);
+- ``socket``    — remote :mod:`repro.core.worker` processes spoken to
+  over length-prefixed pickle frames, with a work-stealing scheduler so
+  straggling hosts don't idle a batch.
+
+Two properties make any backend safe for the meta-heuristic's
+measurements:
 
 1. every scenario's simulation seed derives from ``(campaign_seed,
    scenario.key)`` (see :func:`repro.sim.rng.derive_seed`), so a scenario's
-   measurement is a pure function of the scenario, not of scheduling;
+   measurement is a pure function of the scenario, not of scheduling or
+   placement;
 2. results are returned in **submission order**, never completion order, so
    callers absorb them into Pi/Omega/mu exactly as a serial worker would.
 
-Together these give the determinism guarantee the test harness in
-``tests/core/test_parallel.py`` enforces: for a fixed ``(seed,
-batch_size)`` the exploration trajectory is bit-identical regardless of
-worker count.
+Together these give the determinism guarantee the test harnesses in
+``tests/core/test_parallel.py`` and ``tests/core/test_backends.py``
+enforce: for a fixed ``(seed, batch_size)`` the exploration trajectory is
+bit-identical regardless of worker count *and* backend choice.
 
-Targets are shipped to workers by pickling them once per worker process
-(via the pool initializer), not once per task. Targets that cannot be
+Targets are shipped to workers by pickling them once per worker (pool
+initializer / socket hello), not once per task. Targets that cannot be
 pickled — closures, open simulators, test doubles with lambdas — degrade
 gracefully: the executor falls back to in-process execution, which yields
-the same results, only serially.
+the same results, only serially. Unreachable socket hosts degrade the
+same way.
 
 Crash safety (:meth:`ParallelScenarioExecutor.execute_batch_isolated`):
 scenarios run through the workers' *isolated* path, so target faults,
 harness bugs, and in-worker deadline overruns come back as zero-impact
 :class:`~repro.core.failures.ScenarioFailure` values instead of
-exceptions. Failures the worker cannot report — the worker process dying,
-or a worker stuck past the wall-clock backstop — break the pool; the pool
-is then torn down and rebuilt, and the unresolved scenarios are re-driven
-one at a time so the culprit is identified exactly: it burns its own
-retry budget (fresh pool per attempt, exponential backoff between) and is
+exceptions. Failures the worker cannot report — a worker process dying, a
+connection tearing, or a worker stuck past the wall-clock backstop —
+surface as lost result slots; the backend is then reset (pools rebuilt,
+sessions re-dialed) and the unresolved scenarios are re-driven one at a
+time so the culprit is identified exactly: it burns its own retry budget
+(fresh workers per attempt, exponential backoff between) and is
 quarantined as ``worker-crash``/``timeout`` without ever executing in the
 controller's process, while innocent batch-mates complete normally.
 """
@@ -44,16 +59,27 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeout
-from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence
 
 import time
 
-from ..sim.trace import set_kind_capture
 from ..telemetry.bus import TelemetryBus
-from .executor import ScenarioExecutor, Target, publish_executed
+from .backends import (
+    BACKEND_NAMES,
+    BackendBroken,
+    ExecutorBackend,
+    ProcessPoolBackend,
+    SocketBackend,
+    TransportFailure,
+    TransportTimeout,
+)
+from .executor import (
+    ScenarioExecutor,
+    Target,
+    batch_sched,
+    publish_executed,
+    warm_target,
+)
 from .failures import (
     RetryPolicy,
     ScenarioFailure,
@@ -61,9 +87,13 @@ from .failures import (
     WORKER_CRASH,
 )
 from .scenario import ScenarioResult, TestScenario
+from ..sim.trace import set_kind_capture
 
 #: Each worker process holds one executor, built once by the initializer.
 _WORKER_EXECUTOR: Optional[ScenarioExecutor] = None
+
+#: Backwards-compatible alias (the canonical helper moved to executor.py).
+_warm_target = warm_target
 
 
 def _init_worker(
@@ -86,30 +116,10 @@ def _init_worker(
     # cost is paid once per worker at startup instead of lazily inside the
     # first scenarios — and not at all when the parent's pickled target
     # already carried warm caches.
-    _warm_target(target, campaign_seed)
+    warm_target(target, campaign_seed)
     _WORKER_EXECUTOR = ScenarioExecutor(
         target, campaign_seed=campaign_seed, timeout=timeout, retry=retry
     )
-
-
-def _warm_target(target: object, campaign_seed: Optional[int]) -> None:
-    """Run a target's ``warm_caches`` hook, old- or new-style.
-
-    Newer targets accept ``warm_caches(campaign_seed=...)`` (the snapshot
-    cache needs the seed to precompute prefixes); older ones take no
-    arguments. Warming is an optimization, so a hook that raises is
-    ignored rather than allowed to break worker startup.
-    """
-    warm = getattr(target, "warm_caches", None)
-    if not callable(warm):
-        return
-    try:
-        try:
-            warm(campaign_seed=campaign_seed)
-        except TypeError:
-            warm()
-    except Exception:
-        pass
 
 
 def _execute_in_worker(scenario: TestScenario, test_index: int) -> ScenarioResult:
@@ -144,11 +154,12 @@ def resolve_workers(workers: Optional[int]) -> int:
 
 
 class ParallelScenarioExecutor:
-    """Executes scenario batches against a target, serially or on a pool.
+    """Executes scenario batches against a target, serially or on workers.
 
-    The pool is created lazily on the first multi-scenario batch and is
-    reused for the executor's lifetime; use the instance as a context
-    manager (or call :meth:`close`) to release the worker processes.
+    The backend (pool / sockets) is engaged lazily on the first
+    multi-scenario batch and reused for the executor's lifetime; use the
+    instance as a context manager (or call :meth:`close`) to release the
+    workers.
     """
 
     def __init__(
@@ -161,11 +172,19 @@ class ParallelScenarioExecutor:
         sleep: Callable[[float], None] = time.sleep,
         telemetry: Optional[TelemetryBus] = None,
         coverage_capture: bool = False,
+        backend: str = "process",
+        hosts: Sequence[str] = (),
     ) -> None:
+        if backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown executor backend {backend!r} (choose from {', '.join(BACKEND_NAMES)})"
+            )
+        if backend == "socket" and not hosts:
+            raise ValueError("the socket backend needs at least one --hosts worker")
         self.target = target
-        #: Propagated to every worker's initializer (and assumed already
-        #: set in *this* process by the caller) so deployments on both
-        #: sides of the pool boundary capture identically.
+        #: Propagated to every worker's initializer/hello (and assumed
+        #: already set in *this* process by the caller) so deployments on
+        #: both sides of the worker boundary capture identically.
         self.coverage_capture = coverage_capture
         #: Campaign telemetry bus. ``ScenarioExecuted`` events are
         #: published *here*, in the parent process, after each batch's
@@ -178,18 +197,19 @@ class ParallelScenarioExecutor:
         self.workers = resolve_workers(workers)
         self.timeout = timeout
         self.retry = retry if retry is not None else RetryPolicy()
+        self.backend_name = backend
+        self.hosts = tuple(hosts)
         #: Scenarios executed through this instance (any mode).
         self.executed = 0
-        #: True once the pool was abandoned (non-picklable target, broken
-        #: workers); execution then stays in-process for the lifetime.
+        #: True once remote execution was abandoned (non-picklable target,
+        #: broken workers, unreachable hosts); execution then stays
+        #: in-process for the lifetime.
         self.fallback_serial = False
-        #: Pools torn down and rebuilt after a worker crash or hang.
-        self.pool_rebuilds = 0
         self._sleep = sleep
         self._local = ScenarioExecutor(
             target, campaign_seed=campaign_seed, timeout=timeout, retry=retry, sleep=sleep
         )
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._backend: Optional[ExecutorBackend] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -201,38 +221,38 @@ class ParallelScenarioExecutor:
         self.close()
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Shut down the backend's workers (idempotent)."""
+        if self._backend is not None:
+            self._backend.close()
 
-    def _terminate_pool(self) -> None:
-        """Hard-kill the pool (workers may be hung; a clean join could block)."""
-        if self._pool is None:
-            return
-        processes = list(getattr(self._pool, "_processes", {}).values())
-        for process in processes:
-            try:
-                process.kill()
-            except Exception:  # pragma: no cover - already-dead workers
-                pass
-        try:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-        except TypeError:  # pragma: no cover - python < 3.9
-            self._pool.shutdown(wait=False)
-        self._pool = None
-        self.pool_rebuilds += 1
+    @property
+    def pool_rebuilds(self) -> int:
+        """Worker teardown/rebuild cycles after crashes or hangs."""
+        return self._backend.rebuilds if self._backend is not None else 0
 
-    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
-        if self.fallback_serial or self.workers <= 1:
+    @property
+    def _pool(self):
+        """The live process pool, if the process backend has one.
+
+        Kept as an inspection point (tests assert small batches never
+        fork workers); other backends report ``None``.
+        """
+        backend = self._backend
+        return backend.pool if isinstance(backend, ProcessPoolBackend) else None
+
+    def _ensure_backend(self) -> Optional[ExecutorBackend]:
+        """The usable backend, or ``None`` for in-process execution."""
+        if self.fallback_serial or self.backend_name == "inprocess":
             return None
-        if self._pool is None:
+        if self.backend_name == "process" and self.workers <= 1:
+            return None
+        if self._backend is None:
             # Warm shareable caches once in the parent so the pickled blob
             # carries them into every worker (the worker-side warm hook then
             # finds nothing left to do). The process-wide snapshot cache
-            # does NOT travel in the blob — each worker rebuilds it in its
-            # initializer, off the hot path.
-            _warm_target(self.target, self.campaign_seed)
+            # does NOT travel in the blob — each worker rebuilds it at
+            # session start, off the hot path.
+            warm_target(self.target, self.campaign_seed)
             try:
                 target_blob = pickle.dumps(self.target)
             except Exception:
@@ -240,21 +260,36 @@ class ParallelScenarioExecutor:
                 # serial wall-clock.
                 self.fallback_serial = True
                 return None
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_worker,
-                initargs=(
+            if self.backend_name == "process":
+                self._backend = ProcessPoolBackend(
+                    self.target,
                     target_blob,
                     self.campaign_seed,
+                    self.workers,
                     self.timeout,
                     self.retry,
                     self.coverage_capture,
-                ),
-            )
-        return self._pool
+                    self._wait_budget,
+                )
+            else:
+                self._backend = SocketBackend(
+                    self.target,
+                    target_blob,
+                    self.campaign_seed,
+                    self.hosts,
+                    self.timeout,
+                    self.retry,
+                    self.coverage_capture,
+                    self._wait_budget,
+                )
+        if not self._backend.ensure():
+            # No reachable workers (and none will appear): degrade for good.
+            self.fallback_serial = True
+            return None
+        return self._backend
 
     def _wait_budget(self) -> Optional[float]:
-        """Parent-side backstop for one future, or None (wait forever).
+        """Parent-side backstop for one in-flight scenario, or None.
 
         The in-worker ``SIGALRM`` deadline fires first for scenarios that
         hang in Python code; this backstop only catches workers stuck in
@@ -280,18 +315,14 @@ class ParallelScenarioExecutor:
         """
         if not scenarios:
             return []
-        pool = self._ensure_pool() if len(scenarios) > 1 else None
-        if pool is None:
+        backend = self._ensure_backend() if len(scenarios) > 1 else None
+        if backend is None:
             return self._publish_batch(self._execute_local(scenarios, start_index))
         try:
-            futures = [
-                pool.submit(_execute_in_worker, scenario, start_index + offset)
-                for offset, scenario in enumerate(scenarios)
-            ]
-            results = [future.result() for future in futures]
-        except (BrokenProcessPool, pickle.PicklingError):
+            results = backend.run_batch(scenarios, start_index)
+        except BackendBroken:
             # A worker died or a scenario/result refused to cross the
-            # process boundary: recompute the whole batch in-process (the
+            # worker boundary: recompute the whole batch in-process (the
             # per-scenario seeds make the redo identical, minus the crash).
             self.fallback_serial = True
             self.close()
@@ -306,38 +337,25 @@ class ParallelScenarioExecutor:
 
         Submission-order results are preserved, so callers absorb them
         exactly as the non-isolated path would; scenarios whose worker
-        died or hung are retried on a rebuilt pool (one at a time, so the
+        died or hung are retried on rebuilt workers (one at a time, so the
         culprit quarantines alone) before becoming ``ScenarioFailure``.
         """
         if not scenarios:
             return []
-        pool = self._ensure_pool() if len(scenarios) > 1 else None
-        if pool is None:
+        backend = self._ensure_backend() if len(scenarios) > 1 else None
+        if backend is None:
             results = [
                 self._local.execute_isolated(scenario, start_index + offset)
                 for offset, scenario in enumerate(scenarios)
             ]
             self.executed += len(results)
             return self._publish_batch(results)
-        slots: List[Optional[ScenarioResult]] = [None] * len(scenarios)
-        futures = [
-            pool.submit(_execute_in_worker_isolated, scenario, start_index + offset)
-            for offset, scenario in enumerate(scenarios)
-        ]
-        broken = False
-        for offset, future in enumerate(futures):
-            try:
-                # After a break, drain whatever already completed (0s wait).
-                slots[offset] = future.result(timeout=0 if broken else self._wait_budget())
-            except (BrokenProcessPool, FutureTimeout, OSError):
-                broken = True
-        if broken:
-            self._terminate_pool()
-            for offset, slot in enumerate(slots):
-                if slot is None:
-                    slots[offset] = self._execute_single_isolated(
-                        scenarios[offset], start_index + offset
-                    )
+        slots = backend.run_batch_isolated(scenarios, start_index)
+        for offset, slot in enumerate(slots):
+            if slot is None:
+                slots[offset] = self._execute_single_isolated(
+                    scenarios[offset], start_index + offset
+                )
         results = [slot for slot in slots if slot is not None]
         self.executed += len(results)
         return self._publish_batch(results)
@@ -350,20 +368,25 @@ class ParallelScenarioExecutor:
         and only then — in the parent process — do their events hit the
         bus. Worker-side executors carry no bus at all (a bus could also
         make the pickled target blob unpicklable), so no event is ever
-        published twice or out of order.
+        published twice or out of order. The attached ``sched`` counters
+        are a pure function of the batch structure (see
+        :func:`batch_sched`), never of worker count or completion order.
         """
         if self.telemetry.active:
-            for result in results:
-                publish_executed(self.telemetry, self.target, result)
+            size = len(results)
+            for slot, result in enumerate(results):
+                publish_executed(
+                    self.telemetry, self.target, result, sched=batch_sched(size, slot)
+                )
         return results
 
     def _execute_single_isolated(
         self, scenario: TestScenario, test_index: int
     ) -> ScenarioResult:
-        """Drive one suspect scenario through its own pool submissions.
+        """Drive one suspect scenario through its own worker submissions.
 
-        Each attempt gets a fresh (or rebuilt) pool; a scenario that keeps
-        killing or hanging workers exhausts its retry budget and is
+        Each attempt gets fresh (or rebuilt) workers; a scenario that
+        keeps killing or hanging them exhausts its retry budget and is
         returned as a ``worker-crash``/``timeout`` failure without ever
         running inside the controller's own process.
         """
@@ -371,26 +394,19 @@ class ParallelScenarioExecutor:
         kind, error = WORKER_CRASH, "worker process died mid-scenario"
         while attempts < self.retry.max_attempts:
             attempts += 1
-            pool = self._ensure_pool()
-            if pool is None:
-                # Pool permanently unavailable: last resort is in-process,
+            backend = self._ensure_backend()
+            if backend is None:
+                # Workers permanently unavailable: last resort is in-process,
                 # where the deadline/retry machinery still applies.
                 return self._local.execute_isolated(scenario, test_index)
             try:
-                return pool.submit(
-                    _execute_in_worker_isolated, scenario, test_index
-                ).result(timeout=self._wait_budget())
-            except FutureTimeout:
-                kind, error = TIMEOUT, (
-                    "worker exceeded the wall-clock backstop "
-                    f"({self._wait_budget():.1f}s) and was killed"
-                )
-                self._terminate_pool()
-            except (BrokenProcessPool, OSError) as exc:
-                kind, error = WORKER_CRASH, (
-                    f"worker process died mid-scenario ({type(exc).__name__})"
-                )
-                self._terminate_pool()
+                return backend.run_one_isolated(scenario, test_index)
+            except TransportTimeout as exc:
+                kind, error = TIMEOUT, str(exc)
+                backend.reset()
+            except TransportFailure as exc:
+                kind, error = WORKER_CRASH, str(exc)
+                backend.reset()
             if attempts < self.retry.max_attempts:
                 delay = self.retry.delay(attempts)
                 if delay > 0:
@@ -418,4 +434,4 @@ class ParallelScenarioExecutor:
         return results
 
 
-__all__ = ["ParallelScenarioExecutor", "resolve_workers"]
+__all__ = ["ParallelScenarioExecutor", "batch_sched", "resolve_workers"]

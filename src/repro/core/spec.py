@@ -18,8 +18,8 @@ machine it later runs on.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Dict, Optional
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import for annotations only
     from ..telemetry import TelemetryBus
@@ -59,8 +59,27 @@ class CampaignSpec:
     #: keeps the strategy's configured weight; ``0.0`` forces the paper's
     #: pure impact sampling; ``1.0`` selects purely by behaviour novelty.
     novelty_weight: Optional[float] = None
+    #: Where scenarios execute: ``"process"`` (local worker pool, the
+    #: default), ``"inprocess"`` (no pool — debugging/profiling), or
+    #: ``"socket"`` (remote ``repro worker`` hosts). The exploration
+    #: trajectory never depends on this (see :mod:`repro.core.backends`).
+    backend: str = "process"
+    #: ``host:port`` endpoints for the socket backend (ignored otherwise).
+    hosts: Tuple[str, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
+        from .backends import BACKEND_NAMES  # lazy: spec stays import-light
+
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r} "
+                f"(available: {', '.join(BACKEND_NAMES)})"
+            )
+        # Normalize hosts to a tuple so specs stay hashable/frozen even
+        # when built with a list.
+        object.__setattr__(self, "hosts", tuple(self.hosts))
+        if self.backend == "socket" and not self.hosts:
+            raise ValueError("the socket backend needs at least one host:port")
         if self.budget < 1:
             raise ValueError("budget must be >= 1")
         if self.batch_size is not None and self.batch_size < 1:

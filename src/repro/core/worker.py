@@ -1,0 +1,295 @@
+"""Remote scenario workers: the socket side of the distributed fabric.
+
+A worker is the process-pool worker lifted out of ``concurrent.futures``
+and put behind a TCP socket, so a campaign can fan scenario execution out
+to other hosts (``repro campaign --backend socket --hosts a:9001,b:9001``)
+while keeping the exact execution contract of
+:mod:`repro.core.parallel`: one :class:`~repro.core.executor.ScenarioExecutor`
+per session, the target shipped once by pickling, every scenario's
+measurement a pure function of ``(campaign_seed, scenario)``.
+
+Wire protocol (version :data:`PROTOCOL_VERSION`)
+------------------------------------------------
+Every message is a **length-prefixed pickle frame**: a 4-byte big-endian
+payload length followed by ``pickle.dumps((kind, payload))``. One
+connection is one *session*:
+
+- ``("hello", {...})`` — client opens the session: protocol version,
+  pickled target blob, campaign seed, per-scenario timeout, retry policy,
+  and the coverage-capture toggle. Mirrors the process-pool initializer
+  (:func:`repro.core.parallel._init_worker`) field for field.
+- ``("ready", {"protocol": N})`` — worker built its executor; or
+  ``("error", reason)`` and the connection closes.
+- ``("exec", {"scenario": ..., "test_index": ..., "isolated": ...})`` —
+  run one scenario; answered by ``("result", ScenarioResult)`` or — on
+  the non-isolated path only — ``("raise", pickled_exception)``, which
+  the client re-raises, preserving ``execute_batch``'s fail-loud
+  contract.
+- ``("bye", None)`` — clean session end (EOF is treated the same).
+
+Determinism: a worker never publishes telemetry and never sees the
+controller's RNG — it only maps ``(scenario, test_index)`` to a result,
+so *where* a scenario runs can never change *what* it measures. Workers
+may die or hang; the client-side backend treats both as transport
+failures and re-drives the affected scenarios (see
+:class:`repro.core.backends.SocketBackend`).
+
+Scenario deadlines: connection handlers run off the main thread, where
+``SIGALRM`` is unavailable; :func:`~repro.core.failures.scenario_deadline`
+then degrades to no in-worker deadline, and the client's wall-clock
+backstop (socket timeout) catches stuck scenarios instead — exactly like
+the pool path's backstop for workers stuck in non-interruptible code.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from typing import Any, Optional, Tuple
+
+from ..sim.trace import set_kind_capture
+from .executor import ScenarioExecutor, warm_target
+from .failures import RetryPolicy, describe_exception
+
+#: Version of the frame protocol; bumped on any incompatible change.
+PROTOCOL_VERSION = 1
+
+#: Frame header: payload length as an unsigned 4-byte big-endian integer.
+_HEADER = struct.Struct(">I")
+
+#: Refuse absurd frames (a corrupt header would otherwise make us try to
+#: allocate gigabytes). Targets + scenarios are far below this.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class FrameError(ConnectionError):
+    """The peer closed mid-frame or sent a malformed frame."""
+
+
+def send_frame(sock: socket.socket, kind: str, payload: Any = None) -> None:
+    """Send one ``(kind, payload)`` message as a length-prefixed pickle."""
+    blob = pickle.dumps((kind, payload))
+    sock.sendall(_HEADER.pack(len(blob)) + blob)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[str, Any]:
+    """Receive one message; raises :class:`FrameError` on EOF/corruption."""
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} cap")
+    blob = _recv_exact(sock, length)
+    try:
+        kind, payload = pickle.loads(blob)
+    except Exception as exc:
+        raise FrameError(f"undecodable frame: {describe_exception(exc)}") from exc
+    return str(kind), payload
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise FrameError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def parse_host(address: str, default_port: int = 9123) -> Tuple[str, int]:
+    """Parse a ``host[:port]`` string into a ``(host, port)`` pair.
+
+    Port ``0`` is accepted and means "kernel-assigned ephemeral port" —
+    only meaningful as a listen address (``repro worker --listen``), not
+    as a dial target.
+    """
+    text = address.strip()
+    if not text:
+        raise ValueError("empty worker address")
+    if ":" in text:
+        host, _, port_text = text.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(f"invalid worker address {address!r} (bad port)") from None
+    else:
+        host, port = text, default_port
+    if not host:
+        host = "127.0.0.1"
+    if not 0 <= port < 65536:
+        raise ValueError(f"invalid worker address {address!r} (port out of range)")
+    return host, port
+
+
+def _picklable_exception(exc: BaseException) -> BaseException:
+    """The exception itself when it pickles, a description otherwise."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(describe_exception(exc))
+
+
+class WorkerSession:
+    """One client connection: hello handshake, then an exec loop."""
+
+    def __init__(self, conn: socket.socket) -> None:
+        self.conn = conn
+        self.executor: Optional[ScenarioExecutor] = None
+
+    def run(self) -> int:
+        """Serve the session to completion; returns scenarios executed."""
+        executed = 0
+        try:
+            if not self._handshake():
+                return executed
+            while True:
+                try:
+                    kind, payload = recv_frame(self.conn)
+                except FrameError:
+                    return executed  # client went away: session over
+                if kind == "bye":
+                    return executed
+                if kind != "exec":
+                    send_frame(self.conn, "error", f"unexpected message {kind!r}")
+                    return executed
+                self._execute(payload)
+                executed += 1
+        except (ConnectionError, OSError):  # pragma: no cover - torn socket
+            return executed
+        finally:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def _handshake(self) -> bool:
+        try:
+            kind, payload = recv_frame(self.conn)
+        except FrameError:
+            return False
+        if kind != "hello" or not isinstance(payload, dict):
+            send_frame(self.conn, "error", "expected a hello message")
+            return False
+        if payload.get("protocol") != PROTOCOL_VERSION:
+            send_frame(
+                self.conn,
+                "error",
+                f"protocol mismatch: worker speaks {PROTOCOL_VERSION}, "
+                f"client sent {payload.get('protocol')!r}",
+            )
+            return False
+        try:
+            if payload.get("coverage_capture"):
+                # Sticky per process, like the pool initializer: deployments
+                # sample the toggle at construction time.
+                set_kind_capture(True)
+            target = pickle.loads(payload["target_blob"])
+            warm_target(target, payload.get("campaign_seed"))
+            retry_data = payload.get("retry")
+            self.executor = ScenarioExecutor(
+                target,
+                campaign_seed=int(payload.get("campaign_seed", 0)),
+                timeout=payload.get("timeout"),
+                retry=RetryPolicy.from_dict(retry_data) if retry_data else None,
+            )
+        except Exception as exc:
+            send_frame(self.conn, "error", f"session setup failed: {describe_exception(exc)}")
+            return False
+        send_frame(self.conn, "ready", {"protocol": PROTOCOL_VERSION})
+        return True
+
+    def _execute(self, payload: Any) -> None:
+        assert self.executor is not None
+        scenario = payload["scenario"]
+        test_index = int(payload["test_index"])
+        if payload.get("isolated"):
+            # Crash-safe path: failures come back as ScenarioFailure results.
+            result = self.executor.execute_isolated(scenario, test_index)
+            send_frame(self.conn, "result", result)
+            return
+        try:
+            result = self.executor.execute(scenario, test_index)
+        except Exception as exc:
+            # Fail-loud contract: ship the exception home for re-raising.
+            send_frame(self.conn, "raise", _picklable_exception(exc))
+            return
+        send_frame(self.conn, "result", result)
+
+
+class WorkerServer:
+    """A TCP server that turns this process into a scenario worker.
+
+    ``port=0`` binds an ephemeral port (the conformance tests use this to
+    run two localhost workers without port coordination); ``address``
+    reports the bound endpoint. Each accepted connection is served on its
+    own daemon thread, so several campaigns *can* share a worker —
+    though the intended deployment is one worker per core per host.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen()
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self.sessions_served = 0
+        self._closing = False
+        self._threads: list = []
+
+    @property
+    def endpoint(self) -> str:
+        """The ``host:port`` string clients pass to ``--hosts``."""
+        return f"{self.address[0]}:{self.address[1]}"
+
+    def serve_forever(self, max_sessions: Optional[int] = None) -> int:
+        """Accept and serve sessions until shutdown (or ``max_sessions``)."""
+        while not self._closing:
+            if max_sessions is not None and self.sessions_served >= max_sessions:
+                break
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                break  # listener closed by shutdown()
+            self.sessions_served += 1
+            thread = threading.Thread(
+                target=WorkerSession(conn).run,
+                name=f"repro-worker-session-{self.sessions_served}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self.sessions_served
+
+    def serve_in_thread(self) -> "WorkerServer":
+        """Run the accept loop on a daemon thread (test harness helper)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-worker-accept", daemon=True
+        )
+        thread.start()
+        self._threads.append(thread)
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting sessions (idempotent; live sessions finish)."""
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+__all__ = [
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "WorkerServer",
+    "WorkerSession",
+    "parse_host",
+    "recv_frame",
+    "send_frame",
+]

@@ -106,6 +106,15 @@ class ScenarioExecuted(TelemetryEvent):
     #: Target-specific headline figures (``Target.telemetry_summary``),
     #: computed in the parent process; None for failures / plain targets.
     summary: Optional[Dict[str, object]] = None
+    #: Scheduler counters for this execution: ``{"size": batch size,
+    #: "slot": position in the batch, "depth": submissions still queued
+    #: behind it}``. A pure function of the batch structure (see
+    #: ``repro.core.executor.batch_sched``) — never of worker count,
+    #: completion order, or clocks — so streams stay byte-identical
+    #: across worker counts and backends; a serial execution is a batch
+    #: of one. ``repro explain`` folds these into the
+    #: scheduler-efficiency rollup. (Schema v3; absent on older streams.)
+    sched: Optional[Dict[str, int]] = None
 
 
 @dataclass(frozen=True)

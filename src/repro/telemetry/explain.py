@@ -96,6 +96,17 @@ class CampaignAttribution:
     coverage_events: int = 0
     distinct_signatures: int = 0
     novel_signatures: int = 0
+    #: Scheduler roll-up from the per-event ``sched`` counters (schema
+    #: v3; all zeros for older streams). ``sched_batches`` counts
+    #: dispatch rounds (events at slot 0), ``sched_max_batch`` the widest
+    #: round, ``sched_depth_sum`` the summed queue depth at dispatch.
+    sched_events: int = 0
+    sched_batches: int = 0
+    sched_max_batch: int = 0
+    sched_depth_sum: int = 0
+    #: Events per shard for merged (``repro merge``) streams; empty for
+    #: single-controller streams.
+    shard_events: Dict[int, int] = field(default_factory=dict)
     impact_curve: List[float] = field(default_factory=list)
     #: (dimension name, positions seen) per dimension, insertion-ordered.
     dimension_positions: Dict[str, List[int]] = field(default_factory=dict)
@@ -134,6 +145,9 @@ def analyze_stream(lines: Iterable[str]) -> CampaignAttribution:
         except SchemaError as exc:
             raise SchemaError(f"line {line_number}: {exc}") from exc
         out.events += 1
+        if "shard" in record:
+            shard = int(record["shard"])
+            out.shard_events[shard] = out.shard_events.get(shard, 0) + 1
         if type_name == "ScenarioGenerated":
             key = _freeze_key(record["key"])
             generated[key] = record
@@ -168,6 +182,13 @@ def analyze_stream(lines: Iterable[str]) -> CampaignAttribution:
             out.impact_curve.append(impact)
             out.impact_by_key[key] = impact
             out.test_index_by_key[key] = int(record["test_index"])
+            sched = record.get("sched")
+            if sched is not None:
+                out.sched_events += 1
+                if int(sched.get("slot", 0)) == 0:
+                    out.sched_batches += 1
+                out.sched_max_batch = max(out.sched_max_batch, int(sched.get("size", 1)))
+                out.sched_depth_sum += int(sched.get("depth", 0))
             meta = generated.get(key)
             plugin = meta["plugin"] if meta else None
             if plugin is not None:
@@ -308,6 +329,23 @@ def render_attribution(attribution: CampaignAttribution) -> str:
             f"signatures over {attribution.coverage_events} observations "
             f"({attribution.novel_signatures} novel)"
         )
+    if attribution.sched_events:
+        mean_batch = attribution.sched_events / max(attribution.sched_batches, 1)
+        utilization = attribution.sched_events / max(
+            attribution.sched_batches * attribution.sched_max_batch, 1
+        )
+        mean_depth = attribution.sched_depth_sum / attribution.sched_events
+        lines.append(
+            f"scheduler: {attribution.sched_batches} batches "
+            f"(mean fill {mean_batch:.2f}, max {attribution.sched_max_batch}), "
+            f"utilization {utilization:.0%}, mean queue depth {mean_depth:.2f}"
+        )
+    if attribution.shard_events:
+        per_shard = ", ".join(
+            f"shard {shard}: {count}"
+            for shard, count in sorted(attribution.shard_events.items())
+        )
+        lines.append(f"shards: {len(attribution.shard_events)} merged ({per_shard} events)")
     if attribution.impact_curve:
         lines.append("impact per test: " + sparkline(attribution.impact_curve))
 
@@ -390,6 +428,31 @@ def attribution_to_dict(attribution: CampaignAttribution) -> Dict[str, Any]:
             "events": attribution.coverage_events,
             "distinct_signatures": attribution.distinct_signatures,
             "novel_signatures": attribution.novel_signatures,
+        },
+        "scheduler": {
+            "events": attribution.sched_events,
+            "batches": attribution.sched_batches,
+            "max_batch": attribution.sched_max_batch,
+            "mean_batch": (
+                attribution.sched_events / attribution.sched_batches
+                if attribution.sched_batches
+                else 0.0
+            ),
+            "mean_queue_depth": (
+                attribution.sched_depth_sum / attribution.sched_events
+                if attribution.sched_events
+                else 0.0
+            ),
+            "utilization": (
+                attribution.sched_events
+                / (attribution.sched_batches * attribution.sched_max_batch)
+                if attribution.sched_batches and attribution.sched_max_batch
+                else 0.0
+            ),
+        },
+        "shards": {
+            str(shard): count
+            for shard, count in sorted(attribution.shard_events.items())
         },
         "best": {
             "impact": attribution.best_impact,

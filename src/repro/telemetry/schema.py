@@ -29,13 +29,28 @@ from .events import EVENT_TYPES, TelemetryEvent
 #: Current wire schema version. History:
 #: - **1** — the original eight event types.
 #: - **2** — adds ``CoverageObserved`` (coverage-guided exploration).
-#: New streams are written as the current version; v1 streams still
-#: validate (they cannot contain the newer event types).
-SCHEMA_VERSION = 2
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+#: - **3** — adds ``ScenarioExecuted.sched`` (batch-shape scheduler
+#:   counters) and the optional merge-envelope keys ``shard`` /
+#:   ``shard_seq`` that ``repro merge`` stamps onto stitched streams.
+#: New streams are written as the current version; older streams still
+#: validate (fields introduced later are only required at or above the
+#: version that introduced them).
+SCHEMA_VERSION = 3
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: Keys every wire record carries besides the event's own fields.
 ENVELOPE_KEYS = ("v", "seq", "type")
+
+#: Optional envelope keys a merged (``repro merge``) stream adds to every
+#: record: the shard that produced the event and its original sequence
+#: number in that shard's stream (``seq`` is re-assigned globally).
+MERGE_ENVELOPE_KEYS = ("shard", "shard_seq")
+
+#: Event fields that only became part of the wire format at a later
+#: schema version: ``(event type, field) -> version introduced``. Records
+#: older than that version may omit the field (it decodes as the
+#: dataclass default); records at or above it must carry it.
+FIELDS_SINCE = {("ScenarioExecuted", "sched"): 3}
 
 
 class SchemaError(ValueError):
@@ -96,25 +111,37 @@ def validate_event(record: Dict[str, Any]) -> str:
     """
     if not isinstance(record, dict):
         raise SchemaError(f"event record must be an object, got {type(record).__name__}")
-    if record.get("v") not in SUPPORTED_SCHEMA_VERSIONS:
-        raise SchemaError(f"unsupported schema version: {record.get('v')!r}")
+    version = record.get("v")
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise SchemaError(f"unsupported schema version: {version!r}")
     seq = record.get("seq")
     if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
         raise SchemaError(f"seq must be a non-negative integer, got {seq!r}")
+    for merge_key in MERGE_ENVELOPE_KEYS:
+        if merge_key in record:
+            value = record[merge_key]
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise SchemaError(
+                    f"{merge_key} must be a non-negative integer, got {value!r}"
+                )
     type_name = record.get("type")
     event_class = EVENT_TYPES.get(type_name)
     if event_class is None:
         raise SchemaError(f"unknown event type: {type_name!r}")
     fields = {field.name: field for field in dataclasses.fields(event_class)}
     hints = typing.get_type_hints(event_class)
-    present = set(record) - set(ENVELOPE_KEYS)
-    missing = sorted(set(fields) - present)
+    present = set(record) - set(ENVELOPE_KEYS) - set(MERGE_ENVELOPE_KEYS)
+    missing = sorted(
+        name
+        for name in set(fields) - present
+        if version >= FIELDS_SINCE.get((type_name, name), 0)
+    )
     if missing:
         raise SchemaError(f"{type_name}: missing fields {missing}")
     extra = sorted(present - set(fields))
     if extra:
         raise SchemaError(f"{type_name}: unexpected fields {extra}")
-    for name in fields:
+    for name in sorted(present):
         if not _type_matches(record[name], hints[name]):
             raise SchemaError(
                 f"{type_name}.{name}: value {record[name]!r} does not match "
@@ -155,6 +182,8 @@ def validate_jsonl(lines: Iterable[str]) -> List[Tuple[int, str]]:
 
 __all__ = [
     "ENVELOPE_KEYS",
+    "FIELDS_SINCE",
+    "MERGE_ENVELOPE_KEYS",
     "SCHEMA_VERSION",
     "SUPPORTED_SCHEMA_VERSIONS",
     "SchemaError",

@@ -1,0 +1,219 @@
+"""Backend-conformance suite: every executor backend, one trajectory.
+
+The contract under test (see ``repro.core.backends``): a backend chooses
+*where* scenarios run, never *what* they compute. For a fixed ``(seed,
+batch_size)`` the exploration trajectory — Pi, Omega, mu, the plugin
+fitness-gain statistics, and the per-scenario ``sched`` telemetry — is
+bit-identical across ``inprocess``, ``process``, and ``socket``,
+including a two-worker localhost socket run. The work-stealing scheduler
+is additionally pinned on its own: fast channels drain the queue a
+straggler would have idled on, and a dying channel loses exactly the one
+task it was holding.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import CampaignSpec, TestController, WorkStealingScheduler
+from repro.core.backends import ChannelError
+from repro.core.executor import SERIAL_SCHED, batch_sched
+from repro.core.worker import WorkerServer
+from tests._strategies import campaign_seeds, trajectory
+from tests.core.fake_target import LoadPlugin, make_hill_target
+
+SEEDS = campaign_seeds(3)
+BUDGET = 14
+BATCH = 4
+
+
+@pytest.fixture(scope="module")
+def worker_pair():
+    """Two live localhost workers, shared by the module's socket runs."""
+    servers = [WorkerServer().serve_in_thread() for _ in range(2)]
+    try:
+        yield tuple(server.endpoint for server in servers)
+    finally:
+        for server in servers:
+            server.shutdown()
+
+
+def run_with_backend(seed, backend, hosts=(), workers=2):
+    target, plugins = make_hill_target((LoadPlugin(),))
+    controller = TestController(target, plugins, seed=seed)
+    controller.run(
+        CampaignSpec(
+            budget=BUDGET,
+            workers=workers,
+            batch_size=BATCH,
+            backend=backend,
+            hosts=hosts,
+        )
+    )
+    return controller
+
+
+def controller_state(controller):
+    return {
+        "trajectory": trajectory(controller.results),
+        "omega": controller.history,
+        "mu": controller.max_impact,
+        "top_set": [(e.key, e.impact) for e in controller.top_set.entries],
+        "plugin_gains": {
+            name: (stats.selections, stats.total_gain, stats.improvements)
+            for name, stats in controller.plugin_sampler.stats.items()
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# trajectory identity across backends
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_process_backend_matches_inprocess_reference(seed):
+    reference = run_with_backend(seed, "inprocess")
+    pooled = run_with_backend(seed, "process")
+    assert controller_state(pooled) == controller_state(reference)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_socket_backend_matches_inprocess_reference(seed, worker_pair):
+    reference = run_with_backend(seed, "inprocess")
+    remote = run_with_backend(seed, "socket", hosts=worker_pair)
+    assert controller_state(remote) == controller_state(reference)
+
+
+def test_two_worker_socket_run_is_stable_run_to_run(worker_pair):
+    first = run_with_backend(SEEDS[0], "socket", hosts=worker_pair)
+    second = run_with_backend(SEEDS[0], "socket", hosts=worker_pair)
+    assert controller_state(first) == controller_state(second)
+
+
+def test_socket_backend_with_one_worker_matches_two(worker_pair):
+    one = run_with_backend(SEEDS[1], "socket", hosts=worker_pair[:1], workers=1)
+    two = run_with_backend(SEEDS[1], "socket", hosts=worker_pair)
+    assert controller_state(one) == controller_state(two)
+
+
+def test_unreachable_socket_hosts_degrade_to_local_execution():
+    # Nothing listens on this port; the campaign must still complete with
+    # the reference trajectory (fallback contract, same as a non-picklable
+    # target on the process pool).
+    reference = run_with_backend(SEEDS[2], "inprocess")
+    degraded = run_with_backend(SEEDS[2], "socket", hosts=("127.0.0.1:9",))
+    assert controller_state(degraded) == controller_state(reference)
+
+
+def test_spec_rejects_socket_without_hosts():
+    with pytest.raises(ValueError):
+        CampaignSpec(budget=4, backend="socket")
+    with pytest.raises(ValueError):
+        CampaignSpec(budget=4, backend="carrier-pigeon")
+
+
+# ---------------------------------------------------------------------------
+# sched telemetry counters are backend- and worker-invariant
+# ---------------------------------------------------------------------------
+class _Recorder:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, seq, event):
+        self.events.append(event)
+
+    def close(self):
+        pass
+
+
+def recorded_sched(seed, backend, hosts=(), **kwargs):
+    from repro.telemetry import TelemetryBus
+
+    recorder = _Recorder()
+    bus = TelemetryBus()
+    bus.attach(recorder)
+    target, plugins = make_hill_target((LoadPlugin(),))
+    controller = TestController(target, plugins, seed=seed, telemetry=bus)
+    kwargs.setdefault("batch_size", BATCH)
+    controller.run(CampaignSpec(budget=BUDGET, backend=backend, hosts=hosts, **kwargs))
+    bus.close()
+    return [
+        event.sched
+        for event in recorder.events
+        if type(event).__name__ == "ScenarioExecuted"
+    ]
+
+
+def test_sched_counters_identical_across_backends(worker_pair):
+    seed = SEEDS[0]
+    reference = recorded_sched(seed, "inprocess", workers=2)
+    assert reference  # the stream actually carried sched counters
+    assert recorded_sched(seed, "process", workers=2) == reference
+    assert recorded_sched(seed, "process", workers=4) == reference
+    assert recorded_sched(seed, "socket", hosts=worker_pair, workers=2) == reference
+
+
+def test_serial_run_emits_batch_of_one_counters():
+    scheds = recorded_sched(SEEDS[0], "process", workers=1, batch_size=1)
+    assert scheds == [SERIAL_SCHED] * BUDGET
+    assert SERIAL_SCHED == batch_sched(1, 0)
+
+
+# ---------------------------------------------------------------------------
+# the work-stealing scheduler itself
+# ---------------------------------------------------------------------------
+def test_fast_channel_steals_the_stragglers_queue():
+    release = threading.Event()
+    lock = threading.Lock()
+    done = [0]
+    tasks = list(range(6))
+
+    def call(channel, task):
+        if channel == "slow":
+            release.wait(timeout=10)  # holds one task until fast drains
+            return ("slow", task)
+        with lock:
+            done[0] += 1
+            if done[0] == len(tasks) - 1:  # everything but the held task
+                release.set()
+        return ("fast", task)
+
+    scheduler = WorkStealingScheduler(["slow", "fast"])
+    slots, unfinished = scheduler.run(tasks, call)
+    assert unfinished == []
+    assert [slot[1] for slot in slots] == tasks  # submission order kept
+    assert scheduler.completed == [1, 5]  # fast stole the straggler's share
+
+
+def test_dying_channel_loses_only_its_in_flight_task():
+    def call(channel, task):
+        if channel == "dying":
+            raise ChannelError("torn connection")
+        return task * 10
+
+    scheduler = WorkStealingScheduler(["dying", "healthy"])
+    slots, unfinished = scheduler.run(list(range(5)), call)
+    assert len(unfinished) == 1  # exactly the task the dying channel held
+    lost = unfinished[0]
+    assert slots[lost] is None
+    assert [slots[i] for i in range(5) if i != lost] == [
+        i * 10 for i in range(5) if i != lost
+    ]
+    assert scheduler.completed[0] == 0 and scheduler.completed[1] == 4
+
+
+def test_non_channel_errors_abort_the_batch():
+    def call(channel, task):
+        if task == 2:
+            raise RuntimeError("scenario bug")
+        return task
+
+    scheduler = WorkStealingScheduler(["only"])
+    with pytest.raises(RuntimeError, match="scenario bug"):
+        scheduler.run(list(range(4)), call)
+
+
+def test_scheduler_needs_at_least_one_channel():
+    with pytest.raises(ValueError):
+        WorkStealingScheduler([])

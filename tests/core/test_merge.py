@@ -1,0 +1,168 @@
+"""``repro merge``: canonical folding of sharded-campaign artifacts.
+
+The contract under test (see ``repro.core.merge``): the merged report's
+bytes are a pure function of the shard contents — merge order, shard
+directory location, and which process ran which shard all wash out —
+and the stitched telemetry stream stays schema-valid with a dense,
+strictly-increasing global ``seq``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.merge import (
+    MergeError,
+    merge_checkpoints,
+    merge_directory,
+    merge_streams,
+    report_to_bytes,
+)
+from repro.core.shard import (
+    ShardPlan,
+    run_sharded_campaign,
+    shard_checkpoint_path,
+    shard_telemetry_path,
+)
+from tests.core.fake_target import LoadPlugin, NoisePlugin, make_hill_target
+
+PLAN = ShardPlan(campaign_seed=11, shards=2, budget=24, exchange_every=8)
+
+
+def hill_factory(plan, index, bus=None):
+    from repro.core.shard import build_shard_controller
+
+    target, plugins = make_hill_target((LoadPlugin(), NoisePlugin()))
+    return build_shard_controller(target, plugins, plan, index, telemetry=bus)
+
+
+@pytest.fixture(scope="module")
+def campaign_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("sharded")
+    run_sharded_campaign(
+        PLAN,
+        directory,
+        hill_factory,
+        telemetry_paths=[shard_telemetry_path(directory, i) for i in range(PLAN.shards)],
+    )
+    return directory
+
+
+def test_merged_report_is_canonical_and_complete(campaign_dir):
+    report, stream = merge_directory(campaign_dir)
+    assert report["kind"] == "avd-merged-report"
+    assert report["plan"] == PLAN.to_dict()
+    assert report["tests"] == PLAN.budget
+    assert [state["shard"] for state in report["shards"]] == [0, 1]
+    assert [state["tests"] for state in report["shards"]] == [12, 12]
+    # results are local executions only, sorted by (shard, test_index)
+    order = [(entry["shard"], entry["test_index"]) for entry in report["results"]]
+    assert order == sorted(order) and len(order) == PLAN.budget
+    best = report["best"]
+    assert best["impact"] == max(entry["impact"] for entry in report["results"])
+    assert report["max_impact"] >= best["impact"]
+    assert stream is not None
+
+
+def test_report_bytes_independent_of_merge_order_and_location(campaign_dir):
+    from repro.core.persistence import load_checkpoint
+
+    checkpoints = [
+        (index, load_checkpoint(shard_checkpoint_path(campaign_dir, index)))
+        for index in range(PLAN.shards)
+    ]
+    forward = report_to_bytes(merge_checkpoints(checkpoints))
+    backward = report_to_bytes(merge_checkpoints(list(reversed(checkpoints))))
+    assert forward == backward
+    # and the bytes don't mention where the campaign lived
+    assert str(campaign_dir).encode("utf-8") not in forward
+
+
+def test_stitched_stream_is_schema_valid_with_dense_seq(campaign_dir):
+    from repro.telemetry.schema import validate_jsonl
+
+    _report, stream = merge_directory(campaign_dir)
+    assert len(validate_jsonl(stream)) == len(stream)  # raises on violation
+    records = [json.loads(line) for line in stream]
+    assert [record["seq"] for record in records] == list(range(len(records)))
+    assert {record["shard"] for record in records} == {0, 1}
+    for record in records:
+        assert record["shard_seq"] >= 0
+        if record["type"] == "CheckpointWritten":
+            assert "/" not in record["path"]  # location canonicalized away
+
+
+def test_stream_interleaving_is_content_deterministic():
+    lines_a = [json.dumps({"seq": 0, "type": "CampaignStarted", "v": 3})]
+    lines_b = [json.dumps({"seq": 0, "type": "CampaignStarted", "v": 3})]
+    stitched = merge_streams([(1, lines_b), (0, lines_a)])
+    records = [json.loads(line) for line in stitched]
+    # ties on shard_seq break by shard number, regardless of input order
+    assert [record["shard"] for record in records] == [0, 1]
+    assert [record["seq"] for record in records] == [0, 1]
+
+
+def test_explicit_shard_count_requires_every_checkpoint(campaign_dir, tmp_path):
+    with pytest.raises(MergeError, match="missing shard checkpoint"):
+        merge_directory(campaign_dir, shards=3)
+    with pytest.raises(MergeError, match="no shard checkpoints"):
+        merge_directory(tmp_path)
+
+
+def test_mismatched_plans_refuse_to_merge(campaign_dir, tmp_path):
+    other = tmp_path / "other"
+    plan = ShardPlan(campaign_seed=99, shards=1, budget=4, exchange_every=4)
+    run_sharded_campaign(plan, other, hill_factory)
+    from repro.core.persistence import load_checkpoint
+
+    alien = load_checkpoint(shard_checkpoint_path(other, 0))
+    ours = load_checkpoint(shard_checkpoint_path(campaign_dir, 1))
+    with pytest.raises(MergeError, match="different campaign"):
+        merge_checkpoints([(0, alien), (1, ours)])
+    # a checkpoint filed under the wrong index is caught too
+    with pytest.raises(MergeError, match="claims index"):
+        merge_checkpoints([(0, ours)])
+
+
+def test_unsharded_checkpoint_is_rejected(tmp_path):
+    with pytest.raises(MergeError, match="no shard context"):
+        merge_checkpoints([(0, {"results": [], "context": {}})])
+
+
+def test_merge_without_streams_returns_report_only(tmp_path):
+    plan = ShardPlan(campaign_seed=5, shards=2, budget=8, exchange_every=4)
+    directory = tmp_path / "quiet"
+    run_sharded_campaign(plan, directory, hill_factory)  # no telemetry
+    report, stream = merge_directory(directory)
+    assert report["tests"] == 8
+    assert stream is None
+
+
+def test_quarantine_and_coverage_fold_across_shards(campaign_dir, tmp_path):
+    report, _ = merge_directory(campaign_dir)
+    assert isinstance(report["quarantine"], list)
+    assert report["format_version"] == 1
+    # Coverage counts fold only when shards actually track coverage
+    # (novelty weighting on).
+    from repro.core import ControllerConfig
+    from repro.core.shard import build_shard_controller
+
+    def hybrid_factory(plan, index, bus=None):
+        target, plugins = make_hill_target((LoadPlugin(), NoisePlugin()))
+        return build_shard_controller(
+            target,
+            plugins,
+            plan,
+            index,
+            config=ControllerConfig(novelty_weight=0.3),
+            telemetry=bus,
+        )
+
+    plan = ShardPlan(campaign_seed=21, shards=2, budget=12, exchange_every=4)
+    directory = tmp_path / "hybrid"
+    run_sharded_campaign(plan, directory, hybrid_factory)
+    covered, _ = merge_directory(directory)
+    assert covered["coverage"]["distinct_signatures"] > 0
+    assert covered["coverage"]["distinct_features"] > 0

@@ -1,0 +1,338 @@
+"""Sharded-campaign determinism harness.
+
+The contract under test (see ``repro.core.shard``): a sharded campaign
+is a pure function of ``(campaign_seed, shards, budget, exchange_every,
+batch_size)``. Shard seeds derive deterministically from the campaign
+seed, region ownership partitions the hyperspace disjointly, the
+round-barrier exchange makes the artifacts independent of how shards are
+scheduled, and a shard killed mid-campaign resumes from its checkpoint
+into byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import CampaignSpec
+from repro.core.shard import (
+    ShardDesync,
+    ShardPlan,
+    ShardRunner,
+    build_shard_controller,
+    resume_shard_runner,
+    run_sharded_campaign,
+    shard_checkpoint_path,
+    shard_summary_path,
+    shard_telemetry_path,
+    wait_for_file,
+)
+from repro.sim.rng import derive_seed
+from tests.core.fake_target import LoadPlugin, NoisePlugin, make_hill_target
+
+PLAN = dict(campaign_seed=11, shards=2, budget=24, exchange_every=8)
+
+
+def hill_factory(plan, index, bus=None):
+    target, plugins = make_hill_target((LoadPlugin(), NoisePlugin()))
+    return build_shard_controller(target, plugins, plan, index, telemetry=bus)
+
+
+def _normalize_stream(payload):
+    """Strip the directory from CheckpointWritten paths (the one
+    location-dependent field in a raw stream; ``repro merge`` does the
+    same canonicalization when stitching)."""
+    lines = []
+    for line in payload.decode("utf-8").splitlines():
+        record = json.loads(line)
+        if "path" in record:
+            record["path"] = Path(str(record["path"])).name
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines).encode("utf-8")
+
+
+def campaign_bytes(directory, plan):
+    """Every on-disk artifact of a finished sharded campaign, by name."""
+    out = {}
+    for index in range(plan.shards):
+        for path in (
+            shard_checkpoint_path(directory, index),
+            shard_telemetry_path(directory, index),
+            *(
+                shard_summary_path(directory, index, round_no)
+                for round_no in range(plan.rounds)
+            ),
+        ):
+            if path.exists():
+                payload = path.read_bytes()
+                if path.name.endswith(".telemetry.jsonl"):
+                    payload = _normalize_stream(payload)
+                elif path.name.endswith(".checkpoint.json"):
+                    # run.workers is resume metadata (the one intentionally
+                    # worker-dependent field); everything else must match.
+                    data = json.loads(payload)
+                    data.get("run", {}).pop("workers", None)
+                    payload = json.dumps(data, sort_keys=True).encode("utf-8")
+                out[path.name] = payload
+    return out
+
+
+def run_reference(tmp_path, name, plan=None, telemetry=True):
+    plan = plan if plan is not None else ShardPlan(**PLAN)
+    directory = tmp_path / name
+    paths = (
+        [shard_telemetry_path(directory, i) for i in range(plan.shards)]
+        if telemetry
+        else None
+    )
+    runners = run_sharded_campaign(plan, directory, hill_factory, telemetry_paths=paths)
+    return directory, plan, runners
+
+
+# ---------------------------------------------------------------------------
+# the plan
+# ---------------------------------------------------------------------------
+def test_shard_seeds_derive_from_the_campaign_seed():
+    plan = ShardPlan(**PLAN)
+    assert plan.shard_seed(0) == derive_seed(11, "shard:0")
+    assert plan.shard_seed(1) == derive_seed(11, "shard:1")
+    assert plan.shard_seed(0) != plan.shard_seed(1)
+
+
+def test_budget_splits_within_one_test():
+    plan = ShardPlan(campaign_seed=0, shards=3, budget=10, exchange_every=4)
+    slices = [plan.shard_budget(i) for i in range(3)]
+    assert sum(slices) == 10
+    assert max(slices) - min(slices) <= 1
+    assert plan.rounds == 1 or plan.round_quota(0, plan.rounds - 1) == slices[0]
+
+
+def test_region_ownership_partitions_the_hyperspace():
+    plan = ShardPlan(**PLAN)
+    target, _ = make_hill_target((LoadPlugin(), NoisePlugin()))
+    import random
+
+    rng = random.Random(0)
+    owners = set()
+    for _ in range(200):
+        key = tuple(sorted(target.hyperspace.random_coords(rng).items()))
+        owner = plan.owner_of(key)
+        owners.add(owner)
+        # Exactly one shard's filter accepts any key.
+        accepted = [
+            index
+            for index in range(plan.shards)
+            if plan.region_filter(index) is None or plan.region_filter(index)(key)
+        ]
+        assert accepted == [owner]
+    assert owners == {0, 1}  # both regions are actually populated
+
+
+def test_single_shard_plan_has_no_region_filter():
+    plan = ShardPlan(campaign_seed=1, shards=1, budget=8, exchange_every=4)
+    assert plan.region_filter(0) is None
+
+
+def test_plan_round_trips_and_validates():
+    plan = ShardPlan(**PLAN)
+    assert ShardPlan.from_dict(plan.to_dict()) == plan
+    for bad in (
+        dict(PLAN, shards=0),
+        dict(PLAN, budget=0),
+        dict(PLAN, exchange_every=0),
+    ):
+        with pytest.raises(ValueError):
+            ShardPlan(**bad)
+    with pytest.raises(ValueError):
+        plan.shard_seed(2)
+
+
+# ---------------------------------------------------------------------------
+# determinism of the whole campaign
+# ---------------------------------------------------------------------------
+def test_rerun_produces_byte_identical_artifacts(tmp_path):
+    dir_a, plan, _ = run_reference(tmp_path, "a")
+    dir_b, _, _ = run_reference(tmp_path, "b")
+    assert campaign_bytes(dir_a, plan) == campaign_bytes(dir_b, plan)
+
+
+def test_schedule_does_not_change_the_artifacts(tmp_path):
+    """Reversed per-round shard order == the reference interleaving."""
+    dir_a, plan, _ = run_reference(tmp_path, "a", telemetry=False)
+    directory = tmp_path / "reversed"
+    directory.mkdir()
+    runners = [
+        ShardRunner(hill_factory(plan, index), plan, index, directory)
+        for index in range(plan.shards)
+    ]
+    for round_no in range(plan.rounds):
+        for runner in reversed(runners):
+            runner.run_round(round_no, max_polls=1)
+    assert campaign_bytes(directory, plan) == campaign_bytes(dir_a, plan)
+
+
+def test_shards_never_execute_each_others_scenarios(tmp_path):
+    _, plan, runners = run_reference(tmp_path, "a", telemetry=False)
+    local_keys = [
+        {result.key for result in runner.controller.results} for runner in runners
+    ]
+    assert not (local_keys[0] & local_keys[1])
+    for index, keys in enumerate(local_keys):
+        assert all(plan.owner_of(key) == index for key in keys)
+        assert len(keys) == plan.shard_budget(index)
+
+
+def test_exchange_spreads_mu_and_pi_across_shards(tmp_path):
+    dir_a, plan, runners = run_reference(tmp_path, "a", telemetry=False)
+    assert plan.rounds >= 2  # at least one exchange actually happened
+    for index, runner in enumerate(runners):
+        foreign = set(runner.controller.history) - {
+            result.key for result in runner.controller.results
+        }
+        assert foreign, f"shard {index} absorbed nothing"
+        # mu is at least the best the partner had published by round 0
+        # (that summary was absorbed before this shard's final round).
+        partner_round0 = json.loads(
+            shard_summary_path(dir_a, 1 - index, 0).read_text()
+        )
+        if partner_round0["top"]:
+            assert runner.controller.max_impact >= max(
+                entry["impact"] for entry in partner_round0["top"]
+            )
+
+
+# ---------------------------------------------------------------------------
+# crash + resume
+# ---------------------------------------------------------------------------
+def test_killed_shard_resumes_into_identical_artifacts(tmp_path):
+    from repro.telemetry import JsonlSink, TelemetryBus
+
+    dir_a, plan, _ = run_reference(tmp_path, "a")
+
+    directory = tmp_path / "crashy"
+    directory.mkdir()
+    buses = []
+
+    def tracked_factory(plan, index, bus=None):
+        bus = TelemetryBus()
+        bus.attach(JsonlSink(str(shard_telemetry_path(directory, index))))
+        buses.append(bus)
+        return hill_factory(plan, index, bus)
+
+    runners = [
+        ShardRunner(tracked_factory(plan, index), plan, index, directory)
+        for index in range(plan.shards)
+    ]
+    # Round 0 everywhere, then shard 0 "dies" (its bus closes mid-campaign).
+    for runner in runners:
+        runner.run_round(0, max_polls=1)
+    buses[0].close()
+    for round_no in range(1, plan.rounds):
+        runners[1].run_round(round_no, max_polls=1)
+
+    # Resurrect shard 0 from its checkpoint, telemetry appended at the
+    # checkpoint's cursor, and let it finish.
+    data = json.loads(shard_checkpoint_path(directory, 0).read_text())
+    bus = TelemetryBus()
+    bus.attach(
+        JsonlSink(
+            str(shard_telemetry_path(directory, 0)),
+            append=True,
+            resume_seq=int(data.get("telemetry", {}).get("seq", 0)),
+        )
+    )
+    target, plugins = make_hill_target((LoadPlugin(), NoisePlugin()))
+    revived = resume_shard_runner(directory, 0, target, plugins, telemetry=bus)
+    assert revived.rounds_done == 1
+    revived.run(max_polls=1)
+    bus.close()
+    buses[1].close()
+
+    assert campaign_bytes(directory, plan) == campaign_bytes(dir_a, plan)
+
+
+def test_absorb_summary_is_idempotent(tmp_path):
+    _, plan, runners = run_reference(tmp_path / "ref", "a", telemetry=False)
+    runner = runners[0]
+    before = {
+        "mu": runner.controller.max_impact,
+        "history": set(runner.controller.history),
+        "coverage": dict(runner.controller.coverage.seen),
+        "gains": {
+            name: stats.total_gain
+            for name, stats in runner.controller.plugin_sampler.stats.items()
+        },
+    }
+    # Re-absorbing an already-recorded summary must change nothing.
+    path = shard_summary_path(runner.directory, 1, 0)
+    assert runner.absorb_summary(path) == 0
+    assert runner.controller.max_impact == before["mu"]
+    assert set(runner.controller.history) == before["history"]
+    assert dict(runner.controller.coverage.seen) == before["coverage"]
+    assert {
+        name: stats.total_gain
+        for name, stats in runner.controller.plugin_sampler.stats.items()
+    } == before["gains"]
+
+
+def test_absorb_rejects_summaries_from_other_campaigns(tmp_path):
+    _, plan, runners = run_reference(tmp_path / "ref", "a", telemetry=False)
+    alien = tmp_path / "alien.summary.json"
+    document = json.loads(
+        shard_summary_path(runners[0].directory, 1, 0).read_text()
+    )
+    document["plan"]["campaign_seed"] = 999
+    alien.write_text(json.dumps(document))
+    with pytest.raises(ValueError, match="different campaign"):
+        runners[0].absorb_summary(alien)
+
+
+def test_missing_partner_summary_raises_desync(tmp_path):
+    plan = ShardPlan(**PLAN)
+    directory = tmp_path / "lonely"
+    directory.mkdir()
+    runner = ShardRunner(hill_factory(plan, 0), plan, 0, directory)
+    runner.run_round(0, max_polls=1)
+    with pytest.raises(ShardDesync):
+        runner.run_round(1, max_polls=2)
+
+
+def test_wait_for_file_polls_bounded(tmp_path):
+    naps = []
+    with pytest.raises(ShardDesync):
+        wait_for_file(tmp_path / "never.json", max_polls=3, sleep=naps.append)
+    assert len(naps) == 3
+    existing = tmp_path / "there.json"
+    existing.write_text("{}")
+    wait_for_file(existing, max_polls=1, sleep=naps.append)
+    assert len(naps) == 3  # no extra polls once the file exists
+
+
+def test_more_shards_than_budget_skips_empty_quotas(tmp_path):
+    plan = ShardPlan(campaign_seed=3, shards=3, budget=2, exchange_every=4)
+    directory = tmp_path / "tiny"
+    runners = run_sharded_campaign(plan, directory, hill_factory)
+    counts = [len(runner.controller.results) for runner in runners]
+    assert counts == [1, 1, 0]  # the zero-budget shard executed nothing
+    assert sum(counts) == plan.budget
+
+
+def test_worker_count_does_not_change_sharded_artifacts(tmp_path):
+    """Same (seed, batch_size), different worker counts: identical bytes."""
+    plan = ShardPlan(**PLAN)
+    artifacts = {}
+    for workers in (1, 2):
+        directory = tmp_path / f"w{workers}"
+        run_sharded_campaign(
+            plan,
+            directory,
+            hill_factory,
+            spec=CampaignSpec(budget=plan.budget, workers=workers, batch_size=3),
+            telemetry_paths=[
+                shard_telemetry_path(directory, i) for i in range(plan.shards)
+            ],
+        )
+        artifacts[workers] = campaign_bytes(directory, plan)
+    assert artifacts[1] == artifacts[2]

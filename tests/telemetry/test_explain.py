@@ -254,3 +254,80 @@ class TestCoverageRollup:
     def test_impact_only_streams_report_zero_coverage(self, attribution):
         assert attribution.coverage_events == 0
         assert "behaviour signatures" not in render_attribution(attribution)
+
+
+class TestSchedulerRollup:
+    """The sched counters (queue depth / utilization) in `repro explain`."""
+
+    @pytest.fixture(scope="class")
+    def batched_lines(self):
+        lines, _ = run_recorded_campaign(seed=11, budget=12, workers=2, batch_size=4)
+        return lines
+
+    def test_batched_stream_rolls_up_scheduler_stats(self, batched_lines):
+        attribution = analyze_stream(batched_lines)
+        assert attribution.sched_events == 12
+        assert attribution.sched_batches >= 3  # 12 tests in batches of <= 4
+        assert attribution.sched_max_batch <= 4
+        document = attribution_to_dict(attribution)
+        scheduler = document["scheduler"]
+        assert scheduler["events"] == 12
+        assert 0.0 < scheduler["utilization"] <= 1.0
+        assert scheduler["mean_queue_depth"] >= 0.0
+        report = render_attribution(attribution)
+        assert "scheduler:" in report and "utilization" in report
+
+    def test_serial_stream_reports_full_utilization(self):
+        lines, _ = run_recorded_campaign(seed=11, budget=6)
+        attribution = analyze_stream(lines)
+        document = attribution_to_dict(attribution)
+        assert document["scheduler"]["max_batch"] == 1
+        assert document["scheduler"]["utilization"] == 1.0
+
+    def test_sched_rollup_is_worker_invariant(self):
+        one, _ = run_recorded_campaign(seed=11, budget=12, workers=1, batch_size=4)
+        two, _ = run_recorded_campaign(seed=11, budget=12, workers=2, batch_size=4)
+        assert attribution_to_dict(analyze_stream(one))["scheduler"] == \
+            attribution_to_dict(analyze_stream(two))["scheduler"]
+
+    def test_v2_streams_without_sched_still_explain(self, batched_lines):
+        stripped = []
+        for line in batched_lines:
+            record = json.loads(line)
+            record.pop("sched", None)
+            record["v"] = 2
+            stripped.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        attribution = analyze_stream(stripped)
+        assert attribution.sched_events == 0
+        document = attribution_to_dict(attribution)
+        assert document["scheduler"]["events"] == 0
+        assert "scheduler:" not in render_attribution(attribution)
+
+    def test_merged_stream_reports_per_shard_events(self, tmp_path):
+        from repro.core.merge import merge_directory
+        from repro.core.shard import (
+            ShardPlan,
+            build_shard_controller,
+            run_sharded_campaign,
+            shard_telemetry_path,
+        )
+        from tests.core.fake_target import LoadPlugin, make_hill_target
+
+        def factory(plan, index, bus=None):
+            target, plugins = make_hill_target(extra_plugins=[LoadPlugin()])
+            return build_shard_controller(target, plugins, plan, index, telemetry=bus)
+
+        plan = ShardPlan(campaign_seed=11, shards=2, budget=8, exchange_every=4)
+        run_sharded_campaign(
+            plan,
+            tmp_path,
+            factory,
+            telemetry_paths=[shard_telemetry_path(tmp_path, i) for i in range(2)],
+        )
+        _report, stream = merge_directory(tmp_path)
+        attribution = analyze_stream(stream)
+        assert attribution.shard_events and set(attribution.shard_events) == {0, 1}
+        document = attribution_to_dict(attribution)
+        assert set(document["shards"]) == {"0", "1"}
+        assert sum(document["shards"].values()) == len(stream)
+        assert "shards: 2 merged" in render_attribution(attribution)

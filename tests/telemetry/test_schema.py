@@ -135,3 +135,23 @@ class TestValidateJsonl:
         line = event_to_json(5, ScenarioExecuted(0, {"m": 0}, 0.1))
         with pytest.raises(SchemaError, match="strictly"):
             validate_jsonl([line, line])
+
+
+class TestMergeEnvelope:
+    """The optional ``shard`` / ``shard_seq`` keys on stitched streams."""
+
+    def test_merge_envelope_keys_accepted(self):
+        assert validate_event(_record(shard=1, shard_seq=7)) == "ScenarioExecuted"
+
+    def test_merge_envelope_keys_are_optional(self):
+        record = _record()
+        assert "shard" not in record and "shard_seq" not in record
+        assert validate_event(record) == "ScenarioExecuted"
+
+    def test_negative_or_non_integer_shard_rejected(self):
+        with pytest.raises(SchemaError, match="shard must be"):
+            validate_event(_record(shard=-1, shard_seq=0))
+        with pytest.raises(SchemaError, match="shard_seq must be"):
+            validate_event(_record(shard=0, shard_seq=True))
+        with pytest.raises(SchemaError, match="shard must be"):
+            validate_event(_record(shard="0", shard_seq=0))

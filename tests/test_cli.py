@@ -277,3 +277,137 @@ def test_campaign_progress_smoke(capsys):
         ["campaign", "--tools", "mac", "--budget", "3", "--seed", "2", "--progress"]
     ) == 0
     assert "best impact" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# distributed campaign fabric: validation, shards, merge, worker
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["campaign", "--workers", "-1"],
+        ["campaign", "--batch-size", "0"],
+        ["campaign", "--shards", "0"],
+        ["campaign", "--shards", "-3"],
+        ["campaign", "--exchange-every", "0"],
+        ["campaign", "--budget", "0"],
+        ["campaign", "--checkpoint-every", "0"],
+        ["campaign", "--workers", "two"],
+        ["resume", "x.json", "--workers", "-1"],
+        ["bench", "--workers", "-1"],
+        ["merge", "dir", "--shards", "0"],
+    ],
+)
+def test_sub_one_counts_fail_with_a_clear_error(argv, capsys):
+    """Satellite contract: bad counts are argparse errors, not tracebacks."""
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(argv)
+    assert excinfo.value.code == 2  # argparse usage error, not a crash
+    err = capsys.readouterr().err
+    assert "must be >=" in err or "expected an integer" in err
+
+
+def test_socket_backend_flag_validation(tmp_path):
+    with pytest.raises(SystemExit, match="--hosts"):
+        main(["campaign", "--tools", "mac", "--budget", "2", "--backend", "socket"])
+    with pytest.raises(SystemExit, match="--backend socket"):
+        main(["campaign", "--tools", "mac", "--budget", "2",
+              "--hosts", "127.0.0.1:9123"])
+
+
+def test_shard_flag_validation(tmp_path):
+    with pytest.raises(SystemExit, match="--shards > 1"):
+        main(["campaign", "--tools", "mac", "--budget", "2", "--shard-index", "0"])
+    with pytest.raises(SystemExit, match="out of range"):
+        main(["campaign", "--tools", "mac", "--budget", "4", "--shards", "2",
+              "--shard-index", "5", "--shard-dir", str(tmp_path / "s")])
+    with pytest.raises(SystemExit, match="avd or hybrid"):
+        main(["campaign", "--strategy", "random", "--budget", "4", "--shards", "2",
+              "--shard-dir", str(tmp_path / "s")])
+    with pytest.raises(SystemExit, match="repro merge"):
+        main(["campaign", "--tools", "mac", "--budget", "4", "--shards", "2",
+              "--shard-dir", str(tmp_path / "s"), "--out", str(tmp_path / "o.json")])
+
+
+def test_sharded_campaign_merges_to_deterministic_bytes(tmp_path, capsys):
+    """Two shards, interleaved driver, `repro merge`; rerun → same bytes."""
+    base = ["campaign", "--tools", "mac", "--budget", "8", "--seed", "3",
+            "--shards", "2", "--exchange-every", "4"]
+    payloads = []
+    for name in ("a", "b"):
+        shard_dir = tmp_path / name
+        merged = tmp_path / f"{name}.json"
+        stitched = tmp_path / f"{name}.jsonl"
+        assert main(base + ["--shard-dir", str(shard_dir)]) == 0
+        assert main(["merge", str(shard_dir), "--out", str(merged),
+                     "--telemetry-out", str(stitched)]) == 0
+        payloads.append((merged.read_bytes(), stitched.read_bytes()))
+    assert payloads[0] == payloads[1]
+    out = capsys.readouterr().out
+    assert "merged 2 shards" in out
+    report = json.loads(payloads[0][0])
+    assert report["tests"] == 8 and report["plan"]["shards"] == 2
+
+
+def test_sharded_campaign_refuses_to_clobber_existing_shards(tmp_path):
+    base = ["campaign", "--tools", "mac", "--budget", "4", "--seed", "3",
+            "--shards", "2", "--exchange-every", "2",
+            "--shard-dir", str(tmp_path / "s")]
+    assert main(base) == 0
+    with pytest.raises(SystemExit, match="already holds shard checkpoints"):
+        main(base)
+
+
+def test_merge_without_checkpoints_is_a_clean_error(tmp_path):
+    with pytest.raises(SystemExit, match="cannot merge"):
+        main(["merge", str(tmp_path)])
+
+
+def test_merge_report_goes_to_stdout_without_out(tmp_path, capsys):
+    shard_dir = tmp_path / "s"
+    assert main(["campaign", "--tools", "mac", "--budget", "4", "--seed", "2",
+                 "--shards", "2", "--exchange-every", "2",
+                 "--shard-dir", str(shard_dir)]) == 0
+    capsys.readouterr()
+    assert main(["merge", str(shard_dir)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["kind"] == "avd-merged-report"
+
+
+def test_worker_command_serves_a_socket_campaign(tmp_path, capsys):
+    import threading
+
+    from repro.core.worker import WorkerServer, parse_host
+
+    server = WorkerServer().serve_in_thread()
+    try:
+        out_file = tmp_path / "sock.json"
+        assert main(["campaign", "--tools", "mac", "--budget", "4", "--seed", "5",
+                     "--workers", "2", "--batch-size", "2",
+                     "--backend", "socket", "--hosts", server.endpoint,
+                     "--out", str(out_file)]) == 0
+        remote = json.loads(out_file.read_text())
+        ref_file = tmp_path / "ref.json"
+        assert main(["campaign", "--tools", "mac", "--budget", "4", "--seed", "5",
+                     "--workers", "2", "--batch-size", "2",
+                     "--out", str(ref_file)]) == 0
+        reference = json.loads(ref_file.read_text())
+        assert [r["coords"] for r in remote["results"]] == [
+            r["coords"] for r in reference["results"]
+        ]
+    finally:
+        server.shutdown()
+    assert parse_host("example.org:17") == ("example.org", 17)
+    # Port 0 = kernel-assigned ephemeral port, the --listen default.
+    assert parse_host("127.0.0.1:0") == ("127.0.0.1", 0)
+    with pytest.raises(ValueError, match="port out of range"):
+        parse_host("host:65536")
+
+
+def test_parser_knows_merge_and_worker():
+    parser = build_parser()
+    merge_args = parser.parse_args(["merge", "shards", "--shards", "2"])
+    assert callable(merge_args.func) and merge_args.shard_dir == "shards"
+    worker_args = parser.parse_args(["worker", "--listen", "127.0.0.1:0",
+                                     "--max-sessions", "1"])
+    assert callable(worker_args.func) and worker_args.max_sessions == 1
