@@ -186,6 +186,49 @@ def _campaign_workload(
     return wall, budget, outcome
 
 
+#: Memoized telemetry streams for the explain-view workload, keyed by
+#: budget — recorded once so both perf modes fold the identical stream
+#: (the campaign itself is benched and gated separately).
+_VIEW_STREAMS: Dict[int, Tuple[str, ...]] = {}
+
+
+def _recorded_stream(budget: int) -> Tuple[str, ...]:
+    lines = _VIEW_STREAMS.get(budget)
+    if lines is None:
+        plugins = [MacCorruptionPlugin(), ClientCountPlugin(10, 100, 10)]
+        target = PbftTarget(plugins, config=PbftConfig.campaign_scale())
+        strategy = AvdExploration(target, plugins, seed=0)
+        bus = TelemetryBus(sinks=(RingBufferSink(),))
+        run_campaign(
+            strategy, CampaignSpec(budget=budget, workers=1, telemetry=bus)
+        )
+        lines = tuple(bus.sinks[0].to_lines())
+        _VIEW_STREAMS[budget] = lines
+    return lines
+
+
+def _explain_view_workload(budget: int, folds: int = 25) -> Tuple[float, int, str]:
+    """Fold a recorded stream through the shared CampaignView ``folds`` times.
+
+    This is the hot path behind both ``repro explain`` and every
+    ``repro serve`` request. The outcome fingerprints the full summary
+    document, so the determinism gate pins the fold itself: identical
+    stream in, byte-identical attribution out, in both perf modes.
+    """
+    from .telemetry.view import attribution_to_dict, fold_stream
+
+    lines = _recorded_stream(budget)
+    start = time.perf_counter()
+    digest = ""
+    for _ in range(folds):
+        document = attribution_to_dict(fold_stream(lines))
+        digest = hashlib.sha256(
+            json.dumps(document, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+    wall = time.perf_counter() - start
+    return wall, folds, f"explain-view:{len(lines)}:{digest}"
+
+
 def _snapshot_campaign_workload(
     budget: int, use_snapshots: bool = True
 ) -> Tuple[float, int, str]:
@@ -489,6 +532,11 @@ def run_bench(
     with_telemetry["overhead_pct"] = round(overhead_pct, 2)
     with_telemetry["overhead_ok"] = overhead_pct <= TELEMETRY_OVERHEAD_PCT
     campaign_workloads["campaign_telemetry"] = with_telemetry
+    # Explain/serve fold throughput: how fast the observatory's shared
+    # CampaignView turns a recorded stream back into the summary document.
+    campaign_workloads["explain_view"] = measure(
+        lambda: _explain_view_workload(budget), "folds/sec", repeats
+    )
     # Snapshot-and-fork workload: the usual cross-mode gate, plus a third
     # run (optimized, forking pinned off) that isolates the snapshot
     # machinery's own contribution. ``fork_speedup`` is recorded only once

@@ -567,6 +567,24 @@ def cmd_explain(args) -> int:
     except SchemaError as exc:
         raise SystemExit(f"invalid telemetry stream: {exc}")
     surface = _surface_for_stream(attribution, args.manifest)
+    if args.html:
+        from .telemetry.html import observatory_document, render_page
+
+        document = observatory_document(attribution)
+        if surface is not None:
+            from .audit import surface_to_dict
+
+            document["summary"]["surface"] = surface_to_dict(surface)
+        page = render_page(
+            live=False,
+            title=f"repro explain — {os.path.basename(args.stream)}",
+            data=document,
+        )
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(page)
+        print(f"wrote {args.html}")
+        if not args.json:
+            return 0
     if args.json:
         document = attribution_to_dict(attribution)
         if surface is not None:
@@ -575,12 +593,58 @@ def cmd_explain(args) -> int:
             document["surface"] = surface_to_dict(surface)
         print(json.dumps(document, indent=2, sort_keys=True))
     else:
+        if attribution.events == 0:
+            print(f"no events in {args.stream} (empty or header-only stream)")
+            return 0
         print(render_attribution(attribution))
         if surface is not None:
             from .audit import render_surface
 
             print()
             print(render_surface(surface))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .telemetry.serve import serve_campaign
+
+    manifest_path = args.manifest
+    if manifest_path is None and os.path.isfile("audit_manifest.json"):
+        manifest_path = "audit_manifest.json"
+    surface_fn = None
+    if manifest_path:
+        from .audit import load_manifest, surface_coverage, surface_to_dict
+
+        try:
+            manifest = load_manifest(manifest_path)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read audit manifest: {exc}")
+
+        def surface_fn(attribution):
+            return surface_to_dict(
+                surface_coverage(manifest, list(attribution.dimension_positions))
+            )
+
+    def ready(server) -> None:
+        host, port = server.address
+        mode = "following" if args.follow else "serving"
+        print(f"{mode} {args.stream} at http://{host}:{port}/ (ctrl-c to stop)")
+
+    from .telemetry.schema import SchemaError
+
+    try:
+        serve_campaign(
+            args.stream,
+            host=args.host,
+            port=args.port,
+            follow=args.follow,
+            surface_fn=surface_fn,
+            ready=ready,
+        )
+    except OSError as exc:
+        raise SystemExit(f"cannot serve campaign: {exc}")
+    except SchemaError as exc:
+        raise SystemExit(f"invalid telemetry stream: {exc}")
     return 0
 
 
@@ -953,7 +1017,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="attack-surface manifest for the surface-coverage rollup "
              "(default: ./audit_manifest.json when present)",
     )
+    explain.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="also write a self-contained single-file HTML report "
+             "(same CampaignView snapshot as the text/JSON output)",
+    )
     explain.set_defaults(func=cmd_explain)
+
+    serve = sub.add_parser(
+        "serve", help="live campaign observatory over a telemetry stream"
+    )
+    serve.add_argument(
+        "stream", help="telemetry JSONL written by campaign --telemetry"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8377,
+        help="bind port (default: 8377; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--follow", action="store_true",
+        help="tail a live stream, folding events as the campaign flushes them "
+             "(waits for the file to appear)",
+    )
+    serve.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="attack-surface manifest for the surface-coverage rollup "
+             "(default: ./audit_manifest.json when present)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     bigmac = sub.add_parser("bigmac", help="sweep the Big MAC mask family")
     bigmac.add_argument("--clients", type=int, default=20)

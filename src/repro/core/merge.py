@@ -181,7 +181,27 @@ def report_to_bytes(report: Dict[str, Any]) -> bytes:
     ).encode("utf-8")
 
 
-def merge_streams(streams: Sequence[Tuple[int, Iterable[str]]]) -> List[str]:
+def _shard_records(
+    stream: Iterable[Union[str, Dict[str, Any]]],
+) -> Iterable[Dict[str, Any]]:
+    """One shard's stream as decoded records.
+
+    Accepts either raw JSONL lines (parsed through the shared
+    :func:`repro.telemetry.read_events` machinery, ``validate=False`` so
+    unknown-but-parseable records survive re-serialization verbatim) or
+    already-decoded record dicts.
+    """
+    from ..telemetry.reader import parse_events
+
+    items = list(stream)
+    if items and isinstance(items[0], str):
+        return parse_events(items, validate=False)  # type: ignore[arg-type]
+    return items  # type: ignore[return-value]
+
+
+def merge_streams(
+    streams: Sequence[Tuple[int, Iterable[Union[str, Dict[str, Any]]]]],
+) -> List[str]:
     """Stitch per-shard telemetry JSONL into one canonical stream.
 
     Each record gains the merge-envelope keys (``shard``, ``shard_seq``),
@@ -190,12 +210,8 @@ def merge_streams(streams: Sequence[Tuple[int, Iterable[str]]]) -> List[str]:
     global ``seq`` is re-assigned densely from 0.
     """
     records: List[Tuple[int, int, Dict[str, Any]]] = []
-    for shard, lines in streams:
-        for line in lines:
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
+    for shard, stream in streams:
+        for record in _shard_records(stream):
             records.append((int(record["seq"]), int(shard), record))
     records.sort(key=lambda item: (item[0], item[1]))
     out: List[str] = []
@@ -227,8 +243,11 @@ def merge_directory(
         (index, shard_telemetry_path(directory, index)) for index, _ in sorted(checkpoints)
     ]
     if all(path.exists() for _, path in stream_paths):
+        from ..telemetry.reader import read_events
+
         streams = [
-            (index, path.read_text().splitlines()) for index, path in stream_paths
+            (index, read_events(str(path), validate=False))
+            for index, path in stream_paths
         ]
         return report, merge_streams(streams)
     return report, None

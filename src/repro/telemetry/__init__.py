@@ -21,6 +21,13 @@ Two properties make the stream trustworthy:
 ``repro explain`` (:mod:`repro.telemetry.explain`) turns a recorded stream
 back into per-plugin attribution tables, the best scenario's mutation
 lineage, and exploration heatmaps.
+
+Reading a stream back goes through one shared, read-only reader
+(:func:`read_events` / :func:`parse_events`, :mod:`repro.telemetry.reader`)
+and one shared fold (:class:`CampaignView`, :mod:`repro.telemetry.view`):
+batch ``repro explain``, the live ``repro serve`` observatory
+(:mod:`repro.telemetry.serve`), ``repro merge``, and resume-time stream
+truncation all consume the wire format through the same code path.
 """
 
 from .bus import TelemetryBus, TelemetrySink
@@ -46,12 +53,22 @@ from .schema import (
     validate_event,
     validate_jsonl,
 )
+from .reader import EventStream, parse_events, read_events
 from .sinks import JsonlSink, RingBufferSink, TtyProgressSink
+from .view import (
+    CampaignAttribution,
+    CampaignView,
+    attribution_to_dict,
+    fold_stream,
+)
 
 __all__ = [
+    "CampaignAttribution",
+    "CampaignView",
     "CheckpointWritten",
     "CoverageObserved",
     "EVENT_TYPES",
+    "EventStream",
     "FailureClassified",
     "ImpactAbsorbed",
     "JsonlSink",
@@ -68,8 +85,12 @@ __all__ = [
     "TelemetryEvent",
     "TelemetrySink",
     "TtyProgressSink",
+    "attribution_to_dict",
     "event_to_json",
+    "fold_stream",
     "key_dict",
+    "parse_events",
+    "read_events",
     "validate_event",
     "validate_jsonl",
 ]

@@ -14,245 +14,58 @@ out.jsonl``), reconstruct *why* the campaign found what it found:
 - a machine-readable attribution document (``--json``).
 
 Everything here is a pure function of the stream: no target, no
-simulator, no re-execution.
+simulator, no re-execution. The fold itself lives in
+:mod:`repro.telemetry.view` (:class:`CampaignView`), shared with the
+live ``repro serve`` observatory; this module is the batch rendering
+layer on top of it.
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+import warnings
+from typing import Iterable, List, Optional
 
 from ..core.report import format_table, heatmap, sparkline
-from .schema import SchemaError, validate_event
-
-#: Hashable form of a wire-format key dict.
-Key = Tuple[Tuple[str, int], ...]
-
-
-def _freeze_key(data: Optional[Dict[str, int]]) -> Optional[Key]:
-    if data is None:
-        return None
-    return tuple(sorted((str(name), int(pos)) for name, pos in data.items()))
-
-
-@dataclass
-class PluginAttribution:
-    """What one tool plugin contributed to the campaign."""
-
-    plugin: str
-    generated: int = 0
-    executed: int = 0
-    failures: int = 0
-    best_impact: float = 0.0
-    impact_sum: float = 0.0
-    #: Fitness gain actually banked: sum of max(0, child - parent).
-    total_gain: float = 0.0
-    improvements: int = 0
-    #: Final sampling weight observed on the stream (None if never sampled).
-    weight: Optional[float] = None
-
-    @property
-    def mean_impact(self) -> float:
-        return self.impact_sum / self.executed if self.executed else 0.0
-
-
-@dataclass
-class LineageStep:
-    """One link in the best scenario's mutation chain (root first)."""
-
-    key: Key
-    origin: str
-    plugin: Optional[str]
-    mutate_distance: float
-    test_index: Optional[int]
-    impact: Optional[float]
-    changed: List[str] = field(default_factory=list)
-    coords: Dict[str, int] = field(default_factory=dict)
-
-
-@dataclass
-class CampaignAttribution:
-    """Everything :func:`analyze_stream` reconstructs from one stream."""
-
-    events: int = 0
-    tests: int = 0
-    failures: int = 0
-    checkpoints: int = 0
-    best_key: Optional[Key] = None
-    best_impact: float = 0.0
-    best_test_index: Optional[int] = None
-    plugins: Dict[str, PluginAttribution] = field(default_factory=dict)
-    random_generated: int = 0
-    lineage: List[LineageStep] = field(default_factory=list)
-    #: False when the walk from the best scenario could not reach a
-    #: founding random shot (truncated or cyclic ``parent_key`` chain).
-    lineage_complete: bool = True
-    #: Why the lineage walk stopped early (None when complete).
-    lineage_break: Optional[str] = None
-    #: True when the stream ended in a torn (half-written) final line.
-    truncated_tail: bool = False
-    #: CoverageObserved roll-up (zeros for impact-only campaigns).
-    coverage_events: int = 0
-    distinct_signatures: int = 0
-    novel_signatures: int = 0
-    #: Scheduler roll-up from the per-event ``sched`` counters (schema
-    #: v3; all zeros for older streams). ``sched_batches`` counts
-    #: dispatch rounds (events at slot 0), ``sched_max_batch`` the widest
-    #: round, ``sched_depth_sum`` the summed queue depth at dispatch.
-    sched_events: int = 0
-    sched_batches: int = 0
-    sched_max_batch: int = 0
-    sched_depth_sum: int = 0
-    #: Events per shard for merged (``repro merge``) streams; empty for
-    #: single-controller streams.
-    shard_events: Dict[int, int] = field(default_factory=dict)
-    impact_curve: List[float] = field(default_factory=list)
-    #: (dimension name, positions seen) per dimension, insertion-ordered.
-    dimension_positions: Dict[str, List[int]] = field(default_factory=dict)
-    #: key -> coords for every generated scenario (feeds the heatmap).
-    coords_by_key: Dict[Key, Dict[str, int]] = field(default_factory=dict)
-    impact_by_key: Dict[Key, float] = field(default_factory=dict)
-    test_index_by_key: Dict[Key, int] = field(default_factory=dict)
+from .reader import read_events
+from .view import (
+    CampaignAttribution,
+    CampaignView,
+    Key,
+    LineageStep,
+    PluginAttribution,
+    attribution_to_dict,
+    fold_stream,
+    freeze_key as _freeze_key,  # noqa: F401  (compat: old private name)
+    heatmap_dimensions as _heatmap_dimensions,  # noqa: F401  (compat)
+    heatmap_to_dict,
+)
 
 
 def analyze_stream(lines: Iterable[str]) -> CampaignAttribution:
-    """Validate and fold a JSONL stream into a :class:`CampaignAttribution`."""
-    out = CampaignAttribution()
-    generated: Dict[Key, Dict[str, Any]] = {}
-    parent_impact: Dict[Key, float] = {}
-    changed_by_child: Dict[Key, List[str]] = {}
-    entries = [
-        (line_number, stripped)
-        for line_number, stripped in (
-            (number, line.strip()) for number, line in enumerate(lines, start=1)
-        )
-        if stripped
-    ]
-    for position, (line_number, line) in enumerate(entries):
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            if position == len(entries) - 1:
-                # A crash mid-write leaves a half-written final line; the
-                # complete prefix is still a valid stream. Fold what we
-                # have and flag the truncation instead of refusing.
-                out.truncated_tail = True
-                break
-            raise SchemaError(f"line {line_number}: {exc}") from exc
-        try:
-            type_name = validate_event(record)
-        except SchemaError as exc:
-            raise SchemaError(f"line {line_number}: {exc}") from exc
-        out.events += 1
-        if "shard" in record:
-            shard = int(record["shard"])
-            out.shard_events[shard] = out.shard_events.get(shard, 0) + 1
-        if type_name == "ScenarioGenerated":
-            key = _freeze_key(record["key"])
-            generated[key] = record
-            coords = {str(k): int(v) for k, v in record["coords"].items()}
-            out.coords_by_key[key] = coords
-            for name, pos in coords.items():
-                positions = out.dimension_positions.setdefault(name, [])
-                if pos not in positions:
-                    positions.append(pos)
-            plugin = record["plugin"]
-            if plugin is None:
-                out.random_generated += 1
-            else:
-                out.plugins.setdefault(plugin, PluginAttribution(plugin)).generated += 1
-        elif type_name == "PluginSampled":
-            stats = out.plugins.setdefault(
-                record["plugin"], PluginAttribution(record["plugin"])
-            )
-            stats.weight = float(record["weight"])
-        elif type_name == "ParentSelected":
-            parent_impact[None] = float(record["parent_impact"])  # staged
-        elif type_name == "MutationApplied":
-            child = _freeze_key(record["child_key"])
-            changed_by_child[child] = list(record["changed"])
-            staged = parent_impact.pop(None, None)
-            if staged is not None:
-                parent_impact[child] = staged
-        elif type_name == "ScenarioExecuted":
-            key = _freeze_key(record["key"])
-            impact = float(record["impact"])
-            out.tests += 1
-            out.impact_curve.append(impact)
-            out.impact_by_key[key] = impact
-            out.test_index_by_key[key] = int(record["test_index"])
-            sched = record.get("sched")
-            if sched is not None:
-                out.sched_events += 1
-                if int(sched.get("slot", 0)) == 0:
-                    out.sched_batches += 1
-                out.sched_max_batch = max(out.sched_max_batch, int(sched.get("size", 1)))
-                out.sched_depth_sum += int(sched.get("depth", 0))
-            meta = generated.get(key)
-            plugin = meta["plugin"] if meta else None
-            if plugin is not None:
-                stats = out.plugins.setdefault(plugin, PluginAttribution(plugin))
-                stats.executed += 1
-                stats.impact_sum += impact
-                stats.best_impact = max(stats.best_impact, impact)
-                if record["failed"]:
-                    stats.failures += 1
-                gain = impact - parent_impact.pop(key, 0.0)
-                if gain > 0:
-                    stats.total_gain += gain
-                    stats.improvements += 1
-            if record["failed"]:
-                out.failures += 1
-            elif impact > out.best_impact or out.best_key is None:
-                out.best_impact = impact
-                out.best_key = key
-                out.best_test_index = int(record["test_index"])
-        elif type_name == "CoverageObserved":
-            out.coverage_events += 1
-            out.distinct_signatures = max(
-                out.distinct_signatures, int(record["seen_total"])
-            )
-            if record["novel"]:
-                out.novel_signatures += 1
-        elif type_name == "CheckpointWritten":
-            out.checkpoints += 1
+    """Deprecated alias for :func:`repro.telemetry.view.fold_stream`.
 
-    # Best-scenario lineage: walk parents back to the founding random shot.
-    # The walk is defensive: a resumed stream can be missing pre-resume
-    # ancestry (truncated chain), and a corrupted stream could even close a
-    # parent_key loop. Both terminate cleanly and mark the lineage
-    # incomplete rather than walking forever or silently pretending the
-    # partial chain is rooted.
-    key = out.best_key
-    seen: set = set()
-    chain: List[LineageStep] = []
-    while key is not None:
-        if key in seen:
-            out.lineage_complete = False
-            out.lineage_break = "parent_key chain forms a cycle"
-            break
-        seen.add(key)
-        meta = generated.get(key)
-        if meta is None:
-            out.lineage_complete = False
-            out.lineage_break = "ancestry not in this stream (resumed campaign?)"
-            break
-        chain.append(
-            LineageStep(
-                key=key,
-                origin=str(meta["origin"]),
-                plugin=meta["plugin"],
-                mutate_distance=float(meta["mutate_distance"]),
-                test_index=out.test_index_by_key.get(key),
-                impact=out.impact_by_key.get(key),
-                changed=changed_by_child.get(key, []),
-                coords=out.coords_by_key.get(key, {}),
-            )
-        )
-        key = _freeze_key(meta["parent_key"])
-    out.lineage = list(reversed(chain))
-    return out
+    The batch-only analyzer was folded into the incremental
+    :class:`~repro.telemetry.view.CampaignView`; this shim keeps old
+    callers working while they migrate.
+    """
+    warnings.warn(
+        "analyze_stream() is deprecated; use repro.telemetry.fold_stream() "
+        "or fold events through a CampaignView",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return fold_stream(lines)
+
+
+def explain_path(path: str) -> CampaignAttribution:
+    """Analyze a telemetry JSONL file from disk."""
+    view = CampaignView()
+    stream = read_events(path)
+    for record in stream:
+        view.fold(record)
+    if stream.torn_tail:
+        view.mark_torn_tail()
+    return view.snapshot()
 
 
 # ---------------------------------------------------------------------------
@@ -264,46 +77,19 @@ def _key_text(key: Optional[Key]) -> str:
     return "{" + ", ".join(f"{name}={pos}" for name, pos in key) + "}"
 
 
-def _heatmap_dimensions(attribution: CampaignAttribution) -> Optional[Tuple[str, str]]:
-    """The two widest dimensions actually explored (stable order)."""
-    widths = [
-        (len(positions), name)
-        for name, positions in attribution.dimension_positions.items()
-        if len(positions) > 1
-    ]
-    if len(widths) < 2:
-        return None
-    widths.sort(key=lambda item: (-item[0], item[1]))
-    x_name, y_name = widths[0][1], widths[1][1]
-    return x_name, y_name
-
-
 def exploration_heatmap(
     attribution: CampaignAttribution,
     x_name: Optional[str] = None,
     y_name: Optional[str] = None,
 ) -> Optional[str]:
     """Max impact observed per (x, y) grid cell, rendered as ASCII."""
-    if x_name is None or y_name is None:
-        chosen = _heatmap_dimensions(attribution)
-        if chosen is None:
-            return None
-        x_name, y_name = chosen
-    x_positions = sorted(attribution.dimension_positions.get(x_name, []))
-    y_positions = sorted(attribution.dimension_positions.get(y_name, []))
-    if not x_positions or not y_positions:
+    data = heatmap_to_dict(attribution, x_name, y_name)
+    if data is None:
         return None
-    x_index = {pos: i for i, pos in enumerate(x_positions)}
-    y_index = {pos: i for i, pos in enumerate(y_positions)}
-    grid = [[0.0] * len(x_positions) for _ in y_positions]
-    for key, impact in attribution.impact_by_key.items():
-        coords = attribution.coords_by_key.get(key, {})
-        if x_name not in coords or y_name not in coords:
-            continue
-        row, col = y_index[coords[y_name]], x_index[coords[x_name]]
-        grid[row][col] = max(grid[row][col], impact)
-    labels = [f"{y_name}={pos}" for pos in y_positions]
-    body = heatmap(grid, row_labels=labels)
+    x_name, y_name = data["x"], data["y"]
+    x_positions = data["x_positions"]
+    labels = [f"{y_name}={pos}" for pos in data["y_positions"]]
+    body = heatmap(data["grid"], row_labels=labels)
     return f"max impact, {y_name} (rows) x {x_name} (cols, positions {x_positions[0]}..{x_positions[-1]}):\n{body}"
 
 
@@ -411,91 +197,6 @@ def render_attribution(attribution: CampaignAttribution) -> str:
         lines.append("")
         lines.append(rendered_heatmap)
     return "\n".join(lines)
-
-
-def attribution_to_dict(attribution: CampaignAttribution) -> Dict[str, Any]:
-    """Machine-readable attribution document (``repro explain --json``)."""
-    return {
-        "schema_version": 1,
-        "campaign": {
-            "tests": attribution.tests,
-            "events": attribution.events,
-            "failures": attribution.failures,
-            "checkpoints": attribution.checkpoints,
-            "truncated_tail": attribution.truncated_tail,
-        },
-        "coverage": {
-            "events": attribution.coverage_events,
-            "distinct_signatures": attribution.distinct_signatures,
-            "novel_signatures": attribution.novel_signatures,
-        },
-        "scheduler": {
-            "events": attribution.sched_events,
-            "batches": attribution.sched_batches,
-            "max_batch": attribution.sched_max_batch,
-            "mean_batch": (
-                attribution.sched_events / attribution.sched_batches
-                if attribution.sched_batches
-                else 0.0
-            ),
-            "mean_queue_depth": (
-                attribution.sched_depth_sum / attribution.sched_events
-                if attribution.sched_events
-                else 0.0
-            ),
-            "utilization": (
-                attribution.sched_events
-                / (attribution.sched_batches * attribution.sched_max_batch)
-                if attribution.sched_batches and attribution.sched_max_batch
-                else 0.0
-            ),
-        },
-        "shards": {
-            str(shard): count
-            for shard, count in sorted(attribution.shard_events.items())
-        },
-        "best": {
-            "impact": attribution.best_impact,
-            "test_index": attribution.best_test_index,
-            "key": dict(attribution.best_key) if attribution.best_key else None,
-            "plugin": attribution.lineage[-1].plugin if attribution.lineage else None,
-        },
-        "plugins": {
-            name: {
-                "generated": stats.generated,
-                "executed": stats.executed,
-                "failures": stats.failures,
-                "best_impact": stats.best_impact,
-                "mean_impact": stats.mean_impact,
-                "total_gain": stats.total_gain,
-                "improvements": stats.improvements,
-                "weight": stats.weight,
-            }
-            for name, stats in sorted(attribution.plugins.items())
-        },
-        "random_generated": attribution.random_generated,
-        "lineage_complete": attribution.lineage_complete,
-        "lineage_break": attribution.lineage_break,
-        "lineage": [
-            {
-                "key": dict(step.key),
-                "origin": step.origin,
-                "plugin": step.plugin,
-                "mutate_distance": step.mutate_distance,
-                "test_index": step.test_index,
-                "impact": step.impact,
-                "changed": list(step.changed),
-                "coords": dict(step.coords),
-            }
-            for step in attribution.lineage
-        ],
-    }
-
-
-def explain_path(path: str) -> CampaignAttribution:
-    """Analyze a telemetry JSONL file from disk."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return analyze_stream(handle)
 
 
 __all__ = [

@@ -1,0 +1,399 @@
+"""The observatory page: one self-contained HTML template, two modes.
+
+``repro serve`` serves this page in **live** mode (the embedded script
+polls ``/api/summary`` + ``/api/heatmap`` and re-renders), and ``repro
+explain --html`` writes it in **static** mode (the same document is
+embedded as a JSON literal and rendered once, no network access ever).
+One template means the report an operator archives is pixel-for-pixel
+the view they watched live.
+
+Hard constraints, enforced by tests:
+
+- **Self-contained** — inline CSS and JS only; no third-party
+  dependencies, no CDN, no external fetches in static mode.
+- **Deterministic bytes** — the template is a module constant and the
+  embedded document is serialized with sorted keys, so a static report
+  for a given stream is byte-identical across reruns and fresh
+  interpreters (``tests/telemetry/test_html.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from .view import (
+    CampaignAttribution,
+    attribution_to_dict,
+    explore_to_dict,
+    lineage_to_dict,
+)
+
+
+def observatory_document(attribution: CampaignAttribution) -> Dict[str, Any]:
+    """Everything the page renders, as one JSON-ready document."""
+    return {
+        "summary": attribution_to_dict(attribution),
+        "explore": explore_to_dict(attribution),
+        "lineage": lineage_to_dict(attribution),
+    }
+
+
+def render_page(
+    *,
+    live: bool,
+    title: str,
+    data: Optional[Dict[str, Any]] = None,
+    poll_seconds: float = 2.0,
+) -> str:
+    """The observatory page as a single HTML string.
+
+    ``live=True`` emits the polling build (``data`` ignored);
+    ``live=False`` embeds ``data`` (an :func:`observatory_document`) and
+    renders it once.
+    """
+    if live:
+        payload = "null"
+    else:
+        # "</" must not appear inside an inline <script> block; escape it
+        # the standard way so "</script>" in a plugin name cannot break out.
+        payload = json.dumps(
+            data if data is not None else {}, sort_keys=True, separators=(",", ":")
+        ).replace("</", "<\\/")
+    page = _PAGE_TEMPLATE
+    page = page.replace("__TITLE__", _escape(title))
+    page = page.replace("__MODE__", "live" if live else "static")
+    page = page.replace("__POLL_MS__", str(int(poll_seconds * 1000)))
+    page = page.replace("__DATA__", payload)
+    return page
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>__TITLE__</title>
+<style>
+:root {
+  --bg: #10141a; --panel: #181e27; --edge: #2a3342; --ink: #d7dde8;
+  --dim: #8a94a6; --hot: #ff6b5e; --warm: #ffb454; --ok: #7fd962;
+  --accent: #59c2ff;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 1.2rem 1.6rem; background: var(--bg); color: var(--ink);
+  font: 14px/1.45 "SF Mono", "Cascadia Code", Menlo, Consolas, monospace;
+}
+h1 { font-size: 1.15rem; margin: 0; letter-spacing: .02em; }
+h2 {
+  font-size: .8rem; margin: 1.6rem 0 .5rem; color: var(--dim);
+  text-transform: uppercase; letter-spacing: .12em;
+}
+#topbar { display: flex; align-items: baseline; gap: .8rem; flex-wrap: wrap; }
+.badge {
+  font-size: .7rem; padding: .15rem .55rem; border-radius: 999px;
+  border: 1px solid var(--edge); color: var(--dim);
+}
+.badge.live { color: var(--ok); border-color: var(--ok); }
+.badge.warn { color: var(--warm); border-color: var(--warm); }
+#notice {
+  margin-top: 1rem; padding: .8rem 1rem; border: 1px dashed var(--edge);
+  border-radius: 8px; color: var(--dim); display: none;
+}
+#tiles { display: flex; gap: .8rem; flex-wrap: wrap; margin-top: 1rem; }
+.tile {
+  background: var(--panel); border: 1px solid var(--edge); border-radius: 8px;
+  padding: .6rem .9rem; min-width: 8.5rem;
+}
+.tile .v { font-size: 1.3rem; color: var(--accent); }
+.tile .k { font-size: .7rem; color: var(--dim); text-transform: uppercase; letter-spacing: .08em; }
+table { border-collapse: collapse; width: 100%; background: var(--panel); }
+th, td {
+  border: 1px solid var(--edge); padding: .35rem .6rem; text-align: right;
+  font-size: .8rem;
+}
+th { color: var(--dim); font-weight: normal; text-transform: uppercase; font-size: .68rem; }
+td:first-child, th:first-child { text-align: left; }
+#spark { background: var(--panel); border: 1px solid var(--edge); border-radius: 8px; padding: .5rem; }
+#heatmap { display: grid; gap: 2px; width: max-content; }
+#heatmap .cell {
+  width: 26px; height: 26px; border-radius: 3px; position: relative;
+}
+#heatmap .cell:hover::after {
+  content: attr(data-tip); position: absolute; bottom: 110%; left: 0;
+  background: #000; color: var(--ink); padding: .2rem .45rem; font-size: .68rem;
+  white-space: nowrap; border-radius: 4px; z-index: 2;
+}
+#heatmap .axis { width: auto; height: 26px; line-height: 26px; font-size: .65rem;
+  color: var(--dim); padding-right: .4rem; text-align: right; }
+#heatmap .axis.col { text-align: center; padding: 0; }
+#lineage { list-style: none; margin: 0; padding: 0; }
+#lineage li {
+  background: var(--panel); border: 1px solid var(--edge); border-radius: 6px;
+  padding: .4rem .7rem; margin-bottom: .35rem; font-size: .8rem;
+}
+#lineage .impact { color: var(--warm); }
+#lineage .plugin { color: var(--accent); }
+#failures .kind { color: var(--hot); }
+.muted { color: var(--dim); }
+footer { margin-top: 2rem; color: var(--dim); font-size: .7rem; }
+</style>
+</head>
+<body>
+<div id="topbar">
+  <h1>__TITLE__</h1>
+  <span id="mode" class="badge">__MODE__</span>
+  <span id="torn" class="badge warn" style="display:none">torn tail</span>
+  <span id="stale" class="badge warn" style="display:none">poll failed</span>
+</div>
+<div id="notice"></div>
+<div id="tiles"></div>
+<h2>impact per test</h2>
+<div id="spark"></div>
+<h2>plugin attribution</h2>
+<div id="plugins"></div>
+<h2>exploration heatmap (max impact)</h2>
+<div id="heatmap-wrap"><div id="heatmap"></div><div id="heatmap-empty" class="muted"></div></div>
+<h2>best-scenario lineage</h2>
+<ol id="lineage"></ol>
+<h2>quarantine / failure kinds</h2>
+<div id="failures"></div>
+<footer>repro campaign observatory &mdash; read-only over the schema-versioned
+telemetry stream; attaching viewers cannot perturb the campaign.</footer>
+<script>
+"use strict";
+var MODE = "__MODE__";
+var POLL_MS = __POLL_MS__;
+var STATIC_DATA = __DATA__;
+
+function el(tag, cls, text) {
+  var node = document.createElement(tag);
+  if (cls) node.className = cls;
+  if (text !== undefined) node.textContent = text;
+  return node;
+}
+
+function fmt(value, digits) {
+  if (value === null || value === undefined) return "-";
+  if (typeof value === "number" && !Number.isInteger(value)) {
+    return value.toFixed(digits === undefined ? 3 : digits);
+  }
+  return String(value);
+}
+
+function keyText(key) {
+  if (!key) return "(none)";
+  var names = Object.keys(key).sort();
+  return "{" + names.map(function (n) { return n + "=" + key[n]; }).join(", ") + "}";
+}
+
+function heat(value, max) {
+  if (!max || value <= 0) return "#1d2430";
+  var t = Math.min(value / max, 1);
+  var hue = 210 - 180 * t;  /* cold blue -> hot red */
+  return "hsl(" + hue.toFixed(0) + ", 85%, " + (28 + 27 * t).toFixed(0) + "%)";
+}
+
+function renderTiles(summary, explore) {
+  var tiles = [
+    ["tests", summary.campaign.tests],
+    ["events", summary.campaign.events],
+    ["best impact", fmt(summary.best.impact)],
+    ["failures", summary.campaign.failures],
+    ["quarantined", explore.quarantined],
+    ["checkpoints", summary.campaign.checkpoints],
+    ["coverage sigs", summary.coverage.distinct_signatures],
+    ["random shots", summary.random_generated]
+  ];
+  var root = document.getElementById("tiles");
+  root.textContent = "";
+  tiles.forEach(function (pair) {
+    var tile = el("div", "tile");
+    tile.appendChild(el("div", "v", String(pair[1])));
+    tile.appendChild(el("div", "k", pair[0]));
+    root.appendChild(tile);
+  });
+}
+
+function renderSpark(curve) {
+  var root = document.getElementById("spark");
+  root.textContent = "";
+  if (!curve.length) { root.appendChild(el("span", "muted", "(no tests yet)")); return; }
+  var w = Math.max(320, Math.min(curve.length * 6, 1200)), h = 72, pad = 4;
+  var max = Math.max.apply(null, curve.concat([1e-9]));
+  var svg = document.createElementNS("http://www.w3.org/2000/svg", "svg");
+  svg.setAttribute("width", w); svg.setAttribute("height", h);
+  var points = curve.map(function (v, i) {
+    var x = pad + (w - 2 * pad) * (curve.length === 1 ? 0 : i / (curve.length - 1));
+    var y = h - pad - (h - 2 * pad) * (v / max);
+    return x.toFixed(1) + "," + y.toFixed(1);
+  });
+  var line = document.createElementNS("http://www.w3.org/2000/svg", "polyline");
+  line.setAttribute("points", points.join(" "));
+  line.setAttribute("fill", "none");
+  line.setAttribute("stroke", "#59c2ff");
+  line.setAttribute("stroke-width", "1.5");
+  svg.appendChild(line);
+  root.appendChild(svg);
+  root.appendChild(el("div", "muted", "max " + fmt(max) + " over " + curve.length + " tests"));
+}
+
+function renderPlugins(summary) {
+  var root = document.getElementById("plugins");
+  root.textContent = "";
+  var names = Object.keys(summary.plugins).sort();
+  var table = el("table");
+  var head = el("tr");
+  ["plugin", "gen", "exec", "best", "mean", "gain", "improved", "failures", "weight"]
+    .forEach(function (c) { head.appendChild(el("th", null, c)); });
+  table.appendChild(head);
+  names.forEach(function (name) {
+    var p = summary.plugins[name];
+    var row = el("tr");
+    [name, p.generated, p.executed, fmt(p.best_impact), fmt(p.mean_impact),
+     fmt(p.total_gain), p.improvements, p.failures,
+     p.weight === null ? "-" : fmt(p.weight)]
+      .forEach(function (c) { row.appendChild(el("td", null, String(c))); });
+    table.appendChild(row);
+  });
+  var random = el("tr");
+  ["(random shots)", summary.random_generated, "-", "-", "-", "-", "-", "-", "-"]
+    .forEach(function (c) { random.appendChild(el("td", null, String(c))); });
+  table.appendChild(random);
+  root.appendChild(table);
+}
+
+function renderHeatmap(explore) {
+  var root = document.getElementById("heatmap");
+  var empty = document.getElementById("heatmap-empty");
+  root.textContent = ""; empty.textContent = "";
+  var hm = explore.heatmap;
+  if (!hm) { empty.textContent = "(needs two explored dimensions)"; return; }
+  var cols = hm.x_positions.length;
+  root.style.gridTemplateColumns = "auto repeat(" + cols + ", 26px)";
+  var max = 0;
+  hm.grid.forEach(function (row) { row.forEach(function (v) { max = Math.max(max, v); }); });
+  root.appendChild(el("div", "axis", hm.y + " \\\\ " + hm.x));
+  hm.x_positions.forEach(function (x) { root.appendChild(el("div", "axis col", String(x))); });
+  hm.grid.forEach(function (row, r) {
+    root.appendChild(el("div", "axis", String(hm.y_positions[r])));
+    row.forEach(function (v, c) {
+      var cell = el("div", "cell");
+      cell.style.background = heat(v, max);
+      cell.setAttribute(
+        "data-tip",
+        hm.x + "=" + hm.x_positions[c] + " " + hm.y + "=" + hm.y_positions[r] +
+        " impact " + fmt(v));
+      root.appendChild(cell);
+    });
+  });
+}
+
+function renderLineage(lineage) {
+  var root = document.getElementById("lineage");
+  root.textContent = "";
+  if (!lineage.lineage.length) {
+    var li = el("li", "muted",
+      lineage.lineage_complete ? "(no lineage recorded)"
+        : "(lineage incomplete: " + lineage.lineage_break + ")");
+    root.appendChild(li);
+    return;
+  }
+  if (!lineage.lineage_complete) {
+    root.appendChild(el("li", "muted", "lineage incomplete: " + lineage.lineage_break));
+  }
+  lineage.lineage.forEach(function (step, i) {
+    var li = el("li");
+    li.appendChild(el("span", "muted", i + ". "));
+    li.appendChild(el("span", "impact", "impact " + fmt(step.impact) + " "));
+    if (step.origin === "random" || step.plugin === null) {
+      li.appendChild(el("span", null, "random shot "));
+    } else {
+      li.appendChild(el("span", "plugin", step.plugin));
+      li.appendChild(el("span", null,
+        " @ distance " + fmt(step.mutate_distance, 2) +
+        " (changed " + (step.changed.length ? step.changed.join(", ") : "nothing") + ") "));
+    }
+    li.appendChild(el("span", "muted", "-> " + keyText(step.key)));
+    root.appendChild(li);
+  });
+}
+
+function renderFailures(explore) {
+  var root = document.getElementById("failures");
+  root.textContent = "";
+  var kinds = Object.keys(explore.failure_kinds).sort();
+  if (!kinds.length) { root.appendChild(el("span", "muted", "(no quarantined scenarios)")); return; }
+  var table = el("table");
+  var head = el("tr");
+  ["failure kind", "quarantined"].forEach(function (c) { head.appendChild(el("th", null, c)); });
+  table.appendChild(head);
+  kinds.forEach(function (kind) {
+    var row = el("tr");
+    row.appendChild(el("td", "kind", kind));
+    row.appendChild(el("td", null, String(explore.failure_kinds[kind])));
+    table.appendChild(row);
+  });
+  root.appendChild(table);
+}
+
+function render(doc) {
+  var notice = document.getElementById("notice");
+  if (!doc || !doc.summary || doc.summary.campaign.events === 0) {
+    notice.style.display = "block";
+    notice.textContent = "no events in this stream yet" +
+      (MODE === "live" ? " — waiting for the campaign to publish" : "");
+    if (!doc || !doc.summary) return;
+  } else {
+    notice.style.display = "none";
+  }
+  document.getElementById("torn").style.display =
+    doc.summary.campaign.truncated_tail ? "inline" : "none";
+  renderTiles(doc.summary, doc.explore);
+  renderSpark(doc.explore.impact_curve);
+  renderPlugins(doc.summary);
+  renderHeatmap(doc.explore);
+  renderLineage(doc.lineage);
+  renderFailures(doc.explore);
+}
+
+function poll() {
+  var stale = document.getElementById("stale");
+  Promise.all([
+    fetch("/api/summary").then(function (r) { return r.json(); }),
+    fetch("/api/heatmap").then(function (r) { return r.json(); }),
+    fetch("/api/lineage").then(function (r) { return r.json(); })
+  ]).then(function (parts) {
+    stale.style.display = "none";
+    render({ summary: parts[0], explore: parts[1], lineage: parts[2] });
+  }).catch(function () {
+    stale.style.display = "inline";
+  }).then(function () {
+    window.setTimeout(poll, POLL_MS);
+  });
+}
+
+var modeBadge = document.getElementById("mode");
+if (MODE === "live") {
+  modeBadge.classList.add("live");
+  poll();
+} else {
+  render(STATIC_DATA);
+}
+</script>
+</body>
+</html>
+"""
+
+
+__all__ = ["observatory_document", "render_page"]

@@ -1,0 +1,299 @@
+"""``repro serve``: the live campaign observatory.
+
+A stdlib-only (:mod:`http.server`) HTTP server that attaches to a
+campaign's telemetry JSONL stream — finished or still being written —
+and serves the operator console:
+
+- ``/``              the self-contained observatory page
+  (:mod:`repro.telemetry.html`), which polls the API below;
+- ``/api/summary``   the ``repro explain --json`` document, byte-for-byte
+  (same :class:`~repro.telemetry.view.CampaignView` snapshot, same
+  serialization — CI diffs the two);
+- ``/api/heatmap``   the exploration document: heatmap grid, impact
+  curve, failure-kind counters;
+- ``/api/lineage``   the best-scenario lineage document;
+- ``/api/events``    raw decoded wire records, resumable with
+  ``?from_seq=N`` (and bounded with ``&limit=M``).
+
+The observatory is read-only by construction: it consumes the stream
+through :func:`repro.telemetry.read_events` (which never writes, locks,
+or truncates) and folds through the same ``CampaignView`` as batch
+explain. Attaching any number of servers to a live campaign cannot
+perturb its trajectory — the campaign never knows they exist.
+
+With ``--follow``, a daemon thread tails the stream and folds each event
+as the campaign flushes it; request handlers snapshot the view under a
+lock, so a response is always a consistent prefix of the stream.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .html import render_page
+from .reader import FOLLOW_POLL_INTERVAL, read_events
+from .view import (
+    CampaignAttribution,
+    CampaignView,
+    attribution_to_dict,
+    explore_to_dict,
+    lineage_to_dict,
+)
+
+DEFAULT_PORT = 8377
+
+#: Computes the ``"surface"`` document for a snapshot (or None to omit it).
+SurfaceFn = Callable[[CampaignAttribution], Optional[Dict[str, Any]]]
+
+
+class Observatory:
+    """Lock-guarded campaign state shared by the tail thread and handlers.
+
+    Also keeps the decoded records themselves (for ``/api/events``) and
+    the optional attack-surface hook that ``repro explain`` merges into
+    its ``--json`` output — ``/api/summary`` must carry the same keys to
+    stay byte-identical with it. The surface is recomputed per snapshot
+    because it depends on which dimensions the stream has explored,
+    which grows while a followed campaign runs.
+    """
+
+    def __init__(self, surface_fn: Optional[SurfaceFn] = None) -> None:
+        self._lock = threading.Lock()
+        self._view = CampaignView()
+        self._records: List[Dict[str, Any]] = []
+        self._surface_fn = surface_fn
+        self.source: str = ""
+        self.live: bool = False
+
+    def fold(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._view.fold(record)
+            self._records.append(record)
+
+    def mark_torn_tail(self) -> None:
+        with self._lock:
+            self._view.mark_torn_tail()
+
+    def summary_document(self) -> Dict[str, Any]:
+        """The exact ``repro explain --json`` document for the current prefix."""
+        with self._lock:
+            snapshot = self._view.snapshot()
+        document = attribution_to_dict(snapshot)
+        if self._surface_fn is not None:
+            surface = self._surface_fn(snapshot)
+            if surface is not None:
+                document["surface"] = surface
+        return document
+
+    def explore_document(self) -> Dict[str, Any]:
+        with self._lock:
+            return explore_to_dict(self._view.snapshot())
+
+    def lineage_document(self) -> Dict[str, Any]:
+        with self._lock:
+            return lineage_to_dict(self._view.snapshot())
+
+    def observatory_document(self) -> Dict[str, Any]:
+        return {
+            "summary": self.summary_document(),
+            "explore": self.explore_document(),
+            "lineage": self.lineage_document(),
+        }
+
+    def events_document(self, from_seq: int, limit: Optional[int]) -> Dict[str, Any]:
+        with self._lock:
+            records = [
+                record
+                for record in self._records
+                if not isinstance(record.get("seq"), bool)
+                and isinstance(record.get("seq"), int)
+                and record["seq"] >= from_seq
+            ]
+        truncated = limit is not None and len(records) > limit
+        if truncated:
+            records = records[:limit]
+        last_seq = records[-1]["seq"] if records else from_seq - 1
+        return {
+            "events": records,
+            "count": len(records),
+            "from_seq": from_seq,
+            "next_seq": (last_seq + 1) if records else from_seq,
+            "truncated": truncated,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-observatory"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        observatory: Observatory = self.server.observatory  # type: ignore[attr-defined]
+        url = urlparse(self.path)
+        if url.path in ("/", "/index.html"):
+            page = render_page(live=True, title=f"repro serve — {observatory.source}")
+            self._send(200, "text/html; charset=utf-8", page.encode("utf-8"))
+        elif url.path == "/api/summary":
+            # Byte-compatible with `repro explain --json` (which prints the
+            # document followed by a newline).
+            body = (
+                json.dumps(observatory.summary_document(), indent=2, sort_keys=True)
+                + "\n"
+            ).encode("utf-8")
+            self._send(200, "application/json", body)
+        elif url.path == "/api/heatmap":
+            self._send_json(200, observatory.explore_document())
+        elif url.path == "/api/lineage":
+            self._send_json(200, observatory.lineage_document())
+        elif url.path == "/api/events":
+            query = parse_qs(url.query)
+            try:
+                from_seq = int(query.get("from_seq", ["0"])[0])
+                limit_text = query.get("limit", [None])[0]
+                limit = None if limit_text is None else int(limit_text)
+            except ValueError:
+                self._send_json(400, {"error": "from_seq and limit must be integers"})
+                return
+            self._send_json(200, observatory.events_document(from_seq, limit))
+        else:
+            self._send_json(404, {"error": f"unknown path: {url.path}"})
+
+    def _send_json(self, status: int, document: Dict[str, Any]) -> None:
+        body = (
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        ).encode("utf-8")
+        self._send(status, "application/json", body)
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Quiet by default; the CLI prints the one line that matters.
+        pass
+
+
+class CampaignServer:
+    """The observatory HTTP server plus its (optional) stream tail thread."""
+
+    def __init__(
+        self,
+        stream_path: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        follow: bool = False,
+        surface_fn: Optional[SurfaceFn] = None,
+        poll_interval: float = FOLLOW_POLL_INTERVAL,
+    ) -> None:
+        self.stream_path = stream_path
+        self.observatory = Observatory(surface_fn=surface_fn)
+        self.observatory.source = stream_path
+        self.observatory.live = follow
+        self._follow = follow
+        self._poll_interval = poll_interval
+        self._stopping = threading.Event()
+        self._tail_thread: Optional[threading.Thread] = None
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.observatory = self.observatory  # type: ignore[attr-defined]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — authoritative when port 0 was requested."""
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    def load(self) -> None:
+        """Read the stream: whole file now, or start the follow tail thread.
+
+        In batch mode a missing file raises ``OSError`` up front; in
+        follow mode the tail thread waits for the campaign to create it.
+        """
+        if not self._follow:
+            stream = read_events(self.stream_path)
+            for record in stream:
+                self.observatory.fold(record)
+            if stream.torn_tail:
+                self.observatory.mark_torn_tail()
+            return
+        self._tail_thread = threading.Thread(
+            target=self._tail, name="repro-serve-tail", daemon=True
+        )
+        self._tail_thread.start()
+
+    def _tail(self) -> None:
+        stream = read_events(
+            self.stream_path,
+            follow=True,
+            poll_interval=self._poll_interval,
+            stop=self._stopping.is_set,
+        )
+        for record in stream:
+            self.observatory.fold(record)
+        if stream.torn_tail:
+            self.observatory.mark_torn_tail()
+
+    def serve_forever(self) -> None:
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        finally:
+            self.close()
+
+    def shutdown(self) -> None:
+        """Stop ``serve_forever`` from another thread."""
+        self._httpd.shutdown()
+
+    def close(self) -> None:
+        self._stopping.set()
+        if self._tail_thread is not None:
+            self._tail_thread.join(timeout=5.0)
+            self._tail_thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "CampaignServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def serve_campaign(
+    stream_path: str,
+    *,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    follow: bool = False,
+    surface_fn: Optional[SurfaceFn] = None,
+    ready: Optional[Callable[[CampaignServer], None]] = None,
+) -> None:
+    """Load a stream and serve the observatory until interrupted.
+
+    ``ready`` (if given) is called with the bound server before the
+    blocking accept loop starts — the CLI uses it to print the URL, tests
+    use it to learn an OS-assigned port.
+    """
+    server = CampaignServer(
+        stream_path, host=host, port=port, follow=follow, surface_fn=surface_fn
+    )
+    with server:
+        server.load()
+        if ready is not None:
+            ready(server)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+
+
+__all__ = [
+    "CampaignServer",
+    "DEFAULT_PORT",
+    "Observatory",
+    "serve_campaign",
+]

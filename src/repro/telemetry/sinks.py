@@ -86,24 +86,13 @@ class JsonlSink:
 
     @staticmethod
     def _truncate_orphan_tail(path: str, resume_seq: int) -> None:
-        import json
         import os
+
+        from .reader import complete_prefix_lines
 
         if not os.path.exists(path):
             return
-        kept: List[str] = []
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                stripped = line.strip()
-                if not stripped:
-                    continue
-                try:
-                    record = json.loads(stripped)
-                except ValueError:
-                    break  # partial line from a kill; drop it and the rest
-                if int(record.get("seq", resume_seq)) >= resume_seq:
-                    break
-                kept.append(stripped)
+        kept = complete_prefix_lines(path, resume_seq)
         with open(path, "w", encoding="utf-8") as handle:
             for line in kept:
                 handle.write(line)

@@ -3,12 +3,17 @@
 from __future__ import annotations
 
 import hashlib
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core import AvdExploration, CampaignSpec
-from repro.telemetry import RingBufferSink, TelemetryBus
+from repro.telemetry import RingBufferSink, TelemetryBus, parse_events
 
 from tests.core.fake_target import LoadPlugin, make_hill_target
+
+
+def decoded_records(lines: List[str]) -> List[Dict[str, Any]]:
+    """Stream lines as validated record dicts, via the shared reader."""
+    return list(parse_events(lines))
 
 
 def run_recorded_campaign(

@@ -18,7 +18,11 @@ import json
 from repro.telemetry import validate_jsonl
 
 from tests._strategies import campaign_seeds
-from tests.telemetry._harness import run_recorded_campaign, stream_sha
+from tests.telemetry._harness import (
+    decoded_records,
+    run_recorded_campaign,
+    stream_sha,
+)
 
 BUDGET = 24
 
@@ -26,10 +30,10 @@ BUDGET = 24
 def _without_checkpoints(lines):
     """Events minus CheckpointWritten markers and their seq numbers."""
     stripped = []
-    for line in lines:
-        record = json.loads(line)
+    for record in decoded_records(lines):
         if record["type"] == "CheckpointWritten":
             continue
+        record = dict(record)
         del record["seq"]
         stripped.append(json.dumps(record, sort_keys=True))
     return stripped

@@ -7,13 +7,13 @@ import json
 import pytest
 
 from repro.telemetry.explain import (
-    analyze_stream,
     attribution_to_dict,
     explain_path,
     exploration_heatmap,
     render_attribution,
 )
 from repro.telemetry.schema import SchemaError
+from repro.telemetry.view import fold_stream
 
 from tests.telemetry._harness import run_recorded_campaign
 
@@ -32,7 +32,7 @@ def recorded():
 @pytest.fixture(scope="module")
 def attribution(recorded):
     lines, _ = recorded
-    return analyze_stream(lines)
+    return fold_stream(lines)
 
 
 class TestAnalyzeStream:
@@ -81,7 +81,7 @@ class TestAnalyzeStream:
 
     def test_invalid_stream_rejected(self):
         with pytest.raises(SchemaError, match="line 1"):
-            analyze_stream(['{"v":1,"seq":0,"type":"Nope"}'])
+            fold_stream(['{"v":1,"seq":0,"type":"Nope"}'])
 
 
 class TestRendering:
@@ -172,7 +172,7 @@ def _synthetic_stream(parent_of):
 
 class TestLineageGuards:
     def test_complete_chain_stays_complete(self):
-        attribution = analyze_stream(_synthetic_stream({0: None, 1: 0, 2: 1}))
+        attribution = fold_stream(_synthetic_stream({0: None, 1: 0, 2: 1}))
         assert attribution.lineage_complete is True
         assert attribution.lineage_break is None
         assert [step.key for step in attribution.lineage] == [
@@ -182,7 +182,7 @@ class TestLineageGuards:
     def test_missing_ancestry_is_flagged_not_fatal(self):
         # The best key's parent (99) was generated before this stream
         # started (a resumed campaign): the walk stops and says so.
-        attribution = analyze_stream(_synthetic_stream({1: 99, 2: 1}))
+        attribution = fold_stream(_synthetic_stream({1: 99, 2: 1}))
         assert attribution.lineage_complete is False
         assert "not in this stream" in attribution.lineage_break
         # The partial chain (best -> its recorded ancestors) is preserved.
@@ -194,14 +194,14 @@ class TestLineageGuards:
 
     def test_cyclic_parent_chain_terminates(self):
         # A corrupted stream closing a parent_key loop must not hang.
-        attribution = analyze_stream(_synthetic_stream({1: 2, 2: 1}))
+        attribution = fold_stream(_synthetic_stream({1: 2, 2: 1}))
         assert attribution.lineage_complete is False
         assert "cycle" in attribution.lineage_break
         report = render_attribution(attribution)
         assert "lineage incomplete" in report
 
     def test_lineage_flags_round_trip_to_json(self):
-        document = attribution_to_dict(analyze_stream(_synthetic_stream({1: 2, 2: 1})))
+        document = attribution_to_dict(fold_stream(_synthetic_stream({1: 2, 2: 1})))
         assert document["lineage_complete"] is False
         assert "cycle" in document["lineage_break"]
 
@@ -210,7 +210,7 @@ class TestTornTail:
     def test_torn_final_line_is_tolerated_and_flagged(self, recorded):
         lines, _ = recorded
         torn = list(lines) + ['{"v":1,"seq":999,"type":"Scenario']
-        attribution = analyze_stream(torn)
+        attribution = fold_stream(torn)
         assert attribution.truncated_tail is True
         assert attribution.tests == BUDGET  # the complete prefix was folded
         report = render_attribution(attribution)
@@ -222,7 +222,7 @@ class TestTornTail:
         corrupted = list(lines)
         corrupted.insert(1, "{not json")
         with pytest.raises(SchemaError, match="line 2"):
-            analyze_stream(corrupted)
+            fold_stream(corrupted)
 
     def test_intact_stream_is_not_flagged(self, attribution):
         assert attribution.truncated_tail is False
@@ -242,7 +242,7 @@ class TestCoverageRollup:
         return sink.to_lines()
 
     def test_coverage_events_are_rolled_up(self, hybrid_lines):
-        attribution = analyze_stream(hybrid_lines)
+        attribution = fold_stream(hybrid_lines)
         assert attribution.coverage_events == 20
         assert 1 <= attribution.distinct_signatures <= 20
         assert 1 <= attribution.novel_signatures <= attribution.distinct_signatures
@@ -265,7 +265,7 @@ class TestSchedulerRollup:
         return lines
 
     def test_batched_stream_rolls_up_scheduler_stats(self, batched_lines):
-        attribution = analyze_stream(batched_lines)
+        attribution = fold_stream(batched_lines)
         assert attribution.sched_events == 12
         assert attribution.sched_batches >= 3  # 12 tests in batches of <= 4
         assert attribution.sched_max_batch <= 4
@@ -279,7 +279,7 @@ class TestSchedulerRollup:
 
     def test_serial_stream_reports_full_utilization(self):
         lines, _ = run_recorded_campaign(seed=11, budget=6)
-        attribution = analyze_stream(lines)
+        attribution = fold_stream(lines)
         document = attribution_to_dict(attribution)
         assert document["scheduler"]["max_batch"] == 1
         assert document["scheduler"]["utilization"] == 1.0
@@ -287,8 +287,8 @@ class TestSchedulerRollup:
     def test_sched_rollup_is_worker_invariant(self):
         one, _ = run_recorded_campaign(seed=11, budget=12, workers=1, batch_size=4)
         two, _ = run_recorded_campaign(seed=11, budget=12, workers=2, batch_size=4)
-        assert attribution_to_dict(analyze_stream(one))["scheduler"] == \
-            attribution_to_dict(analyze_stream(two))["scheduler"]
+        assert attribution_to_dict(fold_stream(one))["scheduler"] == \
+            attribution_to_dict(fold_stream(two))["scheduler"]
 
     def test_v2_streams_without_sched_still_explain(self, batched_lines):
         stripped = []
@@ -297,7 +297,7 @@ class TestSchedulerRollup:
             record.pop("sched", None)
             record["v"] = 2
             stripped.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
-        attribution = analyze_stream(stripped)
+        attribution = fold_stream(stripped)
         assert attribution.sched_events == 0
         document = attribution_to_dict(attribution)
         assert document["scheduler"]["events"] == 0
@@ -325,9 +325,21 @@ class TestSchedulerRollup:
             telemetry_paths=[shard_telemetry_path(tmp_path, i) for i in range(2)],
         )
         _report, stream = merge_directory(tmp_path)
-        attribution = analyze_stream(stream)
+        attribution = fold_stream(stream)
         assert attribution.shard_events and set(attribution.shard_events) == {0, 1}
         document = attribution_to_dict(attribution)
         assert set(document["shards"]) == {"0", "1"}
         assert sum(document["shards"].values()) == len(stream)
         assert "shards: 2 merged" in render_attribution(attribution)
+
+
+class TestDeprecatedAnalyzeStream:
+    """The old batch-only entry point survives as a warning shim."""
+
+    def test_analyze_stream_warns_and_delegates(self, recorded):
+        from repro.telemetry.explain import analyze_stream
+
+        lines, _ = recorded
+        with pytest.warns(DeprecationWarning, match="fold_stream"):
+            attribution = analyze_stream(lines)
+        assert attribution == fold_stream(lines)

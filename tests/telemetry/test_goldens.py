@@ -1,0 +1,63 @@
+"""Committed goldens: the explain byte-stability contract.
+
+The stream golden pins the wire format (same campaign, same bytes) and
+the rendered goldens pin ``repro explain`` / ``repro explain --json``
+output across refactors — the api_redesign acceptance gate. The goldens
+were generated *before* the CampaignView rebase, so matching them proves
+the redesign changed no output bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.telemetry.explain import explain_path, render_attribution
+from repro.telemetry.view import attribution_to_dict
+
+from tests.telemetry._harness import run_recorded_campaign
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+STREAM = os.path.join(GOLDEN_DIR, "hill-seed47-budget30.jsonl")
+EXPLAIN_TXT = os.path.join(GOLDEN_DIR, "hill-seed47-budget30.explain.txt")
+EXPLAIN_JSON = os.path.join(GOLDEN_DIR, "hill-seed47-budget30.explain.json")
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+)
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def test_stream_golden_regenerates_bit_identically():
+    lines, _ = run_recorded_campaign(seed=47, budget=30)
+    assert "\n".join(lines) + "\n" == _read(STREAM)
+
+
+def test_rendered_report_matches_the_golden_bytes():
+    assert render_attribution(explain_path(STREAM)) + "\n" == _read(EXPLAIN_TXT)
+
+
+def test_json_document_matches_the_golden_bytes():
+    document = attribution_to_dict(explain_path(STREAM))
+    assert json.dumps(document, indent=2, sort_keys=True) + "\n" == _read(EXPLAIN_JSON)
+
+
+def test_cli_output_matches_the_golden_bytes(tmp_path):
+    """The full CLI path, in a directory with no audit manifest in scope
+    (the goldens pin the pure attribution output, no surface section)."""
+    env = dict(os.environ, PYTHONPATH=SRC)
+    for flags, golden in (([], EXPLAIN_TXT), (["--json"], EXPLAIN_JSON)):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "explain", STREAM, *flags],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=str(tmp_path),
+            check=True,
+        )
+        assert result.stdout == _read(golden)

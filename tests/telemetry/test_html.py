@@ -1,0 +1,99 @@
+"""`repro explain --html`: self-contained, byte-deterministic reports."""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+from repro.telemetry.html import observatory_document, render_page
+from repro.telemetry.view import fold_stream
+
+from tests.telemetry._harness import run_recorded_campaign
+
+GOLDEN = os.path.join(
+    os.path.dirname(__file__), "goldens", "hill-seed47-budget30.jsonl"
+)
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+
+
+@pytest.fixture(scope="module")
+def attribution():
+    lines, _ = run_recorded_campaign(seed=47, budget=20)
+    return fold_stream(lines)
+
+
+class TestStaticPage:
+    def test_rerenders_are_byte_identical(self, attribution):
+        document = observatory_document(attribution)
+        first = render_page(live=False, title="t", data=document)
+        second = render_page(
+            live=False,
+            title="t",
+            data=observatory_document(attribution),
+        )
+        assert first == second
+
+    def test_page_is_self_contained(self, attribution):
+        page = render_page(
+            live=False, title="t", data=observatory_document(attribution)
+        )
+        assert not re.search(r'(src|href)\s*=\s*["\']https?://', page)
+        assert "<style>" in page and "<script>" in page
+        assert 'MODE = "static"' in page
+        assert "fetch(" in page  # live code is present but gated on MODE
+
+    def test_embedded_payload_cannot_break_out_of_the_script(self):
+        page = render_page(
+            live=False, title="t", data={"summary": {"note": "</script><b>"}}
+        )
+        # "</" is escaped, so the literal close tag never appears in the
+        # payload; the only </script> is the template's own.
+        assert page.count("</script>") == 1
+
+    def test_title_is_escaped(self):
+        page = render_page(live=False, title='<x>&"', data={})
+        assert "<title>&lt;x&gt;&amp;&quot;</title>" in page
+
+
+class TestLivePage:
+    def test_live_page_has_no_embedded_data(self):
+        page = render_page(live=True, title="t")
+        assert "STATIC_DATA = null" in page
+        assert 'MODE = "live"' in page
+
+
+class TestCliDeterminism:
+    def test_html_bytes_stable_across_fresh_hash_seeds(self, tmp_path):
+        """The committed-golden stream renders to identical bytes in two
+        subprocesses with different PYTHONHASHSEED — no dict-order or
+        hash-randomization leak in the template path."""
+        outputs = []
+        for hash_seed in ("1", "2"):
+            out = tmp_path / f"report-{hash_seed}.html"
+            env = dict(
+                os.environ,
+                PYTHONPATH=os.path.abspath(SRC),
+                PYTHONHASHSEED=hash_seed,
+            )
+            subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "explain",
+                    GOLDEN,
+                    "--html",
+                    str(out),
+                ],
+                check=True,
+                env=env,
+                cwd=str(tmp_path),  # no audit manifest in scope
+                capture_output=True,
+            )
+            outputs.append(out.read_bytes())
+        assert outputs[0] == outputs[1]
+        assert b"STATIC_DATA = {" in outputs[0]

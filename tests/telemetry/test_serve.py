@@ -1,0 +1,175 @@
+"""`repro serve`: the observatory endpoints against real streams."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.telemetry.explain import explain_path
+from repro.telemetry.serve import CampaignServer
+from repro.telemetry.view import attribution_to_dict
+
+from tests.telemetry._harness import run_recorded_campaign
+
+SEED = 47
+BUDGET = 20
+
+
+@pytest.fixture(scope="module")
+def stream_file(tmp_path_factory):
+    lines, _ = run_recorded_campaign(seed=SEED, budget=BUDGET)
+    path = tmp_path_factory.mktemp("serve") / "campaign.jsonl"
+    path.write_text("\n".join(lines) + "\n")
+    return path, lines
+
+
+@pytest.fixture()
+def server(stream_file):
+    path, _ = stream_file
+    instance = CampaignServer(str(path), port=0)
+    instance.load()
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield instance
+    finally:
+        instance.shutdown()
+        thread.join(timeout=5.0)
+
+
+def _get(server, route):
+    host, port = server.address
+    return urllib.request.urlopen(f"http://{host}:{port}{route}", timeout=5.0)
+
+
+class TestApi:
+    def test_summary_equals_explain_json_bytes(self, server, stream_file):
+        path, _ = stream_file
+        expected = (
+            json.dumps(
+                attribution_to_dict(explain_path(str(path))),
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        body = _get(server, "/api/summary").read().decode("utf-8")
+        assert body == expected
+
+    def test_heatmap_document(self, server):
+        explore = json.load(_get(server, "/api/heatmap"))
+        assert explore["heatmap"] is not None
+        assert len(explore["impact_curve"]) == BUDGET
+        assert explore["quarantined"] == 0
+        assert explore["truncated_tail"] is False
+
+    def test_lineage_document(self, server):
+        lineage = json.load(_get(server, "/api/lineage"))
+        assert lineage["lineage"], "seed 47 climbs through mutations"
+        assert lineage["lineage"][0]["origin"] == "random"
+
+    def test_events_resumable_by_seq(self, server, stream_file):
+        _, lines = stream_file
+        document = json.load(_get(server, "/api/events?from_seq=0"))
+        assert document["count"] == len(lines)
+        resumed = json.load(
+            _get(server, f"/api/events?from_seq={document['next_seq'] - 2}")
+        )
+        assert resumed["count"] == 2
+        limited = json.load(_get(server, "/api/events?from_seq=0&limit=3"))
+        assert limited["count"] == 3 and limited["truncated"] is True
+        assert limited["events"][0]["seq"] == 0
+
+    def test_page_is_served_at_root(self, server):
+        response = _get(server, "/")
+        assert response.headers["Content-Type"].startswith("text/html")
+        page = response.read().decode("utf-8")
+        assert "repro serve" in page and "<script>" in page
+        assert 'MODE = "live"' in page
+
+    def test_unknown_route_404s(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/api/nope")
+        assert excinfo.value.code == 404
+
+    def test_bad_query_400s(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/api/events?from_seq=banana")
+        assert excinfo.value.code == 400
+
+
+class TestSurface:
+    def test_surface_fn_lands_in_the_summary(self, stream_file):
+        path, _ = stream_file
+        calls = []
+
+        def surface_fn(attribution):
+            calls.append(attribution.tests)
+            return {"total": 3, "explored": sorted(attribution.dimension_positions)}
+
+        instance = CampaignServer(str(path), port=0, surface_fn=surface_fn)
+        instance.load()
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        try:
+            summary = json.load(_get(instance, "/api/summary"))
+        finally:
+            instance.shutdown()
+            thread.join(timeout=5.0)
+        assert summary["surface"]["total"] == 3
+        assert calls == [BUDGET]
+
+
+class TestEmptyStream:
+    def test_empty_stream_serves_the_empty_state(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        instance = CampaignServer(str(path), port=0)
+        instance.load()
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        try:
+            summary = json.load(_get(instance, "/api/summary"))
+            page = _get(instance, "/").read().decode("utf-8")
+        finally:
+            instance.shutdown()
+            thread.join(timeout=5.0)
+        assert summary["campaign"]["events"] == 0
+        assert "no events" in page  # the page's JS empty-state notice
+
+
+class TestFollow:
+    def test_follow_mode_folds_the_stream_as_it_grows(self, tmp_path, stream_file):
+        _, lines = stream_file
+        path = tmp_path / "live.jsonl"
+        instance = CampaignServer(
+            str(path), port=0, follow=True, poll_interval=0.01
+        )
+        instance.load()  # tail thread; the file does not exist yet
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        try:
+            first = json.load(_get(instance, "/api/summary"))
+            assert first["campaign"]["events"] == 0
+            with open(path, "w", encoding="utf-8") as handle:
+                for line in lines:
+                    handle.write(line + "\n")
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                summary = json.load(_get(instance, "/api/summary"))
+                if summary["campaign"]["events"] == len(lines):
+                    break
+                time.sleep(0.02)
+            assert summary["campaign"]["events"] == len(lines)
+            assert summary["campaign"]["tests"] == BUDGET
+            # The followed view converged to exactly the batch document.
+            batch = attribution_to_dict(explain_path(str(path)))
+            assert summary == json.loads(json.dumps(batch))
+        finally:
+            instance.shutdown()
+            thread.join(timeout=5.0)

@@ -1,0 +1,161 @@
+"""CampaignView: incremental folding ≡ batch analysis, at every prefix."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.reader import parse_events
+from repro.telemetry.schema import SchemaError
+from repro.telemetry.view import (
+    CampaignView,
+    attribution_to_dict,
+    explore_to_dict,
+    fold_stream,
+    heatmap_to_dict,
+    lineage_to_dict,
+)
+
+from tests.telemetry._harness import run_recorded_campaign
+
+#: The 5-seed sweep behind the fold-equivalence guarantee.
+SWEEP_SEEDS = (11, 29, 47, 83, 101)
+
+
+def _document_bytes(attribution) -> str:
+    return json.dumps(attribution_to_dict(attribution), indent=2, sort_keys=True)
+
+
+class TestPrefixEquivalence:
+    """Folding event-by-event equals whole-file analysis at *every* prefix.
+
+    This is the property that makes the live observatory trustworthy: at
+    any moment, what ``repro serve`` shows for the stream-so-far is
+    byte-identical to what ``repro explain --json`` would say about the
+    same prefix on disk.
+    """
+
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_every_prefix_matches_batch_fold(self, seed):
+        lines, _ = run_recorded_campaign(seed=seed, budget=20)
+        view = CampaignView()
+        for prefix_len, record in enumerate(parse_events(lines), start=1):
+            view.fold(record)
+            incremental = _document_bytes(view.snapshot())
+            batch = _document_bytes(fold_stream(lines[:prefix_len]))
+            assert incremental == batch, f"diverged at prefix {prefix_len}"
+
+    def test_full_stream_matches_batch_fold(self):
+        lines, _ = run_recorded_campaign(seed=47, budget=30)
+        view = CampaignView()
+        for record in parse_events(lines):
+            view.fold(record)
+        assert _document_bytes(view.snapshot()) == _document_bytes(fold_stream(lines))
+
+
+class TestSnapshotIsolation:
+    def test_snapshot_is_unaffected_by_later_folds(self):
+        lines, _ = run_recorded_campaign(seed=47, budget=30)
+        view = CampaignView()
+        records = list(parse_events(lines))
+        half = len(records) // 2
+        for record in records[:half]:
+            view.fold(record)
+        early = view.snapshot()
+        early_bytes = _document_bytes(early)
+        for record in records[half:]:
+            view.fold(record)
+        assert _document_bytes(early) == early_bytes
+        assert _document_bytes(view.snapshot()) != early_bytes
+
+    def test_events_folded_counts(self):
+        lines, _ = run_recorded_campaign(seed=11, budget=6)
+        view = CampaignView()
+        for record in parse_events(lines):
+            view.fold(record)
+        assert view.events_folded == len(lines)
+
+
+class TestObservatoryRollups:
+    """View-only rollups (failure kinds, last_seq) never leak into the
+    explain document, whose bytes are pinned by the goldens."""
+
+    def _with_failures(self):
+        from repro.telemetry import FailureClassified, event_to_json
+
+        lines, _ = run_recorded_campaign(seed=11, budget=6)
+        seq = len(lines)
+        for index, kind in enumerate(("timeout", "worker-crash", "timeout")):
+            lines = list(lines) + [
+                event_to_json(
+                    seq + index,
+                    FailureClassified(
+                        test_index=index,
+                        key={"mask": index},
+                        kind=kind,
+                        error="boom",
+                        attempts=1,
+                    ),
+                )
+            ]
+        return lines
+
+    def test_failure_kinds_are_counted(self):
+        attribution = fold_stream(self._with_failures())
+        assert attribution.quarantined == 3
+        assert attribution.failure_kinds == {"timeout": 2, "worker-crash": 1}
+
+    def test_failure_kinds_absent_from_the_explain_document(self):
+        document = attribution_to_dict(fold_stream(self._with_failures()))
+        flat = json.dumps(document)
+        assert "failure_kinds" not in flat
+        assert "quarantined" not in flat
+        assert "last_seq" not in flat
+
+    def test_explore_document_carries_them(self):
+        explore = explore_to_dict(fold_stream(self._with_failures()))
+        assert explore["quarantined"] == 3
+        assert explore["failure_kinds"] == {"timeout": 2, "worker-crash": 1}
+        assert explore["last_seq"] >= 0
+        assert isinstance(explore["impact_curve"], list)
+
+    def test_last_seq_tracks_the_envelope(self):
+        lines, _ = run_recorded_campaign(seed=11, budget=6)
+        attribution = fold_stream(lines)
+        assert attribution.last_seq == len(lines) - 1
+
+
+class TestDocuments:
+    def test_heatmap_grid_matches_the_ascii_rendering_dimensions(self):
+        from repro.telemetry.explain import exploration_heatmap
+
+        attribution = fold_stream(run_recorded_campaign(seed=47, budget=30)[0])
+        data = heatmap_to_dict(attribution)
+        assert data is not None
+        rendered = exploration_heatmap(attribution)
+        assert data["x"] in rendered and data["y"] in rendered
+        assert len(data["grid"]) == len(data["y_positions"])
+        assert all(len(row) == len(data["x_positions"]) for row in data["grid"])
+        best = max(max(row) for row in data["grid"])
+        assert best == pytest.approx(attribution.best_impact)
+
+    def test_lineage_document_mirrors_the_summary(self):
+        attribution = fold_stream(run_recorded_campaign(seed=47, budget=30)[0])
+        lineage = lineage_to_dict(attribution)
+        summary = attribution_to_dict(attribution)
+        assert lineage["lineage"] == summary["lineage"]
+        assert lineage["best"] == summary["best"]
+        assert lineage["lineage_complete"] is attribution.lineage_complete
+
+    def test_unknown_event_type_raises(self):
+        view = CampaignView()
+        with pytest.raises(SchemaError, match="unknown event type"):
+            view.fold({"v": 1, "seq": 0, "type": "Nope"})
+
+    def test_empty_view_snapshots_cleanly(self):
+        snapshot = CampaignView().snapshot()
+        assert snapshot.events == 0
+        document = attribution_to_dict(snapshot)
+        assert document["campaign"]["tests"] == 0
+        assert document["best"]["key"] is None

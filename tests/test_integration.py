@@ -109,10 +109,11 @@ def bigmac_telemetry():
 
 def test_explain_attributes_bigmac_to_the_mac_plugin(bigmac_telemetry):
     """`repro explain` names mac_corruption and walks the full lineage."""
-    from repro.telemetry.explain import analyze_stream, attribution_to_dict
+    from repro.telemetry.explain import attribution_to_dict
+    from repro.telemetry.view import fold_stream
 
     lines, strategy = bigmac_telemetry
-    attribution = analyze_stream(lines)
+    attribution = fold_stream(lines)
     document = attribution_to_dict(attribution)
     assert attribution.best_impact > 0.9
     assert document["best"]["plugin"] == "mac_corruption"
@@ -125,10 +126,11 @@ def test_explain_attributes_bigmac_to_the_mac_plugin(bigmac_telemetry):
 
 
 def test_explain_report_renders_the_bigmac_attack(bigmac_telemetry):
-    from repro.telemetry.explain import analyze_stream, render_attribution
+    from repro.telemetry.explain import render_attribution
+    from repro.telemetry.view import fold_stream
 
     lines, _ = bigmac_telemetry
-    report = render_attribution(analyze_stream(lines))
+    report = render_attribution(fold_stream(lines))
     assert "mac_corruption" in report
     assert "client_count" in report
     assert "best-scenario lineage" in report
